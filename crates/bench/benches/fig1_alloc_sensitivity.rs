@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 1: xalanc execution under each allocator
+//! model. The measured quantity is simulator throughput; the printed
+//! simulated-cycle ratios are the figure itself (see `repro fig1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngm_simalloc::{run_kind_warm, ModelKind};
+use ngm_workloads::xalanc::{self, XalancParams};
+
+fn fig1(c: &mut Criterion) {
+    let params = XalancParams::tiny();
+    let (events, warmup) = xalanc::collect_with_warmup(&params);
+    let mut g = c.benchmark_group("fig1_alloc_sensitivity");
+    g.sample_size(10);
+    for kind in ModelKind::BASELINES {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| run_kind_warm(kind, 1, events.iter().copied(), warmup).wall_cycles)
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

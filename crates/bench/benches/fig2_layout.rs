@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 2: aggregated vs segregated metadata layout
+//! under identical placement (see `repro fig2` for the measured table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ngm_sim::{Machine, MachineConfig};
+use ngm_simalloc::layout::LayoutModel;
+use ngm_simalloc::run;
+use ngm_workloads::churn::{self, ChurnParams};
+
+fn fig2(c: &mut Criterion) {
+    let events = churn::collect(&ChurnParams {
+        total_allocs: 5_000,
+        touch_percent: 100,
+        ..ChurnParams::tiny()
+    });
+    let mut g = c.benchmark_group("fig2_layout");
+    g.sample_size(10);
+    g.bench_function("aggregated", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(MachineConfig::a72(1));
+            let mut model = LayoutModel::aggregated();
+            run(&mut machine, &mut model, events.iter().copied()).wall_cycles
+        })
+    });
+    g.bench_function("segregated", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(MachineConfig::a72(1));
+            let mut model = LayoutModel::segregated();
+            run(&mut machine, &mut model, events.iter().copied()).wall_cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

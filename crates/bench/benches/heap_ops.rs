@@ -1,0 +1,49 @@
+//! Microbenchmarks of the real heap substrate: alloc/free hot paths for
+//! each layout and wrapper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngm_heap::{AggregatedHeap, Heap, LockedHeap, SegregatedHeap};
+use std::alloc::Layout;
+
+fn heap_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heap_ops");
+    for size in [16usize, 128, 1024, 8192] {
+        let layout = Layout::from_size_align(size, 8).expect("valid");
+        g.bench_with_input(
+            BenchmarkId::new("segregated", size),
+            &layout,
+            |b, &layout| {
+                let mut h = SegregatedHeap::new(1);
+                b.iter(|| {
+                    let p = h.allocate(layout).expect("alloc");
+                    // SAFETY: freed immediately, exactly once.
+                    unsafe { h.deallocate(p, layout) };
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("aggregated", size),
+            &layout,
+            |b, &layout| {
+                let mut h = AggregatedHeap::new(2);
+                b.iter(|| {
+                    let p = h.allocate(layout).expect("alloc");
+                    // SAFETY: freed immediately, exactly once.
+                    unsafe { h.deallocate(p, layout) };
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("locked", size), &layout, |b, &layout| {
+            let h = LockedHeap::new(SegregatedHeap::new(3));
+            b.iter(|| {
+                let p = h.allocate(layout).expect("alloc");
+                // SAFETY: freed immediately, exactly once.
+                unsafe { h.deallocate(p, layout) };
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, heap_ops);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Table 2: xmalloc on the TCMalloc model across
+//! thread counts (see `repro table2` for the PMU table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngm_simalloc::{run_kind, ModelKind};
+use ngm_workloads::xmalloc::{self, XmallocParams};
+
+fn table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_xmalloc_threads");
+    g.sample_size(10);
+    for threads in [1u8, 2, 4, 8] {
+        let params = XmallocParams::tiny().with_threads(threads);
+        let events = xmalloc::collect(&params);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    run_kind(ModelKind::TcMalloc, threads as usize, events.iter().copied())
+                        .total
+                        .llc_load_misses
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

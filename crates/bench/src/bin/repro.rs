@@ -1,0 +1,77 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT...] [--scale N] [--no-prototype]
+//!
+//! EXPERIMENT: all (default) | fig1 | table1 | table2 | fig2 | table3
+//!           | model41 | ablations
+//! --scale N: multiply workload sizes by N (default 1; paper-style
+//!            stability from ~4)
+//! --no-prototype: skip the real-runtime wall-clock part of table3
+//! ```
+
+use ngm_bench::experiments::{ablations, fig1, fig2, model41, table1, table2, table3};
+use ngm_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale(1);
+    let mut with_prototype = true;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale expects a positive integer");
+                        std::process::exit(2);
+                    });
+                scale = Scale(n.max(1));
+            }
+            "--no-prototype" => with_prototype = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations]... [--scale N] [--no-prototype]"
+                );
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        experiments.push("all".into());
+    }
+
+    let want = |name: &str| experiments.iter().any(|e| e == name || e == "all");
+
+    println!("NextGen-Malloc reproduction harness (scale {}x)", scale.0);
+    println!("================================================\n");
+
+    if want("fig1") {
+        println!("{}", fig1::run(scale).render());
+    }
+    if want("table1") {
+        println!("{}", table1::run(scale).render());
+    }
+    if want("table2") {
+        println!("{}", table2::run(scale).render());
+    }
+    if want("fig2") {
+        println!("{}", fig2::run_fig2(scale).render());
+    }
+    if want("table3") {
+        println!("{}", table3::run(scale, with_prototype).render());
+    }
+    if want("model41") {
+        println!("{}", model41::run().render());
+    }
+    if want("ablations") {
+        let real_ops = 20_000u32.saturating_mul(scale.0);
+        println!("{}", ablations::render_all(scale, real_ops));
+    }
+}

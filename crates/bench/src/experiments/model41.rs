@@ -1,0 +1,97 @@
+//! §4.1: the analytical break-even model, printed with the paper's
+//! constants and the sweeps behind ablation D.
+
+use ngm_model::{BreakEven, ATOMIC_CYCLES_WORST};
+
+use crate::report::{sci, Table};
+
+/// The model evaluation.
+#[derive(Debug, Clone)]
+pub struct Model41 {
+    /// The paper-constant configuration.
+    pub model: BreakEven,
+    /// Atomic-latency sweep at the break-even miss reduction.
+    pub latency_sweep: Vec<(u64, f64)>,
+}
+
+/// Runs the evaluation.
+pub fn run() -> Model41 {
+    let model = BreakEven::default();
+    let latency_sweep = model.sweep_atomic_latency((20..=700).step_by(68), 1.25);
+    Model41 {
+        model,
+        latency_sweep,
+    }
+}
+
+impl Model41 {
+    /// Renders the §4.1 numbers.
+    pub fn render(&self) -> String {
+        let m = &self.model;
+        let mut t = Table::new(&["quantity", "value", "paper"]);
+        t.row(vec![
+            "malloc calls".into(),
+            m.mallocs.to_string(),
+            "138,401,260".into(),
+        ]);
+        t.row(vec![
+            "free calls".into(),
+            m.frees.to_string(),
+            "141,394,145".into(),
+        ]);
+        t.row(vec![
+            "atomic latency (cycles)".into(),
+            m.atomic_cycles.to_string(),
+            "67".into(),
+        ]);
+        t.row(vec![
+            "added cycles".into(),
+            sci(m.overhead_cycles() as f64),
+            "~75E+09".into(),
+        ]);
+        t.row(vec![
+            "avg miss penalty (cycles)".into(),
+            format!("{:.0}", m.miss_penalty),
+            "214".into(),
+        ]);
+        t.row(vec![
+            "required miss reduction / call".into(),
+            format!("{:.2}", m.required_miss_reduction()),
+            "1.25".into(),
+        ]);
+        let mut sweep = Table::new(&["atomic cycles", "net cycles saved @1.25 misses"]);
+        for (lat, net) in &self.latency_sweep {
+            sweep.row(vec![lat.to_string(), sci(*net)]);
+        }
+        format!(
+            "Section 4.1: analytical break-even model\n{}\nAtomic-latency sweep (ablation D input; worst case {} cycles):\n{}",
+            t.render(),
+            ATOMIC_CYCLES_WORST,
+            sweep.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_constants() {
+        let s = run().render();
+        assert!(s.contains("138401260"));
+        assert!(s.contains("1.25"));
+        assert!(s.contains("~75E+09"));
+    }
+
+    #[test]
+    fn sweep_crosses_zero_near_67_cycles() {
+        let m = run();
+        // At the paper's operating point (67 cycles, 1.25 misses) the
+        // model sits at break-even; below it the net is positive.
+        let below: Vec<_> = m.latency_sweep.iter().filter(|(l, _)| *l < 67).collect();
+        let above: Vec<_> = m.latency_sweep.iter().filter(|(l, _)| *l > 67).collect();
+        assert!(below.iter().all(|(_, net)| *net > 0.0));
+        assert!(above.iter().all(|(_, net)| *net < 0.0));
+    }
+}

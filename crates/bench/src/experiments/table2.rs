@@ -1,0 +1,116 @@
+//! Table 2: `xmalloc` on TCMalloc with 1, 2, 4, 8 threads.
+//!
+//! Paper shape: LLC load misses grow more than 10× from 1 to 8 threads —
+//! per-thread caches exchanging cross-thread-freed blocks through the
+//! central lists drag block lines between cores.
+
+use ngm_sim::PmuCounters;
+use ngm_simalloc::{run_kind, ModelKind};
+use ngm_workloads::xmalloc::{self, XmallocParams};
+
+use crate::report::{sci, Table};
+use crate::Scale;
+
+/// One thread-count column of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Col {
+    /// Number of threads.
+    pub threads: u8,
+    /// Machine-wide counters.
+    pub counters: PmuCounters,
+}
+
+/// The table's data.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Columns for 1, 2, 4, 8 threads.
+    pub cols: Vec<Table2Col>,
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table2 {
+    let cols = [1u8, 2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            let params = XmallocParams {
+                allocs_per_thread: Scale(scale.0).apply(20_000) / u32::from(threads),
+                ..XmallocParams::default().with_threads(threads)
+            };
+            let mut events = Vec::new();
+            xmalloc::generate(&params, &mut |e| events.push(e));
+            let r = run_kind(ModelKind::TcMalloc, threads as usize, events.into_iter());
+            Table2Col {
+                threads,
+                counters: r.total,
+            }
+        })
+        .collect();
+    Table2 { cols }
+}
+
+impl Table2 {
+    /// LLC-load-miss growth from 1 to 8 threads (paper: >10×).
+    pub fn llc_load_growth(&self) -> f64 {
+        let one = self.cols.first().expect("1-thread column").counters;
+        let eight = self.cols.last().expect("8-thread column").counters;
+        eight.llc_load_misses as f64 / one.llc_load_misses.max(1) as f64
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut header = vec!["metric".to_string()];
+        header.extend(self.cols.iter().map(|c| c.threads.to_string()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&header_refs);
+        let rows: [(&str, fn(&PmuCounters) -> f64); 4] = [
+            ("cycles", |c| c.cycles as f64),
+            ("instructions", |c| c.instructions as f64),
+            ("LLC-load-misses", |c| c.llc_load_misses as f64),
+            ("LLC-store-misses", |c| c.llc_store_misses as f64),
+        ];
+        for (label, get) in rows {
+            let mut row = vec![label.to_string()];
+            row.extend(self.cols.iter().map(|c| sci(get(&c.counters))));
+            t.row(row);
+        }
+        format!(
+            "Table 2: PMU data for xmalloc on TCMalloc vs thread count\n{}\nLLC-load-miss growth 1->8 threads: {:.1}x [paper >10x]\n",
+            t.render(),
+            self.llc_load_growth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llc_misses_grow_superlinearly_with_threads() {
+        let t = run(Scale(1));
+        let loads: Vec<u64> = t.cols.iter().map(|c| c.counters.llc_load_misses).collect();
+        assert!(
+            loads.windows(2).all(|w| w[1] > w[0]),
+            "LLC load misses must grow with threads: {loads:?}"
+        );
+        assert!(
+            t.llc_load_growth() > 4.0,
+            "growth {} too small for Table 2's shape",
+            t.llc_load_growth()
+        );
+    }
+
+    #[test]
+    fn cycles_grow_with_threads() {
+        let t = run(Scale(1));
+        let cycles: Vec<u64> = t.cols.iter().map(|c| c.counters.cycles).collect();
+        assert!(cycles.windows(2).all(|w| w[1] > w[0]), "{cycles:?}");
+    }
+
+    #[test]
+    fn render_has_thread_columns() {
+        let s = run(Scale(1)).render();
+        assert!(s.contains("LLC-load-misses"));
+        assert!(s.contains("1->8"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Table 3: NextGen-Malloc vs. Mimalloc on `xalancbmk`.
+//!
+//! Paper: the prototype (pinned service thread, atomic-flag handshake) is
+//! 4.51 % faster than Mimalloc, "coming from a reduction of dTLB load,
+//! LLC load, and LLC store misses". Two views here:
+//!
+//! * **Simulated** — both models on the A72-like machine; NGM's heap
+//!   metadata lives on the service core, so application-core misses drop.
+//! * **Prototype wall-clock** — the real `ngm-core` runtime against the
+//!   real mimalloc-style sharded heap on this machine (indicative only on
+//!   a 1-vCPU box; see DESIGN.md §5).
+
+use ngm_sim::{Machine, PmuCounters};
+use ngm_simalloc::ngm::{NgmModel, Protocol};
+use ngm_simalloc::ModelKind;
+use ngm_workloads::xalanc::{self, XalancParams};
+
+use crate::replay::{replay_heap, replay_ngm};
+use crate::report::{mpki, sci, Table};
+use crate::Scale;
+
+/// One allocator column.
+#[derive(Debug, Clone)]
+pub struct Table3Col {
+    /// Allocator name.
+    pub name: &'static str,
+    /// Application-core counters (what pollutes the app).
+    pub app: PmuCounters,
+    /// Service-core counters (NGM only; zeroes otherwise).
+    pub service: PmuCounters,
+    /// Wall cycles (max over cores).
+    pub wall_cycles: u64,
+}
+
+/// The table's data.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Mimalloc, NGM (detailed accounting), NGM (section 4.1 accounting).
+    pub cols: Vec<Table3Col>,
+    /// Wall-clock seconds for the real-prototype replays, if run:
+    /// `(mimalloc-style sharded, ngm offloaded)`.
+    pub prototype_secs: Option<(f64, f64)>,
+}
+
+/// Runs the simulated comparison; `with_prototype` also replays the real
+/// heaps for a wall-clock side table.
+pub fn run(scale: Scale, with_prototype: bool) -> Table3 {
+    run_with(&XalancParams::default().scaled(scale.0.max(1)), with_prototype)
+}
+
+/// As [`run`] with explicit workload parameters.
+pub fn run_with(params: &XalancParams, with_prototype: bool) -> Table3 {
+    let (events, warmup) = xalanc::collect_with_warmup(params);
+
+    let mut cols = Vec::new();
+    {
+        let r = ngm_simalloc::driver::run_kind_warm(
+            ModelKind::Mimalloc,
+            1,
+            events.iter().copied(),
+            warmup,
+        );
+        cols.push(Table3Col {
+            name: "Mimalloc",
+            app: r.app_total(1),
+            service: PmuCounters::default(),
+            wall_cycles: r.wall_cycles,
+        });
+    }
+    for (name, protocol) in [
+        ("NGM (detailed sync)", Protocol::Detailed),
+        ("NGM (sec-4.1 sync)", Protocol::PaperModel),
+    ] {
+        let mut machine = Machine::new(ModelKind::Ngm.machine(1));
+        let mut model = NgmModel::with_protocol(1, protocol);
+        let r = ngm_simalloc::driver::run_warm(
+            &mut machine,
+            &mut model,
+            events.iter().copied(),
+            warmup,
+        );
+        cols.push(Table3Col {
+            name,
+            app: r.app_total(1),
+            service: *r.per_core.last().expect("service core"),
+            wall_cycles: r.wall_cycles,
+        });
+    }
+
+    let prototype_secs = with_prototype.then(|| {
+        // Mimalloc-style: a sharded per-thread heap (single shard here —
+        // the workload is single-threaded, as is SPEC's xalancbmk).
+        let sharded = ngm_heap::ShardedHeap::new(1);
+        let mut handle = sharded.handle(0);
+        let a = replay_heap(&mut handle, events.iter().copied());
+
+        let ngm = ngm_core::NextGenMalloc::start();
+        let mut h = ngm.handle();
+        let b = replay_ngm(&mut h, events.iter().copied());
+        assert_eq!(a.checksum, b.checksum, "replays must compute identically");
+        (a.elapsed.as_secs_f64(), b.elapsed.as_secs_f64())
+    });
+
+    Table3 {
+        cols,
+        prototype_secs,
+    }
+}
+
+impl Table3 {
+    /// Simulated speedup of NGM over Mimalloc under detailed sync
+    /// accounting.
+    pub fn speedup_detailed(&self) -> f64 {
+        self.cols[0].wall_cycles as f64 / self.cols[1].wall_cycles as f64
+    }
+
+    /// Simulated speedup under the paper's section 4.1 sync accounting
+    /// (paper: 1.0451x).
+    pub fn speedup_paper_model(&self) -> f64 {
+        self.cols[0].wall_cycles as f64 / self.cols[2].wall_cycles as f64
+    }
+
+    /// Renders the side-by-side comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["metric", "Mimalloc", "NGM (detailed)", "NGM (sec-4.1)"]);
+        let rows: [(&str, fn(&Table3Col) -> f64); 6] = [
+            ("cycles (wall)", |c| c.wall_cycles as f64),
+            ("instructions (app)", |c| c.app.instructions as f64),
+            ("LLC-load-misses (app)", |c| c.app.llc_load_misses as f64),
+            ("LLC-store-misses (app)", |c| c.app.llc_store_misses as f64),
+            ("dTLB-load-misses (app)", |c| c.app.dtlb_load_misses as f64),
+            ("dTLB-store-misses (app)", |c| {
+                c.app.dtlb_store_misses as f64
+            }),
+        ];
+        for (label, get) in rows {
+            t.row(vec![
+                label.to_string(),
+                sci(get(&self.cols[0])),
+                sci(get(&self.cols[1])),
+                sci(get(&self.cols[2])),
+            ]);
+        }
+        let mut rates = Table::new(&["metric", "Mimalloc", "NGM (detailed)", "NGM (sec-4.1)"]);
+        let rrows: [(&str, fn(&PmuCounters) -> f64); 2] = [
+            ("LLC-load-MPKI (app)", PmuCounters::llc_load_mpki),
+            ("dTLB-load-MPKI (app)", PmuCounters::dtlb_load_mpki),
+        ];
+        for (label, get) in rrows {
+            rates.row(vec![
+                label.to_string(),
+                mpki(get(&self.cols[0].app)),
+                mpki(get(&self.cols[1].app)),
+                mpki(get(&self.cols[2].app)),
+            ]);
+        }
+        let mut s = format!(
+            "Table 3: Mimalloc vs NextGen-Malloc on xalancbmk (simulated)\n{}\n{}\nspeedup, detailed sync accounting: {:+.2}%\nspeedup, paper's sec-4.1 sync accounting: {:+.2}% [paper measured: +4.51%]\nservice-core misses (NGM, run concurrently): LLC-load {}, dTLB-load {}\n",
+            t.render(),
+            rates.render(),
+            (self.speedup_detailed() - 1.0) * 100.0,
+            (self.speedup_paper_model() - 1.0) * 100.0,
+            sci(self.cols[1].service.llc_load_misses as f64),
+            sci(self.cols[1].service.dtlb_load_misses as f64),
+        );
+        if let Some((mi, ngm)) = self.prototype_secs {
+            s.push_str(&format!(
+                "\nprototype wall-clock on this machine: sharded(mimalloc-style) {mi:.3}s, NGM offloaded {ngm:.3}s ({:+.2}%)\n(1-vCPU boxes timeshare the service core; treat as indicative)\n",
+                (mi / ngm - 1.0) * 100.0
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Table3 {
+        run_with(&XalancParams::small(), false)
+    }
+
+    #[test]
+    fn ngm_halves_app_side_tlb_pollution() {
+        let t = small();
+        let mi = &t.cols[0];
+        let ngm = &t.cols[1];
+        // The paper's stated mechanism reproduces: NGM's application core
+        // sees far fewer dTLB misses (metadata moved to the service core).
+        assert!(
+            (ngm.app.dtlb_load_misses as f64)
+                < 0.8 * mi.app.dtlb_load_misses as f64,
+            "NGM app dTLB {} vs Mimalloc {}",
+            ngm.app.dtlb_load_misses,
+            mi.app.dtlb_load_misses
+        );
+        assert!(ngm.app.llc_load_misses <= mi.app.llc_load_misses);
+    }
+
+    #[test]
+    fn speedups_are_plausible_and_ordered() {
+        let t = small();
+        let detailed = t.speedup_detailed();
+        let paper = t.speedup_paper_model();
+        // The cheaper (paper) sync accounting can only help.
+        assert!(
+            paper >= detailed - 1e-9,
+            "paper-model accounting must not be slower: {paper} vs {detailed}"
+        );
+        // Both land in a plausible band around the paper's +4.51%: our
+        // faithful sync costs put the net at or below break-even (see
+        // EXPERIMENTS.md for the crossover analysis).
+        assert!((0.6..1.3).contains(&detailed), "detailed speedup {detailed}");
+        assert!((0.6..1.3).contains(&paper), "paper-model speedup {paper}");
+    }
+
+    #[test]
+    fn service_core_absorbs_metadata_misses() {
+        let t = small();
+        let ngm = &t.cols[1];
+        assert!(ngm.service.instructions > 0);
+        assert!(
+            ngm.service.meta_llc_misses + ngm.service.llc_load_misses > 0,
+            "service core should own the metadata traffic"
+        );
+    }
+
+    #[test]
+    fn render_reports_both_accountings() {
+        let s = small().render();
+        assert!(s.contains("detailed sync accounting"));
+        assert!(s.contains("4.51%"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Reproduction harness: one module per table/figure of the paper.
+//!
+//! The `repro` binary drives these; the Criterion benches reuse the same
+//! kernels at reduced scale. See `EXPERIMENTS.md` at the repository root
+//! for the paper-vs-measured record each function regenerates.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod replay;
+pub mod report;
+
+/// Scale factor applied to workload sizes (1 = quick defaults; the paper
+/// runs are statistically stable from ~4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale(pub u32);
+
+impl Scale {
+    /// Multiplies a base count.
+    pub fn apply(self, base: u32) -> u32 {
+        base.saturating_mul(self.0.max(1))
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(1)
+    }
+}

@@ -1,0 +1,274 @@
+//! The handle-based public API.
+
+use std::alloc::Layout;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use ngm_heap::AllocError;
+use ngm_offload::{ClientHandle, OffloadRuntime, RuntimeBuilder, StatsSnapshot, WaitStrategy};
+
+use crate::orphan::OrphanStack;
+use crate::service::{AllocReq, FreeMsg, MallocService, ServiceStats};
+
+/// Configuration for [`NextGenMalloc::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct NgmBuilder {
+    /// Core to pin the service thread to; `None` leaves it floating.
+    pub service_core: Option<usize>,
+    /// Wait policy for client threads blocked on `alloc`.
+    pub client_wait: WaitStrategy,
+    /// Wait policy for the service thread's polling loop.
+    pub server_wait: WaitStrategy,
+    /// Capacity of each client's asynchronous free ring.
+    pub free_ring_capacity: usize,
+}
+
+impl Default for NgmBuilder {
+    fn default() -> Self {
+        // Pin to the last core when the machine has more than one — the
+        // paper's "own room" — otherwise float.
+        let cores = ngm_offload::available_cores();
+        NgmBuilder {
+            service_core: (cores > 1).then(|| cores - 1),
+            client_wait: WaitStrategy::default(),
+            server_wait: WaitStrategy::default(),
+            free_ring_capacity: 4096,
+        }
+    }
+}
+
+impl NgmBuilder {
+    /// Starts the allocator runtime.
+    pub fn start(self) -> NextGenMalloc {
+        let orphans = Arc::new(OrphanStack::new());
+        let service = MallocService::new(Arc::clone(&orphans));
+        let mut rb = RuntimeBuilder::new()
+            .server_wait(self.server_wait)
+            .client_wait(self.client_wait)
+            .ring_capacity(self.free_ring_capacity);
+        if let Some(core) = self.service_core {
+            rb = rb.pin_to(core);
+        }
+        NextGenMalloc {
+            runtime: rb.start(service),
+            orphans,
+        }
+    }
+}
+
+/// The running allocator: a dedicated service thread plus registration of
+/// per-thread client handles.
+pub struct NextGenMalloc {
+    runtime: OffloadRuntime<MallocService>,
+    orphans: Arc<OrphanStack>,
+}
+
+impl NextGenMalloc {
+    /// Starts with default configuration.
+    pub fn start() -> Self {
+        NgmBuilder::default().start()
+    }
+
+    /// Builder for custom configuration.
+    pub fn builder() -> NgmBuilder {
+        NgmBuilder::default()
+    }
+
+    /// Registers a handle for the calling (or any) thread.
+    pub fn handle(&self) -> NgmHandle {
+        NgmHandle {
+            client: self.runtime.register_client(),
+            orphans: Arc::clone(&self.orphans),
+        }
+    }
+
+    /// The shared orphan stack (used by the global-allocator adapter).
+    pub fn orphans(&self) -> &Arc<OrphanStack> {
+        &self.orphans
+    }
+
+    /// Offload-runtime counters.
+    pub fn runtime_stats(&self) -> StatsSnapshot {
+        self.runtime.stats()
+    }
+
+    /// Stops the service thread and returns final statistics.
+    ///
+    /// All handles must be dropped or idle; posted frees are drained before
+    /// the thread exits.
+    pub fn shutdown(self) -> (ServiceStats, ngm_heap::HeapStats, StatsSnapshot) {
+        let (svc, stats) = self.runtime.shutdown();
+        (svc.service_stats(), svc.heap_stats(), stats)
+    }
+}
+
+/// A per-thread endpoint to the allocator.
+pub struct NgmHandle {
+    client: ClientHandle<MallocService>,
+    orphans: Arc<OrphanStack>,
+}
+
+impl NgmHandle {
+    /// Allocates a block (synchronous round trip to the service core).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when the service reports failure and
+    /// [`AllocError::ZeroSize`] for zero-sized layouts.
+    pub fn alloc(&mut self, layout: Layout) -> Result<NonNull<u8>, AllocError> {
+        if layout.size() == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let addr = self.client.call(AllocReq::from_layout(layout));
+        NonNull::new(addr as *mut u8).ok_or(AllocError::OutOfMemory)
+    }
+
+    /// Frees a block asynchronously; returns as soon as the message is in
+    /// the ring (§3.1.2: free is off the critical path).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from [`NgmHandle::alloc`] on the same
+    /// [`NextGenMalloc`] instance with the same `layout`, and must not be
+    /// used afterwards.
+    pub unsafe fn dealloc(&mut self, ptr: NonNull<u8>, layout: Layout) {
+        self.client.post(FreeMsg {
+            addr: ptr.as_ptr() as usize,
+            size: layout.size(),
+            align: layout.align(),
+        });
+    }
+
+    /// Frees a small block by pushing it onto the orphan stack (no handle
+    /// state touched). Used by the global adapter in contexts where the
+    /// ring may not be used.
+    ///
+    /// # Safety
+    ///
+    /// As [`NgmHandle::dealloc`], and the block must be a small-class block
+    /// (under [`ngm_heap::SMALL_MAX`]).
+    pub unsafe fn dealloc_orphan(&self, ptr: NonNull<u8>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.orphans.push(ptr) };
+    }
+
+    /// Frees waiting in this handle's ring (not yet applied).
+    pub fn pending_frees(&self) -> usize {
+        self.client.pending_posts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(n: usize) -> Layout {
+        Layout::from_size_align(n, 8).unwrap()
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let ngm = NextGenMalloc::start();
+        let mut h = ngm.handle();
+        let p = h.alloc(layout(256)).unwrap();
+        // SAFETY: fresh 256-byte block.
+        unsafe {
+            std::ptr::write_bytes(p.as_ptr(), 0x42, 256);
+            assert_eq!(*p.as_ptr().add(255), 0x42);
+            h.dealloc(p, layout(256));
+        }
+        drop(h);
+        let (svc, heap, _rt) = ngm.shutdown();
+        assert_eq!(svc.allocs, 1);
+        assert_eq!(svc.frees, 1);
+        assert_eq!(heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn many_threads_allocate_concurrently() {
+        let ngm = NextGenMalloc::start();
+        let mut joins = Vec::new();
+        for t in 0..4u8 {
+            let mut h = ngm.handle();
+            joins.push(std::thread::spawn(move || {
+                let mut blocks = Vec::new();
+                for i in 0..200usize {
+                    let l = layout(16 + (i * 13) % 1024);
+                    let p = h.alloc(l).unwrap();
+                    // SAFETY: fresh block of at least that size.
+                    unsafe { std::ptr::write_bytes(p.as_ptr(), t, 16) };
+                    blocks.push((p, l));
+                }
+                for (p, l) in blocks {
+                    // SAFETY: blocks from this handle's allocator.
+                    unsafe { h.dealloc(p, l) };
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let (svc, heap, rt) = ngm.shutdown();
+        assert_eq!(svc.allocs, 800);
+        assert_eq!(svc.frees, 800);
+        assert_eq!(heap.live_blocks, 0);
+        assert_eq!(rt.clients_registered, 4);
+    }
+
+    #[test]
+    fn zero_size_alloc_is_error() {
+        let ngm = NextGenMalloc::start();
+        let mut h = ngm.handle();
+        assert_eq!(
+            h.alloc(Layout::from_size_align(0, 1).unwrap()),
+            Err(AllocError::ZeroSize)
+        );
+    }
+
+    #[test]
+    fn large_blocks_route_through_service() {
+        let ngm = NextGenMalloc::start();
+        let mut h = ngm.handle();
+        let l = layout(1 << 20);
+        let p = h.alloc(l).unwrap();
+        // SAFETY: 1 MiB block.
+        unsafe {
+            *p.as_ptr().add((1 << 20) - 1) = 9;
+            h.dealloc(p, l);
+        }
+        drop(h);
+        let (_, heap, _) = ngm.shutdown();
+        assert_eq!(heap.large_allocs, 0);
+    }
+
+    #[test]
+    fn orphan_path_reclaims() {
+        let ngm = NextGenMalloc::start();
+        let mut h = ngm.handle();
+        let p = h.alloc(layout(64)).unwrap();
+        // SAFETY: small live block relinquished to the orphan stack.
+        unsafe { h.dealloc_orphan(p) };
+        // Orphans are drained by the service's idle hook.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while ngm.orphans().drained() == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        drop(h);
+        let (svc, heap, _) = ngm.shutdown();
+        assert_eq!(svc.orphans_reclaimed, 1);
+        assert_eq!(heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn service_core_pin_recorded_when_possible() {
+        let ngm = NgmBuilder {
+            service_core: Some(0),
+            ..NgmBuilder::default()
+        }
+        .start();
+        // Give the service thread a moment to start and pin.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let stats = ngm.runtime_stats();
+        assert_eq!(stats.pinned_core, Some(0));
+    }
+}

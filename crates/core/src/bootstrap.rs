@@ -1,0 +1,103 @@
+//! Bootstrap arena: allocations made while the allocator is building
+//! itself.
+//!
+//! Installing NextGen-Malloc as the global allocator creates a
+//! chicken-and-egg problem: spawning the service thread and registering
+//! client handles themselves allocate. Those early (and re-entrant)
+//! allocations are served from a fixed static arena; they are never
+//! individually freed (frees into the arena's address range are ignored),
+//! which is bounded because only bootstrap paths use it.
+
+use std::alloc::Layout;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Size of the static bootstrap arena. Zero-initialized BSS: the pages
+/// cost nothing until touched, so a generous size is cheap insurance for
+/// guarded-context allocations over a long process lifetime.
+pub const ARENA_SIZE: usize = 16 * 1024 * 1024;
+
+/// The backing storage is only ever accessed through raw pointers derived
+/// from the static's address, so the field itself is "never read".
+#[repr(align(64))]
+struct Arena(#[allow(dead_code)] [u8; ARENA_SIZE]);
+
+static mut ARENA: Arena = Arena([0; ARENA_SIZE]);
+static CURSOR: AtomicUsize = AtomicUsize::new(0);
+
+fn arena_base() -> usize {
+    // Taking the address of a `static mut` without creating a reference is
+    // sound; only raw pointers into the arena are ever formed.
+    std::ptr::addr_of!(ARENA) as usize
+}
+
+/// Allocates from the bootstrap arena. Returns null when the arena is
+/// exhausted (callers treat that as allocation failure).
+pub fn bootstrap_alloc(layout: Layout) -> *mut u8 {
+    let base = arena_base();
+    let mut cur = CURSOR.load(Ordering::Relaxed);
+    loop {
+        let start = (base + cur + layout.align() - 1) & !(layout.align() - 1);
+        let end = start + layout.size().max(1);
+        let new_cur = end - base;
+        if new_cur > ARENA_SIZE {
+            return std::ptr::null_mut();
+        }
+        match CURSOR.compare_exchange_weak(cur, new_cur, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return start as *mut u8,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Returns `true` if `ptr` points into the bootstrap arena (such blocks
+/// are leaked rather than freed).
+pub fn is_bootstrap_ptr(ptr: *const u8) -> bool {
+    let a = ptr as usize;
+    let base = arena_base();
+    a >= base && a < base + ARENA_SIZE
+}
+
+/// Bytes consumed so far (diagnostics).
+pub fn bootstrap_used() -> usize {
+    CURSOR.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_allocations_are_aligned_and_disjoint() {
+        let l1 = Layout::from_size_align(100, 16).unwrap();
+        let l2 = Layout::from_size_align(64, 64).unwrap();
+        let a = bootstrap_alloc(l1);
+        let b = bootstrap_alloc(l2);
+        assert!(!a.is_null() && !b.is_null());
+        assert_eq!(a as usize % 16, 0);
+        assert_eq!(b as usize % 64, 0);
+        let (a, b) = (a as usize, b as usize);
+        assert!(a + 100 <= b || b + 64 <= a, "allocations overlap");
+        // SAFETY: both blocks are live arena memory of the given sizes.
+        unsafe {
+            std::ptr::write_bytes(a as *mut u8, 0xEE, 100);
+            std::ptr::write_bytes(b as *mut u8, 0xFF, 64);
+            assert_eq!(*(a as *const u8), 0xEE);
+            assert_eq!(*(b as *const u8), 0xFF);
+        }
+    }
+
+    #[test]
+    fn membership_test_matches() {
+        let p = bootstrap_alloc(Layout::from_size_align(8, 8).unwrap());
+        assert!(is_bootstrap_ptr(p));
+        let outside = Box::new(0u8);
+        assert!(!is_bootstrap_ptr(&*outside as *const u8));
+    }
+
+    #[test]
+    fn used_grows_monotonically() {
+        let before = bootstrap_used();
+        bootstrap_alloc(Layout::from_size_align(32, 8).unwrap());
+        assert!(bootstrap_used() >= before + 32);
+    }
+}

@@ -1,0 +1,268 @@
+//! `GlobalAlloc` adapter: install NextGen-Malloc for a whole program.
+//!
+//! ```ignore
+//! use ngm_core::NgmAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: NgmAllocator = NgmAllocator;
+//! ```
+//!
+//! The adapter mirrors the paper's prototype, which interposes on the C
+//! library's `malloc`/`free` and forwards them to the pinned service
+//! thread. Rust's `GlobalAlloc` is the equivalent hook. Three routing
+//! special cases keep it self-hosting:
+//!
+//! * **Bootstrap** — allocations made while the runtime or a per-thread
+//!   handle is being constructed come from a static bump arena
+//!   ([`crate::bootstrap`]); frees into that arena are ignored.
+//! * **The service thread itself** — must never round-trip to itself, so
+//!   its own (rare) allocations also use the arena.
+//! * **Large blocks** — served as dedicated `mmap`s directly on the
+//!   calling thread: the kernel already serializes them, offloading adds
+//!   nothing (and it keeps `dealloc` layout-driven and symmetric).
+
+use std::alloc::{GlobalAlloc, Layout};
+use std::cell::{Cell, RefCell};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use ngm_heap::classes::layout_to_class;
+use ngm_heap::sys::{round_to_os_page, Mapping};
+
+use crate::api::{NextGenMalloc, NgmHandle};
+use crate::bootstrap::{bootstrap_alloc, is_bootstrap_ptr};
+
+static RUNTIME: OnceLock<NextGenMalloc> = OnceLock::new();
+
+/// Set by the service thread once its polling loop is about to start.
+/// Until then every allocation — including the service thread's own
+/// startup allocations, which would otherwise deadlock by round-tripping
+/// to themselves — comes from the bootstrap arena.
+static SERVICE_READY: AtomicBool = AtomicBool::new(false);
+
+std::thread_local! {
+    /// True while this thread must not re-enter the offload path.
+    static GUARD: Cell<bool> = const { Cell::new(false) };
+    /// This thread's client handle, created lazily.
+    static HANDLE: RefCell<Option<NgmHandle>> = const { RefCell::new(None) };
+}
+
+/// Marks the calling thread as the allocator service thread: all its
+/// global allocations route to the bootstrap arena forever (a request to
+/// itself would deadlock).
+pub(crate) fn mark_allocator_thread() {
+    let _ = GUARD.try_with(|g| g.set(true));
+    SERVICE_READY.store(true, Ordering::Release);
+}
+
+fn runtime() -> &'static NextGenMalloc {
+    RUNTIME.get_or_init(|| {
+        // Everything allocated while spawning the runtime comes from the
+        // bootstrap arena.
+        let was = GUARD.with(|g| g.replace(true));
+        let ngm = NextGenMalloc::start();
+        GUARD.with(|g| g.set(was));
+        ngm
+    })
+}
+
+/// NextGen-Malloc as a `GlobalAlloc`.
+///
+/// Zero-sized; all state lives in a lazily-started [`NextGenMalloc`]
+/// runtime shared by every `NgmAllocator` value.
+pub struct NgmAllocator;
+
+impl NgmAllocator {
+    fn alloc_small(layout: Layout) -> *mut u8 {
+        // Re-entrant or service-thread context: bump arena. If the arena
+        // ever fills, guarded requests that cannot recurse have no
+        // fallback (null aborts the process); 16 MiB makes that remote.
+        let guarded = GUARD.try_with(Cell::get).unwrap_or(true);
+        if guarded {
+            return bootstrap_alloc(layout);
+        }
+        let rt = runtime();
+        if !SERVICE_READY.load(Ordering::Acquire) {
+            // The service loop has not started polling yet; anything that
+            // allocates in this window (the service thread's own startup
+            // included) must not wait on it.
+            return bootstrap_alloc(layout);
+        }
+        HANDLE
+            .try_with(|h| {
+                let mut slot = match h.try_borrow_mut() {
+                    Ok(s) => s,
+                    // Re-entered through this very thread's handle (e.g.
+                    // allocation from inside handle creation): arena.
+                    Err(_) => return bootstrap_alloc(layout),
+                };
+                if slot.is_none() {
+                    let was = GUARD.with(|g| g.replace(true));
+                    *slot = Some(rt.handle());
+                    GUARD.with(|g| g.set(was));
+                }
+                let handle = slot.as_mut().expect("handle initialized above");
+                match handle.alloc(layout) {
+                    Ok(p) => p.as_ptr(),
+                    Err(_) => std::ptr::null_mut(),
+                }
+            })
+            // TLS destroyed (thread exiting): bounded leak via the arena.
+            .unwrap_or_else(|_| bootstrap_alloc(layout))
+    }
+
+    unsafe fn dealloc_small(ptr: NonNull<u8>, layout: Layout) {
+        if is_bootstrap_ptr(ptr.as_ptr()) {
+            return; // Arena blocks are leaked by design.
+        }
+        let Some(rt) = RUNTIME.get() else {
+            // A real block cannot exist before the runtime: arena covers
+            // every pre-runtime allocation. Nothing to do but drop it.
+            debug_assert!(false, "small free before runtime initialization");
+            return;
+        };
+        let guarded = GUARD.try_with(Cell::get).unwrap_or(true);
+        if !guarded {
+            let done = HANDLE
+                .try_with(|h| {
+                    if let Ok(mut slot) = h.try_borrow_mut() {
+                        if let Some(handle) = slot.as_mut() {
+                            // SAFETY: forwarded caller contract (live block
+                            // from this allocator, correct layout).
+                            unsafe { handle.dealloc(ptr, layout) };
+                            return true;
+                        }
+                    }
+                    false
+                })
+                .unwrap_or(false);
+            if done {
+                return;
+            }
+        }
+        // No usable handle (guarded context, TLS teardown, foreign thread
+        // exiting): orphan the block; the service reclaims it when idle.
+        // SAFETY: live small block relinquished by the caller.
+        unsafe { rt.orphans().push(ptr) };
+    }
+}
+
+// SAFETY: `alloc` returns blocks that are uniquely owned, aligned to
+// `layout.align()`, and valid for `layout.size()` bytes (service heap,
+// bump arena, and direct mappings all guarantee this); `dealloc` releases
+// exactly the block identified by `(ptr, layout)`.
+unsafe impl GlobalAlloc for NgmAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout_to_class(layout.size(), layout.align()).is_some() {
+            Self::alloc_small(layout)
+        } else {
+            // Large: dedicated mapping on the calling thread.
+            let len = round_to_os_page(layout.size());
+            let m = if layout.align() > ngm_heap::sys::os_page_size() {
+                Mapping::new_aligned(len, layout.align())
+            } else {
+                Mapping::new(len)
+            };
+            match m {
+                Ok(m) => m.into_raw().0.as_ptr(),
+                Err(_) => std::ptr::null_mut(),
+            }
+        }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        let Some(ptr) = NonNull::new(ptr) else {
+            return;
+        };
+        if layout_to_class(layout.size(), layout.align()).is_some() {
+            // SAFETY: forwarded caller contract.
+            unsafe { Self::dealloc_small(ptr, layout) };
+        } else {
+            let len = round_to_os_page(layout.size());
+            // SAFETY: large blocks are dedicated mappings of exactly `len`
+            // bytes (see `alloc`).
+            drop(unsafe { Mapping::from_raw(ptr, len) });
+        }
+    }
+}
+
+/// Runtime statistics of the global allocator, if it has started.
+pub fn global_stats() -> Option<ngm_offload::StatsSnapshot> {
+    RUNTIME.get().map(|rt| rt.runtime_stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(n: usize) -> Layout {
+        Layout::from_size_align(n, 8).unwrap()
+    }
+
+    #[test]
+    fn direct_alloc_dealloc_small() {
+        let a = NgmAllocator;
+        // SAFETY: standard GlobalAlloc usage with matching layouts.
+        unsafe {
+            let p = a.alloc(layout(100));
+            assert!(!p.is_null());
+            std::ptr::write_bytes(p, 0xCD, 100);
+            assert_eq!(*p.add(99), 0xCD);
+            a.dealloc(p, layout(100));
+        }
+    }
+
+    #[test]
+    fn direct_alloc_dealloc_large() {
+        let a = NgmAllocator;
+        let l = layout(1 << 20);
+        // SAFETY: standard GlobalAlloc usage.
+        unsafe {
+            let p = a.alloc(l);
+            assert!(!p.is_null());
+            *p.add((1 << 20) - 1) = 3;
+            a.dealloc(p, l);
+        }
+    }
+
+    #[test]
+    fn many_threads_through_adapter() {
+        let a = &NgmAllocator;
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                s.spawn(move || {
+                    let mut blocks = Vec::new();
+                    for i in 0..300usize {
+                        let l = layout(16 + (i * 29) % 2048);
+                        // SAFETY: matched alloc/dealloc below.
+                        let p = unsafe { a.alloc(l) };
+                        assert!(!p.is_null());
+                        // SAFETY: fresh block.
+                        unsafe { std::ptr::write_bytes(p, t, 8) };
+                        blocks.push((p as usize, l));
+                    }
+                    for (p, l) in blocks {
+                        // SAFETY: blocks allocated above.
+                        unsafe { a.dealloc(p as *mut u8, l) };
+                    }
+                });
+            }
+        });
+        let stats = global_stats().expect("runtime started");
+        assert!(stats.calls_served >= 1200);
+    }
+
+    #[test]
+    fn guarded_context_uses_arena() {
+        GUARD.with(|g| g.set(true));
+        let a = NgmAllocator;
+        // SAFETY: standard usage; arena blocks may be freed (ignored).
+        unsafe {
+            let p = a.alloc(layout(64));
+            assert!(is_bootstrap_ptr(p));
+            a.dealloc(p, layout(64));
+        }
+        GUARD.with(|g| g.set(false));
+    }
+}

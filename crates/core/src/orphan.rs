@@ -1,0 +1,146 @@
+//! Orphan-free stack: small blocks freed when no client handle exists.
+//!
+//! A `GlobalAlloc` must accept `dealloc` from contexts where establishing a
+//! client handle is impossible — thread-local destructors, allocator
+//! bootstrap, the service thread itself. Such frees are pushed onto this
+//! lock-free stack (threading the list through the dead blocks, which are
+//! at least 16 bytes) and the service core drains them in its idle hook.
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// A multi-producer intrusive stack of dead small blocks.
+#[derive(Debug, Default)]
+pub struct OrphanStack {
+    head: AtomicPtr<u8>,
+    pushed: AtomicU64,
+    drained: AtomicU64,
+}
+
+impl OrphanStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a dead block.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a small block (≥ 8 writable bytes) owned by the
+    /// pusher (just freed, not yet recycled) and must remain mapped until
+    /// drained.
+    pub unsafe fn push(&self, ptr: NonNull<u8>) {
+        let mut old = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: we own the dead block; its first word is scratch.
+            unsafe { ptr.as_ptr().cast::<*mut u8>().write(old) };
+            match self.head.compare_exchange_weak(
+                old,
+                ptr.as_ptr(),
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => old = cur,
+            }
+        }
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pops the whole list and feeds each block to `f`.
+    ///
+    /// Intended for the single consumer (the service core); concurrent
+    /// calls are safe but split the list arbitrarily.
+    pub fn drain(&self, mut f: impl FnMut(NonNull<u8>)) -> usize {
+        let mut cur = self.head.swap(std::ptr::null_mut(), Ordering::Acquire);
+        let mut n = 0;
+        while let Some(p) = NonNull::new(cur) {
+            // SAFETY: nodes were pushed via `push`, which stored the next
+            // pointer in the first word; blocks stay mapped per contract.
+            cur = unsafe { p.as_ptr().cast::<*mut u8>().read() };
+            f(p);
+            n += 1;
+        }
+        self.drained.fetch_add(n as u64, Ordering::Relaxed);
+        n as usize
+    }
+
+    /// Blocks ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Blocks ever drained.
+    pub fn drained(&self) -> u64 {
+        self.drained.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> NonNull<u8> {
+        let b: Box<[u8; 64]> = Box::new([0; 64]);
+        NonNull::new(Box::into_raw(b).cast::<u8>()).unwrap()
+    }
+
+    unsafe fn free_block(p: NonNull<u8>) {
+        // SAFETY: created by `block`.
+        drop(unsafe { Box::from_raw(p.as_ptr().cast::<[u8; 64]>()) });
+    }
+
+    #[test]
+    fn push_drain_roundtrip() {
+        let s = OrphanStack::new();
+        let a = block();
+        let b = block();
+        // SAFETY: blocks owned, stay mapped.
+        unsafe {
+            s.push(a);
+            s.push(b);
+        }
+        let mut got = Vec::new();
+        assert_eq!(s.drain(|p| got.push(p)), 2);
+        assert_eq!(got, vec![b, a], "LIFO order");
+        assert_eq!(s.pushed(), 2);
+        assert_eq!(s.drained(), 2);
+        for p in got {
+            // SAFETY: reclaimed from the stack exactly once.
+            unsafe { free_block(p) };
+        }
+    }
+
+    #[test]
+    fn drain_empty_is_zero() {
+        let s = OrphanStack::new();
+        assert_eq!(s.drain(|_| panic!("no blocks")), 0);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_arrive() {
+        use std::sync::Arc;
+        let s = Arc::new(OrphanStack::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..250 {
+                    // SAFETY: fresh blocks, never touched again by pusher.
+                    unsafe { s.push(block()) };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut n = 0;
+        s.drain(|p| {
+            n += 1;
+            // SAFETY: sole consumer reclaims each block once.
+            unsafe { free_block(p) };
+        });
+        assert_eq!(n, 1000);
+    }
+}

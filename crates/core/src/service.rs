@@ -1,0 +1,282 @@
+//! The malloc service: the code that runs in the allocator's own room.
+
+use std::alloc::Layout;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use ngm_heap::classes::{layout_to_class, NUM_CLASSES};
+use ngm_heap::{Heap, HeapStats, SegregatedHeap};
+use ngm_offload::Service;
+
+use crate::orphan::OrphanStack;
+
+/// A synchronous allocation request (the contents of the paper's
+/// `requested_size` transfer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocReq {
+    /// Requested size in bytes.
+    pub size: usize,
+    /// Required alignment (power of two).
+    pub align: usize,
+}
+
+impl AllocReq {
+    /// Builds a request from a `Layout`.
+    pub fn from_layout(layout: Layout) -> Self {
+        AllocReq {
+            size: layout.size(),
+            align: layout.align(),
+        }
+    }
+
+    fn layout(self) -> Layout {
+        // Alignment validity is enforced where requests are created.
+        Layout::from_size_align(self.size, self.align).expect("valid layout in AllocReq")
+    }
+}
+
+/// An asynchronous free message. Addresses travel as `usize` because raw
+/// pointers are deliberately not `Send`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreeMsg {
+    /// Address of the dead block.
+    pub addr: usize,
+    /// Its original allocation size.
+    pub size: usize,
+    /// Its original alignment.
+    pub align: usize,
+}
+
+/// Counters maintained by the service (no atomics — only the service core
+/// writes them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Allocation requests served.
+    pub allocs: u64,
+    /// Frees applied (posted + orphaned).
+    pub frees: u64,
+    /// Allocation requests that failed (OOM or layout).
+    pub failures: u64,
+    /// Orphan blocks reclaimed from the global stack.
+    pub orphans_reclaimed: u64,
+    /// Housekeeping sweeps executed while idle.
+    pub housekeeping_runs: u64,
+    /// Pages prepared ahead of demand during idle time (§3.3.2's
+    /// predictive preallocation).
+    pub pages_preallocated: u64,
+}
+
+/// The allocator service state. Owned exclusively by the service thread;
+/// note the absence of any synchronization in the hot paths.
+pub struct MallocService {
+    heap: SegregatedHeap,
+    orphans: Arc<OrphanStack>,
+    stats: ServiceStats,
+    idle_ticks: u32,
+    /// Allocations per size class since the last idle sweep — the demand
+    /// signal for predictive preallocation.
+    demand: [u32; NUM_CLASSES],
+}
+
+impl MallocService {
+    /// How many consecutive idle rounds trigger a housekeeping sweep.
+    const HOUSEKEEPING_IDLE: u32 = 10_000;
+
+    /// How many consecutive idle rounds trigger predictive preallocation
+    /// (early: a short lull is enough to top up hot classes).
+    const PREPARE_IDLE: u32 = 64;
+
+    /// Creates the service around a fresh segregated heap.
+    pub fn new(orphans: Arc<OrphanStack>) -> Self {
+        MallocService {
+            heap: SegregatedHeap::new(0x6e676d), // "ngm"
+            orphans,
+            stats: ServiceStats::default(),
+            idle_ticks: 0,
+            demand: [0; NUM_CLASSES],
+        }
+    }
+
+    /// Service-side counters.
+    pub fn service_stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Heap statistics.
+    pub fn heap_stats(&self) -> HeapStats {
+        self.heap.stats()
+    }
+
+    fn drain_orphans(&mut self) {
+        // Move the heap out of the way of the closure borrow.
+        let heap = &mut self.heap;
+        let n = self.orphans.drain(|p| {
+            // SAFETY: orphan blocks are live small blocks from this heap
+            // (the global allocator only orphans pointers whose segment
+            // magic matched).
+            unsafe { heap.deallocate_by_ptr(p) };
+        });
+        self.stats.orphans_reclaimed += n as u64;
+        self.stats.frees += n as u64;
+    }
+}
+
+impl Service for MallocService {
+    type Req = AllocReq;
+    type Resp = usize; // Block address, or 0 on failure.
+    type Post = FreeMsg;
+
+    fn on_start(&mut self) {
+        // The service thread's own Rust allocations must never round-trip
+        // to itself when NgmAllocator is the global allocator.
+        crate::global::mark_allocator_thread();
+    }
+
+    fn call(&mut self, req: AllocReq) -> usize {
+        self.idle_ticks = 0;
+        if let Some(class) = layout_to_class(req.size, req.align) {
+            self.demand[class.0 as usize] = self.demand[class.0 as usize].saturating_add(1);
+        }
+        match self.heap.allocate(req.layout()) {
+            Ok(p) => {
+                self.stats.allocs += 1;
+                p.as_ptr() as usize
+            }
+            Err(_) => {
+                self.stats.failures += 1;
+                0
+            }
+        }
+    }
+
+    fn post(&mut self, msg: FreeMsg) {
+        self.idle_ticks = 0;
+        let ptr = NonNull::new(msg.addr as *mut u8).expect("free of null address");
+        let layout = Layout::from_size_align(msg.size, msg.align).expect("valid layout in FreeMsg");
+        // SAFETY: the client posting the message owned the live block and
+        // relinquished it; layout is the one it was allocated with.
+        unsafe { self.heap.deallocate(ptr, layout) };
+        self.stats.frees += 1;
+    }
+
+    fn idle(&mut self) {
+        self.drain_orphans();
+        self.idle_ticks = self.idle_ticks.saturating_add(1);
+        if self.idle_ticks == Self::PREPARE_IDLE {
+            // Predictive preallocation (§3.3.2): spend idle cycles making
+            // sure recently-hot classes have a ready page, so no client
+            // ever waits for the page-assignment slow path.
+            for class in 0..NUM_CLASSES {
+                if self.demand[class] > 0 {
+                    if let Ok(true) = self
+                        .heap
+                        .prepare_class(ngm_heap::classes::SizeClass(class as u16))
+                    {
+                        self.stats.pages_preallocated += 1;
+                    }
+                }
+                self.demand[class] /= 2; // exponential decay of the signal
+            }
+        }
+        if self.idle_ticks == Self::HOUSEKEEPING_IDLE {
+            // Deferred housekeeping is effectively free in the dedicated
+            // room: no application thread is stalled by it.
+            self.heap.release_empty();
+            self.stats.housekeeping_runs += 1;
+            self.idle_ticks = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc() -> MallocService {
+        MallocService::new(Arc::new(OrphanStack::new()))
+    }
+
+    #[test]
+    fn call_allocates_and_post_frees() {
+        let mut s = svc();
+        let addr = s.call(AllocReq {
+            size: 128,
+            align: 8,
+        });
+        assert_ne!(addr, 0);
+        // SAFETY: we own the fresh block.
+        unsafe { std::ptr::write_bytes(addr as *mut u8, 0x77, 128) };
+        s.post(FreeMsg {
+            addr,
+            size: 128,
+            align: 8,
+        });
+        assert_eq!(s.service_stats().allocs, 1);
+        assert_eq!(s.service_stats().frees, 1);
+        assert_eq!(s.heap_stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn zero_size_request_fails_cleanly() {
+        let mut s = svc();
+        let addr = s.call(AllocReq { size: 0, align: 1 });
+        assert_eq!(addr, 0);
+        assert_eq!(s.service_stats().failures, 1);
+    }
+
+    #[test]
+    fn orphans_reclaimed_on_idle() {
+        let mut s = svc();
+        let addr = s.call(AllocReq {
+            size: 64,
+            align: 8,
+        });
+        let orphans = Arc::clone(&s.orphans);
+        // SAFETY: the block is live, we relinquish it to the stack.
+        unsafe { orphans.push(NonNull::new(addr as *mut u8).unwrap()) };
+        s.idle();
+        assert_eq!(s.service_stats().orphans_reclaimed, 1);
+        assert_eq!(s.heap_stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn idle_preallocates_for_hot_classes() {
+        let mut s = svc();
+        // Create demand in one class, then drain its pages empty so the
+        // bin has no ready page.
+        let addr = s.call(AllocReq { size: 64, align: 8 });
+        s.post(FreeMsg {
+            addr,
+            size: 64,
+            align: 8,
+        });
+        s.heap.release_empty();
+        assert_eq!(s.heap_stats().pages_in_use, 0);
+        for _ in 0..MallocService::PREPARE_IDLE {
+            s.idle();
+        }
+        assert_eq!(s.service_stats().pages_preallocated, 1);
+        assert_eq!(s.heap_stats().pages_in_use, 1, "hot class has a ready page");
+    }
+
+    #[test]
+    fn housekeeping_fires_after_long_idle() {
+        let mut s = svc();
+        // Allocate and free so a segment exists but is empty.
+        let addr = s.call(AllocReq {
+            size: 64,
+            align: 8,
+        });
+        s.post(FreeMsg {
+            addr,
+            size: 64,
+            align: 8,
+        });
+        assert_eq!(s.heap_stats().segments, 1);
+        for _ in 0..MallocService::HOUSEKEEPING_IDLE {
+            s.idle();
+        }
+        assert_eq!(s.service_stats().housekeeping_runs, 1);
+        assert_eq!(s.heap_stats().segments, 0);
+    }
+}

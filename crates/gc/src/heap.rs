@@ -1,0 +1,331 @@
+//! The mark-sweep heap of graph nodes, single-owner by construction.
+
+/// Maximum out-edges per node (fixed degree keeps nodes cache-line
+/// sized, like a cons-heavy managed heap).
+pub const MAX_CHILDREN: usize = 4;
+
+/// A handle to a heap node.
+///
+/// Indices are stable for a node's lifetime and may be reused after the
+/// node is collected (like addresses). Mutators must not retain ids of
+/// unreachable nodes — exactly a managed language's reachability
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Sentinel for "no child".
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    children: [u32; MAX_CHILDREN],
+    /// Payload words (the "object body" mutators read/write).
+    payload: u64,
+    marked: bool,
+    live: bool,
+}
+
+const DEAD: Node = Node {
+    children: [NONE; MAX_CHILDREN],
+    payload: 0,
+    marked: false,
+    live: false,
+};
+
+/// Collector statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Nodes ever allocated.
+    pub allocated: u64,
+    /// Collections run.
+    pub collections: u64,
+    /// Nodes marked live across all collections.
+    pub total_marked: u64,
+    /// Nodes reclaimed across all collections.
+    pub total_swept: u64,
+    /// Current live node count (exact after a collection; an upper bound
+    /// between collections).
+    pub live_upper_bound: u64,
+}
+
+/// A single-owner mark-sweep heap.
+///
+/// No synchronization anywhere: §3.1.3's argument verbatim. Shared use
+/// happens by giving the whole heap to the service core (see
+/// [`crate::service`]), or by embedding it in a single mutator as the
+/// stop-the-world baseline.
+#[derive(Debug)]
+pub struct LocalGcHeap {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    roots: Vec<u32>,
+    stats: GcStats,
+    /// Reusable mark stack (kept across collections to avoid churn).
+    work: Vec<u32>,
+}
+
+impl LocalGcHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        LocalGcHeap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            roots: Vec::new(),
+            stats: GcStats::default(),
+            work: Vec::new(),
+        }
+    }
+
+    /// Allocates a node with the given children and payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_CHILDREN`] children are supplied or a
+    /// child id is dead.
+    pub fn alloc(&mut self, children: &[NodeId], payload: u64) -> NodeId {
+        assert!(children.len() <= MAX_CHILDREN, "too many children");
+        let mut arr = [NONE; MAX_CHILDREN];
+        for (slot, c) in arr.iter_mut().zip(children) {
+            assert!(self.is_live(*c), "child {c:?} is dead");
+            *slot = c.0;
+        }
+        let node = Node {
+            children: arr,
+            payload,
+            marked: false,
+            live: true,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.stats.allocated += 1;
+        self.stats.live_upper_bound += 1;
+        NodeId(idx)
+    }
+
+    /// Returns whether `id` refers to a live node.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.0 as usize)
+            .map(|n| n.live)
+            .unwrap_or(false)
+    }
+
+    /// Reads a node's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is dead.
+    pub fn payload(&self, id: NodeId) -> u64 {
+        let n = &self.nodes[id.0 as usize];
+        assert!(n.live, "read of dead node");
+        n.payload
+    }
+
+    /// Writes a node's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is dead.
+    pub fn set_payload(&mut self, id: NodeId, payload: u64) {
+        let n = &mut self.nodes[id.0 as usize];
+        assert!(n.live, "write of dead node");
+        n.payload = payload;
+    }
+
+    /// Points `parent`'s `slot` at `child` (or clears it with `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dead nodes or an out-of-range slot.
+    pub fn set_edge(&mut self, parent: NodeId, slot: usize, child: Option<NodeId>) {
+        assert!(slot < MAX_CHILDREN, "slot out of range");
+        if let Some(c) = child {
+            assert!(self.is_live(c), "edge to dead node");
+        }
+        let n = &mut self.nodes[parent.0 as usize];
+        assert!(n.live, "edge from dead node");
+        n.children[slot] = child.map(|c| c.0).unwrap_or(NONE);
+    }
+
+    /// Reads `parent`'s `slot`.
+    pub fn edge(&self, parent: NodeId, slot: usize) -> Option<NodeId> {
+        let n = &self.nodes[parent.0 as usize];
+        assert!(n.live, "edge read from dead node");
+        let c = n.children[slot];
+        (c != NONE).then_some(NodeId(c))
+    }
+
+    /// Registers `id` as a root.
+    pub fn add_root(&mut self, id: NodeId) {
+        assert!(self.is_live(id), "root must be live");
+        self.roots.push(id.0);
+    }
+
+    /// Unregisters one occurrence of `id` from the root set.
+    pub fn remove_root(&mut self, id: NodeId) {
+        if let Some(pos) = self.roots.iter().position(|&r| r == id.0) {
+            self.roots.swap_remove(pos);
+        }
+    }
+
+    /// Runs a full mark-sweep collection; returns how many nodes were
+    /// reclaimed.
+    pub fn collect(&mut self) -> u64 {
+        // Mark.
+        self.work.clear();
+        self.work.extend_from_slice(&self.roots);
+        let mut marked = 0u64;
+        while let Some(i) = self.work.pop() {
+            let n = &mut self.nodes[i as usize];
+            if !n.live || n.marked {
+                continue;
+            }
+            n.marked = true;
+            marked += 1;
+            let children = n.children;
+            for c in children {
+                if c != NONE {
+                    self.work.push(c);
+                }
+            }
+        }
+        // Sweep.
+        let mut swept = 0u64;
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            if n.live {
+                if n.marked {
+                    n.marked = false;
+                } else {
+                    *n = DEAD;
+                    self.free.push(i as u32);
+                    swept += 1;
+                }
+            }
+        }
+        self.stats.collections += 1;
+        self.stats.total_marked += marked;
+        self.stats.total_swept += swept;
+        self.stats.live_upper_bound = marked;
+        swept
+    }
+
+    /// Collector statistics.
+    pub fn stats(&self) -> GcStats {
+        self.stats
+    }
+
+    /// Number of registered roots.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Current heap slots (live + free), a capacity proxy.
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Default for LocalGcHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_nodes_are_collected() {
+        let mut h = LocalGcHeap::new();
+        let a = h.alloc(&[], 1);
+        let b = h.alloc(&[a], 2);
+        let _garbage = h.alloc(&[], 3);
+        h.add_root(b);
+        let swept = h.collect();
+        assert_eq!(swept, 1, "only the unrooted node dies");
+        assert!(h.is_live(a), "reachable through b");
+        assert!(h.is_live(b));
+    }
+
+    #[test]
+    fn cycles_are_collected_when_unrooted() {
+        let mut h = LocalGcHeap::new();
+        let a = h.alloc(&[], 1);
+        let b = h.alloc(&[a], 2);
+        h.set_edge(a, 0, Some(b)); // a <-> b cycle
+        h.add_root(a);
+        assert_eq!(h.collect(), 0, "rooted cycle survives");
+        h.remove_root(a);
+        assert_eq!(h.collect(), 2, "unrooted cycle dies whole");
+    }
+
+    #[test]
+    fn slots_are_reused_after_sweep() {
+        let mut h = LocalGcHeap::new();
+        let a = h.alloc(&[], 7);
+        h.collect(); // a is unrooted garbage
+        assert!(!h.is_live(a));
+        let b = h.alloc(&[], 8);
+        assert_eq!(a.0, b.0, "slot recycled");
+        assert_eq!(h.capacity(), 1);
+    }
+
+    #[test]
+    fn edge_rewrites_change_reachability() {
+        let mut h = LocalGcHeap::new();
+        let leaf1 = h.alloc(&[], 1);
+        let leaf2 = h.alloc(&[], 2);
+        let root = h.alloc(&[leaf1], 0);
+        h.add_root(root);
+        h.set_edge(root, 0, Some(leaf2));
+        let swept = h.collect();
+        assert_eq!(swept, 1);
+        assert!(!h.is_live(leaf1), "disconnected");
+        assert!(h.is_live(leaf2));
+    }
+
+    #[test]
+    fn stats_track_totals() {
+        let mut h = LocalGcHeap::new();
+        for _ in 0..10 {
+            h.alloc(&[], 0);
+        }
+        h.collect();
+        let s = h.stats();
+        assert_eq!(s.allocated, 10);
+        assert_eq!(s.total_swept, 10);
+        assert_eq!(s.live_upper_bound, 0);
+        assert_eq!(s.collections, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead")]
+    fn using_collected_node_panics() {
+        let mut h = LocalGcHeap::new();
+        let a = h.alloc(&[], 1);
+        h.collect();
+        h.payload(a);
+    }
+
+    #[test]
+    fn deep_chain_marks_iteratively() {
+        // A long chain must not recurse (explicit work list).
+        let mut h = LocalGcHeap::new();
+        let mut cur = h.alloc(&[], 0);
+        for i in 1..100_000u64 {
+            cur = h.alloc(&[cur], i);
+        }
+        h.add_root(cur);
+        assert_eq!(h.collect(), 0);
+        assert_eq!(h.stats().live_upper_bound, 100_000);
+    }
+}

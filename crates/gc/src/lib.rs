@@ -1,0 +1,33 @@
+//! Offloaded garbage collection — §3.3.2's "research opportunities for
+//! using NextGen-Malloc to process garbage collection" made concrete.
+//!
+//! The same property that lets malloc move into its own room applies to
+//! a tracing collector: mark/sweep metadata (mark bits, free lists, the
+//! work list) is exactly the kind of bookkeeping that pollutes mutator
+//! caches, and a single service core serializes the heap so the collector
+//! needs no synchronization with itself. This crate runs a mark-sweep
+//! heap of object-graph nodes as a [`ngm_offload::Service`]:
+//!
+//! * Mutators allocate nodes and rewrite edges through per-thread
+//!   handles (synchronous calls — like `malloc`).
+//! * Collection is **asynchronous**: any mutator may post a collection
+//!   hint; the service traces from the root set and sweeps while
+//!   mutators keep computing, paying at most an allocation stall if they
+//!   call in mid-collection (the service serializes requests), never a
+//!   stop-the-world pause.
+//! * The baseline for comparison is [`heap::LocalGcHeap`]: the same heap
+//!   embedded in the mutator, collecting inline — a classic
+//!   stop-the-mutator design.
+//!
+//! The unit of storage is a fixed-degree graph [`heap::Node`] rather than
+//! arbitrary `T`: the reproduction needs the *memory-system shape* of
+//! tracing (pointer chasing over a heap, mark-bit writes), not a full
+//! managed-language object model.
+
+#![warn(missing_docs)]
+
+pub mod heap;
+pub mod service;
+
+pub use heap::{GcStats, LocalGcHeap, NodeId};
+pub use service::{GcHandle, GcRequest, GcResponse, GcRuntime, GcService};

@@ -1,0 +1,149 @@
+//! Size classes.
+//!
+//! Like TCMalloc and Mimalloc, small requests are rounded up to one of a
+//! fixed set of block sizes — note, as the paper's Figure 2 caption does,
+//! that "the block size is not necessarily a power of 2". Four classes per
+//! doubling keeps worst-case internal fragmentation under 25 %.
+
+/// Largest size served from size-class pages; bigger requests go to
+/// dedicated mappings.
+pub const SMALL_MAX: usize = 8192;
+
+/// Block sizes, smallest to largest. All are multiples of 16, so any block
+/// is at least 16-byte aligned.
+pub const CLASS_SIZES: [usize; 30] = [
+    16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896, 1024,
+    1280, 1536, 1792, 2048, 2560, 3072, 3584, 4096, 5120, 6144,
+];
+
+/// Number of size classes (the last two slots are 7168 and 8192, appended
+/// below).
+pub const NUM_CLASSES: usize = CLASS_SIZES.len() + 2;
+
+/// A size-class index, `0..NUM_CLASSES`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SizeClass(pub u16);
+
+/// Returns the block size of class `c`.
+///
+/// # Panics
+///
+/// Panics if `c` is out of range.
+pub fn class_to_size(c: SizeClass) -> usize {
+    let i = c.0 as usize;
+    if i < CLASS_SIZES.len() {
+        CLASS_SIZES[i]
+    } else if i == CLASS_SIZES.len() {
+        7168
+    } else if i == CLASS_SIZES.len() + 1 {
+        8192
+    } else {
+        panic!("size class {i} out of range")
+    }
+}
+
+/// Maps a request of `size` bytes to the smallest class that fits, or
+/// `None` when the request must go to the large-allocation path.
+pub fn size_to_class(size: usize) -> Option<SizeClass> {
+    if size > SMALL_MAX {
+        return None;
+    }
+    // Linear scan over 32 entries; callers on hot paths cache the result.
+    for i in 0..NUM_CLASSES {
+        let c = SizeClass(i as u16);
+        if class_to_size(c) >= size {
+            return Some(c);
+        }
+    }
+    unreachable!("SMALL_MAX is covered by the last class")
+}
+
+/// Maps an (size, align) pair to a class whose blocks satisfy the
+/// alignment, or `None` for the large path.
+///
+/// Blocks of class `c` sit at offsets `i * class_to_size(c)` inside a
+/// 64 KiB page, so a block is aligned to the largest power of two dividing
+/// its size. Alignments ≤ 16 are always satisfied; larger alignments route
+/// to the next power-of-two class ≥ `max(size, align)`.
+pub fn layout_to_class(size: usize, align: usize) -> Option<SizeClass> {
+    debug_assert!(align.is_power_of_two());
+    if align <= 16 {
+        return size_to_class(size);
+    }
+    let need = size.max(align).next_power_of_two();
+    if need > SMALL_MAX {
+        return None;
+    }
+    // The power-of-two sizes all appear in the class table.
+    size_to_class(need)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_sorted_and_multiples_of_16() {
+        let mut prev = 0;
+        for i in 0..NUM_CLASSES {
+            let s = class_to_size(SizeClass(i as u16));
+            assert!(s > prev, "classes must be strictly increasing");
+            assert_eq!(s % 16, 0, "class {s} not a multiple of 16");
+            prev = s;
+        }
+        assert_eq!(class_to_size(SizeClass((NUM_CLASSES - 1) as u16)), SMALL_MAX);
+    }
+
+    #[test]
+    fn size_to_class_fits() {
+        for size in 1..=SMALL_MAX {
+            let c = size_to_class(size).expect("small size must have a class");
+            assert!(class_to_size(c) >= size);
+            if c.0 > 0 {
+                assert!(
+                    class_to_size(SizeClass(c.0 - 1)) < size,
+                    "class must be the smallest that fits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_has_no_class() {
+        assert_eq!(size_to_class(SMALL_MAX + 1), None);
+    }
+
+    #[test]
+    fn internal_fragmentation_bounded() {
+        for size in 64..=SMALL_MAX {
+            let c = size_to_class(size).unwrap();
+            let waste = class_to_size(c) - size;
+            assert!(
+                (waste as f64) < 0.26 * size as f64,
+                "size {size}: waste {waste} exceeds 26 %"
+            );
+        }
+        // Below 64 bytes the 16-byte class spacing bounds waste absolutely.
+        for size in 1..64 {
+            let c = size_to_class(size).unwrap();
+            assert!(class_to_size(c) - size < 16);
+        }
+    }
+
+    #[test]
+    fn alignment_routing() {
+        // Small alignments use the normal table (48 is not a power of two).
+        assert_eq!(layout_to_class(48, 8), size_to_class(48));
+        // align 64 with size 48 must give a class divisible by 64.
+        let c = layout_to_class(48, 64).unwrap();
+        assert_eq!(class_to_size(c) % 64, 0);
+        // Huge alignment goes large.
+        assert_eq!(layout_to_class(64, 16384), None);
+    }
+
+    #[test]
+    fn non_power_of_two_classes_exist() {
+        // The paper highlights that block sizes need not be powers of two.
+        assert!(CLASS_SIZES.iter().any(|s| !s.is_power_of_two()));
+    }
+}

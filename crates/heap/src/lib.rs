@@ -1,0 +1,77 @@
+//! Real-memory allocator substrate for the NextGen-Malloc reproduction.
+//!
+//! Everything in this crate manages actual `mmap`ed memory with metadata
+//! hosted inside the managed segments themselves — no dependence on Rust's
+//! global allocator — so the heaps here can back a `GlobalAlloc`
+//! implementation (see the `ngm-core` crate).
+//!
+//! Two metadata layouts from the paper's Figure 2 are implemented:
+//!
+//! * [`SegregatedHeap`] — free-block bookkeeping lives in a per-segment
+//!   metadata region as 16-bit block indices ("instead of an 8-byte
+//!   pointer, a smaller index (16-bit for example) can be used"),
+//!   decoupled from user data. This is the layout NextGen-Malloc needs so
+//!   the service core's metadata never shares lines with user data.
+//! * [`AggregatedHeap`] — the free list is threaded through the first
+//!   8 bytes of each free block (PTMalloc2/Mimalloc style), interspersed
+//!   with user data.
+//!
+//! On top of those single-owner heaps sit two multi-threaded compositions
+//! representing "current UMAs":
+//!
+//! * [`LockedHeap`] — one global lock (Glibc/PTMalloc2's arena discipline).
+//! * [`ShardedHeap`] — per-thread heaps plus atomic remote-free queues
+//!   (TCMalloc/Mimalloc's thread-local caching with cross-thread frees),
+//!   i.e. exactly the atomics §3.1.3 proposes to remove.
+
+#![warn(missing_docs)]
+
+pub mod agg_heap;
+pub mod classes;
+pub mod error;
+pub mod locked;
+pub mod seg_heap;
+pub mod segment;
+pub mod sharded;
+pub mod stats;
+pub mod sys;
+
+pub use agg_heap::AggregatedHeap;
+pub use classes::{class_to_size, size_to_class, SizeClass, NUM_CLASSES, SMALL_MAX};
+pub use error::AllocError;
+pub use locked::LockedHeap;
+pub use seg_heap::SegregatedHeap;
+pub use sharded::ShardedHeap;
+pub use stats::HeapStats;
+
+use std::alloc::Layout;
+use std::ptr::NonNull;
+
+/// A single-owner heap: exclusive access replaces synchronization.
+///
+/// # Safety
+///
+/// Implementations must return pointers that are valid for reads and writes
+/// of `layout.size()` bytes, aligned to `layout.align()`, and that do not
+/// alias any other live allocation until deallocated.
+pub unsafe trait Heap {
+    /// Allocates a block for `layout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when the OS refuses memory or the layout is
+    /// unsupported.
+    fn allocate(&mut self, layout: Layout) -> Result<NonNull<u8>, AllocError>;
+
+    /// Deallocates a block previously returned by [`Heap::allocate`] on
+    /// this heap.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from `allocate(layout)` on this same heap instance
+    /// and must not be used after this call.
+    unsafe fn deallocate(&mut self, ptr: NonNull<u8>, layout: Layout);
+
+    /// Point-in-time usage statistics.
+    fn stats(&self) -> HeapStats;
+}

@@ -1,0 +1,450 @@
+//! Segments: 4 MiB aligned regions carved into 64 KiB pages, with all
+//! metadata self-hosted in a reserved region at the segment's start.
+//!
+//! This is the paper's *segregated layout* (Figure 2) made concrete: page
+//! descriptors and the per-page free lists — stored as 16-bit block
+//! indices, not 8-byte in-block pointers — live in a metadata area whose
+//! cache lines are never shared with user blocks. A heap that runs on a
+//! dedicated core therefore keeps every metadata line private to that core.
+//!
+//! Address arithmetic relies on the 4 MiB alignment: `ptr & !(SEGMENT_SIZE
+//! - 1)` recovers the segment header from any interior pointer, which is
+//! how `free(ptr)` finds its bookkeeping without touching the block.
+
+use std::ptr::NonNull;
+use std::sync::atomic::AtomicPtr;
+
+use crate::error::AllocError;
+use crate::sys::Mapping;
+
+/// Segment size and alignment (4 MiB).
+pub const SEGMENT_SIZE: usize = 4 * 1024 * 1024;
+
+/// Allocator page size (64 KiB) — the "UMA page" of §2.1, deliberately
+/// larger than the OS page.
+pub const PAGE_SIZE: usize = 64 * 1024;
+
+/// Pages per segment.
+pub const PAGES_PER_SEGMENT: usize = SEGMENT_SIZE / PAGE_SIZE;
+
+/// Maximum blocks in a page (minimum block size 16).
+pub const MAX_BLOCKS: usize = PAGE_SIZE / 16;
+
+/// Sentinel for "no block" in 16-bit free lists.
+pub const NO_BLOCK: u16 = u16::MAX;
+
+/// Sentinel for "no class assigned" in page descriptors.
+pub const NO_CLASS: u16 = u16::MAX;
+
+const MAGIC: u64 = 0x4e47_4d5f_5345_4721; // "NGM_SEG!"
+
+/// Byte offset of the page-descriptor array within a segment.
+const DESC_OFFSET: usize = 4096;
+
+/// Byte offset of the per-page 16-bit next-index arrays.
+const INDEX_OFFSET: usize = DESC_OFFSET + PAGES_PER_SEGMENT * 64;
+
+/// Bytes occupied by all metadata at the head of a segment.
+const META_BYTES: usize = INDEX_OFFSET + PAGES_PER_SEGMENT * MAX_BLOCKS * 2;
+
+/// Index of the first page usable for blocks (pages below this hold
+/// metadata).
+pub const FIRST_PAGE: usize = META_BYTES.div_ceil(PAGE_SIZE);
+
+/// Usable pages per segment.
+pub const USABLE_PAGES: usize = PAGES_PER_SEGMENT - FIRST_PAGE;
+
+/// Header at the base of every segment.
+#[repr(C)]
+pub struct SegmentHeader {
+    magic: u64,
+    /// Identifier of the owning heap (diagnostics / sharded routing).
+    pub owner_id: u64,
+    /// Intrusive list of the owning heap's segments.
+    pub next_segment: *mut SegmentHeader,
+    /// Context pointer the owning heap may install (e.g. the sharded
+    /// heap's remote-free queue). Null for single-owner heaps.
+    pub owner_ctx: AtomicPtr<u8>,
+    /// Number of pages handed out and not yet returned.
+    pub pages_in_use: u16,
+    /// Next never-used page (bump allocation of pages).
+    next_unused_page: u16,
+    /// Stack of returned page indices.
+    free_page_top: u16,
+    free_page_stack: [u16; PAGES_PER_SEGMENT],
+}
+
+/// Descriptor for one 64 KiB page. Kept to 64 bytes so the descriptor
+/// array stays dense.
+#[repr(C)]
+pub struct PageDesc {
+    /// Size class this page currently serves, or [`NO_CLASS`].
+    pub class: u16,
+    /// Block size in bytes (copied from the class table).
+    pub block_size: u32,
+    /// Total blocks this page holds at its block size.
+    pub nblocks: u16,
+    /// Live (allocated) blocks.
+    pub used: u16,
+    /// Next never-allocated block index (lazy free-list initialization).
+    pub bump: u16,
+    /// Head of the page-local free list ([`NO_BLOCK`] if empty).
+    pub free_head: u16,
+    /// This page's index within its segment.
+    pub page_index: u16,
+    /// Whether the page is currently linked into a heap bin.
+    pub in_bin: bool,
+    /// Next page in the heap's bin list (intrusive).
+    pub next_in_bin: *mut PageDesc,
+}
+
+const _: () = assert!(std::mem::size_of::<PageDesc>() <= 64);
+const _: () = assert!(std::mem::size_of::<SegmentHeader>() <= DESC_OFFSET);
+const _: () = assert!(FIRST_PAGE < PAGES_PER_SEGMENT);
+
+impl PageDesc {
+    /// Blocks currently available without touching a new page.
+    pub fn free_blocks(&self) -> usize {
+        usize::from(self.nblocks) - usize::from(self.used)
+    }
+
+    /// Whether every block is free.
+    pub fn is_unused(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Whether allocation from this page can succeed.
+    pub fn has_space(&self) -> bool {
+        self.free_head != NO_BLOCK || self.bump < self.nblocks
+    }
+}
+
+/// A non-owning, copyable reference to a segment.
+///
+/// All accessor methods are `unsafe` free functions over raw pointers in
+/// spirit; they are grouped here behind `unsafe fn`s whose contract is that
+/// the segment is alive (mapped, initialized by [`SegmentRef::create`], not
+/// yet destroyed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentRef(NonNull<SegmentHeader>);
+
+impl SegmentRef {
+    /// Maps and initializes a fresh segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures from the OS.
+    pub fn create(owner_id: u64) -> Result<Self, AllocError> {
+        let mapping = Mapping::new_aligned(SEGMENT_SIZE, SEGMENT_SIZE)?;
+        let (base, _len) = mapping.into_raw();
+        let hdr = base.as_ptr().cast::<SegmentHeader>();
+        // SAFETY: `base` points to SEGMENT_SIZE zeroed writable bytes with
+        // suitable alignment; we initialize the header in place.
+        unsafe {
+            hdr.write(SegmentHeader {
+                magic: MAGIC,
+                owner_id,
+                next_segment: std::ptr::null_mut(),
+                owner_ctx: AtomicPtr::new(std::ptr::null_mut()),
+                pages_in_use: 0,
+                next_unused_page: FIRST_PAGE as u16,
+                free_page_top: 0,
+                free_page_stack: [0; PAGES_PER_SEGMENT],
+            });
+        }
+        let seg = SegmentRef(NonNull::new(hdr).expect("mapping base is non-null"));
+        // Initialize descriptors.
+        for i in 0..PAGES_PER_SEGMENT {
+            // SAFETY: descriptor slots lie inside the zeroed metadata area.
+            unsafe {
+                seg.desc_ptr(i).write(PageDesc {
+                    class: NO_CLASS,
+                    block_size: 0,
+                    nblocks: 0,
+                    used: 0,
+                    bump: 0,
+                    free_head: NO_BLOCK,
+                    page_index: i as u16,
+                    in_bin: false,
+                    next_in_bin: std::ptr::null_mut(),
+                });
+            }
+        }
+        Ok(seg)
+    }
+
+    /// Unmaps the segment.
+    ///
+    /// # Safety
+    ///
+    /// No pointers into the segment (blocks, descriptors) may be used
+    /// afterwards, and `self` must not be used again.
+    pub unsafe fn destroy(self) {
+        let base = NonNull::new(self.0.as_ptr().cast::<u8>()).expect("segment base non-null");
+        // SAFETY: created via Mapping::new_aligned(SEGMENT_SIZE, ...) and
+        // ownership was transferred to this SegmentRef at creation.
+        drop(unsafe { Mapping::from_raw(base, SEGMENT_SIZE) });
+    }
+
+    /// Recovers the segment containing `ptr`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point into a live segment created by [`SegmentRef::create`].
+    pub unsafe fn of_ptr(ptr: NonNull<u8>) -> Self {
+        let base = (ptr.as_ptr() as usize) & !(SEGMENT_SIZE - 1);
+        let hdr = base as *mut SegmentHeader;
+        // SAFETY: caller guarantees `ptr` is interior to a live segment, so
+        // `base` is its mapped, initialized header.
+        debug_assert_eq!(unsafe { (*hdr).magic }, MAGIC, "bad segment magic");
+        SegmentRef(NonNull::new(hdr).expect("masked base non-null for interior pointer"))
+    }
+
+    /// The segment's base address.
+    pub fn base(self) -> NonNull<u8> {
+        self.0.cast()
+    }
+
+    /// Wraps a raw header pointer (e.g. from an intrusive segment list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is null.
+    pub(crate) fn from_raw(p: *mut SegmentHeader) -> Self {
+        SegmentRef(NonNull::new(p).expect("segment pointer must be non-null"))
+    }
+
+    /// The header, mutably.
+    ///
+    /// # Safety
+    ///
+    /// Segment must be alive; caller must hold exclusive access to header
+    /// fields it mutates (single-owner heaps get this structurally).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn header<'a>(self) -> &'a mut SegmentHeader {
+        // SAFETY: live segment per contract.
+        unsafe { &mut *self.0.as_ptr() }
+    }
+
+    fn desc_ptr(self, page: usize) -> *mut PageDesc {
+        debug_assert!(page < PAGES_PER_SEGMENT);
+        // Descriptor array begins DESC_OFFSET bytes into the segment.
+        let base = self.0.as_ptr() as usize + DESC_OFFSET;
+        (base + page * 64) as *mut PageDesc
+    }
+
+    /// The descriptor of page `page`, mutably.
+    ///
+    /// # Safety
+    ///
+    /// Segment must be alive and the caller must have exclusive access to
+    /// this page's metadata.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn desc<'a>(self, page: usize) -> &'a mut PageDesc {
+        // SAFETY: in-bounds descriptor in a live segment per contract.
+        unsafe { &mut *self.desc_ptr(page) }
+    }
+
+    /// Base address of page `page`'s data area.
+    pub fn page_base(self, page: usize) -> NonNull<u8> {
+        debug_assert!((FIRST_PAGE..PAGES_PER_SEGMENT).contains(&page));
+        let addr = self.0.as_ptr() as usize + page * PAGE_SIZE;
+        NonNull::new(addr as *mut u8).expect("page base non-null")
+    }
+
+    /// The 16-bit next-index array for page `page` (the segregated free
+    /// list storage).
+    ///
+    /// # Safety
+    ///
+    /// Segment must be alive; caller must have exclusive access to this
+    /// page's metadata.
+    pub unsafe fn index_array(self, page: usize) -> *mut u16 {
+        debug_assert!(page < PAGES_PER_SEGMENT);
+        let base = self.0.as_ptr() as usize + INDEX_OFFSET;
+        (base + page * MAX_BLOCKS * 2) as *mut u16
+    }
+
+    /// Pops a fresh page index, if any remain.
+    ///
+    /// # Safety
+    ///
+    /// Exclusive access to the segment header.
+    pub unsafe fn alloc_page(self) -> Option<usize> {
+        // SAFETY: per contract.
+        let hdr = unsafe { self.header() };
+        let idx = if hdr.free_page_top > 0 {
+            hdr.free_page_top -= 1;
+            hdr.free_page_stack[hdr.free_page_top as usize] as usize
+        } else if (hdr.next_unused_page as usize) < PAGES_PER_SEGMENT {
+            let i = hdr.next_unused_page as usize;
+            hdr.next_unused_page += 1;
+            i
+        } else {
+            return None;
+        };
+        hdr.pages_in_use += 1;
+        Some(idx)
+    }
+
+    /// Returns page `page` to the segment's free stack, resetting its
+    /// descriptor.
+    ///
+    /// # Safety
+    ///
+    /// Exclusive access; the page must have no live blocks and must not be
+    /// linked in any bin.
+    pub unsafe fn free_page(self, page: usize) {
+        // SAFETY: per contract.
+        let d = unsafe { self.desc(page) };
+        debug_assert_eq!(d.used, 0);
+        debug_assert!(!d.in_bin);
+        d.class = NO_CLASS;
+        d.block_size = 0;
+        d.nblocks = 0;
+        d.bump = 0;
+        d.free_head = NO_BLOCK;
+        d.next_in_bin = std::ptr::null_mut();
+        // SAFETY: per contract.
+        let hdr = unsafe { self.header() };
+        hdr.free_page_stack[hdr.free_page_top as usize] = page as u16;
+        hdr.free_page_top += 1;
+        hdr.pages_in_use -= 1;
+    }
+
+    /// Computes `(page index, block index)` for an interior pointer, given
+    /// the page's block size from its descriptor.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to the start of a block inside this segment.
+    pub unsafe fn locate(self, ptr: NonNull<u8>) -> (usize, usize) {
+        let off = ptr.as_ptr() as usize - self.0.as_ptr() as usize;
+        let page = off / PAGE_SIZE;
+        debug_assert!((FIRST_PAGE..PAGES_PER_SEGMENT).contains(&page));
+        // SAFETY: page in range, segment alive per contract.
+        let d = unsafe { self.desc(page) };
+        debug_assert!(d.block_size > 0, "pointer into unassigned page");
+        let block = (off - page * PAGE_SIZE) / d.block_size as usize;
+        (page, block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_consistent() {
+        assert_eq!(PAGES_PER_SEGMENT, 64);
+        assert_eq!(MAX_BLOCKS, 4096);
+        // Metadata must fit below the first usable page.
+        assert!(META_BYTES <= FIRST_PAGE * PAGE_SIZE);
+        assert!(USABLE_PAGES >= 50, "metadata overhead too high");
+    }
+
+    #[test]
+    fn create_and_destroy() {
+        let seg = SegmentRef::create(7).unwrap();
+        // SAFETY: fresh segment, single thread.
+        unsafe {
+            assert_eq!(seg.header().owner_id, 7);
+            assert_eq!(seg.header().pages_in_use, 0);
+            seg.destroy();
+        }
+    }
+
+    #[test]
+    fn segment_base_is_aligned() {
+        let seg = SegmentRef::create(0).unwrap();
+        assert_eq!(seg.base().as_ptr() as usize % SEGMENT_SIZE, 0);
+        // SAFETY: no outstanding pointers.
+        unsafe { seg.destroy() };
+    }
+
+    #[test]
+    fn of_ptr_recovers_segment() {
+        let seg = SegmentRef::create(0).unwrap();
+        let p = seg.page_base(FIRST_PAGE);
+        // SAFETY: p is interior to the live segment.
+        let found = unsafe { SegmentRef::of_ptr(p) };
+        assert_eq!(found, seg);
+        // An address deep inside also works.
+        let q = NonNull::new(unsafe { p.as_ptr().add(12345) }).unwrap();
+        // SAFETY: q still interior.
+        assert_eq!(unsafe { SegmentRef::of_ptr(q) }, seg);
+        // SAFETY: done with all pointers.
+        unsafe { seg.destroy() };
+    }
+
+    #[test]
+    fn page_allocation_bumps_then_recycles() {
+        let seg = SegmentRef::create(0).unwrap();
+        // SAFETY: exclusive access throughout.
+        unsafe {
+            let a = seg.alloc_page().unwrap();
+            let b = seg.alloc_page().unwrap();
+            assert_eq!(a, FIRST_PAGE);
+            assert_eq!(b, FIRST_PAGE + 1);
+            assert_eq!(seg.header().pages_in_use, 2);
+            seg.free_page(a);
+            assert_eq!(seg.header().pages_in_use, 1);
+            let c = seg.alloc_page().unwrap();
+            assert_eq!(c, a, "freed page is reused first");
+            seg.destroy();
+        }
+    }
+
+    #[test]
+    fn page_exhaustion_returns_none() {
+        let seg = SegmentRef::create(0).unwrap();
+        // SAFETY: exclusive access.
+        unsafe {
+            for _ in 0..USABLE_PAGES {
+                assert!(seg.alloc_page().is_some());
+            }
+            assert!(seg.alloc_page().is_none());
+            seg.destroy();
+        }
+    }
+
+    #[test]
+    fn locate_maps_blocks_back() {
+        let seg = SegmentRef::create(0).unwrap();
+        // SAFETY: exclusive access.
+        unsafe {
+            let page = seg.alloc_page().unwrap();
+            let d = seg.desc(page);
+            d.class = 3;
+            d.block_size = 64;
+            d.nblocks = (PAGE_SIZE / 64) as u16;
+            let base = seg.page_base(page);
+            for blk in [0usize, 1, 17, 1023] {
+                let p = NonNull::new(base.as_ptr().add(blk * 64)).unwrap();
+                assert_eq!(seg.locate(p), (page, blk));
+            }
+            seg.destroy();
+        }
+    }
+
+    #[test]
+    fn descriptors_live_below_first_page() {
+        let seg = SegmentRef::create(0).unwrap();
+        let desc_addr = seg.desc_ptr(PAGES_PER_SEGMENT - 1) as usize;
+        let first_data = seg.base().as_ptr() as usize + FIRST_PAGE * PAGE_SIZE;
+        assert!(desc_addr + 64 <= first_data);
+        // SAFETY: done.
+        unsafe { seg.destroy() };
+    }
+
+    #[test]
+    fn index_arrays_live_below_first_page() {
+        let seg = SegmentRef::create(0).unwrap();
+        // SAFETY: live segment.
+        let arr = unsafe { seg.index_array(PAGES_PER_SEGMENT - 1) } as usize;
+        let first_data = seg.base().as_ptr() as usize + FIRST_PAGE * PAGE_SIZE;
+        assert!(arr + MAX_BLOCKS * 2 <= first_data);
+        // SAFETY: done.
+        unsafe { seg.destroy() };
+    }
+}

@@ -1,0 +1,445 @@
+//! The dedicated service thread and its client handles.
+//!
+//! [`OffloadRuntime`] owns a thread that is the *only* executor of a
+//! [`Service`]'s logic — the paper's §3.1.3 observation that "sequential
+//! execution can be guaranteed if all allocation codes are running in one
+//! specific core", which is what lets the service's internal state dispense
+//! with atomics entirely (the service is `&mut self` throughout).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::pin::pin_current_thread;
+use crate::ring::{spsc, Consumer, Producer, PushError};
+use crate::slot::RequestSlot;
+use crate::stats::{RuntimeStats, StatsSnapshot};
+use crate::wait::WaitStrategy;
+
+/// A function offloaded to the dedicated core.
+///
+/// `call` handles synchronous requests (the paper's `malloc`), `post`
+/// handles asynchronous ones (`free`). Neither takes `&self` — exclusive
+/// access is structural, so implementations need no locks or atomics.
+pub trait Service: Send + 'static {
+    /// Synchronous request payload.
+    type Req: Send + 'static;
+    /// Synchronous response payload.
+    type Resp: Send + 'static;
+    /// Fire-and-forget message payload.
+    type Post: Send + 'static;
+
+    /// Called once on the service thread before the polling loop starts
+    /// (after pinning). Lets services mark the thread, e.g. so a global
+    /// allocator can detect re-entrant allocation from the service itself.
+    fn on_start(&mut self) {}
+
+    /// Handles one synchronous request.
+    fn call(&mut self, req: Self::Req) -> Self::Resp;
+
+    /// Handles one asynchronous message.
+    fn post(&mut self, msg: Self::Post);
+
+    /// Called when a polling round found no work; a place for deferred
+    /// housekeeping (e.g. returning free pages to the OS).
+    fn idle(&mut self) {}
+}
+
+struct ClientChannel<S: Service> {
+    slot: Arc<RequestSlot<S::Req, S::Resp>>,
+    posts: Consumer<S::Post>,
+}
+
+struct Shared<S: Service> {
+    stop: AtomicBool,
+    stats: Arc<RuntimeStats>,
+    injector: Mutex<Vec<ClientChannel<S>>>,
+    has_new: AtomicBool,
+}
+
+/// A client's endpoint to the service core. One handle per client thread;
+/// the handle is `Send` but deliberately not `Clone` or `Sync`, mirroring
+/// the one-slot-per-thread protocol of the paper's prototype.
+pub struct ClientHandle<S: Service> {
+    slot: Arc<RequestSlot<S::Req, S::Resp>>,
+    posts: Producer<S::Post>,
+    wait: WaitStrategy,
+    stats: Arc<RuntimeStats>,
+}
+
+impl<S: Service> ClientHandle<S> {
+    /// Sends a synchronous request and blocks (by the handle's wait
+    /// strategy) until the service core responds.
+    pub fn call(&mut self, req: S::Req) -> S::Resp {
+        self.slot.call(req, self.wait)
+    }
+
+    /// Posts an asynchronous message, spinning if the ring is momentarily
+    /// full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service thread has shut down while messages are still
+    /// being posted — that is a client lifecycle bug, not a recoverable
+    /// condition.
+    pub fn post(&mut self, msg: S::Post) {
+        let mut msg = msg;
+        let mut iters = 0u32;
+        loop {
+            match self.posts.push(msg) {
+                Ok(()) => return,
+                Err(PushError::Full(m)) => {
+                    self.stats.post_full_retries.fetch_add(1, Ordering::Relaxed);
+                    msg = m;
+                    self.wait.pause(&mut iters);
+                }
+                Err(PushError::Closed(_)) => {
+                    panic!("offload service stopped while clients were still posting")
+                }
+            }
+        }
+    }
+
+    /// Number of posted messages not yet drained (racy snapshot).
+    pub fn pending_posts(&self) -> usize {
+        self.posts.len()
+    }
+}
+
+/// Configuration for [`OffloadRuntime::start`].
+pub struct RuntimeBuilder {
+    core: Option<usize>,
+    server_wait: WaitStrategy,
+    client_wait: WaitStrategy,
+    ring_capacity: usize,
+    drain_batch: usize,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder {
+            core: None,
+            server_wait: WaitStrategy::default(),
+            client_wait: WaitStrategy::default(),
+            ring_capacity: 1024,
+            drain_batch: 64,
+        }
+    }
+}
+
+impl RuntimeBuilder {
+    /// Creates a builder with defaults suited to the current machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the service thread to `core`. Pin failures are recorded in the
+    /// runtime stats, not fatal (this box may expose a single vCPU).
+    pub fn pin_to(mut self, core: usize) -> Self {
+        self.core = Some(core);
+        self
+    }
+
+    /// Wait strategy for the service thread's idle polling.
+    pub fn server_wait(mut self, wait: WaitStrategy) -> Self {
+        self.server_wait = wait;
+        self
+    }
+
+    /// Wait strategy for clients blocked on synchronous calls.
+    pub fn client_wait(mut self, wait: WaitStrategy) -> Self {
+        self.client_wait = wait;
+        self
+    }
+
+    /// Capacity of each client's asynchronous post ring.
+    pub fn ring_capacity(mut self, cap: usize) -> Self {
+        self.ring_capacity = cap;
+        self
+    }
+
+    /// Maximum posts drained from one client per polling round.
+    pub fn drain_batch(mut self, batch: usize) -> Self {
+        self.drain_batch = batch;
+        self
+    }
+
+    /// Starts the service thread running `service`.
+    pub fn start<S: Service>(self, service: S) -> OffloadRuntime<S> {
+        OffloadRuntime::start_with(service, self)
+    }
+}
+
+/// Owns the dedicated service thread.
+pub struct OffloadRuntime<S: Service> {
+    shared: Arc<Shared<S>>,
+    thread: Option<JoinHandle<S>>,
+    builder_wait: WaitStrategy,
+    ring_capacity: usize,
+}
+
+impl<S: Service> OffloadRuntime<S> {
+    /// Starts a runtime with default configuration.
+    pub fn start(service: S) -> Self {
+        RuntimeBuilder::default().start(service)
+    }
+
+    fn start_with(service: S, cfg: RuntimeBuilder) -> Self {
+        let stats = Arc::new(RuntimeStats::new());
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            stats: Arc::clone(&stats),
+            injector: Mutex::new(Vec::new()),
+            has_new: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("ngm-service".into())
+            .spawn(move || {
+                service_loop(
+                    service,
+                    thread_shared,
+                    cfg.core,
+                    cfg.server_wait,
+                    cfg.drain_batch,
+                )
+            })
+            .expect("failed to spawn service thread");
+        OffloadRuntime {
+            shared,
+            thread: Some(thread),
+            builder_wait: cfg.client_wait,
+            ring_capacity: cfg.ring_capacity,
+        }
+    }
+
+    /// Registers a new client and returns its handle. May be called at any
+    /// time, from any thread holding a reference to the runtime.
+    pub fn register_client(&self) -> ClientHandle<S> {
+        let slot = Arc::new(RequestSlot::new());
+        let (tx, rx) = spsc(self.ring_capacity);
+        {
+            let mut inj = self.shared.injector.lock().expect("injector poisoned");
+            inj.push(ClientChannel {
+                slot: Arc::clone(&slot),
+                posts: rx,
+            });
+        }
+        self.shared.has_new.store(true, Ordering::Release);
+        self.shared
+            .stats
+            .clients_registered
+            .fetch_add(1, Ordering::Relaxed);
+        ClientHandle {
+            slot,
+            posts: tx,
+            wait: self.builder_wait,
+            stats: Arc::clone(&self.shared.stats),
+        }
+    }
+
+    /// A snapshot of the runtime's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops the service thread (draining outstanding posts first) and
+    /// returns the service plus final stats.
+    ///
+    /// Clients must have finished their synchronous calls; any request
+    /// published after shutdown begins may never be answered.
+    pub fn shutdown(mut self) -> (S, StatsSnapshot) {
+        self.shared.stop.store(true, Ordering::Release);
+        let svc = self
+            .thread
+            .take()
+            .expect("shutdown called twice")
+            .join()
+            .expect("service thread panicked");
+        (svc, self.shared.stats.snapshot())
+    }
+}
+
+impl<S: Service> Drop for OffloadRuntime<S> {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            self.shared.stop.store(true, Ordering::Release);
+            let _ = t.join();
+        }
+    }
+}
+
+fn service_loop<S: Service>(
+    mut service: S,
+    shared: Arc<Shared<S>>,
+    core: Option<usize>,
+    wait: WaitStrategy,
+    drain_batch: usize,
+) -> S {
+    if let Some(c) = core {
+        shared.stats.pin_requested.store(true, Ordering::Relaxed);
+        if pin_current_thread(c).is_ok() {
+            shared.stats.record_pin(c);
+        }
+    }
+    service.on_start();
+
+    let mut clients: Vec<ClientChannel<S>> = Vec::new();
+    let mut iters = 0u32;
+    loop {
+        shared.stats.poll_rounds.fetch_add(1, Ordering::Relaxed);
+        let stopping = shared.stop.load(Ordering::Acquire);
+
+        if shared.has_new.swap(false, Ordering::Acquire) {
+            let mut inj = shared.injector.lock().expect("injector poisoned");
+            clients.append(&mut *inj);
+        }
+
+        let mut work = 0usize;
+        for c in &mut clients {
+            if c.slot.serve(|q| service.call(q)) {
+                work += 1;
+                shared.stats.calls_served.fetch_add(1, Ordering::Relaxed);
+            }
+            let drained = c.posts.drain(drain_batch, |m| service.post(m));
+            if drained > 0 {
+                work += drained;
+                shared
+                    .stats
+                    .posts_served
+                    .fetch_add(drained as u64, Ordering::Relaxed);
+            }
+        }
+
+        // Retire clients whose handle is gone and whose ring is drained.
+        clients.retain(|c| !(c.posts.is_closed() && c.posts.is_empty() && !c.slot.has_request()));
+
+        if work == 0 {
+            if stopping {
+                // One final injector sweep so a client registered during
+                // shutdown is not silently dropped with queued posts.
+                if !shared.has_new.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            shared.stats.empty_rounds.fetch_add(1, Ordering::Relaxed);
+            service.idle();
+            wait.pause(&mut iters);
+        } else {
+            iters = 0;
+        }
+    }
+    service
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A service that doubles on call and sums posts.
+    struct Doubler {
+        sum: u64,
+        idles: u64,
+    }
+
+    impl Service for Doubler {
+        type Req = u64;
+        type Resp = u64;
+        type Post = u64;
+
+        fn call(&mut self, req: u64) -> u64 {
+            req * 2
+        }
+
+        fn post(&mut self, msg: u64) {
+            self.sum += msg;
+        }
+
+        fn idle(&mut self) {
+            self.idles += 1;
+        }
+    }
+
+    fn doubler() -> Doubler {
+        Doubler { sum: 0, idles: 0 }
+    }
+
+    #[test]
+    fn single_client_roundtrip() {
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        assert_eq!(c.call(21), 42);
+        let (_, stats) = rt.shutdown();
+        assert_eq!(stats.calls_served, 1);
+        assert_eq!(stats.clients_registered, 1);
+    }
+
+    #[test]
+    fn posts_are_drained_before_shutdown() {
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        for i in 1..=100 {
+            c.post(i);
+        }
+        drop(c);
+        let (svc, stats) = rt.shutdown();
+        assert_eq!(svc.sum, 5050);
+        assert_eq!(stats.posts_served, 100);
+    }
+
+    #[test]
+    fn multiple_client_threads() {
+        let rt = OffloadRuntime::start(doubler());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let mut c = rt.register_client();
+                std::thread::spawn(move || {
+                    let mut total = 0u64;
+                    for i in 0..50u64 {
+                        total += c.call(t * 100 + i);
+                        c.post(1);
+                    }
+                    total
+                })
+            })
+            .collect();
+        let grand: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let (svc, stats) = rt.shutdown();
+        assert_eq!(stats.calls_served, 200);
+        assert_eq!(svc.sum, 200);
+        // Each call result is 2 * request.
+        let expected: u64 = (0..4u64)
+            .map(|t| (0..50u64).map(|i| 2 * (t * 100 + i)).sum::<u64>())
+            .sum();
+        assert_eq!(grand, expected);
+    }
+
+    #[test]
+    fn idle_hook_runs_when_quiet() {
+        let rt = OffloadRuntime::start(doubler());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (svc, stats) = rt.shutdown();
+        assert!(svc.idles > 0);
+        assert!(stats.idle_fraction() > 0.0);
+    }
+
+    #[test]
+    fn client_registered_late_is_served() {
+        let rt = OffloadRuntime::start(doubler());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let mut c = rt.register_client();
+        assert_eq!(c.call(5), 10);
+        drop(c);
+        drop(rt); // Drop-based shutdown must also join cleanly.
+    }
+
+    #[test]
+    fn stats_visible_while_running() {
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        c.call(1);
+        let s = rt.stats();
+        assert_eq!(s.calls_served, 1);
+        assert!(s.poll_rounds >= 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! The paper's synchronous request mailbox.
+//!
+//! §4.2 (Code 1) describes the prototype's protocol: "two atomic variables
+//! `malloc_start` and `malloc_done` are used at the beginning and end of
+//! `spawned_malloc()` and `malloc()` ... the `requested_size` and
+//! `allocated_block` are the input and output of `malloc()` functions, and
+//! this information is transferred between two threads."
+//!
+//! [`RequestSlot`] is exactly that: a one-deep mailbox whose state word
+//! cycles `EMPTY → REQUEST → RESPONSE → EMPTY`. One slot serves one client
+//! thread; the service core polls many slots.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::pad::CachePadded;
+use crate::wait::WaitStrategy;
+
+/// Slot is idle; the client may publish a request.
+const EMPTY: u32 = 0;
+/// A request is published (the paper's `malloc_start`).
+const REQUEST: u32 = 1;
+/// A response is published (the paper's `malloc_done`).
+const RESPONSE: u32 = 2;
+
+/// A one-deep synchronous request/response mailbox between one client
+/// thread and the service core.
+///
+/// The state word lives on its own cache line; request and response payloads
+/// share a second line, mirroring how little data actually crosses cores in
+/// the paper's design (a size in, a pointer out).
+pub struct RequestSlot<Q, R> {
+    state: CachePadded<AtomicU32>,
+    req: UnsafeCell<MaybeUninit<Q>>,
+    resp: UnsafeCell<MaybeUninit<R>>,
+}
+
+// SAFETY: access to `req` and `resp` is mediated by the `state` protocol:
+// the client writes `req` only while state is EMPTY (which it owns after
+// consuming a RESPONSE), the server reads `req` and writes `resp` only while
+// state is REQUEST, and the client reads `resp` only while state is
+// RESPONSE. Each transition is a Release store observed by an Acquire load,
+// so payload writes happen-before the reads on the other side. Q and R must
+// be Send because they cross threads by value.
+unsafe impl<Q: Send, R: Send> Sync for RequestSlot<Q, R> {}
+
+impl<Q: Send, R: Send> Default for RequestSlot<Q, R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Q: Send, R: Send> RequestSlot<Q, R> {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        RequestSlot {
+            state: CachePadded::new(AtomicU32::new(EMPTY)),
+            req: UnsafeCell::new(MaybeUninit::uninit()),
+            resp: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Client side: publishes `request`, waits for the response with the
+    /// given strategy, and returns it.
+    ///
+    /// Callers must ensure only one client thread uses a given slot; this is
+    /// enforced structurally by [`crate::service::ClientHandle`] owning the
+    /// slot reference uniquely.
+    pub fn call(&self, request: Q, wait: WaitStrategy) -> R {
+        // The slot must be EMPTY: the previous call consumed its RESPONSE.
+        debug_assert_eq!(self.state.load(Ordering::Relaxed), EMPTY);
+        // SAFETY: state is EMPTY, so the server is not touching `req`, and
+        // no other client shares this slot (single-client contract).
+        unsafe { (*self.req.get()).write(request) };
+        self.state.store(REQUEST, Ordering::Release);
+
+        wait.wait_for_value(&self.state, RESPONSE);
+
+        // SAFETY: state is RESPONSE (Acquire), so the server's write of
+        // `resp` happens-before this read, and the server will not touch the
+        // slot again until we publish EMPTY.
+        let response = unsafe { (*self.resp.get()).assume_init_read() };
+        self.state.store(EMPTY, Ordering::Release);
+        response
+    }
+
+    /// Server side: if a request is pending, consumes it, computes the
+    /// response with `f`, publishes it, and returns `true`.
+    pub fn serve(&self, f: impl FnOnce(Q) -> R) -> bool {
+        if self.state.load(Ordering::Acquire) != REQUEST {
+            return false;
+        }
+        // SAFETY: state is REQUEST (Acquire), so the client's write of `req`
+        // happens-before this read, and the client is spinning on RESPONSE,
+        // not touching the payload cells.
+        let request = unsafe { (*self.req.get()).assume_init_read() };
+        let response = f(request);
+        // SAFETY: as above — the client cannot access `resp` until it
+        // observes the RESPONSE store below.
+        unsafe { (*self.resp.get()).write(response) };
+        self.state.store(RESPONSE, Ordering::Release);
+        true
+    }
+
+    /// Returns `true` if a request is waiting to be served.
+    pub fn has_request(&self) -> bool {
+        self.state.load(Ordering::Acquire) == REQUEST
+    }
+}
+
+impl<Q, R> Drop for RequestSlot<Q, R> {
+    fn drop(&mut self) {
+        // A request published but never served must still be dropped.
+        match *self.state.0.get_mut() {
+            REQUEST => {
+                // SAFETY: exclusive access in drop; state says `req` holds a
+                // value that was never consumed.
+                unsafe { (*self.req.get()).assume_init_drop() };
+            }
+            RESPONSE => {
+                // SAFETY: exclusive access in drop; state says `resp` holds
+                // a value the client never collected.
+                unsafe { (*self.resp.get()).assume_init_drop() };
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn call_and_serve_roundtrip() {
+        let slot: Arc<RequestSlot<u64, u64>> = Arc::new(RequestSlot::new());
+        let server = Arc::clone(&slot);
+        let h = std::thread::spawn(move || {
+            let mut served = 0;
+            while served < 3 {
+                if server.serve(|q| q * 2) {
+                    served += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert_eq!(slot.call(10, WaitStrategy::Backoff), 20);
+        assert_eq!(slot.call(21, WaitStrategy::Backoff), 42);
+        assert_eq!(slot.call(0, WaitStrategy::Backoff), 0);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn serve_returns_false_when_idle() {
+        let slot: RequestSlot<u8, u8> = RequestSlot::new();
+        assert!(!slot.serve(|q| q));
+        assert!(!slot.has_request());
+    }
+
+    #[test]
+    fn pending_request_dropped_with_slot() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let slot: RequestSlot<D, ()> = RequestSlot::new();
+        // Publish a request by hand without waiting for a response.
+        // SAFETY: state is EMPTY and we are the only thread.
+        unsafe { (*slot.req.get()).write(D) };
+        slot.state.store(REQUEST, Ordering::Release);
+        drop(slot);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn many_sequential_calls_stay_consistent() {
+        let slot: Arc<RequestSlot<u32, u32>> = Arc::new(RequestSlot::new());
+        let server = Arc::clone(&slot);
+        let h = std::thread::spawn(move || {
+            let mut served = 0u32;
+            while served < 1000 {
+                if server.serve(|q| q + 1) {
+                    served += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        for i in 0..1000u32 {
+            assert_eq!(slot.call(i, WaitStrategy::Backoff), i + 1);
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! Runtime statistics for the offload service thread.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Sentinel for "no core pinned".
+const NOT_PINNED: usize = usize::MAX;
+
+/// Live counters updated by the service thread and client handles.
+///
+/// All fields are monotonically increasing; read a coherent view with
+/// [`RuntimeStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Synchronous requests served.
+    pub calls_served: AtomicU64,
+    /// Fire-and-forget messages drained.
+    pub posts_served: AtomicU64,
+    /// Total polling rounds executed by the service loop.
+    pub poll_rounds: AtomicU64,
+    /// Polling rounds that found no work.
+    pub empty_rounds: AtomicU64,
+    /// Clients ever registered.
+    pub clients_registered: AtomicU64,
+    /// Times a client found its post ring full and had to retry.
+    pub post_full_retries: AtomicU64,
+    /// Whether the service thread asked to be pinned.
+    pub pin_requested: AtomicBool,
+    /// Core the service thread was pinned to, or `usize::MAX`.
+    pub pinned_core: AtomicUsize,
+}
+
+/// A plain-value copy of [`RuntimeStats`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Synchronous requests served.
+    pub calls_served: u64,
+    /// Fire-and-forget messages drained.
+    pub posts_served: u64,
+    /// Total polling rounds executed by the service loop.
+    pub poll_rounds: u64,
+    /// Polling rounds that found no work.
+    pub empty_rounds: u64,
+    /// Clients ever registered.
+    pub clients_registered: u64,
+    /// Times a client found its post ring full and had to retry.
+    pub post_full_retries: u64,
+    /// Core the service thread ended up pinned to, if any.
+    pub pinned_core: Option<usize>,
+}
+
+impl RuntimeStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        let s = RuntimeStats::default();
+        s.pinned_core.store(NOT_PINNED, Ordering::Relaxed);
+        s
+    }
+
+    /// Records a successful pin.
+    pub fn record_pin(&self, core: usize) {
+        self.pinned_core.store(core, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let pinned = self.pinned_core.load(Ordering::Relaxed);
+        StatsSnapshot {
+            calls_served: self.calls_served.load(Ordering::Relaxed),
+            posts_served: self.posts_served.load(Ordering::Relaxed),
+            poll_rounds: self.poll_rounds.load(Ordering::Relaxed),
+            empty_rounds: self.empty_rounds.load(Ordering::Relaxed),
+            clients_registered: self.clients_registered.load(Ordering::Relaxed),
+            post_full_retries: self.post_full_retries.load(Ordering::Relaxed),
+            pinned_core: (pinned != NOT_PINNED).then_some(pinned),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Fraction of polling rounds that found no work, in `[0, 1]`.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.poll_rounds == 0 {
+            0.0
+        } else {
+            self.empty_rounds as f64 / self.poll_rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_stats_report_unpinned() {
+        let s = RuntimeStats::new();
+        assert_eq!(s.snapshot().pinned_core, None);
+    }
+
+    #[test]
+    fn record_pin_shows_in_snapshot() {
+        let s = RuntimeStats::new();
+        s.record_pin(3);
+        assert_eq!(s.snapshot().pinned_core, Some(3));
+    }
+
+    #[test]
+    fn idle_fraction_handles_zero_rounds() {
+        let s = RuntimeStats::new();
+        assert_eq!(s.snapshot().idle_fraction(), 0.0);
+        s.poll_rounds.store(10, Ordering::Relaxed);
+        s.empty_rounds.store(4, Ordering::Relaxed);
+        assert!((s.snapshot().idle_fraction() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Wait policies for the client and service sides of the offload channel.
+//!
+//! The paper's prototype busy-spins both sides: the client spins on
+//! `malloc_done`, the service core spins polling `malloc_start`. Spinning
+//! minimizes request latency (the paper's whole argument hinges on keeping
+//! the round trip near the raw atomic cost) but burns a core; yielding and
+//! parking trade latency for efficiency. Ablation A in the reproduction
+//! sweeps these policies.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+/// How a thread waits for a condition that another core will signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitStrategy {
+    /// Busy-spin with a CPU relax hint. Lowest latency, one core burned.
+    Spin,
+    /// Spin `spins` times, then interleave `std::thread::yield_now`.
+    SpinYield {
+        /// Number of pure spins before the first yield.
+        spins: u32,
+    },
+    /// Spin briefly, then sleep in escalating intervals. Highest latency,
+    /// friendliest to oversubscribed machines (like this 1-vCPU box).
+    Backoff,
+}
+
+impl Default for WaitStrategy {
+    fn default() -> Self {
+        // On a machine with fewer than two cores the paper's busy-spin
+        // protocol would deadlock-by-starvation: the spinner can occupy the
+        // only core the producer needs. Default accordingly.
+        if crate::pin::available_cores() >= 2 {
+            WaitStrategy::SpinYield { spins: 64 }
+        } else {
+            WaitStrategy::Backoff
+        }
+    }
+}
+
+impl WaitStrategy {
+    /// Spins until `cond` returns `true`, using this policy between probes.
+    #[inline]
+    pub fn wait_until(self, mut cond: impl FnMut() -> bool) {
+        let mut iters: u32 = 0;
+        while !cond() {
+            self.pause(&mut iters);
+        }
+    }
+
+    /// One backoff step; `iters` is the caller's loop counter.
+    #[inline]
+    pub fn pause(self, iters: &mut u32) {
+        *iters = iters.saturating_add(1);
+        match self {
+            WaitStrategy::Spin => std::hint::spin_loop(),
+            WaitStrategy::SpinYield { spins } => {
+                if *iters < spins {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            WaitStrategy::Backoff => {
+                if *iters < 16 {
+                    std::hint::spin_loop();
+                } else if *iters < 64 {
+                    std::thread::yield_now();
+                } else {
+                    // Cap the sleep low: on oversubscribed machines the
+                    // round-trip latency is bounded by this interval, and
+                    // a 32 us ceiling keeps the allocator usable even when
+                    // client and service share one core.
+                    let exp = (*iters - 64).min(5);
+                    std::thread::sleep(Duration::from_micros(1 << exp));
+                }
+            }
+        }
+    }
+
+    /// Waits until the atomic `flag` holds `value` (acquire ordering).
+    #[inline]
+    pub fn wait_for_value(self, flag: &AtomicU32, value: u32) {
+        self.wait_until(|| flag.load(Ordering::Acquire) == value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_until_returns_when_condition_true() {
+        let mut n = 0;
+        WaitStrategy::Spin.wait_until(|| {
+            n += 1;
+            n == 10
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn wait_for_value_sees_cross_thread_store() {
+        let flag = Arc::new(AtomicU32::new(0));
+        let done = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let d2 = Arc::clone(&done);
+        let h = std::thread::spawn(move || {
+            WaitStrategy::Backoff.wait_for_value(&f2, 7);
+            d2.store(true, Ordering::Release);
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!done.load(Ordering::Acquire));
+        flag.store(7, Ordering::Release);
+        h.join().unwrap();
+        assert!(done.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn backoff_escalates_without_panicking() {
+        let mut iters = 0;
+        for _ in 0..70 {
+            WaitStrategy::Backoff.pause(&mut iters);
+        }
+        assert_eq!(iters, 70);
+    }
+
+    #[test]
+    fn default_strategy_matches_core_count() {
+        let s = WaitStrategy::default();
+        if crate::pin::available_cores() >= 2 {
+            assert!(matches!(s, WaitStrategy::SpinYield { .. }));
+        } else {
+            assert_eq!(s, WaitStrategy::Backoff);
+        }
+    }
+}

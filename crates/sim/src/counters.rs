@@ -1,0 +1,161 @@
+//! PMU-style counters matching the quantities reported in the paper's
+//! Tables 1–3.
+
+use serde::{Deserialize, Serialize};
+
+/// The counter set the paper reports per run.
+///
+/// `cycles` and `instructions` are accumulated by the machine's cost model;
+/// the miss counters distinguish loads from stores the way `perf`'s
+/// `LLC-load-misses` / `LLC-store-misses` / `dTLB-load-misses` /
+/// `dTLB-store-misses` events do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PmuCounters {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions (memory accesses count as one instruction each).
+    pub instructions: u64,
+    /// L1d misses on loads.
+    pub l1d_load_misses: u64,
+    /// L1d misses on stores.
+    pub l1d_store_misses: u64,
+    /// Shared-LLC misses on loads.
+    pub llc_load_misses: u64,
+    /// Shared-LLC misses on stores.
+    pub llc_store_misses: u64,
+    /// First-level dTLB misses on loads (whether or not the STLB hits).
+    pub dtlb_load_misses: u64,
+    /// First-level dTLB misses on stores.
+    pub dtlb_store_misses: u64,
+    /// STLB misses (page walks) on any access.
+    pub page_walks: u64,
+    /// Atomic read-modify-write operations executed.
+    pub atomic_rmws: u64,
+    /// Coherence invalidations/snoops this core caused on other cores.
+    pub coherence_events: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued (including atomics).
+    pub stores: u64,
+    /// LLC misses attributed to allocator-metadata accesses.
+    pub meta_llc_misses: u64,
+    /// LLC misses attributed to user-data accesses.
+    pub user_llc_misses: u64,
+}
+
+impl PmuCounters {
+    /// Misses per kilo-instruction for an arbitrary miss counter.
+    pub fn mpki(&self, misses: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// `LLC-load-MPKI` as in Table 1.
+    pub fn llc_load_mpki(&self) -> f64 {
+        self.mpki(self.llc_load_misses)
+    }
+
+    /// `LLC-store-MPKI` as in Table 1.
+    pub fn llc_store_mpki(&self) -> f64 {
+        self.mpki(self.llc_store_misses)
+    }
+
+    /// `dTLB-load-MPKI` as in Table 1.
+    pub fn dtlb_load_mpki(&self) -> f64 {
+        self.mpki(self.dtlb_load_misses)
+    }
+
+    /// `dTLB-store-MPKI` as in Table 1.
+    pub fn dtlb_store_mpki(&self) -> f64 {
+        self.mpki(self.dtlb_store_misses)
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Element-wise sum, used to aggregate per-core counters into a
+    /// machine-wide view.
+    pub fn merge(&self, other: &PmuCounters) -> PmuCounters {
+        PmuCounters {
+            cycles: self.cycles + other.cycles,
+            instructions: self.instructions + other.instructions,
+            l1d_load_misses: self.l1d_load_misses + other.l1d_load_misses,
+            l1d_store_misses: self.l1d_store_misses + other.l1d_store_misses,
+            llc_load_misses: self.llc_load_misses + other.llc_load_misses,
+            llc_store_misses: self.llc_store_misses + other.llc_store_misses,
+            dtlb_load_misses: self.dtlb_load_misses + other.dtlb_load_misses,
+            dtlb_store_misses: self.dtlb_store_misses + other.dtlb_store_misses,
+            page_walks: self.page_walks + other.page_walks,
+            atomic_rmws: self.atomic_rmws + other.atomic_rmws,
+            coherence_events: self.coherence_events + other.coherence_events,
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+            meta_llc_misses: self.meta_llc_misses + other.meta_llc_misses,
+            user_llc_misses: self.user_llc_misses + other.user_llc_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_is_per_thousand_instructions() {
+        let c = PmuCounters {
+            instructions: 2_000,
+            llc_load_misses: 3,
+            ..Default::default()
+        };
+        assert!((c.llc_load_mpki() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_zero_when_no_instructions() {
+        let c = PmuCounters::default();
+        assert_eq!(c.llc_load_mpki(), 0.0);
+        assert_eq!(c.ipc(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = PmuCounters {
+            cycles: 10,
+            instructions: 5,
+            llc_load_misses: 1,
+            ..Default::default()
+        };
+        let b = PmuCounters {
+            cycles: 7,
+            instructions: 2,
+            llc_store_misses: 4,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.cycles, 17);
+        assert_eq!(m.instructions, 7);
+        assert_eq!(m.llc_load_misses, 1);
+        assert_eq!(m.llc_store_misses, 4);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let a = PmuCounters {
+            cycles: 10,
+            instructions: 5,
+            dtlb_load_misses: 9,
+            meta_llc_misses: 2,
+            ..Default::default()
+        };
+        assert_eq!(a.merge(&PmuCounters::default()), a);
+    }
+}

@@ -1,0 +1,154 @@
+//! Memory-access event types driven into the simulated machine.
+
+/// Whether an access reads, writes, or atomically read-modify-writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A plain load.
+    Load,
+    /// A plain store.
+    Store,
+    /// An atomic read-modify-write (e.g. `lock xadd`, LDXR/STXR pair).
+    ///
+    /// Atomics behave like a store for coherence purposes and additionally
+    /// pay the fixed RMW latency from [`crate::CostModel`]. The paper cites
+    /// 67 cycles on average for one such operation.
+    AtomicRmw,
+}
+
+impl AccessKind {
+    /// Returns `true` if the access writes memory (stores and atomics).
+    #[inline]
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessKind::Load)
+    }
+}
+
+/// The provenance of an access, used to attribute misses.
+///
+/// The paper's core claim is that *metadata* accesses made by the allocator
+/// pollute the caches used by *user* accesses; keeping the two apart in the
+/// trace lets experiments report pollution directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// Application data (the payload of allocated blocks).
+    User,
+    /// Allocator metadata (free lists, page descriptors, size-class tables).
+    Meta,
+    /// Stack or other incidental traffic.
+    Stack,
+}
+
+/// One memory access performed by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Virtual byte address of the first byte touched.
+    pub addr: u64,
+    /// Number of bytes touched; accesses spanning cache lines are split.
+    pub size: u32,
+    /// Load, store, or atomic.
+    pub kind: AccessKind,
+    /// User data, allocator metadata, or stack.
+    pub class: AccessClass,
+    /// Dependent access (pointer chase): the core cannot overlap its miss
+    /// latency with other misses, so MLP does not apply.
+    pub dependent: bool,
+}
+
+impl Access {
+    /// Creates a load access.
+    #[inline]
+    pub fn load(addr: u64, size: u32, class: AccessClass) -> Self {
+        Access {
+            addr,
+            size,
+            kind: AccessKind::Load,
+            class,
+            dependent: false,
+        }
+    }
+
+    /// Creates a store access.
+    #[inline]
+    pub fn store(addr: u64, size: u32, class: AccessClass) -> Self {
+        Access {
+            addr,
+            size,
+            kind: AccessKind::Store,
+            class,
+            dependent: false,
+        }
+    }
+
+    /// Creates an atomic read-modify-write access.
+    #[inline]
+    pub fn atomic(addr: u64, size: u32, class: AccessClass) -> Self {
+        Access {
+            addr,
+            size,
+            kind: AccessKind::AtomicRmw,
+            class,
+            dependent: false,
+        }
+    }
+
+    /// Marks the access as a dependent pointer chase (no MLP overlap).
+    #[inline]
+    pub fn dependent(mut self) -> Self {
+        self.dependent = true;
+        self
+    }
+
+    /// Iterates over the cache-line-aligned base addresses this access
+    /// touches.
+    pub fn lines(&self) -> impl Iterator<Item = u64> {
+        let first = self.addr / crate::LINE_SIZE;
+        let last = (self.addr + u64::from(self.size.max(1)) - 1) / crate::LINE_SIZE;
+        (first..=last).map(|l| l * crate::LINE_SIZE)
+    }
+
+    /// Iterates over the page-aligned base addresses this access touches.
+    pub fn pages(&self) -> impl Iterator<Item = u64> {
+        let first = self.addr / crate::PAGE_SIZE;
+        let last = (self.addr + u64::from(self.size.max(1)) - 1) / crate::PAGE_SIZE;
+        (first..=last).map(|p| p * crate::PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_access_touches_one_line() {
+        let a = Access::load(0x40, 8, AccessClass::User);
+        let lines: Vec<u64> = a.lines().collect();
+        assert_eq!(lines, vec![0x40]);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let a = Access::store(0x7c, 8, AccessClass::Meta);
+        let lines: Vec<u64> = a.lines().collect();
+        assert_eq!(lines, vec![0x40, 0x80]);
+    }
+
+    #[test]
+    fn zero_size_access_still_touches_its_line() {
+        let a = Access::load(0x100, 0, AccessClass::Stack);
+        assert_eq!(a.lines().count(), 1);
+    }
+
+    #[test]
+    fn page_iteration_spans_boundary() {
+        let a = Access::load(0xffc, 8, AccessClass::User);
+        let pages: Vec<u64> = a.pages().collect();
+        assert_eq!(pages, vec![0, 0x1000]);
+    }
+
+    #[test]
+    fn atomic_is_write() {
+        assert!(AccessKind::AtomicRmw.is_write());
+        assert!(AccessKind::Store.is_write());
+        assert!(!AccessKind::Load.is_write());
+    }
+}

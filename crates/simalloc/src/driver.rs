@@ -1,0 +1,274 @@
+//! Replays workload event streams against an allocator model on a
+//! simulated machine.
+
+use std::collections::HashMap;
+
+use ngm_sim::{Access, AccessClass, Machine, PmuCounters};
+use ngm_workloads::Event;
+
+use crate::model::AllocModel;
+
+/// The outcome of one replay.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Model display name.
+    pub name: &'static str,
+    /// Per-core PMU counters.
+    pub per_core: Vec<PmuCounters>,
+    /// Machine-wide sums.
+    pub total: PmuCounters,
+    /// Wall-clock cycles (max over cores — cores run concurrently).
+    pub wall_cycles: u64,
+    /// Metadata footprint at end of run.
+    pub meta_bytes: u64,
+    /// Atomic operations the model executed.
+    pub model_atomics: u64,
+    /// Objects still live at end of run (should be 0 for balanced
+    /// streams).
+    pub leaked: usize,
+}
+
+impl RunResult {
+    /// Counters of the application cores only (excludes the NGM service
+    /// core, which is the machine's last core when present).
+    pub fn app_total(&self, app_cores: usize) -> PmuCounters {
+        self.per_core[..app_cores.min(self.per_core.len())]
+            .iter()
+            .fold(PmuCounters::default(), |acc, c| acc.merge(c))
+    }
+}
+
+/// Replays `events` against `model` on `machine`.
+///
+/// `Touch` traffic is issued at the addresses the model's placement chose,
+/// with one architectural access plus `len/32` loop instructions per
+/// event — identical across models, so instruction counts (the MPKI
+/// denominator) differ only by allocator-internal work, as in the paper's
+/// Table 1.
+///
+/// # Panics
+///
+/// Panics on malformed streams (frees or touches of dead ids) — workload
+/// generators are property-tested to never produce them.
+pub fn run(
+    machine: &mut Machine,
+    model: &mut dyn AllocModel,
+    events: impl Iterator<Item = Event>,
+) -> RunResult {
+    run_warm(machine, model, events, 0)
+}
+
+/// Like [`run`], but zeroes the machine's counters after the first
+/// `warmup` events, so measurements start from the allocator's fragmented
+/// steady state (caches and TLBs stay warm — only the counters reset).
+pub fn run_warm(
+    machine: &mut Machine,
+    model: &mut dyn AllocModel,
+    events: impl Iterator<Item = Event>,
+    warmup: usize,
+) -> RunResult {
+    let mut objects: HashMap<u64, (u64, u32)> = HashMap::new();
+    for (i, e) in events.enumerate() {
+        if i == warmup && warmup > 0 {
+            machine.reset_counters();
+        }
+        match e {
+            Event::Malloc { thread, id, size } => {
+                let addr = model.malloc(machine, thread as usize, size);
+                let prev = objects.insert(id, (addr, size));
+                debug_assert!(prev.is_none(), "duplicate object id {id}");
+            }
+            Event::Free { thread, id } => {
+                let (addr, size) = objects.remove(&id).expect("free of dead object");
+                model.free(machine, thread as usize, addr, size);
+            }
+            Event::Touch {
+                thread,
+                id,
+                offset,
+                len,
+                write,
+            } => {
+                let (addr, size) = *objects.get(&id).expect("touch of dead object");
+                debug_assert!(offset + len <= size, "touch out of bounds");
+                let core = thread as usize;
+                let a = addr + u64::from(offset);
+                let access = if write {
+                    Access::store(a, len.max(1), AccessClass::User)
+                } else {
+                    // DOM walks and queries chase pointers: dependent.
+                    Access::load(a, len.max(1), AccessClass::User).dependent()
+                };
+                machine.access(core, access);
+                machine.retire(core, u64::from(len / 32));
+            }
+            Event::Compute { thread, amount } => {
+                machine.retire(thread as usize, u64::from(amount));
+            }
+        }
+    }
+    let per_core: Vec<PmuCounters> = (0..machine.num_cores())
+        .map(|c| machine.core_counters(c))
+        .collect();
+    RunResult {
+        name: model.name(),
+        total: per_core
+            .iter()
+            .fold(PmuCounters::default(), |acc, c| acc.merge(c)),
+        wall_cycles: machine.wall_cycles(),
+        per_core,
+        meta_bytes: model.meta_bytes(),
+        model_atomics: model.atomics(),
+        leaked: objects.len(),
+    }
+}
+
+/// Convenience: builds the machine and model for `kind`, replays, returns
+/// the result.
+pub fn run_kind(
+    kind: crate::model::ModelKind,
+    app_threads: usize,
+    events: impl Iterator<Item = Event>,
+) -> RunResult {
+    run_kind_warm(kind, app_threads, events, 0)
+}
+
+/// [`run_kind`] with a warmup prefix excluded from the counters.
+pub fn run_kind_warm(
+    kind: crate::model::ModelKind,
+    app_threads: usize,
+    events: impl Iterator<Item = Event>,
+    warmup: usize,
+) -> RunResult {
+    let mut machine = Machine::new(kind.machine(app_threads));
+    let mut model = kind.build(app_threads);
+    run_warm(&mut machine, model.as_mut(), events, warmup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use ngm_workloads::churn::{collect, ChurnParams};
+    use ngm_workloads::xalanc::{self, XalancParams};
+
+    #[test]
+    fn all_models_replay_churn_without_leaks() {
+        let events = collect(&ChurnParams::tiny());
+        for kind in ModelKind::BASELINES.into_iter().chain([ModelKind::Ngm]) {
+            let r = run_kind(kind, 1, events.iter().copied());
+            assert_eq!(r.leaked, 0, "{} leaked objects", r.name);
+            assert!(r.total.instructions > 0);
+            assert!(r.wall_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn multithreaded_churn_replays() {
+        let events = collect(&ChurnParams {
+            threads: 4,
+            ..ChurnParams::tiny()
+        });
+        for kind in [ModelKind::TcMalloc, ModelKind::Mimalloc, ModelKind::Ngm] {
+            let r = run_kind(kind, 4, events.iter().copied());
+            assert_eq!(r.leaked, 0);
+        }
+    }
+
+    #[test]
+    fn instruction_counts_are_comparable_across_models() {
+        // Table 1's instruction row varies by only a few percent between
+        // allocators; the driver must reproduce that property.
+        let events = xalanc::collect(&XalancParams::tiny());
+        let base = run_kind(ModelKind::Mimalloc, 1, events.iter().copied());
+        for kind in [ModelKind::PtMalloc2, ModelKind::TcMalloc, ModelKind::Ngm] {
+            let r = run_kind(kind, 1, events.iter().copied());
+            let app = r.app_total(1).instructions as f64;
+            let ratio = app / base.app_total(1).instructions as f64;
+            assert!(
+                (0.9..1.1).contains(&ratio),
+                "{}: instruction ratio {ratio} too far from Mimalloc",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn ngm_app_cores_see_no_heap_metadata_misses() {
+        let events = xalanc::collect(&XalancParams::tiny());
+        let r = run_kind(ModelKind::Ngm, 1, events.iter().copied());
+        let svc = r.per_core.last().expect("service core");
+        assert!(svc.instructions > 0, "service core did work");
+    }
+
+    #[test]
+    #[should_panic(expected = "free of dead object")]
+    fn malformed_stream_panics() {
+        let events = vec![Event::Free { thread: 0, id: 9 }];
+        run_kind(ModelKind::Mimalloc, 1, events.into_iter());
+    }
+}
+
+#[cfg(test)]
+mod diag {
+    use super::*;
+    use crate::model::ModelKind;
+    use ngm_workloads::xalanc::{self, XalancParams};
+
+    /// Diagnostic (run with --ignored --nocapture): placement entropy of
+    /// node-sized allocations in the steady state.
+    #[test]
+    #[ignore]
+    fn placement_scatter() {
+        let p = XalancParams::small();
+        let (events, warmup) = xalanc::collect_with_warmup(&p);
+        for kind in [ModelKind::PtMalloc2, ModelKind::Mimalloc] {
+            let mut machine = Machine::new(kind.machine(1));
+            let mut model = kind.build(1);
+            let mut objects: HashMap<u64, (u64, u32)> = HashMap::new();
+            let mut node_addrs: Vec<u64> = Vec::new();
+            for (i, e) in events.iter().copied().enumerate() {
+                match e {
+                    Event::Malloc { thread, id, size } => {
+                        let addr = model.malloc(&mut machine, thread as usize, size);
+                        objects.insert(id, (addr, size));
+                        if size == 100 && i > warmup {
+                            node_addrs.push(addr);
+                        }
+                    }
+                    Event::Free { thread, id } => {
+                        let (addr, size) = objects.remove(&id).unwrap();
+                        model.free(&mut machine, thread as usize, addr, size);
+                    }
+                    _ => {}
+                }
+            }
+            // Distinct 4KiB pages per window of 64 consecutive nodes.
+            let mut pages_per_win = Vec::new();
+            for w in node_addrs.chunks(64) {
+                let pages: std::collections::HashSet<u64> =
+                    w.iter().map(|a| a >> 12).collect();
+                pages_per_win.push(pages.len());
+            }
+            let avg: f64 =
+                pages_per_win.iter().sum::<usize>() as f64 / pages_per_win.len().max(1) as f64;
+            // Mean jump between consecutive nodes.
+            let jumps: Vec<u64> = node_addrs
+                .windows(2)
+                .map(|w| w[0].abs_diff(w[1]))
+                .collect();
+            let med = {
+                let mut j = jumps.clone();
+                j.sort_unstable();
+                j.get(j.len() / 2).copied().unwrap_or(0)
+            };
+            println!(
+                "{}: nodes={} pages/64-node-window={:.1} median-jump={}",
+                model.name(),
+                node_addrs.len(),
+                avg,
+                med
+            );
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Jemalloc model: multiple arenas with per-thread caches.
+//!
+//! Jemalloc (Evans 2006) spreads threads over a fixed set of arenas to
+//! dilute lock contention; each arena serves size-class runs whose
+//! allocation bitmaps live in run headers (metadata grouped at the run's
+//! start rather than threaded through every block). Threads keep a small
+//! `tcache` in front of their arena.
+
+use ngm_sim::{Access, AccessClass, Machine};
+
+use crate::addr::AddressSpace;
+use crate::model::{large_alloc, large_free, size_class, AllocModel, CLASS_SIZES, LARGE_CUTOFF};
+use crate::slab::{MetaTraffic, SlabHeap};
+
+/// Number of arenas (jemalloc defaults to a multiple of the CPU count;
+/// a small fixed number keeps sharing observable).
+const NARENAS: usize = 4;
+
+/// tcache refill batch.
+const TCACHE_BATCH: usize = 8;
+
+/// tcache cap per class.
+const TCACHE_CAP: usize = 32;
+
+/// The jemalloc-style model.
+pub struct JemallocModel {
+    space: AddressSpace,
+    arenas: Vec<SlabHeap>,
+    arena_lock: Vec<u64>,
+    tcache: Vec<Vec<Vec<u64>>>,
+    tls_base: Vec<u64>,
+    atomics: u64,
+}
+
+impl JemallocModel {
+    /// Creates the model for `threads` application cores.
+    pub fn new(threads: usize) -> Self {
+        let mut space = AddressSpace::default();
+        let arena_lock = (0..NARENAS).map(|_| space.reserve(4096, 4096)).collect();
+        let tls_base = (0..threads).map(|_| space.reserve(4096, 4096)).collect();
+        // Jemalloc small-class runs are a few pages; model 16 KiB.
+        let arenas = (0..NARENAS)
+            .map(|i| SlabHeap::with_page_size(&mut space, MetaTraffic::IndexArray, i, 16384))
+            .collect();
+        JemallocModel {
+            space,
+            arenas,
+            arena_lock,
+            tcache: vec![vec![Vec::new(); CLASS_SIZES.len()]; threads],
+            tls_base,
+            atomics: 0,
+        }
+    }
+
+    fn arena_of(&self, core: usize) -> usize {
+        core % NARENAS
+    }
+
+    fn tcache_head(&self, core: usize, class: usize) -> u64 {
+        self.tls_base[core] + class as u64 * 16
+    }
+}
+
+impl AllocModel for JemallocModel {
+    fn name(&self) -> &'static str {
+        "JeMalloc"
+    }
+
+    fn malloc(&mut self, machine: &mut Machine, core: usize, size: u32) -> u64 {
+        let Some((class, _block)) = size_class(size) else {
+            return large_alloc(&mut self.space, machine, core, size);
+        };
+        machine.retire(core, 30);
+        machine.access(
+            core,
+            Access::load(self.tcache_head(core, class), 8, AccessClass::Meta),
+        );
+        if self.tcache[core][class].is_empty() {
+            let arena = self.arena_of(core);
+            machine.access(
+                core,
+                Access::atomic(self.arena_lock[arena], 8, AccessClass::Meta),
+            );
+            self.atomics += 1;
+            machine.retire(core, 90);
+            for _ in 0..TCACHE_BATCH {
+                let addr = self.arenas[arena].alloc(machine, core, &mut self.space, class);
+                self.tcache[core][class].push(addr);
+            }
+            machine.access(
+                core,
+                Access::atomic(self.arena_lock[arena], 8, AccessClass::Meta),
+            );
+            self.atomics += 1;
+        }
+        let addr = self.tcache[core][class]
+            .pop()
+            .expect("tcache refilled above");
+        machine.access(
+            core,
+            Access::store(self.tcache_head(core, class), 8, AccessClass::Meta),
+        );
+        addr
+    }
+
+    fn free(&mut self, machine: &mut Machine, core: usize, addr: u64, size: u32) {
+        if u64::from(size) > LARGE_CUTOFF {
+            large_free(machine, core);
+            return;
+        }
+        let (class, _block) = size_class(size).expect("small size has a class");
+        machine.retire(core, 25);
+        machine.access(
+            core,
+            Access::store(self.tcache_head(core, class), 8, AccessClass::Meta),
+        );
+        self.tcache[core][class].push(addr);
+        if self.tcache[core][class].len() > TCACHE_CAP {
+            // Flush half back to the owning arenas.
+            let arena = self.arena_of(core);
+            machine.access(
+                core,
+                Access::atomic(self.arena_lock[arena], 8, AccessClass::Meta),
+            );
+            self.atomics += 1;
+            machine.retire(core, 110);
+            for _ in 0..TCACHE_CAP / 2 {
+                let a = self.tcache[core][class]
+                    .pop()
+                    .expect("tcache above cap");
+                // The block may belong to a different arena than the one
+                // this core drains to; route it home.
+                let home = self
+                    .arenas
+                    .iter()
+                    .position(|h| h.page_of(a).is_some())
+                    .expect("block belongs to an arena");
+                self.arenas[home].free(machine, core, a);
+            }
+            machine.access(
+                core,
+                Access::atomic(self.arena_lock[arena], 8, AccessClass::Meta),
+            );
+            self.atomics += 1;
+        }
+    }
+
+    fn meta_bytes(&self) -> u64 {
+        self.arenas.iter().map(SlabHeap::meta_bytes).sum::<u64>()
+            + self.tls_base.len() as u64 * 4096
+    }
+
+    fn atomics(&self) -> u64 {
+        self.atomics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngm_sim::MachineConfig;
+
+    fn machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::a72(n))
+    }
+
+    #[test]
+    fn roundtrip_and_fast_path() {
+        let mut m = machine(1);
+        let mut a = JemallocModel::new(1);
+        let p = a.malloc(&mut m, 0, 200);
+        let base = a.atomics();
+        a.free(&mut m, 0, p, 200);
+        let q = a.malloc(&mut m, 0, 200);
+        assert_eq!(a.atomics(), base, "tcache hit takes no lock");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn cores_map_to_arenas_round_robin() {
+        let a = JemallocModel::new(8);
+        assert_eq!(a.arena_of(0), a.arena_of(NARENAS));
+        assert_ne!(a.arena_of(0), a.arena_of(1));
+    }
+
+    #[test]
+    fn flush_returns_blocks_to_home_arena() {
+        let mut m = machine(2);
+        let mut a = JemallocModel::new(2);
+        // Core 0 allocates from arena 0; core 1 frees them (arena 1 core).
+        let ps: Vec<u64> = (0..TCACHE_CAP + 4).map(|_| a.malloc(&mut m, 0, 64)).collect();
+        for p in ps {
+            a.free(&mut m, 1, p, 64);
+        }
+        // Everything flushed must land back in arena 0's pages; whatever
+        // arena 0 still counts live is exactly what sits in tcaches
+        // (refill leftovers on core 0 plus unflushed frees on core 1).
+        let live0 = a.arenas[0].live_blocks();
+        let class = size_class(64).unwrap().0;
+        let cached: usize = a.tcache[0][class].len() + a.tcache[1][class].len();
+        assert_eq!(live0 as usize, cached, "arena 0 live = still-cached blocks");
+    }
+}

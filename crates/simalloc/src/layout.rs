@@ -1,0 +1,127 @@
+//! Figure 2 experiment: aggregated vs. segregated metadata layout, all
+//! else equal.
+//!
+//! Both models here use the *same* placement policy (one slab heap on the
+//! caller's core); the only difference is [`MetaTraffic`]: in-block links
+//! (aggregated) versus a decoupled index array (segregated). Comparing
+//! them isolates the layout trade-off the paper draws:
+//!
+//! * Aggregated warms the block's line during `malloc` — "better spatial
+//!   localities ... if a block is accessed directly after the malloc".
+//! * Segregated keeps user lines untouched by the allocator and enables
+//!   offload, at the price of extra metadata space and a colder first
+//!   user access.
+
+use ngm_sim::Machine;
+
+use crate::addr::AddressSpace;
+use crate::model::{large_alloc, large_free, size_class, AllocModel, LARGE_CUTOFF};
+use crate::slab::{MetaTraffic, SlabHeap};
+
+/// A single-core slab allocator parameterized only by metadata layout.
+pub struct LayoutModel {
+    space: AddressSpace,
+    heap: SlabHeap,
+    layout: MetaTraffic,
+}
+
+impl LayoutModel {
+    /// Builds the aggregated-layout variant.
+    pub fn aggregated() -> Self {
+        Self::with_layout(MetaTraffic::InBlock)
+    }
+
+    /// Builds the segregated-layout variant.
+    pub fn segregated() -> Self {
+        Self::with_layout(MetaTraffic::IndexArray)
+    }
+
+    fn with_layout(layout: MetaTraffic) -> Self {
+        let mut space = AddressSpace::default();
+        let heap = SlabHeap::new(&mut space, layout, 0);
+        LayoutModel {
+            space,
+            heap,
+            layout,
+        }
+    }
+
+    /// Which layout this model exercises.
+    pub fn layout(&self) -> MetaTraffic {
+        self.layout
+    }
+}
+
+impl AllocModel for LayoutModel {
+    fn name(&self) -> &'static str {
+        match self.layout {
+            MetaTraffic::InBlock => "Aggregated",
+            MetaTraffic::IndexArray => "Segregated",
+        }
+    }
+
+    fn malloc(&mut self, machine: &mut Machine, core: usize, size: u32) -> u64 {
+        let Some((class, _)) = size_class(size) else {
+            return large_alloc(&mut self.space, machine, core, size);
+        };
+        machine.retire(core, 20);
+        self.heap.alloc(machine, core, &mut self.space, class)
+    }
+
+    fn free(&mut self, machine: &mut Machine, core: usize, addr: u64, size: u32) {
+        if u64::from(size) > LARGE_CUTOFF {
+            large_free(machine, core);
+            return;
+        }
+        machine.retire(core, 16);
+        self.heap.free(machine, core, addr);
+    }
+
+    fn meta_bytes(&self) -> u64 {
+        self.heap.meta_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngm_sim::{Access, AccessClass, MachineConfig};
+
+    #[test]
+    fn aggregated_warms_the_block_line() {
+        let mut m = Machine::new(MachineConfig::a72(1));
+        let mut agg = LayoutModel::aggregated();
+        // Allocate and free once so the next malloc pops the free list.
+        let p = agg.malloc(&mut m, 0, 64);
+        agg.free(&mut m, 0, p, 64);
+        let p = agg.malloc(&mut m, 0, 64);
+        // The block's line was touched by the free-list pop: the user's
+        // first access is an L1 hit.
+        let lat = m.access(0, Access::load(p, 8, AccessClass::User));
+        assert_eq!(lat, m.config().cost.l1_hit);
+    }
+
+    #[test]
+    fn segregated_costs_more_metadata_space() {
+        let mut m = Machine::new(MachineConfig::a72(1));
+        let mut seg = LayoutModel::segregated();
+        let mut agg = LayoutModel::aggregated();
+        for _ in 0..100 {
+            seg.malloc(&mut m, 0, 64);
+            agg.malloc(&mut m, 0, 64);
+        }
+        assert!(seg.meta_bytes() > agg.meta_bytes());
+    }
+
+    #[test]
+    fn both_layouts_place_identically() {
+        let mut m = Machine::new(MachineConfig::a72(1));
+        let mut seg = LayoutModel::segregated();
+        let mut agg = LayoutModel::aggregated();
+        let a: Vec<u64> = (0..50).map(|_| seg.malloc(&mut m, 0, 128)).collect();
+        let b: Vec<u64> = (0..50).map(|_| agg.malloc(&mut m, 0, 128)).collect();
+        let da: Vec<u64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        let db: Vec<u64> = b.windows(2).map(|w| w[1] - w[0]).collect();
+        assert_eq!(da, db, "placement must be identical; only metadata moves");
+    }
+}

@@ -1,0 +1,266 @@
+//! NextGen-Malloc model: the offloaded allocator.
+//!
+//! All heap metadata lives in one [`SlabHeap`] with a *segregated* layout
+//! and is touched **only by the service core**, so its lines stay resident
+//! in that core's private cache and never pollute the application cores
+//! (§3.1.2). Application cores pay only the communication protocol:
+//!
+//! * `malloc` — §4.2's `malloc_start`/`malloc_done` handshake: the client
+//!   writes the request into its slot and flips an atomic; the service
+//!   flips the response atomic back. Four atomic operations per call, the
+//!   count behind §4.1's 75-billion-cycle estimate. The client blocks for
+//!   the service round trip (modelled as idle time).
+//! * `free` — a single store into the client's SPSC ring; the service
+//!   drains it off the critical path. No atomics, no waiting.
+
+use ngm_sim::{Access, AccessClass, Machine};
+
+use crate::addr::AddressSpace;
+use crate::model::{large_alloc, large_free, size_class, AllocModel, LARGE_CUTOFF};
+use crate::slab::{MetaTraffic, SlabHeap};
+
+/// Entries per client free ring (ring region = entries × 16 bytes).
+const RING_ENTRIES: u64 = 4096;
+
+/// How the malloc handshake's cost is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Faithful micro-architecture accounting: every slot access goes
+    /// through the coherence machinery; the client idles for the
+    /// service's measured processing latency. Cross-core sync costs what
+    /// the simulated machine says it costs.
+    Detailed,
+    /// The paper's §4.1 accounting: the entire round trip costs exactly
+    /// four atomic operations at `CostModel::atomic_rmw` cycles, all
+    /// other communication assumed overlapped with the client's spin
+    /// wait. This is the cost model under which the paper projects its
+    /// Table 3 win; comparing the two accountings is ablation D's point.
+    PaperModel,
+}
+
+/// The NextGen-Malloc model.
+pub struct NgmModel {
+    space: AddressSpace,
+    service: SlabHeap,
+    /// One request/response slot line per client core.
+    slot_base: Vec<u64>,
+    /// Free-ring base and cursor per client core.
+    ring_base: Vec<u64>,
+    ring_pos: Vec<u64>,
+    app_threads: usize,
+    protocol: Protocol,
+    atomics: u64,
+}
+
+impl NgmModel {
+    /// Creates the model for `threads` application cores (the service
+    /// core is the machine's last core; build the machine with
+    /// [`crate::ModelKind::machine`]).
+    pub fn new(threads: usize) -> Self {
+        Self::with_protocol(threads, Protocol::Detailed)
+    }
+
+    /// Creates the model with an explicit protocol accounting.
+    pub fn with_protocol(threads: usize, protocol: Protocol) -> Self {
+        let mut space = AddressSpace::default();
+        let slot_base = (0..threads).map(|_| space.reserve(128, 128)).collect();
+        let ring_base = (0..threads)
+            .map(|_| space.reserve(RING_ENTRIES * 16, 4096))
+            .collect();
+        // The service heap uses 16 KiB spans: segregated metadata makes
+        // small spans cheap, and denser placement is the point.
+        let service =
+            SlabHeap::with_page_size(&mut space, MetaTraffic::IndexArray, usize::MAX, 16384);
+        NgmModel {
+            space,
+            service,
+            slot_base,
+            ring_base,
+            ring_pos: vec![0; threads],
+            app_threads: threads,
+            protocol,
+            atomics: 0,
+        }
+    }
+
+    fn service_core(&self, machine: &Machine) -> usize {
+        debug_assert!(
+            machine.num_cores() > self.app_threads,
+            "NGM needs a dedicated service core; build the machine via ModelKind::machine"
+        );
+        machine.num_cores() - 1
+    }
+
+    /// Atomic operations executed per malloc (§4.1 charges four).
+    pub const ATOMICS_PER_MALLOC: u64 = 4;
+}
+
+impl AllocModel for NgmModel {
+    fn name(&self) -> &'static str {
+        "NextGen-Malloc"
+    }
+
+    fn malloc(&mut self, machine: &mut Machine, core: usize, size: u32) -> u64 {
+        let Some((class, _block)) = size_class(size) else {
+            return large_alloc(&mut self.space, machine, core, size);
+        };
+        let svc = self.service_core(machine);
+        let slot = self.slot_base[core];
+        machine.retire(core, 10);
+        self.atomics += 4;
+
+        match self.protocol {
+            Protocol::Detailed => {
+                // Client: publish request (payload and flag share the
+                // slot's cache line), flip malloc_start.
+                machine.access(core, Access::store(slot + 8, 16, AccessClass::Meta));
+                machine.access(core, Access::atomic(slot, 8, AccessClass::Meta));
+
+                // Service: observe the flag, run the (atomic-free)
+                // segregated heap, publish the response. Every heap
+                // metadata line below is touched only by `svc`.
+                let mut svc_latency = 0u64;
+                svc_latency += machine.access(svc, Access::atomic(slot, 8, AccessClass::Meta));
+                machine.retire(svc, 22);
+                svc_latency += 11; // service compute at ipc 2
+                let addr = self.service.alloc(machine, svc, &mut self.space, class);
+                svc_latency += machine.access(svc, Access::store(slot + 8, 16, AccessClass::Meta));
+                svc_latency += machine.access(svc, Access::atomic(slot, 8, AccessClass::Meta));
+
+                // Client: spin until malloc_done (overlaps the service
+                // latency), then pull the response line back.
+                machine.idle(core, svc_latency);
+                machine.access(core, Access::atomic(slot, 8, AccessClass::Meta));
+                machine.access(core, Access::load(slot + 8, 16, AccessClass::Meta));
+                addr
+            }
+            Protocol::PaperModel => {
+                // §4.1: four atomics at the quoted per-RMW latency cover
+                // the entire handshake; the service's heap work overlaps
+                // the client's spin and is charged to the service core.
+                let rmw = machine.config().cost.atomic_rmw;
+                machine.idle(core, 4 * rmw);
+                // Counter bookkeeping without coherence side effects:
+                // touch a client-private shadow line.
+                machine.access(core, Access::atomic(slot + 64, 8, AccessClass::Meta));
+                machine.retire(svc, 22);
+                let addr = self.service.alloc(machine, svc, &mut self.space, class);
+                machine.access(svc, Access::load(slot + 8, 16, AccessClass::Meta));
+                addr
+            }
+        }
+    }
+
+    fn free(&mut self, machine: &mut Machine, core: usize, addr: u64, size: u32) {
+        if u64::from(size) > LARGE_CUTOFF {
+            large_free(machine, core);
+            return;
+        }
+        let svc = self.service_core(machine);
+
+        // Client: one store into the SPSC ring, then done — asynchronous,
+        // off the critical path, no atomics.
+        machine.retire(core, 8);
+        let entry = self.ring_base[core] + (self.ring_pos[core] % RING_ENTRIES) * 16;
+        self.ring_pos[core] += 1;
+        machine.access(core, Access::store(entry, 16, AccessClass::Meta));
+
+        // Service (later, concurrently): pull the entry and free.
+        machine.retire(svc, 15);
+        machine.access(svc, Access::load(entry, 16, AccessClass::Meta));
+        self.service.free(machine, svc, addr);
+    }
+
+    fn meta_bytes(&self) -> u64 {
+        self.service.meta_bytes()
+            + self.slot_base.len() as u64 * 128
+            + self.ring_base.len() as u64 * RING_ENTRIES * 16
+    }
+
+    fn atomics(&self) -> u64 {
+        self.atomics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use ngm_sim::Machine;
+
+    fn machine(app: usize) -> Machine {
+        Machine::new(ModelKind::Ngm.machine(app))
+    }
+
+    #[test]
+    fn malloc_roundtrip_and_reuse() {
+        let mut m = machine(1);
+        let mut a = NgmModel::new(1);
+        let p = a.malloc(&mut m, 0, 64);
+        a.free(&mut m, 0, p, 64);
+        let q = a.malloc(&mut m, 0, 64);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn four_atomics_per_malloc_zero_per_free() {
+        let mut m = machine(1);
+        let mut a = NgmModel::new(1);
+        let p = a.malloc(&mut m, 0, 64);
+        assert_eq!(a.atomics(), NgmModel::ATOMICS_PER_MALLOC);
+        a.free(&mut m, 0, p, 64);
+        assert_eq!(a.atomics(), NgmModel::ATOMICS_PER_MALLOC);
+    }
+
+    #[test]
+    fn heap_metadata_stays_on_service_core() {
+        let mut m = machine(2);
+        let mut a = NgmModel::new(2);
+        for core in 0..2 {
+            for i in 0..100u32 {
+                let p = a.malloc(&mut m, core, 64 + i % 512);
+                a.free(&mut m, core, p, 64 + i % 512);
+            }
+        }
+        let svc = m.num_cores() - 1;
+        // Application cores' metadata misses are confined to the
+        // communication slots/rings; the slab descriptors and index
+        // arrays are touched only by the service core. Check via the
+        // attribution counters: the service core sees metadata misses,
+        // and app cores see none on user data (they touched none here).
+        let svc_meta = m.core_counters(svc).meta_llc_misses;
+        let app_user: u64 = (0..2).map(|c| m.core_counters(c).user_llc_misses).sum();
+        assert!(svc_meta > 0, "service core does the heap's metadata work");
+        assert_eq!(app_user, 0);
+    }
+
+    #[test]
+    fn free_blocks_nobody() {
+        let mut m = machine(1);
+        let mut a = NgmModel::new(1);
+        let p = a.malloc(&mut m, 0, 64);
+        let before = m.core_counters(0).cycles;
+        a.free(&mut m, 0, p, 64);
+        let spent = m.core_counters(0).cycles - before;
+        // The client-side cost of free is one ring store (worst case a
+        // cold line plus a page walk) — far below a synchronous malloc
+        // round trip with its four atomics.
+        assert!(spent < 250, "async free cost {spent} too high");
+    }
+
+    #[test]
+    fn wall_clock_overlaps_service_work() {
+        let mut m = machine(1);
+        let mut a = NgmModel::new(1);
+        for _ in 0..1000 {
+            let p = a.malloc(&mut m, 0, 128);
+            a.free(&mut m, 0, p, 128);
+        }
+        let app = m.core_counters(0).cycles;
+        let svc = m.core_counters(m.num_cores() - 1).cycles;
+        assert_eq!(m.wall_cycles(), app.max(svc));
+        // Frees execute concurrently: the service core is busier than the
+        // idle-free client would suggest, yet wall time tracks the app.
+        assert!(svc > 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! TCMalloc model: per-thread caches over central free lists.
+//!
+//! §2.3: "TCMalloc uses per-CPU/thread cache to maintain metadata
+//! associated with each logical core, avoiding locks for most memory
+//! allocations and deallocations. ... However, maintaining thread-local
+//! caches will increase metadata size, resulting in more heap memory
+//! consumption and more cache pollution for the user program."
+//!
+//! Model shape:
+//!
+//! * Fast path: pop/push on a per-core free list whose links are threaded
+//!   through the objects themselves (TCMalloc free lists are intrusive).
+//! * Slow path: batch refill/flush against a central per-class list under
+//!   an atomic lock, touching every transferred object's line.
+//! * Cross-thread frees land in the *freeing* core's cache; blocks
+//!   migrate between caches through the central list — the Table 2
+//!   mechanism (LLC misses grow >10× from 1 to 8 threads).
+
+use ngm_sim::{Access, AccessClass, Machine};
+
+use crate::addr::AddressSpace;
+use crate::model::{large_alloc, large_free, size_class, AllocModel, CLASS_SIZES, LARGE_CUTOFF};
+use crate::slab::{MetaTraffic, SlabHeap};
+
+/// Objects transferred per central-list round trip.
+const BATCH: usize = 16;
+
+/// Per-class cache-length cap before half is flushed centrally.
+const CACHE_CAP: usize = 128;
+
+/// The TCMalloc-style model.
+pub struct TcMallocModel {
+    space: AddressSpace,
+    /// Central page-backed storage (spans), one shared instance.
+    central: SlabHeap,
+    /// Per-core, per-class cached object addresses.
+    caches: Vec<Vec<Vec<u64>>>,
+    /// Base of each core's thread-cache metadata region.
+    tls_base: Vec<u64>,
+    /// Central free-list lock/metadata lines, one per class.
+    central_meta: u64,
+    atomics: u64,
+}
+
+impl TcMallocModel {
+    /// Creates the model for `threads` application cores.
+    pub fn new(threads: usize) -> Self {
+        let mut space = AddressSpace::default();
+        let central_meta = space.reserve(64 * CLASS_SIZES.len() as u64, 4096);
+        let tls_base = (0..threads).map(|_| space.reserve(4096, 4096)).collect();
+        // TCMalloc spans for small classes are 8 KiB.
+        let central =
+            SlabHeap::with_page_size(&mut space, MetaTraffic::InBlock, usize::MAX, 8192);
+        TcMallocModel {
+            space,
+            central,
+            caches: vec![vec![Vec::new(); CLASS_SIZES.len()]; threads],
+            tls_base,
+            central_meta,
+            atomics: 0,
+        }
+    }
+
+    fn list_head_addr(&self, core: usize, class: usize) -> u64 {
+        self.tls_base[core] + class as u64 * 16
+    }
+
+    fn central_lock_addr(&self, class: usize) -> u64 {
+        self.central_meta + class as u64 * 64
+    }
+
+    /// Total objects parked in thread caches (metadata footprint probe).
+    pub fn cached_objects(&self) -> usize {
+        self.caches
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+impl AllocModel for TcMallocModel {
+    fn name(&self) -> &'static str {
+        "TCMalloc"
+    }
+
+    fn malloc(&mut self, machine: &mut Machine, core: usize, size: u32) -> u64 {
+        let Some((class, _block)) = size_class(size) else {
+            return large_alloc(&mut self.space, machine, core, size);
+        };
+        machine.retire(core, 25);
+        // Thread-cache head probe.
+        machine.access(
+            core,
+            Access::load(self.list_head_addr(core, class), 8, AccessClass::Meta),
+        );
+        if self.caches[core][class].is_empty() {
+            // Refill from the central list under its lock.
+            machine.access(
+                core,
+                Access::atomic(self.central_lock_addr(class), 8, AccessClass::Meta),
+            );
+            self.atomics += 1;
+            machine.retire(core, 80);
+            for _ in 0..BATCH {
+                let addr = self.central.alloc(machine, core, &mut self.space, class);
+                // Chaining the object into the cache list touches it.
+                machine.access(core, Access::store(addr, 8, AccessClass::Meta));
+                self.caches[core][class].push(addr);
+            }
+            machine.access(
+                core,
+                Access::atomic(self.central_lock_addr(class), 8, AccessClass::Meta),
+            );
+            self.atomics += 1;
+        }
+        let addr = self.caches[core][class]
+            .pop()
+            .expect("refilled cache is non-empty");
+        // Popping reads the intrusive next pointer in the object.
+        machine.access(core, Access::load(addr, 8, AccessClass::Meta));
+        machine.access(
+            core,
+            Access::store(self.list_head_addr(core, class), 8, AccessClass::Meta),
+        );
+        addr
+    }
+
+    fn free(&mut self, machine: &mut Machine, core: usize, addr: u64, size: u32) {
+        if u64::from(size) > LARGE_CUTOFF {
+            large_free(machine, core);
+            return;
+        }
+        let (class, _block) = size_class(size).expect("small size has a class");
+        machine.retire(core, 20);
+        // Push onto this core's cache: write the intrusive link into the
+        // object (dirtying a line that may live in another core's cache —
+        // the xmalloc cross-thread pattern) and update the head.
+        machine.access(core, Access::store(addr, 8, AccessClass::Meta));
+        machine.access(
+            core,
+            Access::store(self.list_head_addr(core, class), 8, AccessClass::Meta),
+        );
+        self.caches[core][class].push(addr);
+
+        if self.caches[core][class].len() > CACHE_CAP {
+            // Flush half to the central list under its lock.
+            machine.access(
+                core,
+                Access::atomic(self.central_lock_addr(class), 8, AccessClass::Meta),
+            );
+            self.atomics += 1;
+            machine.retire(core, 100);
+            for _ in 0..CACHE_CAP / 2 {
+                let a = self.caches[core][class]
+                    .pop()
+                    .expect("cache has > CACHE_CAP entries");
+                // Walking the chain touches each object on its way out.
+                machine.access(core, Access::load(a, 8, AccessClass::Meta));
+                self.central.free(machine, core, a);
+            }
+            machine.access(
+                core,
+                Access::atomic(self.central_lock_addr(class), 8, AccessClass::Meta),
+            );
+            self.atomics += 1;
+        }
+    }
+
+    fn meta_bytes(&self) -> u64 {
+        let tls = self.tls_base.len() as u64 * 4096;
+        let cached_links = self.cached_objects() as u64 * 8;
+        tls + cached_links + self.central.meta_bytes()
+    }
+
+    fn atomics(&self) -> u64 {
+        self.atomics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngm_sim::MachineConfig;
+
+    fn machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::a72(n))
+    }
+
+    #[test]
+    fn fast_path_after_refill_takes_no_atomics() {
+        let mut m = machine(1);
+        let mut a = TcMallocModel::new(1);
+        let _first = a.malloc(&mut m, 0, 64); // refill: 2 atomics
+        let base = a.atomics();
+        let p = a.malloc(&mut m, 0, 64);
+        assert_eq!(a.atomics(), base, "fast path is atomic-free");
+        a.free(&mut m, 0, p, 64);
+        assert_eq!(a.atomics(), base, "local free is atomic-free");
+    }
+
+    #[test]
+    fn refill_batches_from_central() {
+        let mut m = machine(1);
+        let mut a = TcMallocModel::new(1);
+        a.malloc(&mut m, 0, 64);
+        assert_eq!(a.caches[0][size_class(64).unwrap().0].len(), BATCH - 1);
+    }
+
+    #[test]
+    fn same_class_blocks_are_dense() {
+        let mut m = machine(1);
+        let mut a = TcMallocModel::new(1);
+        let mut addrs: Vec<u64> = (0..BATCH).map(|_| a.malloc(&mut m, 0, 64)).collect();
+        addrs.sort_unstable();
+        // One batch comes from one span: consecutive 64-byte blocks.
+        assert_eq!(addrs[BATCH - 1] - addrs[0], 64 * (BATCH as u64 - 1));
+    }
+
+    #[test]
+    fn overflow_flushes_to_central() {
+        let mut m = machine(1);
+        let mut a = TcMallocModel::new(1);
+        let addrs: Vec<u64> = (0..CACHE_CAP + 8)
+            .map(|_| a.malloc(&mut m, 0, 128))
+            .collect();
+        let before = a.atomics();
+        for p in addrs {
+            a.free(&mut m, 0, p, 128);
+        }
+        assert!(a.atomics() > before, "flush requires the central lock");
+        assert!(a.caches[0][size_class(128).unwrap().0].len() <= CACHE_CAP);
+    }
+
+    #[test]
+    fn cross_thread_free_migrates_blocks() {
+        let mut m = machine(2);
+        let mut a = TcMallocModel::new(2);
+        let p = a.malloc(&mut m, 0, 64);
+        // Freed by core 1: the block now sits in core 1's cache.
+        a.free(&mut m, 1, p, 64);
+        let q = a.malloc(&mut m, 1, 64);
+        assert_eq!(p, q, "block reused by the freeing core");
+        // Core 1's store to the block invalidated core 0's copy.
+        assert!(m.core_counters(1).coherence_events > 0);
+    }
+}

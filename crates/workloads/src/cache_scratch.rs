@@ -1,0 +1,178 @@
+//! `cache-scratch`: Hoard's passive-false-sharing microbenchmark.
+//!
+//! The main thread allocates one small object per worker; each worker
+//! frees the object it was handed, allocates a replacement, and then
+//! repeatedly writes it. If the allocator packed the original objects —
+//! or packs the replacements — into the same cache line across threads,
+//! every write ping-pongs the line between cores (passive false sharing
+//! *induced by the allocator's placement*, not by the program).
+
+use crate::events::Event;
+
+/// Parameters for cache-scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheScratchParams {
+    /// Worker threads (workers are threads `1..=workers`; thread 0 is the
+    /// allocating main thread).
+    pub workers: u8,
+    /// Object size in bytes (small, so several fit in one line).
+    pub object_size: u32,
+    /// Free/reallocate rounds per worker.
+    pub iterations: u32,
+    /// Writes to the object per round.
+    pub writes_per_iteration: u32,
+}
+
+impl Default for CacheScratchParams {
+    fn default() -> Self {
+        CacheScratchParams {
+            workers: 4,
+            object_size: 8,
+            iterations: 200,
+            writes_per_iteration: 50,
+        }
+    }
+}
+
+impl CacheScratchParams {
+    /// A quick configuration for unit tests.
+    pub fn tiny() -> Self {
+        CacheScratchParams {
+            workers: 2,
+            iterations: 5,
+            writes_per_iteration: 3,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates the workload. Worker rounds are interleaved to approximate
+/// concurrency in the simulator's single global order.
+pub fn generate(p: &CacheScratchParams, emit: &mut dyn FnMut(Event)) {
+    assert!(p.workers >= 1);
+    let mut next_id: u64 = 1;
+
+    // Main thread allocates the initial objects back-to-back — this is
+    // the placement that a line-packing allocator turns into false
+    // sharing.
+    let initial: Vec<u64> = (0..p.workers)
+        .map(|_| {
+            let id = next_id;
+            next_id += 1;
+            emit(Event::Malloc {
+                thread: 0,
+                id,
+                size: p.object_size,
+            });
+            emit(Event::Touch {
+                thread: 0,
+                id,
+                offset: 0,
+                len: p.object_size,
+                write: true,
+            });
+            id
+        })
+        .collect();
+
+    // Each worker frees its inherited object and allocates its own.
+    let mut current: Vec<u64> = Vec::with_capacity(p.workers as usize);
+    for (w, &id) in initial.iter().enumerate() {
+        let t = w as u8 + 1;
+        emit(Event::Free { thread: t, id });
+        let mine = next_id;
+        next_id += 1;
+        emit(Event::Malloc {
+            thread: t,
+            id: mine,
+            size: p.object_size,
+        });
+        current.push(mine);
+    }
+
+    // Scratch rounds: interleaved writes from all workers.
+    for _round in 0..p.iterations {
+        for (w, id) in current.iter_mut().enumerate() {
+            let t = w as u8 + 1;
+            for _ in 0..p.writes_per_iteration {
+                emit(Event::Touch {
+                    thread: t,
+                    id: *id,
+                    offset: 0,
+                    len: p.object_size,
+                    write: true,
+                });
+            }
+            emit(Event::Compute {
+                thread: t,
+                amount: 64,
+            });
+            // Churn: replace the object each round.
+            emit(Event::Free { thread: t, id: *id });
+            let fresh = next_id;
+            next_id += 1;
+            emit(Event::Malloc {
+                thread: t,
+                id: fresh,
+                size: p.object_size,
+            });
+            *id = fresh;
+        }
+    }
+    for (w, id) in current.into_iter().enumerate() {
+        emit(Event::Free {
+            thread: w as u8 + 1,
+            id,
+        });
+    }
+}
+
+/// Collects the full stream into memory.
+pub fn collect(p: &CacheScratchParams) -> Vec<Event> {
+    let mut v = Vec::new();
+    generate(p, &mut |e| v.push(e));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::validate;
+
+    #[test]
+    fn stream_is_balanced() {
+        let p = CacheScratchParams::tiny();
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        assert_eq!(s.mallocs, s.frees);
+        assert_eq!(s.threads, p.workers + 1);
+    }
+
+    #[test]
+    fn inherited_objects_freed_by_workers() {
+        let p = CacheScratchParams::tiny();
+        let ev = collect(&p);
+        // The first `workers` mallocs are on thread 0; their frees are not.
+        let mut owner = std::collections::HashMap::new();
+        for e in &ev {
+            match *e {
+                Event::Malloc { thread, id, .. } => {
+                    owner.insert(id, thread);
+                }
+                Event::Free { thread, id } if owner[&id] == 0 => {
+                    assert_ne!(thread, 0, "main-thread objects freed by workers");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn touch_volume_matches_params() {
+        let p = CacheScratchParams::tiny();
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        let expected = u64::from(p.workers)
+            * (u64::from(p.iterations) * u64::from(p.writes_per_iteration))
+            + u64::from(p.workers); // initial main-thread touches
+        assert_eq!(s.touches, expected);
+    }
+}

@@ -1,0 +1,132 @@
+//! `cache-thrash`: Hoard's active-false-sharing microbenchmark.
+//!
+//! Unlike [`crate::cache_scratch`], every worker allocates its own object
+//! from the start — there is no hand-off. A per-thread allocator places
+//! each worker's object in different pages and no lines ping-pong; a
+//! global allocator that packs concurrent small allocations into one line
+//! induces the same false sharing actively.
+
+use crate::events::Event;
+
+/// Parameters for cache-thrash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheThrashParams {
+    /// Worker threads.
+    pub workers: u8,
+    /// Object size in bytes.
+    pub object_size: u32,
+    /// Rounds per worker.
+    pub iterations: u32,
+    /// Writes to the object per round.
+    pub writes_per_iteration: u32,
+}
+
+impl Default for CacheThrashParams {
+    fn default() -> Self {
+        CacheThrashParams {
+            workers: 4,
+            object_size: 8,
+            iterations: 200,
+            writes_per_iteration: 50,
+        }
+    }
+}
+
+impl CacheThrashParams {
+    /// A quick configuration for unit tests.
+    pub fn tiny() -> Self {
+        CacheThrashParams {
+            workers: 2,
+            iterations: 5,
+            writes_per_iteration: 3,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates the workload, interleaving allocation across workers so a
+/// global allocator serves them back-to-back (line-packing hazard).
+pub fn generate(p: &CacheThrashParams, emit: &mut dyn FnMut(Event)) {
+    assert!(p.workers >= 1);
+    let mut next_id: u64 = 1;
+    let mut current: Vec<u64> = Vec::with_capacity(p.workers as usize);
+
+    // All workers allocate "simultaneously" (interleaved).
+    for w in 0..p.workers {
+        let id = next_id;
+        next_id += 1;
+        emit(Event::Malloc {
+            thread: w,
+            id,
+            size: p.object_size,
+        });
+        current.push(id);
+    }
+
+    for _round in 0..p.iterations {
+        for (w, id) in current.iter_mut().enumerate() {
+            let t = w as u8;
+            for _ in 0..p.writes_per_iteration {
+                emit(Event::Touch {
+                    thread: t,
+                    id: *id,
+                    offset: 0,
+                    len: p.object_size,
+                    write: true,
+                });
+            }
+            emit(Event::Compute { thread: t, amount: 64 });
+            emit(Event::Free { thread: t, id: *id });
+            let fresh = next_id;
+            next_id += 1;
+            emit(Event::Malloc {
+                thread: t,
+                id: fresh,
+                size: p.object_size,
+            });
+            *id = fresh;
+        }
+    }
+    for (w, id) in current.into_iter().enumerate() {
+        emit(Event::Free {
+            thread: w as u8,
+            id,
+        });
+    }
+}
+
+/// Collects the full stream into memory.
+pub fn collect(p: &CacheThrashParams) -> Vec<Event> {
+    let mut v = Vec::new();
+    generate(p, &mut |e| v.push(e));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::validate;
+
+    #[test]
+    fn stream_is_balanced() {
+        let p = CacheThrashParams::tiny();
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        assert_eq!(s.mallocs, s.frees);
+        assert_eq!(s.threads, p.workers);
+    }
+
+    #[test]
+    fn every_free_is_local() {
+        let ev = collect(&CacheThrashParams::tiny());
+        let mut owner = std::collections::HashMap::new();
+        for e in &ev {
+            match *e {
+                Event::Malloc { thread, id, .. } => {
+                    owner.insert(id, thread);
+                }
+                Event::Free { thread, id } => assert_eq!(owner[&id], thread),
+                _ => {}
+            }
+        }
+    }
+}

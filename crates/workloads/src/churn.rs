@@ -1,0 +1,156 @@
+//! Parameterized random churn: the workhorse for property tests and
+//! ablation sweeps.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::events::Event;
+
+/// Parameters for synthetic churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnParams {
+    /// Logical threads.
+    pub threads: u8,
+    /// Total malloc events across all threads.
+    pub total_allocs: u32,
+    /// Maximum live objects per thread before a free is forced.
+    pub live_cap: u32,
+    /// Object size range (inclusive), bytes.
+    pub size_range: (u32, u32),
+    /// Probability (percent) that a step frees instead of allocating,
+    /// when the live set is non-empty.
+    pub free_percent: u8,
+    /// Probability (percent) that an allocated object is touched.
+    pub touch_percent: u8,
+    /// Compute instructions per step.
+    pub compute_per_step: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnParams {
+    fn default() -> Self {
+        ChurnParams {
+            threads: 1,
+            total_allocs: 10_000,
+            live_cap: 512,
+            size_range: (16, 4096),
+            free_percent: 45,
+            touch_percent: 80,
+            compute_per_step: 100,
+            seed: 0x6368726e, // "chrn"
+        }
+    }
+}
+
+impl ChurnParams {
+    /// A quick configuration for unit tests.
+    pub fn tiny() -> Self {
+        ChurnParams {
+            total_allocs: 300,
+            live_cap: 32,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates the workload.
+pub fn generate(p: &ChurnParams, emit: &mut dyn FnMut(Event)) {
+    assert!(p.threads >= 1);
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let mut next_id: u64 = 1;
+    let mut live: Vec<Vec<(u64, u32)>> = vec![Vec::new(); p.threads as usize];
+    let mut remaining = p.total_allocs;
+
+    while remaining > 0 {
+        let t = rng.random_range(0..p.threads);
+        let mine = &mut live[t as usize];
+        let must_free = mine.len() as u32 >= p.live_cap;
+        let want_free = !mine.is_empty() && rng.random_range(0..100u8) < p.free_percent;
+        if must_free || want_free {
+            let idx = rng.random_range(0..mine.len());
+            let (id, _) = mine.swap_remove(idx);
+            emit(Event::Free { thread: t, id });
+        } else {
+            let id = next_id;
+            next_id += 1;
+            let size = rng.random_range(p.size_range.0..=p.size_range.1);
+            emit(Event::Malloc {
+                thread: t,
+                id,
+                size,
+            });
+            if rng.random_range(0..100u8) < p.touch_percent {
+                emit(Event::Touch {
+                    thread: t,
+                    id,
+                    offset: 0,
+                    len: size,
+                    write: true,
+                });
+            }
+            mine.push((id, size));
+            remaining -= 1;
+        }
+        emit(Event::Compute {
+            thread: t,
+            amount: p.compute_per_step,
+        });
+    }
+    for (t, mine) in live.into_iter().enumerate() {
+        for (id, _) in mine {
+            emit(Event::Free {
+                thread: t as u8,
+                id,
+            });
+        }
+    }
+}
+
+/// Collects the full stream into memory.
+pub fn collect(p: &ChurnParams) -> Vec<Event> {
+    let mut v = Vec::new();
+    generate(p, &mut |e| v.push(e));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::validate;
+
+    #[test]
+    fn stream_is_balanced() {
+        let p = ChurnParams::tiny();
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        assert_eq!(s.mallocs, u64::from(p.total_allocs));
+        assert_eq!(s.mallocs, s.frees);
+    }
+
+    #[test]
+    fn live_cap_respected() {
+        let p = ChurnParams {
+            live_cap: 16,
+            ..ChurnParams::tiny()
+        };
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        assert!(s.peak_live <= 16 * u64::from(p.threads));
+    }
+
+    #[test]
+    fn multithreaded_variant_is_valid() {
+        let p = ChurnParams {
+            threads: 4,
+            ..ChurnParams::tiny()
+        };
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        assert!(s.threads <= 4);
+        assert_eq!(s.mallocs, s.frees);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = ChurnParams::tiny();
+        assert_eq!(collect(&p), collect(&p));
+    }
+}

@@ -1,0 +1,186 @@
+//! `larson`: the classic server-churn benchmark (Larson & Krishnan), a
+//! mimalloc-bench staple.
+//!
+//! Each thread owns an array of slots holding live objects. Rounds pick a
+//! random slot, free its occupant, allocate a replacement of random size,
+//! and touch it. A fraction of slots is periodically handed to another
+//! thread (ownership migration), mixing local and remote frees the way a
+//! long-running server does.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::events::Event;
+
+/// Parameters for the larson workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LarsonParams {
+    /// Worker threads.
+    pub threads: u8,
+    /// Slots per thread.
+    pub slots: u32,
+    /// Replacement rounds per thread.
+    pub rounds: u32,
+    /// Object size range (inclusive), bytes.
+    pub size_range: (u32, u32),
+    /// One in `migrate_every` replacements is freed by another thread.
+    pub migrate_every: u32,
+    /// Compute instructions per replacement.
+    pub compute_per_round: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LarsonParams {
+    fn default() -> Self {
+        LarsonParams {
+            threads: 4,
+            slots: 256,
+            rounds: 10_000,
+            size_range: (16, 1024),
+            migrate_every: 8,
+            compute_per_round: 300,
+            seed: 0x6c617273, // "lars"
+        }
+    }
+}
+
+impl LarsonParams {
+    /// A quick configuration for unit tests.
+    pub fn tiny() -> Self {
+        LarsonParams {
+            threads: 2,
+            slots: 8,
+            rounds: 50,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates the workload (rounds interleaved across threads).
+pub fn generate(p: &LarsonParams, emit: &mut dyn FnMut(Event)) {
+    assert!(p.threads >= 1 && p.slots >= 1);
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let mut next_id: u64 = 1;
+    let mut slots: Vec<Vec<(u64, u32)>> = Vec::new();
+
+    // Fill phase: every thread populates its slot array.
+    for t in 0..p.threads {
+        let mut mine = Vec::with_capacity(p.slots as usize);
+        for _ in 0..p.slots {
+            let id = next_id;
+            next_id += 1;
+            let size = rng.random_range(p.size_range.0..=p.size_range.1);
+            emit(Event::Malloc {
+                thread: t,
+                id,
+                size,
+            });
+            emit(Event::Touch {
+                thread: t,
+                id,
+                offset: 0,
+                len: size,
+                write: true,
+            });
+            mine.push((id, size));
+        }
+        slots.push(mine);
+    }
+
+    // Churn phase.
+    for round in 0..p.rounds {
+        for t in 0..p.threads {
+            let slot_idx = rng.random_range(0..p.slots) as usize;
+            let (old_id, _) = slots[t as usize][slot_idx];
+            let freer = if p.migrate_every > 0 && round % p.migrate_every == p.migrate_every - 1 {
+                (t + 1) % p.threads
+            } else {
+                t
+            };
+            emit(Event::Free {
+                thread: freer,
+                id: old_id,
+            });
+            let id = next_id;
+            next_id += 1;
+            let size = rng.random_range(p.size_range.0..=p.size_range.1);
+            emit(Event::Malloc {
+                thread: t,
+                id,
+                size,
+            });
+            emit(Event::Touch {
+                thread: t,
+                id,
+                offset: 0,
+                len: size.min(128),
+                write: true,
+            });
+            emit(Event::Compute {
+                thread: t,
+                amount: p.compute_per_round,
+            });
+            slots[t as usize][slot_idx] = (id, size);
+        }
+    }
+
+    // Drain phase.
+    for (t, mine) in slots.into_iter().enumerate() {
+        for (id, _) in mine {
+            emit(Event::Free {
+                thread: t as u8,
+                id,
+            });
+        }
+    }
+}
+
+/// Collects the full stream into memory.
+pub fn collect(p: &LarsonParams) -> Vec<Event> {
+    let mut v = Vec::new();
+    generate(p, &mut |e| v.push(e));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::validate;
+
+    #[test]
+    fn stream_is_balanced() {
+        let p = LarsonParams::tiny();
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        assert_eq!(s.mallocs, s.frees);
+        let expected =
+            u64::from(p.threads) * (u64::from(p.slots) + u64::from(p.rounds));
+        assert_eq!(s.mallocs, expected);
+    }
+
+    #[test]
+    fn live_set_stays_at_slot_count() {
+        let p = LarsonParams::tiny();
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        let cap = u64::from(p.threads) * u64::from(p.slots);
+        assert!(s.peak_live <= cap + u64::from(p.threads));
+    }
+
+    #[test]
+    fn some_frees_migrate() {
+        let p = LarsonParams::tiny();
+        let ev = collect(&p);
+        let mut owner = std::collections::HashMap::new();
+        let mut remote = 0u64;
+        for e in &ev {
+            match *e {
+                Event::Malloc { thread, id, .. } => {
+                    owner.insert(id, thread);
+                }
+                Event::Free { thread, id } if owner[&id] != thread => remote += 1,
+                _ => {}
+            }
+        }
+        assert!(remote > 0, "migration must produce remote frees");
+    }
+}

@@ -1,0 +1,241 @@
+//! Allocation-trace record and replay.
+//!
+//! Two interchangeable encodings:
+//!
+//! * **JSON lines** — one serde-encoded event per line; human-inspectable,
+//!   diff-friendly.
+//! * **Binary** — a compact tagged little-endian encoding via `bytes`,
+//!   ~10× smaller, for long traces.
+//!
+//! Traces let an experiment capture a workload once and replay the exact
+//! stream against every allocator, removing generator nondeterminism from
+//! comparisons entirely.
+
+use std::io::{self, BufRead, Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use crate::events::Event;
+
+/// Magic header for binary traces.
+const MAGIC: &[u8; 8] = b"NGMTRC01";
+
+/// Writes a stream as JSON lines.
+///
+/// # Errors
+///
+/// Propagates serialization and I/O failures.
+pub fn write_json<'a>(
+    events: impl Iterator<Item = &'a Event>,
+    mut out: impl Write,
+) -> io::Result<()> {
+    for e in events {
+        serde_json::to_writer(&mut out, e)?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines trace.
+///
+/// # Errors
+///
+/// Fails on malformed lines or I/O errors.
+pub fn read_json(input: impl BufRead) -> io::Result<Vec<Event>> {
+    let mut events = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(serde_json::from_str(&line)?);
+    }
+    Ok(events)
+}
+
+fn encode_event(e: &Event, buf: &mut Vec<u8>) {
+    match *e {
+        Event::Malloc { thread, id, size } => {
+            buf.put_u8(0);
+            buf.put_u8(thread);
+            buf.put_u64_le(id);
+            buf.put_u32_le(size);
+        }
+        Event::Free { thread, id } => {
+            buf.put_u8(1);
+            buf.put_u8(thread);
+            buf.put_u64_le(id);
+        }
+        Event::Touch {
+            thread,
+            id,
+            offset,
+            len,
+            write,
+        } => {
+            buf.put_u8(if write { 3 } else { 2 });
+            buf.put_u8(thread);
+            buf.put_u64_le(id);
+            buf.put_u32_le(offset);
+            buf.put_u32_le(len);
+        }
+        Event::Compute { thread, amount } => {
+            buf.put_u8(4);
+            buf.put_u8(thread);
+            buf.put_u32_le(amount);
+        }
+    }
+}
+
+/// Writes a stream in the compact binary encoding.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_binary<'a>(
+    events: impl Iterator<Item = &'a Event>,
+    mut out: impl Write,
+) -> io::Result<()> {
+    out.write_all(MAGIC)?;
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for e in events {
+        encode_event(e, &mut buf);
+        if buf.len() >= 60 * 1024 {
+            out.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    out.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a binary trace produced by [`write_binary`].
+///
+/// # Errors
+///
+/// Fails on a bad magic header, truncated records, or unknown tags.
+pub fn read_binary(mut input: impl Read) -> io::Result<Vec<Event>> {
+    let mut all = Vec::new();
+    input.read_to_end(&mut all)?;
+    let mut buf = &all[..];
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    buf.advance(MAGIC.len());
+    let mut events = Vec::new();
+    while buf.has_remaining() {
+        let need = |n: usize, buf: &&[u8]| -> io::Result<()> {
+            if buf.remaining() < n {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated trace record",
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let tag = buf.get_u8();
+        let e = match tag {
+            0 => {
+                need(13, &buf)?;
+                Event::Malloc {
+                    thread: buf.get_u8(),
+                    id: buf.get_u64_le(),
+                    size: buf.get_u32_le(),
+                }
+            }
+            1 => {
+                need(9, &buf)?;
+                Event::Free {
+                    thread: buf.get_u8(),
+                    id: buf.get_u64_le(),
+                }
+            }
+            2 | 3 => {
+                need(17, &buf)?;
+                Event::Touch {
+                    write: tag == 3,
+                    thread: buf.get_u8(),
+                    id: buf.get_u64_le(),
+                    offset: buf.get_u32_le(),
+                    len: buf.get_u32_le(),
+                }
+            }
+            4 => {
+                need(5, &buf)?;
+                Event::Compute {
+                    thread: buf.get_u8(),
+                    amount: buf.get_u32_le(),
+                }
+            }
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown trace tag {t}"),
+                ))
+            }
+        };
+        events.push(e);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::{collect, ChurnParams};
+
+    fn sample() -> Vec<Event> {
+        collect(&ChurnParams::tiny())
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ev = sample();
+        let mut buf = Vec::new();
+        write_json(ev.iter(), &mut buf).unwrap();
+        let back = read_json(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let ev = sample();
+        let mut buf = Vec::new();
+        write_binary(ev.iter(), &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn binary_is_compact() {
+        let ev = sample();
+        let mut json = Vec::new();
+        write_json(ev.iter(), &mut json).unwrap();
+        let mut bin = Vec::new();
+        write_binary(ev.iter(), &mut bin).unwrap();
+        assert!(bin.len() * 3 < json.len(), "binary should be much smaller");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_binary(&b"NOTATRACE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let ev = vec![Event::Free { thread: 0, id: 1 }];
+        let mut buf = Vec::new();
+        write_binary(ev.iter(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_binary([].iter(), &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), Vec::<Event>::new());
+    }
+}

@@ -1,0 +1,468 @@
+//! A synthetic stand-in for SPEC CPU2017's `xalancbmk`.
+//!
+//! `xalancbmk` performs XSLT transformations on XML: it parses documents
+//! into trees of small nodes and strings, runs queries over the DOM, and
+//! emits output text — an allocation-heavy churn in which, per the paper,
+//! "only 2 % of the execution time is spent on malloc and free" yet
+//! allocator choice swings end-to-end time by 72 %.
+//!
+//! The generator reproduces the *mechanism* behind that swing:
+//!
+//! * A sliding **window of live documents** with a small fraction of
+//!   **retained survivors** per document. Teardown therefore leaves
+//!   fragmented hole runs rather than one coalescable extent, so a
+//!   best-fit heap (PTMalloc2) scatters the next document's nodes across
+//!   the arena while size-class heaps keep them dense.
+//! * **Temporally-local DOM queries**: most queries hit objects allocated
+//!   shortly before the current node. A locality-preserving allocator
+//!   maps that temporal locality to page locality (TLB hits); a
+//!   fragmented best-fit heap does not — which is exactly the paper's
+//!   Table 1 dTLB story.
+//! * Short-lived output strings churned in batches, the steady hole
+//!   source.
+//!
+//! Allocator operations stay a small share of instructions (the "2 %"),
+//! while the query/walk traffic — whose cost *depends on placement* —
+//! dominates memory behaviour.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::events::Event;
+
+/// Parameters for the xalanc-like workload (single-threaded, as in SPEC
+/// rate-1 runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XalancParams {
+    /// Number of documents processed.
+    pub docs: u32,
+    /// Elements per document.
+    pub nodes_per_doc: u32,
+    /// Documents kept live simultaneously (the DOM window).
+    pub live_docs: u32,
+    /// Per-mille of elements that allocate a pinned cache entry with a
+    /// random multi-document lifetime. Pins expire continuously, punching
+    /// holes through every region — the long-run fragmentation a
+    /// best-fit heap cannot coalesce away.
+    pub pin_per_mille: u32,
+    /// DOM queries per node during the transform.
+    pub queries_per_node: u32,
+    /// Compute instructions per parsed node.
+    pub parse_compute: u32,
+    /// Compute instructions per transformed node.
+    pub transform_compute: u32,
+    /// RNG seed; identical parameters and seed give identical streams.
+    pub seed: u64,
+}
+
+impl Default for XalancParams {
+    fn default() -> Self {
+        XalancParams {
+            docs: 18,
+            nodes_per_doc: 6000,
+            live_docs: 5,
+            pin_per_mille: 200,
+            queries_per_node: 24,
+            parse_compute: 3000,
+            transform_compute: 6000,
+            seed: 0x78616c61, // "xala"
+        }
+    }
+}
+
+impl XalancParams {
+    /// A quick configuration for unit tests.
+    pub fn tiny() -> Self {
+        XalancParams {
+            docs: 5,
+            nodes_per_doc: 120,
+            live_docs: 2,
+            queries_per_node: 6,
+            ..Default::default()
+        }
+    }
+
+    /// A mid-size configuration that still shows the paper's shape but
+    /// runs quickly in debug builds (used by the bench crate's tests).
+    pub fn small() -> Self {
+        XalancParams {
+            docs: 8,
+            nodes_per_doc: 2200,
+            live_docs: 3,
+            queries_per_node: 24,
+            ..Default::default()
+        }
+    }
+
+    /// Scales document count by `factor` (for longer statistical runs).
+    pub fn scaled(mut self, factor: u32) -> Self {
+        self.docs *= factor;
+        self
+    }
+
+    /// Number of warmup documents whose events should be excluded from
+    /// measurement (the window must cycle once to reach the fragmented
+    /// steady state).
+    pub fn warmup_docs(&self) -> u32 {
+        self.live_docs + 1
+    }
+}
+
+/// Size of the fixed element-node struct (pointers, tag ids, child list).
+const NODE_SIZE: u32 = 100;
+
+/// Output strings are freed in batches of this many.
+const OUT_BATCH: usize = 32;
+
+/// Draws a text-string size with the log-skew typical of XML content.
+fn text_size(rng: &mut SmallRng) -> u32 {
+    match rng.random_range(0..100u32) {
+        0..=59 => rng.random_range(8..=48),
+        60..=89 => rng.random_range(48..=256),
+        90..=97 => rng.random_range(256..=1024),
+        _ => rng.random_range(1024..=8192),
+    }
+}
+
+/// One live document's objects.
+struct Doc {
+    /// (node id, text id, text size) per element.
+    elems: Vec<(u64, u64, u32)>,
+}
+
+/// Generates the workload, emitting events in program order. Returns the
+/// number of events that belong to the warmup prefix (see
+/// [`XalancParams::warmup_docs`]).
+pub fn generate(p: &XalancParams, emit: &mut dyn FnMut(Event)) -> usize {
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let mut next_id: u64 = 1;
+    let t = 0u8;
+    let mut count: usize = 0;
+    let mut warmup_events: usize = 0;
+    let mut window: std::collections::VecDeque<Doc> = std::collections::VecDeque::new();
+    // Pinned cache entries by expiry document index.
+    let mut expiry: std::collections::HashMap<u32, Vec<u64>> = std::collections::HashMap::new();
+
+    macro_rules! ev {
+        ($e:expr) => {{
+            count += 1;
+            emit($e);
+        }};
+    }
+
+    for doc_idx in 0..p.docs {
+        if doc_idx == p.warmup_docs() {
+            warmup_events = count;
+        }
+
+        // -- Teardown: retire the oldest document when the window is full.
+        // Frees run in shuffled order — destructor order in real DOM trees
+        // is not allocation order — which leaves the arena's free bins in
+        // address-shuffled LIFO order: the fragmentation seed for a
+        // best-fit allocator.
+        if window.len() == p.live_docs as usize {
+            let old = window.pop_front().expect("window is full");
+            let mut ids: Vec<u64> = old
+                .elems
+                .iter()
+                .flat_map(|&(n, x, _)| [n, x])
+                .collect();
+            // Fisher-Yates with the workload RNG (deterministic).
+            for i in (1..ids.len()).rev() {
+                let j = rng.random_range(0..=i);
+                ids.swap(i, j);
+            }
+            for id in ids {
+                ev!(Event::Free { thread: t, id });
+            }
+        }
+
+        // Pins expiring this document are freed interleaved with parsing
+        // (below), so hole creation mixes with allocation.
+        let mut expiring: Vec<u64> = expiry.remove(&doc_idx).unwrap_or_default();
+        for i in (1..expiring.len()).rev() {
+            let j = rng.random_range(0..=i);
+            expiring.swap(i, j);
+        }
+
+        // -- Parse phase: build the node tree.
+        let mut doc = Doc {
+            elems: Vec::with_capacity(p.nodes_per_doc as usize),
+        };
+        let expire_step = (expiring.len() / p.nodes_per_doc.max(1) as usize).max(1);
+        for _ in 0..p.nodes_per_doc {
+            // Interleave pin expiry with allocation.
+            for _ in 0..expire_step {
+                if let Some(id) = expiring.pop() {
+                    ev!(Event::Free { thread: t, id });
+                }
+            }
+            let node_id = next_id;
+            next_id += 1;
+            ev!(Event::Malloc {
+                thread: t,
+                id: node_id,
+                size: NODE_SIZE,
+            });
+            ev!(Event::Touch {
+                thread: t,
+                id: node_id,
+                offset: 0,
+                len: NODE_SIZE,
+                write: true,
+            });
+            let ts = text_size(&mut rng);
+            let text_id = next_id;
+            next_id += 1;
+            ev!(Event::Malloc {
+                thread: t,
+                id: text_id,
+                size: ts,
+            });
+            ev!(Event::Touch {
+                thread: t,
+                id: text_id,
+                offset: 0,
+                len: ts,
+                write: true,
+            });
+            ev!(Event::Compute {
+                thread: t,
+                amount: p.parse_compute,
+            });
+            doc.elems.push((node_id, text_id, ts));
+            // Pinned cache entries with random multi-document lifetimes.
+            // All pins share one size (a fixed cache-entry struct): in a
+            // size-class heap they concentrate in their own class pages,
+            // letting node/text pages retire cleanly — class isolation is
+            // precisely how slab allocators survive lifetime mixing that
+            // shreds a best-fit arena.
+            if rng.random_range(0..1000) < p.pin_per_mille {
+                let pin_id = next_id;
+                next_id += 1;
+                let pin_size = 136u32;
+                ev!(Event::Malloc {
+                    thread: t,
+                    id: pin_id,
+                    size: pin_size,
+                });
+                ev!(Event::Touch {
+                    thread: t,
+                    id: pin_id,
+                    offset: 0,
+                    len: pin_size,
+                    write: true,
+                });
+                let dies = doc_idx + 1 + rng.random_range(0..2 * p.live_docs);
+                expiry.entry(dies).or_default().push(pin_id);
+            }
+        }
+        // Any leftover expiring pins.
+        for id in expiring {
+            ev!(Event::Free { thread: t, id });
+        }
+
+        // -- Transform phase: walk, query, and emit output strings.
+        let mut out: Vec<u64> = Vec::with_capacity(OUT_BATCH);
+        for i in 0..doc.elems.len() {
+            let (node_id, text_id, ts) = doc.elems[i];
+            ev!(Event::Touch {
+                thread: t,
+                id: node_id,
+                offset: 0,
+                len: NODE_SIZE,
+                write: false,
+            });
+            ev!(Event::Touch {
+                thread: t,
+                id: text_id,
+                offset: 0,
+                len: ts.min(128),
+                write: false,
+            });
+            // DOM queries, three temporal ranges:
+            //  * short lookbacks — a locality-preserving allocator keeps
+            //    these on dTLB-resident pages; a fragmented best-fit heap
+            //    has already left the page;
+            //  * medium log-uniform lookbacks — stress STLB/LLC reach;
+            //  * far window-wide queries — miss everywhere (both
+            //    allocators pay; keeps the comparison honest).
+            for _ in 0..p.queries_per_node {
+                let (qn, qt, qs) = {
+                    let class = rng.random_range(0..1000u32);
+                    if class < 905 {
+                        let max_back = i.min(800);
+                        let back = if max_back == 0 {
+                            0
+                        } else {
+                            let r: f64 = rng.random();
+                            ((-r.ln() * 160.0) as usize).min(max_back)
+                        };
+                        doc.elems[i - back]
+                    } else if class < 985 {
+                        // Medium-range lookback: log-uniform reach into
+                        // the document's colder region.
+                        let max_back = i.min(4096).max(1);
+                        let r: f64 = rng.random();
+                        let back =
+                            ((max_back as f64).powf(r) as usize).min(i);
+                        doc.elems[i - back]
+                    } else {
+                        let d = rng.random_range(0..window.len() + 1);
+                        let src = if d < window.len() {
+                            &window[d].elems
+                        } else {
+                            &doc.elems
+                        };
+                        src[rng.random_range(0..src.len().max(1)).min(src.len() - 1)]
+                    }
+                };
+                if rng.random_range(0..4) < 3 {
+                    ev!(Event::Touch {
+                        thread: t,
+                        id: qn,
+                        offset: 0,
+                        len: NODE_SIZE,
+                        write: false,
+                    });
+                } else {
+                    ev!(Event::Touch {
+                        thread: t,
+                        id: qt,
+                        offset: 0,
+                        len: qs.min(64),
+                        write: false,
+                    });
+                }
+            }
+            // Output string: short-lived churn.
+            let out_size = (ts + ts / 4).max(16);
+            let out_id = next_id;
+            next_id += 1;
+            ev!(Event::Malloc {
+                thread: t,
+                id: out_id,
+                size: out_size,
+            });
+            ev!(Event::Touch {
+                thread: t,
+                id: out_id,
+                offset: 0,
+                len: out_size.min(256),
+                write: true,
+            });
+            ev!(Event::Compute {
+                thread: t,
+                amount: p.transform_compute,
+            });
+            out.push(out_id);
+            if out.len() == OUT_BATCH {
+                for id in out.drain(..) {
+                    ev!(Event::Free { thread: t, id });
+                }
+            }
+        }
+        for id in out.drain(..) {
+            ev!(Event::Free { thread: t, id });
+        }
+
+        window.push_back(doc);
+    }
+
+    // -- Final teardown (past the last possible warmup point, so the
+    // event counter is no longer needed).
+    for doc in window {
+        for (node_id, text_id, _) in doc.elems {
+            emit(Event::Free {
+                thread: t,
+                id: node_id,
+            });
+            emit(Event::Free {
+                thread: t,
+                id: text_id,
+            });
+        }
+    }
+    let mut remaining: Vec<u64> = expiry.into_values().flatten().collect();
+    remaining.sort_unstable();
+    for id in remaining {
+        emit(Event::Free { thread: t, id });
+    }
+    warmup_events
+}
+
+/// Collects the full stream into memory (tests and small runs).
+pub fn collect(p: &XalancParams) -> Vec<Event> {
+    let mut v = Vec::new();
+    generate(p, &mut |e| v.push(e));
+    v
+}
+
+/// Collects the stream and the warmup split point.
+pub fn collect_with_warmup(p: &XalancParams) -> (Vec<Event>, usize) {
+    let mut v = Vec::new();
+    let warmup = generate(p, &mut |e| v.push(e));
+    (v, warmup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::validate;
+
+    #[test]
+    fn stream_is_well_formed() {
+        let p = XalancParams::tiny();
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        assert_eq!(s.mallocs, s.frees, "no leaks");
+        assert!(s.mallocs >= u64::from(p.docs * p.nodes_per_doc) * 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = XalancParams::tiny();
+        assert_eq!(collect(&p), collect(&p));
+        let mut p2 = p;
+        p2.seed += 1;
+        assert_ne!(collect(&p), collect(&p2));
+    }
+
+    #[test]
+    fn alloc_instruction_share_is_small() {
+        // The paper's framing: ~2 % of time in malloc/free. Model each
+        // allocator op at ~130 instructions and compare against the rest.
+        let p = XalancParams::default();
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        let alloc_instr = (s.mallocs + s.frees) * 100;
+        let other = s.compute + s.touches * 3;
+        let share = alloc_instr as f64 / (alloc_instr as f64 + other as f64);
+        assert!(
+            (0.005..0.10).contains(&share),
+            "allocator share {share} out of the paper's regime"
+        );
+    }
+
+    #[test]
+    fn window_bounds_live_set() {
+        let p = XalancParams::tiny();
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        // Window docs + pins + in-flight outputs.
+        let per_doc = u64::from(p.nodes_per_doc)
+            * (2 + u64::from(p.pin_per_mille) / 100 + 1);
+        let cap = (u64::from(p.live_docs) * 2 + 1) * per_doc * 3;
+        assert!(s.peak_live < cap, "peak {} vs cap {}", s.peak_live, cap);
+    }
+
+    #[test]
+    fn warmup_split_is_interior() {
+        let p = XalancParams::tiny();
+        let (events, warmup) = collect_with_warmup(&p);
+        assert!(warmup > 0 && warmup < events.len());
+    }
+
+    #[test]
+    fn single_threaded() {
+        let s = validate(collect(&XalancParams::tiny()).into_iter(), false).unwrap();
+        assert_eq!(s.threads, 1);
+    }
+}

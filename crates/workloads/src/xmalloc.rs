@@ -1,0 +1,190 @@
+//! `xmalloc`: the cross-thread-free stress test (Lever & Boreham).
+//!
+//! The paper's footnote 2: "xmalloc is a multi-threaded benchmark ... used
+//! to exercise cases where a thread allocates data but a different thread
+//! deallocates the allocated blocks." Table 2 runs it on TCMalloc with
+//! 1–8 threads and observes LLC misses growing more than 10× — the cost
+//! of per-thread caches exchanging blocks through shared structures.
+//!
+//! Structure: `threads` workers are arranged in a ring. Each worker
+//! allocates blocks, touches them, and hands them to its ring successor,
+//! which frees them. With one thread the ring degenerates to self-frees
+//! (no contention); with more threads every block migrates cores.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::events::Event;
+
+/// Parameters for the xmalloc workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XmallocParams {
+    /// Worker threads (the paper sweeps 1, 2, 4, 8).
+    pub threads: u8,
+    /// Allocations per thread.
+    pub allocs_per_thread: u32,
+    /// Blocks a worker batches before handing them over.
+    pub batch: u32,
+    /// Block size range (inclusive), bytes.
+    pub size_range: (u32, u32),
+    /// Compute instructions between allocations.
+    pub compute_per_alloc: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XmallocParams {
+    fn default() -> Self {
+        XmallocParams {
+            threads: 4,
+            allocs_per_thread: 20_000,
+            batch: 64,
+            size_range: (16, 256),
+            compute_per_alloc: 120,
+            seed: 0x786d616c, // "xmal"
+        }
+    }
+}
+
+impl XmallocParams {
+    /// A quick configuration for unit tests.
+    pub fn tiny() -> Self {
+        XmallocParams {
+            threads: 2,
+            allocs_per_thread: 200,
+            ..Default::default()
+        }
+    }
+
+    /// Same workload with a different thread count (the Table 2 sweep).
+    pub fn with_threads(mut self, threads: u8) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Generates the workload. Events from the workers are interleaved
+/// batch-by-batch round-robin, approximating concurrent execution for the
+/// simulator (which executes a single global order).
+pub fn generate(p: &XmallocParams, emit: &mut dyn FnMut(Event)) {
+    assert!(p.threads >= 1, "xmalloc needs at least one thread");
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let mut next_id: u64 = 1;
+    let batches = p.allocs_per_thread.div_ceil(p.batch);
+    // In-flight blocks awaiting free, per consumer thread.
+    let mut pending: Vec<Vec<u64>> = vec![Vec::new(); p.threads as usize];
+    let mut remaining: Vec<u32> = vec![p.allocs_per_thread; p.threads as usize];
+
+    for _round in 0..batches {
+        for t in 0..p.threads {
+            // Free what predecessors handed to us first (keeps live set
+            // bounded, mirrors the real benchmark's queue discipline).
+            for id in pending[t as usize].drain(..) {
+                emit(Event::Free { thread: t, id });
+            }
+            let n = p.batch.min(remaining[t as usize]);
+            remaining[t as usize] -= n;
+            let successor = (t + 1) % p.threads;
+            for _ in 0..n {
+                let id = next_id;
+                next_id += 1;
+                let size = rng.random_range(p.size_range.0..=p.size_range.1);
+                emit(Event::Malloc {
+                    thread: t,
+                    id,
+                    size,
+                });
+                emit(Event::Touch {
+                    thread: t,
+                    id,
+                    offset: 0,
+                    len: size,
+                    write: true,
+                });
+                emit(Event::Compute {
+                    thread: t,
+                    amount: p.compute_per_alloc,
+                });
+                pending[successor as usize].push(id);
+            }
+        }
+    }
+    // Drain the final batches.
+    for t in 0..p.threads {
+        for id in pending[t as usize].drain(..) {
+            emit(Event::Free { thread: t, id });
+        }
+    }
+}
+
+/// Collects the full stream into memory.
+pub fn collect(p: &XmallocParams) -> Vec<Event> {
+    let mut v = Vec::new();
+    generate(p, &mut |e| v.push(e));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::validate;
+
+    #[test]
+    fn balanced_and_bounded() {
+        let p = XmallocParams::tiny();
+        let s = validate(collect(&p).into_iter(), false).unwrap();
+        assert_eq!(s.mallocs, u64::from(p.threads) * u64::from(p.allocs_per_thread));
+        assert_eq!(s.mallocs, s.frees);
+        assert!(s.peak_live <= u64::from(p.threads) * u64::from(p.batch) * 2);
+    }
+
+    #[test]
+    fn frees_happen_on_successor_thread() {
+        let p = XmallocParams::tiny();
+        let ev = collect(&p);
+        let mut allocator = std::collections::HashMap::new();
+        let mut cross = 0u64;
+        let mut total = 0u64;
+        for e in &ev {
+            match *e {
+                Event::Malloc { thread, id, .. } => {
+                    allocator.insert(id, thread);
+                }
+                Event::Free { thread, id } => {
+                    total += 1;
+                    if allocator[&id] != thread {
+                        cross += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(cross, total, "with 2+ threads every free is remote");
+    }
+
+    #[test]
+    fn single_thread_has_no_remote_frees() {
+        let p = XmallocParams::tiny().with_threads(1);
+        let ev = collect(&p);
+        let mut allocator = std::collections::HashMap::new();
+        for e in &ev {
+            match *e {
+                Event::Malloc { thread, id, .. } => {
+                    allocator.insert(id, thread);
+                }
+                Event::Free { thread, id } => assert_eq!(allocator[&id], thread),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn thread_sweep_preserves_per_thread_work() {
+        for t in [1u8, 2, 4, 8] {
+            let p = XmallocParams::tiny().with_threads(t);
+            let s = validate(collect(&p).into_iter(), false).unwrap();
+            assert_eq!(s.mallocs, u64::from(t) * u64::from(p.allocs_per_thread));
+            assert_eq!(s.threads, t);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! §3.3.2's garbage-collection scenario: the collector lives in the
+//! allocator's room. Mutators build and churn an object graph; tracing
+//! and sweeping run on the service core, triggered asynchronously — the
+//! mutator never executes collector code.
+//!
+//! ```sh
+//! cargo run --release --example offloaded_gc
+//! ```
+
+use std::time::Instant;
+
+use ngm_gc::{GcRuntime, LocalGcHeap};
+
+const CHURN: u64 = 30_000;
+
+/// Stop-the-mutator baseline: the same heap embedded inline.
+fn run_local() -> (std::time::Duration, u64) {
+    let mut heap = LocalGcHeap::new();
+    let root = heap.alloc(&[], 0);
+    heap.add_root(root);
+    let start = Instant::now();
+    let mut kept = root;
+    for i in 0..CHURN {
+        // Churn: an unpublished temporary that becomes garbage at once.
+        let _garbage = heap.alloc(&[], i);
+        if i % 8 == 0 {
+            // Grow the published chain.
+            let n = heap.alloc(&[kept], i);
+            heap.set_edge(root, 0, Some(n));
+            kept = n;
+        }
+        if i % 2048 == 2047 {
+            // Drop the chain and start over.
+            heap.set_edge(root, 0, None);
+            kept = root;
+        }
+        if i % 1024 == 1023 {
+            heap.collect(); // the mutator pays the pause
+        }
+    }
+    (start.elapsed(), heap.stats().collections)
+}
+
+/// Offloaded: identical mutator logic; collection hints are posts and
+/// publication is atomic (`alloc_linked`).
+fn run_offloaded() -> (std::time::Duration, u64) {
+    let rt = GcRuntime::start(0);
+    let mut m = rt.handle();
+    let root = m.alloc(&[], 0);
+    m.add_root(root);
+    let start = Instant::now();
+    let mut kept = root;
+    for i in 0..CHURN {
+        let _garbage = m.alloc(&[], i);
+        if i % 8 == 0 {
+            kept = m.alloc_linked(root, 0, &[kept], i);
+        }
+        if i % 2048 == 2047 {
+            m.set_edge(root, 0, None);
+            kept = root;
+        }
+        if i % 1024 == 1023 {
+            m.hint_collect(); // fire-and-forget
+        }
+    }
+    let elapsed = start.elapsed();
+    let collections = m.stats().collections;
+    drop(m);
+    drop(rt);
+    (elapsed, collections)
+}
+
+fn main() {
+    let (local_time, local_gcs) = run_local();
+    println!("stop-the-mutator : {local_time:?} ({local_gcs} collections inline)");
+    let (off_time, off_gcs) = run_offloaded();
+    println!("offloaded        : {off_time:?} ({off_gcs} collections on the service core)");
+    println!(
+        "\nmutator-visible GC pauses: zero in the offloaded run — the paper's\n\
+         §3.3.2 pitch. (On a 1-vCPU machine the offloaded run timeshares the\n\
+         core, so wall-clock parity is the expected outcome here; on a real\n\
+         multi-core the collections overlap mutator compute.)"
+    );
+}

@@ -1,0 +1,58 @@
+//! Record a workload to an allocation trace, replay it bit-exactly, and
+//! compare encodings — the capture-once-compare-everywhere workflow the
+//! benchmark harness uses.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use ngm_bench::replay::replay_heap;
+use ngm_heap::{AggregatedHeap, Heap, SegregatedHeap};
+use ngm_workloads::larson::{self, LarsonParams};
+use ngm_workloads::trace;
+
+fn main() {
+    // Capture a larson-style server churn into both trace encodings.
+    let params = LarsonParams {
+        threads: 1, // single-threaded so the real replay is exact
+        slots: 128,
+        rounds: 20_000,
+        ..LarsonParams::default()
+    };
+    let events = larson::collect(&params);
+
+    let mut json = Vec::new();
+    trace::write_json(events.iter(), &mut json).expect("encode json");
+    let mut binary = Vec::new();
+    trace::write_binary(events.iter(), &mut binary).expect("encode binary");
+    println!("captured {} events", events.len());
+    println!("  JSON lines : {:>9} bytes", json.len());
+    println!(
+        "  binary     : {:>9} bytes ({:.1}x smaller)",
+        binary.len(),
+        json.len() as f64 / binary.len() as f64
+    );
+
+    // Round trips are bit-exact.
+    let from_json = trace::read_json(std::io::BufReader::new(&json[..])).expect("decode json");
+    let from_bin = trace::read_binary(&binary[..]).expect("decode binary");
+    assert_eq!(events, from_json);
+    assert_eq!(events, from_bin);
+    println!("round trips: OK (both encodings bit-exact)");
+
+    // Replay the same trace against both metadata layouts (Figure 2's
+    // two halves) and confirm identical computation.
+    let mut seg = SegregatedHeap::new(1);
+    let a = replay_heap(&mut seg, from_bin.iter().copied());
+    let mut agg = AggregatedHeap::new(2);
+    let b = replay_heap(&mut agg, from_json.iter().copied());
+    assert_eq!(a.checksum, b.checksum, "layouts must not change results");
+    println!("\nreplay (segregated layout): {:?}", a.elapsed);
+    println!("replay (aggregated layout): {:?}", b.elapsed);
+    println!(
+        "peak footprint: {} bytes over {} segment(s); {} allocations each",
+        seg.stats().peak_live_bytes,
+        seg.stats().segments,
+        seg.stats().total_allocs,
+    );
+}

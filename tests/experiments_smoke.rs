@@ -1,0 +1,93 @@
+//! Smoke tests over the full experiment harness: every table and figure
+//! renders at reduced scale with its key invariant intact.
+
+use ngm_bench::experiments::{ablations, fig1, fig2, model41, table1, table2, table3};
+use ngm_bench::Scale;
+use ngm_workloads::xalanc::XalancParams;
+
+#[test]
+fn fig1_renders_with_ordering() {
+    let f = fig1::from_results(ngm_bench::experiments::run_xalanc_baselines_with(
+        &XalancParams::tiny(),
+    ));
+    let s = f.render();
+    assert!(s.contains("Figure 1"));
+    assert!(s.contains("normalized time"));
+    assert_eq!(f.rows.len(), 4);
+}
+
+#[test]
+fn table1_renders_all_counters() {
+    let t = table1::from_results(ngm_bench::experiments::run_xalanc_baselines_with(
+        &XalancParams::tiny(),
+    ));
+    let s = t.render();
+    for metric in [
+        "cycles",
+        "instructions",
+        "LLC-load-misses",
+        "LLC-store-misses",
+        "dTLB-load-misses",
+        "dTLB-store-misses",
+        "LLC-load-MPKI",
+        "dTLB-load-MPKI",
+    ] {
+        assert!(s.contains(metric), "missing {metric}");
+    }
+}
+
+#[test]
+fn table2_renders_and_grows() {
+    let t = table2::run(Scale(1));
+    assert_eq!(t.cols.len(), 4);
+    assert!(t.llc_load_growth() > 1.0, "misses must grow with threads");
+    assert!(t.render().contains("Table 2"));
+}
+
+#[test]
+fn fig2_trade_off_is_visible() {
+    let f = fig2::run_fig2(Scale(1));
+    assert_eq!(f.rows.len(), 2);
+    let (agg, seg) = (&f.rows[0], &f.rows[1]);
+    assert!(seg.meta_bytes > agg.meta_bytes, "segregated costs space");
+    assert!(
+        seg.meta_llc_misses <= agg.meta_llc_misses,
+        "segregated keeps metadata misses off user-adjacent lines"
+    );
+}
+
+#[test]
+fn table3_mechanism_reproduces() {
+    let t = table3::run_with(&XalancParams::tiny(), false);
+    assert_eq!(t.cols.len(), 3);
+    // The pollution-reduction mechanism: NGM's app core sees fewer dTLB
+    // misses than Mimalloc's.
+    assert!(t.cols[1].app.dtlb_load_misses < t.cols[0].app.dtlb_load_misses);
+    assert!(t.render().contains("Table 3"));
+}
+
+#[test]
+fn model41_reproduces_paper_numbers() {
+    let m = model41::run();
+    assert!((m.model.required_miss_reduction() - 1.25).abs() < 0.01);
+    let overhead = m.model.overhead_cycles() as f64;
+    assert!((74e9..77e9).contains(&overhead));
+}
+
+#[test]
+fn ablation_core_types_cover_design_space() {
+    let rows = ablations::core_types_with(&XalancParams::tiny());
+    let labels: Vec<&str> = rows.iter().map(|r| r.label).collect();
+    assert_eq!(
+        labels,
+        vec!["big out-of-order", "little in-order", "near-memory"]
+    );
+}
+
+#[test]
+fn ablation_atomics_sweep_is_monotonic_for_ngm() {
+    let rows = ablations::atomic_latency_with(&XalancParams::tiny());
+    assert!(rows
+        .windows(2)
+        .all(|w| w[0].ngm_wall <= w[1].ngm_wall), "NGM wall must grow with atomic cost");
+}

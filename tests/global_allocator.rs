@@ -1,0 +1,92 @@
+//! End-to-end test of the `GlobalAlloc` hook: this entire test binary —
+//! `Vec`s, `String`s, hash maps, thread spawning, the test harness itself
+//! — runs on NextGen-Malloc. This is the repro-note's "GlobalAlloc hook
+//! plus core pinning" path exercised for real.
+
+use std::collections::HashMap;
+
+use ngm_core::NgmAllocator;
+
+#[global_allocator]
+static ALLOC: NgmAllocator = NgmAllocator;
+
+#[test]
+fn collections_grow_and_shrink() {
+    let mut v: Vec<u64> = Vec::new();
+    for i in 0..100_000u64 {
+        v.push(i * 3);
+    }
+    assert_eq!(v.iter().sum::<u64>(), 3 * (99_999 * 100_000 / 2));
+    v.truncate(10);
+    v.shrink_to_fit();
+    assert_eq!(v.len(), 10);
+}
+
+#[test]
+fn strings_and_maps() {
+    let mut m: HashMap<String, String> = HashMap::new();
+    for i in 0..5_000 {
+        m.insert(format!("key-{i}"), format!("value-{}", i * 7));
+    }
+    assert_eq!(m.len(), 5_000);
+    assert_eq!(m["key-1234"], "value-8638");
+    m.retain(|_, v| v.len() % 2 == 0);
+    m.clear();
+    assert!(m.is_empty());
+}
+
+#[test]
+fn many_threads_allocate_through_the_global_hook() {
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut blobs: Vec<Vec<u8>> = Vec::new();
+                for i in 0..2_000usize {
+                    let size = 1 + (i * 31 + t * 17) % 4096;
+                    blobs.push(vec![t as u8; size]);
+                    if i % 2 == 0 {
+                        blobs.swap_remove((i * 13) % blobs.len());
+                    }
+                }
+                blobs.iter().map(|b| b.len()).sum::<usize>()
+            })
+        })
+        .collect();
+    let total: usize = handles.into_iter().map(|h| h.join().expect("worker")).sum();
+    assert!(total > 0);
+}
+
+#[test]
+fn large_allocations_roundtrip() {
+    // Above SMALL_MAX these are dedicated mappings.
+    for mb in 1..=8usize {
+        let v = vec![0xA5u8; mb << 20];
+        assert_eq!(v[(mb << 20) - 1], 0xA5);
+    }
+}
+
+#[test]
+fn boxed_values_move_across_threads() {
+    let b = Box::new([7u64; 1024]);
+    let h = std::thread::spawn(move || b.iter().sum::<u64>());
+    assert_eq!(h.join().expect("worker"), 7 * 1024);
+}
+
+#[test]
+fn zero_sized_types_are_fine() {
+    // ZSTs never reach the allocator, but exercise the edges around them.
+    let v: Vec<()> = vec![(); 1000];
+    assert_eq!(v.len(), 1000);
+    let empty: Vec<u8> = Vec::new();
+    drop(empty);
+}
+
+#[test]
+fn runtime_stats_show_real_traffic() {
+    // Force some traffic first so the runtime surely exists.
+    let v: Vec<u8> = vec![1; 10_000];
+    drop(v);
+    let stats = ngm_core::global::global_stats().expect("runtime started");
+    assert!(stats.calls_served > 0, "service must have served calls");
+    assert!(stats.clients_registered >= 1);
+}

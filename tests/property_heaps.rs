@@ -1,0 +1,166 @@
+//! Property-based tests of the real heaps: arbitrary alloc/touch/free
+//! interleavings must preserve block integrity, alignment, and accounting
+//! for every heap implementation.
+
+use std::alloc::Layout;
+use std::ptr::NonNull;
+
+use ngm_heap::{AggregatedHeap, AllocError, Heap, LockedHeap, SegregatedHeap, ShardedHeap};
+use proptest::prelude::*;
+
+/// A scripted heap operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { size: usize, align_pow: u8 },
+    Free { index: usize },
+    Write { index: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1usize..20_000, 0u8..7).prop_map(|(size, align_pow)| Op::Alloc { size, align_pow }),
+        2 => any::<usize>().prop_map(|index| Op::Free { index }),
+        2 => any::<usize>().prop_map(|index| Op::Write { index }),
+    ]
+}
+
+/// Runs a script against any heap, checking the invariants:
+/// * returned blocks are aligned and writable over their full size;
+/// * a byte pattern written to a block survives until its free
+///   (no aliasing between live blocks);
+/// * the heap ends quiescent when everything is freed.
+fn check_script<H: Heap>(heap: &mut H, ops: &[Op]) {
+    let mut live: Vec<(NonNull<u8>, Layout, u8)> = Vec::new();
+    let mut stamp: u8 = 0;
+    for op in ops {
+        match *op {
+            Op::Alloc { size, align_pow } => {
+                let layout = Layout::from_size_align(size, 1 << align_pow).expect("valid layout");
+                match heap.allocate(layout) {
+                    Ok(p) => {
+                        assert_eq!(
+                            p.as_ptr() as usize % layout.align(),
+                            0,
+                            "misaligned block for {layout:?}"
+                        );
+                        stamp = stamp.wrapping_add(1);
+                        // SAFETY: fresh block of `size` bytes.
+                        unsafe { std::ptr::write_bytes(p.as_ptr(), stamp, size) };
+                        live.push((p, layout, stamp));
+                    }
+                    Err(AllocError::ZeroSize) => unreachable!("sizes start at 1"),
+                    Err(e) => panic!("allocation failed: {e}"),
+                }
+            }
+            Op::Free { index } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (p, layout, tag) = live.swap_remove(index % live.len());
+                // The pattern must have survived any interleaved traffic.
+                for off in [0, layout.size() / 2, layout.size() - 1] {
+                    // SAFETY: live block, in-bounds offset.
+                    assert_eq!(unsafe { *p.as_ptr().add(off) }, tag, "block corrupted");
+                }
+                // SAFETY: block from this heap, freed exactly once.
+                unsafe { heap.deallocate(p, layout) };
+            }
+            Op::Write { index } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (p, layout, tag) = live[index % live.len()];
+                // Rewrite the same pattern (verifies the block is still
+                // writable without disturbing the invariant).
+                // SAFETY: live block.
+                unsafe { std::ptr::write_bytes(p.as_ptr(), tag, layout.size()) };
+            }
+        }
+    }
+    for (p, layout, tag) in live {
+        // SAFETY: remaining live blocks, freed exactly once.
+        unsafe {
+            assert_eq!(*p.as_ptr(), tag);
+            heap.deallocate(p, layout);
+        }
+    }
+    assert_eq!(heap.stats().live_blocks, 0, "small blocks leaked");
+    assert_eq!(heap.stats().large_allocs, 0, "large blocks leaked");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn segregated_heap_preserves_blocks(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut heap = SegregatedHeap::new(1);
+        check_script(&mut heap, &ops);
+    }
+
+    #[test]
+    fn aggregated_heap_preserves_blocks(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut heap = AggregatedHeap::new(2);
+        check_script(&mut heap, &ops);
+    }
+
+    #[test]
+    fn sharded_heap_preserves_blocks(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let sharded = ShardedHeap::new(2);
+        let mut handle = sharded.handle(0);
+        check_script(&mut handle, &ops);
+    }
+
+    #[test]
+    fn locked_heap_matches_inner_semantics(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        struct Via(LockedHeap<SegregatedHeap>);
+        // SAFETY: defers to LockedHeap, which upholds the contract under
+        // its mutex.
+        unsafe impl Heap for Via {
+            fn allocate(&mut self, l: Layout) -> Result<NonNull<u8>, AllocError> {
+                self.0.allocate(l)
+            }
+            unsafe fn deallocate(&mut self, p: NonNull<u8>, l: Layout) {
+                // SAFETY: forwarded contract.
+                unsafe { self.0.deallocate(p, l) }
+            }
+            fn stats(&self) -> ngm_heap::HeapStats {
+                self.0.stats()
+            }
+        }
+        let mut heap = Via(LockedHeap::new(SegregatedHeap::new(3)));
+        check_script(&mut heap, &ops);
+    }
+
+    #[test]
+    fn release_empty_never_breaks_live_blocks(
+        sizes in prop::collection::vec(1usize..4096, 1..60),
+        release_at in 0usize..60,
+    ) {
+        let mut heap = SegregatedHeap::new(4);
+        let mut live = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let layout = Layout::from_size_align(size, 8).expect("valid");
+            let p = heap.allocate(layout).expect("alloc");
+            // SAFETY: fresh block.
+            unsafe { std::ptr::write_bytes(p.as_ptr(), (i % 251) as u8, size) };
+            live.push((p, layout, (i % 251) as u8));
+            if i == release_at {
+                // Free half, run housekeeping, and verify survivors.
+                let half = live.len() / 2;
+                for (p, l, _) in live.drain(..half) {
+                    // SAFETY: live block.
+                    unsafe { heap.deallocate(p, l) };
+                }
+                heap.release_empty();
+            }
+        }
+        for (p, l, tag) in live {
+            // SAFETY: survivors are still live.
+            unsafe {
+                assert_eq!(*p.as_ptr(), tag, "housekeeping corrupted a block");
+                heap.deallocate(p, l);
+            }
+        }
+        prop_assert_eq!(heap.stats().live_blocks, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the simulator allocator models: for any valid
+//! workload stream, every model must place blocks without overlap, leak
+//! nothing, and respect its synchronization contract.
+
+use std::collections::HashMap;
+
+use ngm_sim::Machine;
+use ngm_simalloc::model::AllocModel;
+use ngm_simalloc::{ModelKind, NgmModel};
+use ngm_workloads::churn::{self, ChurnParams};
+use ngm_workloads::Event;
+use proptest::prelude::*;
+
+fn churn_params() -> impl Strategy<Value = ChurnParams> {
+    (
+        1u8..4,
+        50u32..400,
+        4u32..64,
+        (8u32..64, 64u32..10_000),
+        0u8..90,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(threads, total_allocs, live_cap, (lo, hi), free_percent, seed)| ChurnParams {
+                threads,
+                total_allocs,
+                live_cap,
+                size_range: (lo, hi),
+                free_percent,
+                touch_percent: 60,
+                compute_per_step: 30,
+                seed,
+            },
+        )
+}
+
+/// Replays a stream while asserting that live blocks never overlap.
+fn check_no_overlap(kind: ModelKind, threads: usize, events: &[Event]) {
+    let mut machine = Machine::new(kind.machine(threads));
+    let mut model = kind.build(threads);
+    // Live intervals: id -> (start, end).
+    let mut live: HashMap<u64, (u64, u64)> = HashMap::new();
+    for e in events {
+        match *e {
+            Event::Malloc { thread, id, size } => {
+                let addr = model.malloc(&mut machine, thread as usize, size);
+                let end = addr + u64::from(size);
+                for (&other, &(s, t)) in &live {
+                    assert!(
+                        end <= s || addr >= t,
+                        "{}: block {id} [{addr:#x},{end:#x}) overlaps {other} [{s:#x},{t:#x})",
+                        model.name()
+                    );
+                }
+                live.insert(id, (addr, end));
+            }
+            Event::Free { thread, id } => {
+                let (addr, end) = live.remove(&id).expect("valid stream");
+                model.free(&mut machine, thread as usize, addr, (end - addr) as u32);
+            }
+            _ => {}
+        }
+    }
+    assert!(live.is_empty(), "stream is balanced by construction");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_model_ever_overlaps_blocks(params in churn_params()) {
+        let events = churn::collect(&params);
+        for kind in ModelKind::BASELINES.into_iter().chain([ModelKind::Ngm]) {
+            check_no_overlap(kind, params.threads as usize, &events);
+        }
+    }
+
+    #[test]
+    fn ngm_atomics_are_exactly_four_per_small_malloc(params in churn_params()) {
+        let events = churn::collect(&params);
+        let threads = params.threads as usize;
+        let mut machine = Machine::new(ModelKind::Ngm.machine(threads));
+        let mut model = NgmModel::new(threads);
+        let mut small_mallocs = 0u64;
+        let mut objects: HashMap<u64, (u64, u32)> = HashMap::new();
+        for e in &events {
+            match *e {
+                Event::Malloc { thread, id, size } => {
+                    let addr = model.malloc(&mut machine, thread as usize, size);
+                    objects.insert(id, (addr, size));
+                    if u64::from(size) <= ngm_simalloc::model::LARGE_CUTOFF {
+                        small_mallocs += 1;
+                    }
+                }
+                Event::Free { thread, id } => {
+                    let (addr, size) = objects.remove(&id).expect("valid stream");
+                    model.free(&mut machine, thread as usize, addr, size);
+                }
+                _ => {}
+            }
+        }
+        // §3.1.3: frees add no atomics; each offloaded malloc costs the
+        // paper's four.
+        prop_assert_eq!(model.atomics(), small_mallocs * NgmModel::ATOMICS_PER_MALLOC);
+    }
+
+    #[test]
+    fn single_threaded_mimalloc_needs_no_atomics(mut params in churn_params()) {
+        params.threads = 1;
+        let events = churn::collect(&params);
+        let mut machine = Machine::new(ModelKind::Mimalloc.machine(1));
+        let mut model = ModelKind::Mimalloc.build(1);
+        let mut objects: HashMap<u64, (u64, u32)> = HashMap::new();
+        for e in &events {
+            match *e {
+                Event::Malloc { thread, id, size } => {
+                    let addr = model.malloc(&mut machine, thread as usize, size);
+                    objects.insert(id, (addr, size));
+                }
+                Event::Free { thread, id } => {
+                    let (addr, size) = objects.remove(&id).expect("valid stream");
+                    model.free(&mut machine, thread as usize, addr, size);
+                }
+                _ => {}
+            }
+        }
+        // All frees are local: the fast path never synchronizes.
+        prop_assert_eq!(model.atomics(), 0);
+    }
+
+    #[test]
+    fn deterministic_replay(params in churn_params()) {
+        let events = churn::collect(&params);
+        let a = ngm_simalloc::run_kind(ModelKind::TcMalloc, params.threads as usize, events.iter().copied());
+        let b = ngm_simalloc::run_kind(ModelKind::TcMalloc, params.threads as usize, events.iter().copied());
+        prop_assert_eq!(a.total, b.total);
+        prop_assert_eq!(a.wall_cycles, b.wall_cycles);
+    }
+}
