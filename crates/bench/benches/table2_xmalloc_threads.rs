@@ -16,9 +16,13 @@ fn table2(c: &mut Criterion) {
             &events,
             |b, events| {
                 b.iter(|| {
-                    run_kind(ModelKind::TcMalloc, threads as usize, events.iter().copied())
-                        .total
-                        .llc_load_misses
+                    run_kind(
+                        ModelKind::TcMalloc,
+                        threads as usize,
+                        events.iter().copied(),
+                    )
+                    .total
+                    .llc_load_misses
                 })
             },
         );

@@ -4,13 +4,13 @@
 //! repro [EXPERIMENT...] [--scale N] [--no-prototype]
 //!
 //! EXPERIMENT: all (default) | fig1 | table1 | table2 | fig2 | table3
-//!           | model41 | ablations
+//!           | model41 | ablations | telemetry
 //! --scale N: multiply workload sizes by N (default 1; paper-style
 //!            stability from ~4)
 //! --no-prototype: skip the real-runtime wall-clock part of table3
 //! ```
 
-use ngm_bench::experiments::{ablations, fig1, fig2, model41, table1, table2, table3};
+use ngm_bench::experiments::{ablations, fig1, fig2, model41, table1, table2, table3, telemetry};
 use ngm_bench::Scale;
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
             "--no-prototype" => with_prototype = false,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations]... [--scale N] [--no-prototype]"
+                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|telemetry]... [--scale N] [--no-prototype]"
                 );
                 return;
             }
@@ -70,8 +70,11 @@ fn main() {
     if want("model41") {
         println!("{}", model41::run().render());
     }
+    let real_ops = 20_000u32.saturating_mul(scale.0);
     if want("ablations") {
-        let real_ops = 20_000u32.saturating_mul(scale.0);
         println!("{}", ablations::render_all(scale, real_ops));
+    }
+    if want("telemetry") {
+        println!("{}", telemetry::run(real_ops));
     }
 }

@@ -20,7 +20,9 @@ use ngm_sim::{CoreConfig, Machine, MachineConfig};
 use ngm_simalloc::{run, ModelKind, NgmBatchModel, NgmModel};
 use ngm_workloads::xalanc::{self, XalancParams};
 
-use crate::report::Table;
+use ngm_telemetry::hist::HistogramSnapshot;
+
+use crate::report::{latency_table, Table};
 use crate::Scale;
 
 /// Result of one wait-strategy measurement.
@@ -197,6 +199,45 @@ pub fn atomic_latency_with(params: &XalancParams) -> Vec<AtomicRow> {
         .collect()
 }
 
+/// One measured communication-latency distribution.
+#[derive(Debug, Clone)]
+pub struct MeasuredCommRow {
+    /// Operation label.
+    pub op: &'static str,
+    /// Round-trip (or post) latency distribution, in
+    /// [`ngm_telemetry::clock`] units.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// Ablation D, measured half: runs a real alloc/free loop on the live
+/// runtime and reports the *observed* T_comm distribution from the
+/// always-on latency histograms — the quantity §4.1 models with
+/// `ATOMICS_PER_CALL x ATOMIC_CYCLES`.
+pub fn measured_comm(ops: u32) -> Vec<MeasuredCommRow> {
+    let ngm = NgmBuilder::default().start();
+    let mut h = ngm.handle();
+    let layout = std::alloc::Layout::from_size_align(64, 8).expect("valid");
+    for _ in 0..ops.max(1) {
+        let p = h.alloc(layout).expect("alloc");
+        // SAFETY: block just allocated, freed once.
+        unsafe { h.dealloc(p, layout) };
+    }
+    let calls = ngm.telemetry().call_cycles.snapshot();
+    let posts = ngm.telemetry().post_cycles.snapshot();
+    drop(h);
+    drop(ngm);
+    vec![
+        MeasuredCommRow {
+            op: "malloc call (sync round trip)",
+            snapshot: calls,
+        },
+        MeasuredCommRow {
+            op: "free post (async enqueue)",
+            snapshot: posts,
+        },
+    ]
+}
+
 /// Result of one batching run.
 #[derive(Debug, Clone)]
 pub struct BatchSimRow {
@@ -229,12 +270,8 @@ pub fn handshake_batching_with(params: &XalancParams) -> Vec<BatchSimRow> {
         .map(|batch| {
             let mut machine = Machine::new(ModelKind::Ngm.machine(1));
             let mut model = NgmBatchModel::new(1, batch);
-            let r = ngm_simalloc::run_warm(
-                &mut machine,
-                &mut model,
-                events.iter().copied(),
-                warmup,
-            );
+            let r =
+                ngm_simalloc::run_warm(&mut machine, &mut model, events.iter().copied(), warmup);
             BatchSimRow {
                 batch,
                 ngm_wall: r.wall_cycles,
@@ -252,13 +289,19 @@ pub fn render_all(scale: Scale, real_ops: u32) -> String {
     for r in wait_strategies(real_ops) {
         t.row(vec![r.label.into(), format!("{:.0}", r.allocs_per_sec)]);
     }
-    out.push_str(&format!("Ablation A: wait strategy (real runtime)\n{}\n", t.render()));
+    out.push_str(&format!(
+        "Ablation A: wait strategy (real runtime)\n{}\n",
+        t.render()
+    ));
 
     let mut t = Table::new(&["drain batch", "frees/sec"]);
     for r in free_batching(real_ops) {
         t.row(vec![r.batch.to_string(), format!("{:.0}", r.frees_per_sec)]);
     }
-    out.push_str(&format!("Ablation B: free drain batch (real runtime)\n{}\n", t.render()));
+    out.push_str(&format!(
+        "Ablation B: free drain batch (real runtime)\n{}\n",
+        t.render()
+    ));
 
     let mut t = Table::new(&["service core", "wall cycles", "service cycles"]);
     for r in core_types(scale) {
@@ -268,14 +311,12 @@ pub fn render_all(scale: Scale, real_ops: u32) -> String {
             r.service_cycles.to_string(),
         ]);
     }
-    out.push_str(&format!("Ablation C: core type (simulated, §3.2)\n{}\n", t.render()));
+    out.push_str(&format!(
+        "Ablation C: core type (simulated, §3.2)\n{}\n",
+        t.render()
+    ));
 
-    let mut t = Table::new(&[
-        "atomic cycles",
-        "NGM wall",
-        "Mimalloc wall",
-        "NGM/Mimalloc",
-    ]);
+    let mut t = Table::new(&["atomic cycles", "NGM wall", "Mimalloc wall", "NGM/Mimalloc"]);
     for r in atomic_latency(scale) {
         t.row(vec![
             r.atomic_cycles.to_string(),
@@ -287,6 +328,22 @@ pub fn render_all(scale: Scale, real_ops: u32) -> String {
     out.push_str(&format!(
         "Ablation D: atomic-RMW latency sweep (simulated, §4.1)\n{}\n",
         t.render()
+    ));
+
+    let measured = measured_comm(real_ops);
+    let rows: Vec<(&str, &HistogramSnapshot)> =
+        measured.iter().map(|r| (r.op, &r.snapshot)).collect();
+    out.push_str(&format!(
+        "Ablation D (measured): T_comm on this machine, {} per op\n{}\
+         §4.1 model: handshake = {} atomics -> ~{} cycles uncontended \
+         ({}/atomic), ~{} contended worst case ({}/atomic)\n\n",
+        ngm_telemetry::clock::source(),
+        latency_table(&rows),
+        ngm_model::ATOMICS_PER_CALL,
+        ngm_model::ATOMICS_PER_CALL * ngm_model::ATOMIC_CYCLES,
+        ngm_model::ATOMIC_CYCLES,
+        ngm_model::ATOMICS_PER_CALL * ngm_model::ATOMIC_CYCLES_WORST,
+        ngm_model::ATOMIC_CYCLES_WORST,
     ));
 
     let mut t = Table::new(&["refill batch", "NGM-batch wall", "speedup vs Mimalloc"]);
@@ -384,5 +441,16 @@ mod tests {
         let rows = free_batching(200);
         assert_eq!(rows.len(), 5);
         assert!(rows.iter().all(|r| r.frees_per_sec > 0.0));
+    }
+
+    #[test]
+    fn measured_comm_counts_every_op() {
+        let rows = measured_comm(300);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.snapshot.count(), 300, "{} lost samples", r.op);
+            assert!(r.snapshot.p50() <= r.snapshot.p99());
+            assert!(r.snapshot.p99() <= r.snapshot.max());
+        }
     }
 }

@@ -48,10 +48,7 @@ pub fn from_results(results: Vec<ngm_simalloc::RunResult>) -> Fig1 {
             normalized: r.wall_cycles as f64 / best,
         })
         .collect();
-    let worst = rows
-        .iter()
-        .map(|r| r.normalized)
-        .fold(0.0f64, f64::max);
+    let worst = rows.iter().map(|r| r.normalized).fold(0.0f64, f64::max);
     Fig1 {
         rows,
         worst_over_best: worst,

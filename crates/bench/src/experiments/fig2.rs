@@ -6,9 +6,9 @@
 //! [`ngm_simalloc::layout::LayoutModel`]), plus a real-heap side that
 //! compares `ngm-heap`'s two implementations for metadata footprint.
 
+use ngm_sim::{Machine, MachineConfig};
 use ngm_simalloc::layout::LayoutModel;
 use ngm_simalloc::run;
-use ngm_sim::{Machine, MachineConfig};
 use ngm_workloads::churn::{self, ChurnParams};
 
 use crate::report::{sci, Table};

@@ -7,6 +7,7 @@ pub mod model41;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod telemetry;
 
 use ngm_simalloc::{run_kind_warm, ModelKind, RunResult};
 use ngm_workloads::xalanc::{self, XalancParams};
@@ -50,8 +51,7 @@ mod diag {
     #[ignore]
     fn meta_miss_breakdown() {
         use ngm_simalloc::run_kind_warm;
-        let (events, warmup) =
-            xalanc::collect_with_warmup(&xalanc_params(Scale(1)));
+        let (events, warmup) = xalanc::collect_with_warmup(&xalanc_params(Scale(1)));
         for kind in [ModelKind::Mimalloc, ModelKind::Ngm] {
             let r = run_kind_warm(kind, 1, events.iter().copied(), warmup);
             let app = r.app_total(1);

@@ -9,6 +9,9 @@ use ngm_sim::PmuCounters;
 use crate::report::{mpki, sci, Table};
 use crate::Scale;
 
+/// Row extractor over simulated PMU counters.
+type CounterFn = fn(&PmuCounters) -> f64;
+
 /// One allocator column of Table 1.
 #[derive(Debug, Clone)]
 pub struct Table1Col {
@@ -72,7 +75,7 @@ impl Table1 {
         header.extend(&names);
 
         let mut counts = Table::new(&header);
-        let rows: [(&str, fn(&PmuCounters) -> f64); 6] = [
+        let rows: [(&str, CounterFn); 6] = [
             ("cycles", |c| c.cycles as f64),
             ("instructions", |c| c.instructions as f64),
             ("LLC-load-misses", |c| c.llc_load_misses as f64),
@@ -87,7 +90,7 @@ impl Table1 {
         }
 
         let mut rates = Table::new(&header);
-        let rate_rows: [(&str, fn(&PmuCounters) -> f64); 4] = [
+        let rate_rows: [(&str, CounterFn); 4] = [
             ("LLC-load-MPKI", PmuCounters::llc_load_mpki),
             ("LLC-store-MPKI", PmuCounters::llc_store_mpki),
             ("dTLB-load-MPKI", PmuCounters::dtlb_load_mpki),
@@ -119,7 +122,11 @@ mod tests {
             &ngm_workloads::xalanc::XalancParams::small(),
         ));
         // Instructions nearly equal (the denominator of MPKI).
-        let instr: Vec<f64> = t.cols.iter().map(|c| c.counters.instructions as f64).collect();
+        let instr: Vec<f64> = t
+            .cols
+            .iter()
+            .map(|c| c.counters.instructions as f64)
+            .collect();
         let spread = instr.iter().copied().fold(0.0f64, f64::max)
             / instr.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(spread < 1.1, "instruction spread {spread} too wide");

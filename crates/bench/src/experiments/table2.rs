@@ -11,6 +11,9 @@ use ngm_workloads::xmalloc::{self, XmallocParams};
 use crate::report::{sci, Table};
 use crate::Scale;
 
+/// Row extractor over simulated PMU counters.
+type CounterFn = fn(&PmuCounters) -> f64;
+
 /// One thread-count column of Table 2.
 #[derive(Debug, Clone)]
 pub struct Table2Col {
@@ -62,7 +65,7 @@ impl Table2 {
         header.extend(self.cols.iter().map(|c| c.threads.to_string()));
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let mut t = Table::new(&header_refs);
-        let rows: [(&str, fn(&PmuCounters) -> f64); 4] = [
+        let rows: [(&str, CounterFn); 4] = [
             ("cycles", |c| c.cycles as f64),
             ("instructions", |c| c.instructions as f64),
             ("LLC-load-misses", |c| c.llc_load_misses as f64),

@@ -19,6 +19,11 @@ use crate::replay::{replay_heap, replay_ngm};
 use crate::report::{mpki, sci, Table};
 use crate::Scale;
 
+/// Row extractor over simulated PMU counters.
+type CounterFn = fn(&PmuCounters) -> f64;
+/// Row extractor over one Table 3 column.
+type ColFn = fn(&Table3Col) -> f64;
+
 /// One allocator column.
 #[derive(Debug, Clone)]
 pub struct Table3Col {
@@ -45,7 +50,10 @@ pub struct Table3 {
 /// Runs the simulated comparison; `with_prototype` also replays the real
 /// heaps for a wall-clock side table.
 pub fn run(scale: Scale, with_prototype: bool) -> Table3 {
-    run_with(&XalancParams::default().scaled(scale.0.max(1)), with_prototype)
+    run_with(
+        &XalancParams::default().scaled(scale.0.max(1)),
+        with_prototype,
+    )
 }
 
 /// As [`run`] with explicit workload parameters.
@@ -123,7 +131,7 @@ impl Table3 {
     /// Renders the side-by-side comparison.
     pub fn render(&self) -> String {
         let mut t = Table::new(&["metric", "Mimalloc", "NGM (detailed)", "NGM (sec-4.1)"]);
-        let rows: [(&str, fn(&Table3Col) -> f64); 6] = [
+        let rows: [(&str, ColFn); 6] = [
             ("cycles (wall)", |c| c.wall_cycles as f64),
             ("instructions (app)", |c| c.app.instructions as f64),
             ("LLC-load-misses (app)", |c| c.app.llc_load_misses as f64),
@@ -142,7 +150,7 @@ impl Table3 {
             ]);
         }
         let mut rates = Table::new(&["metric", "Mimalloc", "NGM (detailed)", "NGM (sec-4.1)"]);
-        let rrows: [(&str, fn(&PmuCounters) -> f64); 2] = [
+        let rrows: [(&str, CounterFn); 2] = [
             ("LLC-load-MPKI (app)", PmuCounters::llc_load_mpki),
             ("dTLB-load-MPKI (app)", PmuCounters::dtlb_load_mpki),
         ];
@@ -189,8 +197,7 @@ mod tests {
         // The paper's stated mechanism reproduces: NGM's application core
         // sees far fewer dTLB misses (metadata moved to the service core).
         assert!(
-            (ngm.app.dtlb_load_misses as f64)
-                < 0.8 * mi.app.dtlb_load_misses as f64,
+            (ngm.app.dtlb_load_misses as f64) < 0.8 * mi.app.dtlb_load_misses as f64,
             "NGM app dTLB {} vs Mimalloc {}",
             ngm.app.dtlb_load_misses,
             mi.app.dtlb_load_misses
@@ -211,7 +218,10 @@ mod tests {
         // Both land in a plausible band around the paper's +4.51%: our
         // faithful sync costs put the net at or below break-even (see
         // EXPERIMENTS.md for the crossover analysis).
-        assert!((0.6..1.3).contains(&detailed), "detailed speedup {detailed}");
+        assert!(
+            (0.6..1.3).contains(&detailed),
+            "detailed speedup {detailed}"
+        );
         assert!((0.6..1.3).contains(&paper), "paper-model speedup {paper}");
     }
 

@@ -9,6 +9,7 @@
 pub mod experiments;
 pub mod replay;
 pub mod report;
+pub mod trace;
 
 /// Scale factor applied to workload sizes (1 = quick defaults; the paper
 /// runs are statistically stable from ~4).

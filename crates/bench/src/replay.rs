@@ -66,7 +66,9 @@ fn compute(amount: u32) {
     // paper's workloads.
     let mut acc = 0u64;
     for i in 0..(amount / 64).max(1) {
-        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(u64::from(i));
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(u64::from(i));
     }
     std::hint::black_box(acc);
 }
@@ -112,16 +114,20 @@ pub fn replay_heap<H: Heap>(heap: &mut H, events: impl Iterator<Item = Event>) -
                 round += 1;
                 // SAFETY: generators keep touches in bounds (validated by
                 // property tests in ngm-workloads).
-                out.checksum =
-                    out.checksum
-                        .wrapping_add(unsafe { touch(p, offset, len, write, round) });
+                out.checksum = out
+                    .checksum
+                    .wrapping_add(unsafe { touch(p, offset, len, write, round) });
                 out.bytes_touched += u64::from(len);
             }
             Event::Compute { amount, .. } => compute(amount),
         }
     }
     out.elapsed = start.elapsed();
-    assert!(live.is_empty(), "replayed stream leaked {} blocks", live.len());
+    assert!(
+        live.is_empty(),
+        "replayed stream leaked {} blocks",
+        live.len()
+    );
     out
 }
 
@@ -167,16 +173,20 @@ pub fn replay_ngm(handle: &mut NgmHandle, events: impl Iterator<Item = Event>) -
                 let (p, _l) = live[&id];
                 round += 1;
                 // SAFETY: in-bounds per generator contract.
-                out.checksum =
-                    out.checksum
-                        .wrapping_add(unsafe { touch(p, offset, len, write, round) });
+                out.checksum = out
+                    .checksum
+                    .wrapping_add(unsafe { touch(p, offset, len, write, round) });
                 out.bytes_touched += u64::from(len);
             }
             Event::Compute { amount, .. } => compute(amount),
         }
     }
     out.elapsed = start.elapsed();
-    assert!(live.is_empty(), "replayed stream leaked {} blocks", live.len());
+    assert!(
+        live.is_empty(),
+        "replayed stream leaked {} blocks",
+        live.len()
+    );
     out
 }
 

@@ -1,5 +1,7 @@
 //! Plain-text table rendering for the repro harness.
 
+use ngm_telemetry::hist::HistogramSnapshot;
+
 /// A simple aligned table: a header row plus data rows.
 #[derive(Debug, Default)]
 pub struct Table {
@@ -64,6 +66,24 @@ impl Table {
     }
 }
 
+/// Renders named latency-histogram snapshots as a count/percentile table
+/// (values in whatever unit the histogram recorded — cycles from
+/// `ngm_telemetry::clock::cycles_now` for the runtime's histograms).
+pub fn latency_table(rows: &[(&str, &HistogramSnapshot)]) -> String {
+    let mut t = Table::new(&["op kind", "count", "p50", "p90", "p99", "max"]);
+    for (name, h) in rows {
+        t.row(vec![
+            (*name).to_string(),
+            h.count().to_string(),
+            h.p50().to_string(),
+            h.p90().to_string(),
+            h.p99().to_string(),
+            h.max().to_string(),
+        ]);
+    }
+    t.render()
+}
+
 /// Formats a count in the paper's scientific notation (e.g. `1.177E+12`).
 pub fn sci(v: f64) -> String {
     if v == 0.0 {
@@ -117,5 +137,18 @@ mod tests {
     fn ratio_and_mpki_format() {
         assert_eq!(ratio(1.7233), "1.72x");
         assert_eq!(mpki(0.3171), "0.317");
+    }
+
+    #[test]
+    fn latency_table_renders_percentiles() {
+        let h = ngm_telemetry::hist::LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let s = latency_table(&[("malloc call", &snap)]);
+        assert!(s.contains("malloc call"));
+        assert!(s.contains("p99"));
+        assert!(s.lines().count() == 3, "header, rule, one row: {s}");
     }
 }

@@ -4,11 +4,17 @@ use std::alloc::Layout;
 use std::ptr::NonNull;
 use std::sync::Arc;
 
-use ngm_heap::AllocError;
-use ngm_offload::{ClientHandle, OffloadRuntime, RuntimeBuilder, StatsSnapshot, WaitStrategy};
+use ngm_heap::{AllocError, HeapStats};
+use ngm_offload::{
+    ClientHandle, OffloadRuntime, RuntimeBuilder, RuntimeTelemetry, StatsSnapshot, WaitStrategy,
+};
+use ngm_telemetry::clock::cycles_now;
+use ngm_telemetry::export::MetricsSnapshot;
+use ngm_telemetry::trace::TraceEventKind;
 
 use crate::orphan::OrphanStack;
 use crate::service::{AllocReq, FreeMsg, MallocService, ServiceStats};
+use crate::watch::SharedHeapStats;
 
 /// Configuration for [`NextGenMalloc::start`].
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +27,9 @@ pub struct NgmBuilder {
     pub server_wait: WaitStrategy,
     /// Capacity of each client's asynchronous free ring.
     pub free_ring_capacity: usize,
+    /// Per-thread event-trace ring capacity; `0` (the default) disables
+    /// tracing entirely, leaving only the always-on latency histograms.
+    pub trace_capacity: usize,
 }
 
 impl Default for NgmBuilder {
@@ -33,6 +42,7 @@ impl Default for NgmBuilder {
             client_wait: WaitStrategy::default(),
             server_wait: WaitStrategy::default(),
             free_ring_capacity: 4096,
+            trace_capacity: 0,
         }
     }
 }
@@ -42,16 +52,21 @@ impl NgmBuilder {
     pub fn start(self) -> NextGenMalloc {
         let orphans = Arc::new(OrphanStack::new());
         let service = MallocService::new(Arc::clone(&orphans));
+        // Keep observing the heap after the service thread takes the
+        // service (and its heap) away from us.
+        let heap_watch = Arc::clone(service.heap_watch());
         let mut rb = RuntimeBuilder::new()
             .server_wait(self.server_wait)
             .client_wait(self.client_wait)
-            .ring_capacity(self.free_ring_capacity);
+            .ring_capacity(self.free_ring_capacity)
+            .trace_capacity(self.trace_capacity);
         if let Some(core) = self.service_core {
             rb = rb.pin_to(core);
         }
         NextGenMalloc {
             runtime: rb.start(service),
             orphans,
+            heap_watch,
         }
     }
 }
@@ -61,6 +76,7 @@ impl NgmBuilder {
 pub struct NextGenMalloc {
     runtime: OffloadRuntime<MallocService>,
     orphans: Arc<OrphanStack>,
+    heap_watch: Arc<SharedHeapStats>,
 }
 
 impl NextGenMalloc {
@@ -92,6 +108,37 @@ impl NextGenMalloc {
         self.runtime.stats()
     }
 
+    /// The runtime's telemetry hub: latency histograms plus (when
+    /// enabled via [`NgmBuilder::trace_capacity`]) the event-trace rings.
+    pub fn telemetry(&self) -> &Arc<RuntimeTelemetry> {
+        self.runtime.telemetry()
+    }
+
+    /// A near-current view of the service heap, published by the service
+    /// thread during idle rounds. Fields may lag a busy service by one
+    /// publication; the stats returned by [`NextGenMalloc::shutdown`]
+    /// are exact.
+    pub fn live_heap_stats(&self) -> HeapStats {
+        self.heap_watch.load()
+    }
+
+    /// The full exportable metrics snapshot: offload-runtime counters,
+    /// gauges, and latency histograms, plus `ngm_heap_*` series mirrored
+    /// from the service heap.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = self.runtime.metrics();
+        let heap = self.heap_watch.load();
+        m.counter("ngm_heap_allocs_total", heap.total_allocs)
+            .counter("ngm_heap_frees_total", heap.total_frees)
+            .counter("ngm_heap_large_allocs_total", heap.large_allocs)
+            .gauge("ngm_heap_live_blocks", heap.live_blocks as i64)
+            .gauge("ngm_heap_live_bytes", heap.live_bytes as i64)
+            .gauge("ngm_heap_segments", heap.segments as i64)
+            .gauge("ngm_heap_pages_in_use", heap.pages_in_use as i64)
+            .gauge("ngm_heap_peak_live_bytes", heap.peak_live_bytes as i64);
+        m
+    }
+
     /// Stops the service thread and returns final statistics.
     ///
     /// All handles must be dropped or idle; posted frees are drained before
@@ -119,7 +166,14 @@ impl NgmHandle {
         if layout.size() == 0 {
             return Err(AllocError::ZeroSize);
         }
+        let t0 = self.client.trace_ring().is_some().then(cycles_now);
         let addr = self.client.call(AllocReq::from_layout(layout));
+        if let Some(t0) = t0 {
+            let rtt = cycles_now().saturating_sub(t0);
+            if let Some(ring) = self.client.trace_ring() {
+                ring.push(TraceEventKind::Alloc, layout.size() as u64, rtt);
+            }
+        }
         NonNull::new(addr as *mut u8).ok_or(AllocError::OutOfMemory)
     }
 
@@ -137,6 +191,9 @@ impl NgmHandle {
             size: layout.size(),
             align: layout.align(),
         });
+        if let Some(ring) = self.client.trace_ring() {
+            ring.push(TraceEventKind::Free, layout.size() as u64, 0);
+        }
     }
 
     /// Frees a small block by pushing it onto the orphan stack (no handle
@@ -257,6 +314,68 @@ mod tests {
         let (svc, heap, _) = ngm.shutdown();
         assert_eq!(svc.orphans_reclaimed, 1);
         assert_eq!(heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn latency_histograms_capture_alloc_and_free() {
+        let ngm = NextGenMalloc::start();
+        let mut h = ngm.handle();
+        for _ in 0..32 {
+            let p = h.alloc(layout(64)).unwrap();
+            // SAFETY: block from this handle's allocator.
+            unsafe { h.dealloc(p, layout(64)) };
+        }
+        let calls = ngm.telemetry().call_cycles.snapshot();
+        let posts = ngm.telemetry().post_cycles.snapshot();
+        assert_eq!(calls.count(), 32);
+        assert_eq!(posts.count(), 32);
+        assert!(calls.p50() <= calls.p99());
+    }
+
+    #[test]
+    fn tracing_records_allocs_and_frees_with_sizes() {
+        let ngm = NgmBuilder {
+            trace_capacity: 256,
+            ..NgmBuilder::default()
+        }
+        .start();
+        let mut h = ngm.handle();
+        let p = h.alloc(layout(96)).unwrap();
+        // SAFETY: block from this handle's allocator.
+        unsafe { h.dealloc(p, layout(96)) };
+        let drain = ngm.telemetry().drain_trace();
+        let allocs: Vec<_> = drain
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Alloc)
+            .collect();
+        let frees: Vec<_> = drain
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Free)
+            .collect();
+        assert_eq!(allocs.len(), 1);
+        assert_eq!(allocs[0].a, 96, "alloc event carries the size");
+        assert_eq!(frees.len(), 1);
+        assert_eq!(frees[0].a, 96, "free event carries the size");
+    }
+
+    #[test]
+    fn metrics_include_heap_series_after_idle_publish() {
+        let ngm = NextGenMalloc::start();
+        let mut h = ngm.handle();
+        let p = h.alloc(layout(128)).unwrap();
+        // The watch refreshes on the service's idle rounds.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while ngm.live_heap_stats().live_blocks == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let m = ngm.metrics();
+        assert_eq!(m.get_gauge("ngm_heap_live_blocks"), Some(1));
+        assert_eq!(m.get_counter("ngm_heap_allocs_total"), Some(1));
+        assert!(m.get_histogram("ngm_call_cycles").is_some());
+        // SAFETY: block from this handle's allocator.
+        unsafe { h.dealloc(p, layout(128)) };
     }
 
     #[test]

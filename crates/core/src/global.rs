@@ -192,6 +192,12 @@ pub fn global_stats() -> Option<ngm_offload::StatsSnapshot> {
     RUNTIME.get().map(|rt| rt.runtime_stats())
 }
 
+/// The global allocator's exportable metrics snapshot (counters, gauges,
+/// latency histograms, `ngm_heap_*` series), if the runtime has started.
+pub fn global_metrics() -> Option<ngm_telemetry::export::MetricsSnapshot> {
+    RUNTIME.get().map(|rt| rt.metrics())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

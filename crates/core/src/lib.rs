@@ -29,7 +29,9 @@ pub mod bootstrap;
 pub mod global;
 pub mod orphan;
 pub mod service;
+pub mod watch;
 
 pub use api::{NextGenMalloc, NgmBuilder, NgmHandle};
 pub use global::NgmAllocator;
 pub use service::{AllocReq, FreeMsg, MallocService, ServiceStats};
+pub use watch::SharedHeapStats;

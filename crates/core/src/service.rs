@@ -9,6 +9,7 @@ use ngm_heap::{Heap, HeapStats, SegregatedHeap};
 use ngm_offload::Service;
 
 use crate::orphan::OrphanStack;
+use crate::watch::SharedHeapStats;
 
 /// A synchronous allocation request (the contents of the paper's
 /// `requested_size` transfer).
@@ -76,6 +77,9 @@ pub struct MallocService {
     /// Allocations per size class since the last idle sweep — the demand
     /// signal for predictive preallocation.
     demand: [u32; NUM_CLASSES],
+    /// Cross-thread readable mirror of the heap stats, refreshed on idle
+    /// rounds (the heap itself is atomics-free and service-owned).
+    watch: Arc<SharedHeapStats>,
 }
 
 impl MallocService {
@@ -94,7 +98,15 @@ impl MallocService {
             stats: ServiceStats::default(),
             idle_ticks: 0,
             demand: [0; NUM_CLASSES],
+            watch: Arc::new(SharedHeapStats::new()),
         }
+    }
+
+    /// The live-readable heap-stats mirror. Clone the `Arc` before
+    /// handing the service to the runtime to keep observing the heap
+    /// while the service thread owns it.
+    pub fn heap_watch(&self) -> &Arc<SharedHeapStats> {
+        &self.watch
     }
 
     /// Service-side counters.
@@ -161,6 +173,7 @@ impl Service for MallocService {
 
     fn idle(&mut self) {
         self.drain_orphans();
+        self.watch.publish(&self.heap.stats());
         self.idle_ticks = self.idle_ticks.saturating_add(1);
         if self.idle_ticks == Self::PREPARE_IDLE {
             // Predictive preallocation (§3.3.2): spend idle cycles making
@@ -227,10 +240,7 @@ mod tests {
     #[test]
     fn orphans_reclaimed_on_idle() {
         let mut s = svc();
-        let addr = s.call(AllocReq {
-            size: 64,
-            align: 8,
-        });
+        let addr = s.call(AllocReq { size: 64, align: 8 });
         let orphans = Arc::clone(&s.orphans);
         // SAFETY: the block is live, we relinquish it to the stack.
         unsafe { orphans.push(NonNull::new(addr as *mut u8).unwrap()) };
@@ -260,13 +270,21 @@ mod tests {
     }
 
     #[test]
+    fn idle_publishes_heap_stats_to_watch() {
+        let mut s = svc();
+        let watch = Arc::clone(s.heap_watch());
+        assert_eq!(watch.load().live_blocks, 0);
+        let _addr = s.call(AllocReq { size: 64, align: 8 });
+        s.idle();
+        assert_eq!(watch.load().live_blocks, 1);
+        assert_eq!(watch.load(), s.heap_stats());
+    }
+
+    #[test]
     fn housekeeping_fires_after_long_idle() {
         let mut s = svc();
         // Allocate and free so a segment exists but is empty.
-        let addr = s.call(AllocReq {
-            size: 64,
-            align: 8,
-        });
+        let addr = s.call(AllocReq { size: 64, align: 8 });
         s.post(FreeMsg {
             addr,
             size: 64,

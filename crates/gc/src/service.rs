@@ -336,7 +336,7 @@ mod tests {
             m.alloc(&[], 9); // garbage
         }
         m.hint_collect(); // returns immediately
-        // Barrier to observe the result deterministically.
+                          // Barrier to observe the result deterministically.
         let stats = loop {
             let s = m.stats();
             if s.collections >= 1 {

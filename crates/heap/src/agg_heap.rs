@@ -335,7 +335,7 @@ mod tests {
         let p = h.allocate(layout(100)).unwrap();
         assert_eq!(h.stats().live_blocks, 1);
         assert_eq!(h.stats().live_bytes, 112); // class for 100
-        // SAFETY: live block.
+                                               // SAFETY: live block.
         unsafe { h.deallocate(p, layout(100)) };
         assert_eq!(h.stats().live_bytes, 0);
     }

@@ -91,7 +91,10 @@ mod tests {
             assert_eq!(s % 16, 0, "class {s} not a multiple of 16");
             prev = s;
         }
-        assert_eq!(class_to_size(SizeClass((NUM_CLASSES - 1) as u16)), SMALL_MAX);
+        assert_eq!(
+            class_to_size(SizeClass((NUM_CLASSES - 1) as u16)),
+            SMALL_MAX
+        );
     }
 
     #[test]

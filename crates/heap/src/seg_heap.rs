@@ -526,7 +526,9 @@ mod tests {
     #[test]
     fn release_empty_reclaims_segments() {
         let mut h = heap();
-        let ptrs: Vec<_> = (0..1000).map(|_| h.allocate(layout(4096)).unwrap()).collect();
+        let ptrs: Vec<_> = (0..1000)
+            .map(|_| h.allocate(layout(4096)).unwrap())
+            .collect();
         assert!(h.stats().segments >= 1);
         for p in ptrs {
             // SAFETY: live blocks.

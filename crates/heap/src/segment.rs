@@ -335,6 +335,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the test
     fn geometry_constants_consistent() {
         assert_eq!(PAGES_PER_SEGMENT, 64);
         assert_eq!(MAX_BLOCKS, 4096);

@@ -193,7 +193,7 @@ impl ShardHandle {
 
     fn maybe_drain(&mut self) {
         self.ops += 1;
-        if self.ops % DRAIN_INTERVAL == 0 {
+        if self.ops.is_multiple_of(DRAIN_INTERVAL) {
             self.drain_remote();
         }
     }
@@ -345,7 +345,7 @@ mod tests {
         let mut b = sh.handle(1);
         let p = a.allocate(layout(64)).unwrap();
         drop(a); // heap goes to graveyard, stays mapped
-        // SAFETY: block memory is still mapped (graveyard).
+                 // SAFETY: block memory is still mapped (graveyard).
         unsafe { b.deallocate(p, layout(64)) };
         assert_eq!(sh.remote_frees(), 1);
     }

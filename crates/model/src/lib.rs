@@ -18,8 +18,6 @@
 
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-
 /// `xalancbmk`'s malloc count from §4.1.
 pub const XALANC_MALLOCS: u64 = 138_401_260;
 
@@ -40,7 +38,7 @@ pub const MISS_PENALTY: f64 = 214.0;
 pub const ATOMICS_PER_CALL: u64 = 4;
 
 /// The §4.1 break-even model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BreakEven {
     /// malloc() calls in the workload.
     pub mallocs: u64,
@@ -220,8 +218,8 @@ mod tests {
         let baseline = 6.959e11;
         // Solve net = baseline * (1 - 1/1.0451).
         let target_net = baseline * (1.0 - 1.0 / 1.0451);
-        let needed = (target_net + m.overhead_cycles() as f64)
-            / (m.miss_penalty * m.calls() as f64);
+        let needed =
+            (target_net + m.overhead_cycles() as f64) / (m.miss_penalty * m.calls() as f64);
         assert!(
             (1.0..4.0).contains(&needed),
             "needed reduction {needed} should be a small per-call count"

@@ -28,6 +28,7 @@ pub mod ring;
 pub mod service;
 pub mod slot;
 pub mod stats;
+pub mod telemetry;
 pub mod wait;
 
 pub use pad::CachePadded;
@@ -36,4 +37,5 @@ pub use ring::{spsc, Consumer, Producer};
 pub use service::{ClientHandle, OffloadRuntime, RuntimeBuilder, Service};
 pub use slot::RequestSlot;
 pub use stats::{RuntimeStats, StatsSnapshot};
-pub use wait::WaitStrategy;
+pub use telemetry::RuntimeTelemetry;
+pub use wait::{WaitPhase, WaitStrategy};

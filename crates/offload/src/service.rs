@@ -10,11 +10,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use ngm_telemetry::clock::cycles_now;
+use ngm_telemetry::export::MetricsSnapshot;
+use ngm_telemetry::trace::{TraceEventKind, TraceRing};
+
 use crate::pin::pin_current_thread;
 use crate::ring::{spsc, Consumer, Producer, PushError};
 use crate::slot::RequestSlot;
 use crate::stats::{RuntimeStats, StatsSnapshot};
-use crate::wait::WaitStrategy;
+use crate::telemetry::RuntimeTelemetry;
+use crate::wait::{WaitPhase, WaitStrategy};
 
 /// A function offloaded to the dedicated core.
 ///
@@ -53,6 +58,7 @@ struct ClientChannel<S: Service> {
 struct Shared<S: Service> {
     stop: AtomicBool,
     stats: Arc<RuntimeStats>,
+    telemetry: Arc<RuntimeTelemetry>,
     injector: Mutex<Vec<ClientChannel<S>>>,
     has_new: AtomicBool,
 }
@@ -65,17 +71,29 @@ pub struct ClientHandle<S: Service> {
     posts: Producer<S::Post>,
     wait: WaitStrategy,
     stats: Arc<RuntimeStats>,
+    telemetry: Arc<RuntimeTelemetry>,
+    trace: Option<Arc<TraceRing>>,
 }
 
 impl<S: Service> ClientHandle<S> {
     /// Sends a synchronous request and blocks (by the handle's wait
     /// strategy) until the service core responds.
+    ///
+    /// The round trip is timestamped into the runtime's call-latency
+    /// histogram: one relaxed bucket increment plus one relaxed sum
+    /// increment — the whole telemetry cost on this path.
     pub fn call(&mut self, req: S::Req) -> S::Resp {
-        self.slot.call(req, self.wait)
+        let t0 = cycles_now();
+        let resp = self.slot.call(req, self.wait);
+        self.telemetry
+            .call_cycles
+            .record(cycles_now().saturating_sub(t0));
+        resp
     }
 
     /// Posts an asynchronous message, spinning if the ring is momentarily
-    /// full.
+    /// full. The enqueue latency (including full-ring retries) lands in
+    /// the runtime's post-latency histogram.
     ///
     /// # Panics
     ///
@@ -83,11 +101,12 @@ impl<S: Service> ClientHandle<S> {
     /// being posted — that is a client lifecycle bug, not a recoverable
     /// condition.
     pub fn post(&mut self, msg: S::Post) {
+        let t0 = cycles_now();
         let mut msg = msg;
         let mut iters = 0u32;
         loop {
             match self.posts.push(msg) {
-                Ok(()) => return,
+                Ok(()) => break,
                 Err(PushError::Full(m)) => {
                     self.stats.post_full_retries.fetch_add(1, Ordering::Relaxed);
                     msg = m;
@@ -98,11 +117,24 @@ impl<S: Service> ClientHandle<S> {
                 }
             }
         }
+        self.telemetry
+            .post_cycles
+            .record(cycles_now().saturating_sub(t0));
+        if let Some(ring) = &self.trace {
+            ring.push(TraceEventKind::Post, self.posts.len() as u64, 0);
+        }
     }
 
     /// Number of posted messages not yet drained (racy snapshot).
     pub fn pending_posts(&self) -> usize {
         self.posts.len()
+    }
+
+    /// This handle's event-trace ring, when tracing is enabled. Higher
+    /// layers push domain events (alloc/free with sizes) here; the
+    /// offload layer itself records post/refill/wait-transition events.
+    pub fn trace_ring(&self) -> Option<&Arc<TraceRing>> {
+        self.trace.as_ref()
     }
 }
 
@@ -113,6 +145,7 @@ pub struct RuntimeBuilder {
     client_wait: WaitStrategy,
     ring_capacity: usize,
     drain_batch: usize,
+    trace_capacity: usize,
 }
 
 impl Default for RuntimeBuilder {
@@ -123,6 +156,7 @@ impl Default for RuntimeBuilder {
             client_wait: WaitStrategy::default(),
             ring_capacity: 1024,
             drain_batch: 64,
+            trace_capacity: 0,
         }
     }
 }
@@ -164,6 +198,14 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables event tracing with a per-thread ring of `capacity` events
+    /// (0, the default, disables it). Rings drop their oldest event on
+    /// overflow and count the drops.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
     /// Starts the service thread running `service`.
     pub fn start<S: Service>(self, service: S) -> OffloadRuntime<S> {
         OffloadRuntime::start_with(service, self)
@@ -186,9 +228,14 @@ impl<S: Service> OffloadRuntime<S> {
 
     fn start_with(service: S, cfg: RuntimeBuilder) -> Self {
         let stats = Arc::new(RuntimeStats::new());
+        let telemetry = Arc::new(RuntimeTelemetry::new(cfg.trace_capacity));
+        // Claim the service loop's trace ring before any client can
+        // register, so runtime thread id 0 is always the service.
+        let service_trace = telemetry.new_ring();
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             stats: Arc::clone(&stats),
+            telemetry,
             injector: Mutex::new(Vec::new()),
             has_new: AtomicBool::new(false),
         });
@@ -199,6 +246,7 @@ impl<S: Service> OffloadRuntime<S> {
                 service_loop(
                     service,
                     thread_shared,
+                    service_trace,
                     cfg.core,
                     cfg.server_wait,
                     cfg.drain_batch,
@@ -235,12 +283,27 @@ impl<S: Service> OffloadRuntime<S> {
             posts: tx,
             wait: self.builder_wait,
             stats: Arc::clone(&self.shared.stats),
+            telemetry: Arc::clone(&self.shared.telemetry),
+            trace: self.shared.telemetry.new_ring(),
         }
     }
 
     /// A snapshot of the runtime's counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// The runtime's telemetry: latency histograms and trace rings.
+    pub fn telemetry(&self) -> &Arc<RuntimeTelemetry> {
+        &self.shared.telemetry
+    }
+
+    /// The full exportable metrics snapshot (counters, gauges, latency
+    /// histograms) — render it with
+    /// [`MetricsSnapshot::to_prometheus_text`] or
+    /// [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.telemetry.metrics(&self.stats())
     }
 
     /// Stops the service thread (draining outstanding posts first) and
@@ -272,6 +335,7 @@ impl<S: Service> Drop for OffloadRuntime<S> {
 fn service_loop<S: Service>(
     mut service: S,
     shared: Arc<Shared<S>>,
+    trace: Option<Arc<TraceRing>>,
     core: Option<usize>,
     wait: WaitStrategy,
     drain_batch: usize,
@@ -286,6 +350,7 @@ fn service_loop<S: Service>(
 
     let mut clients: Vec<ClientChannel<S>> = Vec::new();
     let mut iters = 0u32;
+    let mut phase = WaitPhase::Spin;
     loop {
         shared.stats.poll_rounds.fetch_add(1, Ordering::Relaxed);
         let stopping = shared.stop.load(Ordering::Acquire);
@@ -296,11 +361,13 @@ fn service_loop<S: Service>(
         }
 
         let mut work = 0usize;
+        let mut occupancy = 0usize;
         for c in &mut clients {
             if c.slot.serve(|q| service.call(q)) {
                 work += 1;
                 shared.stats.calls_served.fetch_add(1, Ordering::Relaxed);
             }
+            occupancy += c.posts.len();
             let drained = c.posts.drain(drain_batch, |m| service.post(m));
             if drained > 0 {
                 work += drained;
@@ -308,8 +375,16 @@ fn service_loop<S: Service>(
                     .stats
                     .posts_served
                     .fetch_add(drained as u64, Ordering::Relaxed);
+                if let Some(ring) = &trace {
+                    ring.push(TraceEventKind::Refill, drained as u64, 0);
+                }
             }
         }
+        // Gauge: total posts that were pending when this round looked.
+        shared
+            .stats
+            .ring_occupancy
+            .store(occupancy, Ordering::Relaxed);
 
         // Retire clients whose handle is gone and whose ring is drained.
         clients.retain(|c| !(c.posts.is_closed() && c.posts.is_empty() && !c.slot.has_request()));
@@ -327,6 +402,15 @@ fn service_loop<S: Service>(
             wait.pause(&mut iters);
         } else {
             iters = 0;
+        }
+        // Sample the wait loop's escalation phase; export transitions.
+        let now = wait.phase(iters);
+        if now != phase {
+            shared.stats.record_wait_phase(now);
+            if let Some(ring) = &trace {
+                ring.push(TraceEventKind::WaitTransition, phase as u64, now as u64);
+            }
+            phase = now;
         }
     }
     service
@@ -441,5 +525,83 @@ mod tests {
         let s = rt.stats();
         assert_eq!(s.calls_served, 1);
         assert!(s.poll_rounds >= 1);
+    }
+
+    #[test]
+    fn call_and_post_latencies_are_recorded() {
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        for i in 0..32 {
+            c.call(i);
+            c.post(i);
+        }
+        let m = rt.metrics();
+        let calls = m.get_histogram("ngm_call_cycles").expect("call histogram");
+        assert_eq!(calls.count(), 32);
+        assert!(calls.p50() > 0, "a round trip takes nonzero time");
+        assert!(calls.p50() <= calls.p99());
+        let posts = m.get_histogram("ngm_post_cycles").expect("post histogram");
+        assert_eq!(posts.count(), 32);
+        drop(c);
+        let (_, stats) = rt.shutdown();
+        assert_eq!(stats.calls_served, 32);
+    }
+
+    #[test]
+    fn tracing_captures_posts_refills_and_wait_transitions() {
+        let rt = RuntimeBuilder::new()
+            .trace_capacity(256)
+            .server_wait(WaitStrategy::Backoff)
+            .start(doubler());
+        let mut c = rt.register_client();
+        for i in 0..10 {
+            c.post(i);
+        }
+        c.call(1);
+        // Let the server go quiet long enough to escalate its wait phase.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let trace = rt.telemetry().drain_trace();
+        let kinds: std::collections::HashSet<_> = trace.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TraceEventKind::Post), "client posts traced");
+        assert!(kinds.contains(&TraceEventKind::Refill), "drains traced");
+        assert!(
+            kinds.contains(&TraceEventKind::WaitTransition),
+            "idle escalation traced"
+        );
+        // Service ring is always runtime thread 0; the client is 1.
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.kind == TraceEventKind::Post && e.thread == 1));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.kind == TraceEventKind::WaitTransition && e.thread == 0));
+        let stats = rt.stats();
+        assert!(stats.wait_transitions > 0);
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        assert!(c.trace_ring().is_none());
+        c.call(1);
+        c.post(1);
+        assert!(rt.telemetry().drain_trace().events.is_empty());
+    }
+
+    #[test]
+    fn ring_occupancy_gauge_moves() {
+        let rt = RuntimeBuilder::new().drain_batch(1).start(doubler());
+        let mut c = rt.register_client();
+        for i in 0..200 {
+            c.post(i);
+        }
+        drop(c);
+        let (_, stats) = rt.shutdown();
+        // All posts eventually drained; the gauge ends at zero.
+        assert_eq!(stats.posts_served, 200);
+        assert_eq!(stats.ring_occupancy, 0);
     }
 }

@@ -1,15 +1,18 @@
 //! Runtime statistics for the offload service thread.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use crate::wait::WaitPhase;
 
 /// Sentinel for "no core pinned".
 const NOT_PINNED: usize = usize::MAX;
 
 /// Live counters updated by the service thread and client handles.
 ///
-/// All fields are monotonically increasing; read a coherent view with
-/// [`RuntimeStats::snapshot`].
-#[derive(Debug, Default)]
+/// Counter fields are monotonically increasing; `ring_occupancy` and
+/// `wait_phase` are gauges the service loop overwrites each round. Read a
+/// coherent view with [`RuntimeStats::snapshot`].
+#[derive(Debug)]
 pub struct RuntimeStats {
     /// Synchronous requests served.
     pub calls_served: AtomicU64,
@@ -23,6 +26,14 @@ pub struct RuntimeStats {
     pub clients_registered: AtomicU64,
     /// Times a client found its post ring full and had to retry.
     pub post_full_retries: AtomicU64,
+    /// Gauge: posts pending across all client rings, as of the service
+    /// loop's last poll round.
+    pub ring_occupancy: AtomicUsize,
+    /// Gauge: the service wait loop's current [`WaitPhase`] (as `u32`).
+    pub wait_phase: AtomicU32,
+    /// Times the service wait loop changed phase (spin → yield → sleep,
+    /// or any phase → spin when work arrived).
+    pub wait_transitions: AtomicU64,
     /// Whether the service thread asked to be pinned.
     pub pin_requested: AtomicBool,
     /// Core the service thread was pinned to, or `usize::MAX`.
@@ -44,21 +55,55 @@ pub struct StatsSnapshot {
     pub clients_registered: u64,
     /// Times a client found its post ring full and had to retry.
     pub post_full_retries: u64,
+    /// Posts pending across all client rings at the last poll round.
+    pub ring_occupancy: usize,
+    /// The service wait loop's phase when the snapshot was taken.
+    pub wait_phase: WaitPhase,
+    /// Wait-loop phase transitions so far.
+    pub wait_transitions: u64,
     /// Core the service thread ended up pinned to, if any.
     pub pinned_core: Option<usize>,
 }
 
+impl Default for RuntimeStats {
+    /// Equivalent to [`RuntimeStats::new`].
+    ///
+    /// A derived `Default` would zero `pinned_core`, making fresh stats
+    /// claim a pin to core 0; the sentinel must be set explicitly.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl RuntimeStats {
-    /// Creates zeroed stats.
+    /// Creates zeroed stats (with `pinned_core` at its "not pinned"
+    /// sentinel).
     pub fn new() -> Self {
-        let s = RuntimeStats::default();
-        s.pinned_core.store(NOT_PINNED, Ordering::Relaxed);
-        s
+        RuntimeStats {
+            calls_served: AtomicU64::new(0),
+            posts_served: AtomicU64::new(0),
+            poll_rounds: AtomicU64::new(0),
+            empty_rounds: AtomicU64::new(0),
+            clients_registered: AtomicU64::new(0),
+            post_full_retries: AtomicU64::new(0),
+            ring_occupancy: AtomicUsize::new(0),
+            wait_phase: AtomicU32::new(WaitPhase::Spin as u32),
+            wait_transitions: AtomicU64::new(0),
+            pin_requested: AtomicBool::new(false),
+            pinned_core: AtomicUsize::new(NOT_PINNED),
+        }
     }
 
     /// Records a successful pin.
     pub fn record_pin(&self, core: usize) {
         self.pinned_core.store(core, Ordering::Relaxed);
+    }
+
+    /// Records a wait-loop phase change (gauge overwrite plus transition
+    /// count). Called by the service loop only.
+    pub fn record_wait_phase(&self, phase: WaitPhase) {
+        self.wait_phase.store(phase as u32, Ordering::Relaxed);
+        self.wait_transitions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Takes a point-in-time copy of all counters.
@@ -71,6 +116,9 @@ impl RuntimeStats {
             empty_rounds: self.empty_rounds.load(Ordering::Relaxed),
             clients_registered: self.clients_registered.load(Ordering::Relaxed),
             post_full_retries: self.post_full_retries.load(Ordering::Relaxed),
+            ring_occupancy: self.ring_occupancy.load(Ordering::Relaxed),
+            wait_phase: WaitPhase::from_u32(self.wait_phase.load(Ordering::Relaxed)),
+            wait_transitions: self.wait_transitions.load(Ordering::Relaxed),
             pinned_core: (pinned != NOT_PINNED).then_some(pinned),
         }
     }
@@ -98,6 +146,14 @@ mod tests {
     }
 
     #[test]
+    fn default_stats_report_unpinned() {
+        // Regression: a derived `Default` left `pinned_core` at 0, so
+        // default-constructed stats claimed a pin to core 0.
+        let s = RuntimeStats::default();
+        assert_eq!(s.snapshot().pinned_core, None);
+    }
+
+    #[test]
     fn record_pin_shows_in_snapshot() {
         let s = RuntimeStats::new();
         s.record_pin(3);
@@ -111,5 +167,16 @@ mod tests {
         s.poll_rounds.store(10, Ordering::Relaxed);
         s.empty_rounds.store(4, Ordering::Relaxed);
         assert!((s.snapshot().idle_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_phase_gauge_tracks_transitions() {
+        let s = RuntimeStats::new();
+        assert_eq!(s.snapshot().wait_phase, WaitPhase::Spin);
+        assert_eq!(s.snapshot().wait_transitions, 0);
+        s.record_wait_phase(WaitPhase::Sleep);
+        let snap = s.snapshot();
+        assert_eq!(snap.wait_phase, WaitPhase::Sleep);
+        assert_eq!(snap.wait_transitions, 1);
     }
 }

@@ -1,0 +1,204 @@
+//! Per-runtime telemetry: request-latency histograms, trace rings, and
+//! the metrics snapshot assembly.
+//!
+//! One [`RuntimeTelemetry`] is shared (via `Arc`) between the service
+//! loop and every [`crate::ClientHandle`]. The client fast path touches
+//! it exactly once per request — a histogram record, which is one relaxed
+//! bucket increment plus one relaxed sum increment — keeping measurement
+//! overhead far below the round-trip being measured (§4.1's `T_comm`).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ngm_telemetry::export::MetricsSnapshot;
+use ngm_telemetry::hist::LatencyHistogram;
+use ngm_telemetry::trace::{TraceDrain, TraceRing};
+
+use crate::stats::StatsSnapshot;
+
+/// Telemetry shared by one offload runtime and all its clients.
+pub struct RuntimeTelemetry {
+    /// Round-trip latency of synchronous calls (allocations in the malloc
+    /// deployment), in [`ngm_telemetry::clock::cycles_now`] units.
+    pub call_cycles: LatencyHistogram,
+    /// Latency of fire-and-forget posts (asynchronous frees): time to
+    /// place the message in the ring, including full-ring retries.
+    pub post_cycles: LatencyHistogram,
+    /// Capacity of each per-thread trace ring; 0 disables tracing.
+    trace_capacity: usize,
+    /// All trace rings ever created for this runtime (service loop plus
+    /// one per client), kept for draining.
+    rings: Mutex<Vec<Arc<TraceRing>>>,
+    next_thread: AtomicU32,
+}
+
+impl std::fmt::Debug for RuntimeTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeTelemetry")
+            .field("trace_capacity", &self.trace_capacity)
+            .field("call_cycles", &self.call_cycles)
+            .field("post_cycles", &self.post_cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeTelemetry {
+    /// Creates telemetry; `trace_capacity` of 0 disables event tracing
+    /// (histograms and gauges are always on — they are too cheap to
+    /// gate).
+    #[must_use]
+    pub fn new(trace_capacity: usize) -> Self {
+        RuntimeTelemetry {
+            call_cycles: LatencyHistogram::new(),
+            post_cycles: LatencyHistogram::new(),
+            trace_capacity,
+            rings: Mutex::new(Vec::new()),
+            next_thread: AtomicU32::new(0),
+        }
+    }
+
+    /// Whether event tracing is enabled.
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace_capacity > 0
+    }
+
+    /// Creates (and retains for draining) a trace ring with the next
+    /// runtime thread id, or `None` when tracing is disabled. Thread id 0
+    /// is the service loop — it registers first.
+    pub fn new_ring(&self) -> Option<Arc<TraceRing>> {
+        if self.trace_capacity == 0 {
+            return None;
+        }
+        let thread = self.next_thread.fetch_add(1, Ordering::Relaxed);
+        let ring = Arc::new(TraceRing::new(thread, self.trace_capacity));
+        self.lock_rings().push(Arc::clone(&ring));
+        Some(ring)
+    }
+
+    fn lock_rings(&self) -> std::sync::MutexGuard<'_, Vec<Arc<TraceRing>>> {
+        self.rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Drains every ring, returning all events merged in timestamp order
+    /// plus the summed overflow-drop count.
+    #[must_use]
+    pub fn drain_trace(&self) -> TraceDrain {
+        let rings: Vec<Arc<TraceRing>> = self.lock_rings().clone();
+        let mut events = Vec::new();
+        let mut dropped_total = 0;
+        for r in rings {
+            let d = r.drain();
+            events.extend(d.events);
+            dropped_total += d.dropped_total;
+        }
+        events.sort_by_key(|e| e.tsc);
+        TraceDrain {
+            events,
+            dropped_total,
+        }
+    }
+
+    /// Total trace events lost to ring overflow so far (without
+    /// draining).
+    #[must_use]
+    pub fn trace_dropped_total(&self) -> u64 {
+        self.lock_rings().iter().map(|r| r.dropped_total()).sum()
+    }
+
+    /// Assembles the exportable metrics snapshot: the runtime's counters
+    /// and gauges (from `stats`) plus both latency histograms.
+    #[must_use]
+    pub fn metrics(&self, stats: &StatsSnapshot) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.counter("ngm_calls_total", stats.calls_served)
+            .counter("ngm_posts_total", stats.posts_served)
+            .counter("ngm_poll_rounds_total", stats.poll_rounds)
+            .counter("ngm_empty_rounds_total", stats.empty_rounds)
+            .counter("ngm_clients_registered_total", stats.clients_registered)
+            .counter("ngm_post_full_retries_total", stats.post_full_retries)
+            .counter("ngm_wait_transitions_total", stats.wait_transitions)
+            .counter("ngm_trace_dropped_total", self.trace_dropped_total())
+            .gauge("ngm_ring_occupancy", stats.ring_occupancy as i64)
+            .gauge("ngm_wait_phase", stats.wait_phase as i64)
+            .gauge(
+                "ngm_pinned_core",
+                stats.pinned_core.map_or(-1, |c| c as i64),
+            )
+            .gauge(
+                "ngm_clock_is_tsc",
+                i64::from(ngm_telemetry::clock::source() == "tsc_cycles"),
+            )
+            .histogram("ngm_call_cycles", self.call_cycles.snapshot())
+            .histogram("ngm_post_cycles", self.post_cycles.snapshot());
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngm_telemetry::trace::TraceEventKind;
+
+    #[test]
+    fn disabled_tracing_yields_no_rings() {
+        let t = RuntimeTelemetry::new(0);
+        assert!(!t.tracing_enabled());
+        assert!(t.new_ring().is_none());
+        assert!(t.drain_trace().events.is_empty());
+    }
+
+    #[test]
+    fn rings_get_distinct_thread_ids() {
+        let t = RuntimeTelemetry::new(16);
+        let a = t.new_ring().unwrap();
+        let b = t.new_ring().unwrap();
+        a.push(TraceEventKind::Post, 1, 0);
+        b.push(TraceEventKind::Post, 2, 0);
+        let d = t.drain_trace();
+        let mut threads: Vec<u32> = d.events.iter().map(|e| e.thread).collect();
+        threads.sort_unstable();
+        assert_eq!(threads, vec![0, 1]);
+    }
+
+    #[test]
+    fn drain_merges_in_timestamp_order() {
+        let t = RuntimeTelemetry::new(64);
+        let a = t.new_ring().unwrap();
+        let b = t.new_ring().unwrap();
+        for i in 0..10 {
+            if i % 2 == 0 {
+                a.push(TraceEventKind::Alloc, i, 0);
+            } else {
+                b.push(TraceEventKind::Free, i, 0);
+            }
+        }
+        let d = t.drain_trace();
+        assert_eq!(d.events.len(), 10);
+        assert!(d.events.windows(2).all(|w| w[0].tsc <= w[1].tsc));
+    }
+
+    #[test]
+    fn metrics_snapshot_contains_everything() {
+        let t = RuntimeTelemetry::new(0);
+        t.call_cycles.record(100);
+        t.call_cycles.record(200);
+        t.post_cycles.record(30);
+        let stats = crate::stats::RuntimeStats::new().snapshot();
+        let m = t.metrics(&stats);
+        assert_eq!(m.get_counter("ngm_calls_total"), Some(0));
+        assert_eq!(m.get_gauge("ngm_pinned_core"), Some(-1));
+        assert_eq!(
+            m.get_histogram("ngm_call_cycles").map(|h| h.count()),
+            Some(2)
+        );
+        assert_eq!(
+            m.get_histogram("ngm_post_cycles").map(|h| h.count()),
+            Some(1)
+        );
+        let text = m.to_prometheus_text();
+        assert!(text.contains("ngm_call_cycles{quantile=\"0.99\"}"));
+    }
+}

@@ -10,6 +10,45 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
+/// The observable state of a wait loop: which escalation stage a thread
+/// is in after a given number of fruitless probes. Telemetry samples
+/// these (the service loop exports phase-transition counts), so the
+/// mapping from iteration count to phase is public API, not an
+/// implementation detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum WaitPhase {
+    /// Busy-spinning (or actively finding work).
+    #[default]
+    Spin = 0,
+    /// Interleaving `yield_now`.
+    Yield = 1,
+    /// Sleeping in escalating intervals.
+    Sleep = 2,
+}
+
+impl WaitPhase {
+    /// Stable lowercase label used by exporters.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            WaitPhase::Spin => "spin",
+            WaitPhase::Yield => "yield",
+            WaitPhase::Sleep => "sleep",
+        }
+    }
+
+    /// Inverse of `as u32` casts used when a phase travels through an
+    /// atomic; unknown values collapse to `Spin`.
+    #[must_use]
+    pub const fn from_u32(v: u32) -> Self {
+        match v {
+            1 => WaitPhase::Yield,
+            2 => WaitPhase::Sleep,
+            _ => WaitPhase::Spin,
+        }
+    }
+}
+
 /// How a thread waits for a condition that another core will signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WaitStrategy {
@@ -48,32 +87,49 @@ impl WaitStrategy {
         }
     }
 
+    /// The escalation phase this strategy is in after `iters` fruitless
+    /// probes. `pause` acts according to `phase(iters + 1)`; the split
+    /// lets the service loop observe (and export) phase transitions
+    /// without duplicating the thresholds.
+    #[inline]
+    #[must_use]
+    pub fn phase(self, iters: u32) -> WaitPhase {
+        match self {
+            WaitStrategy::Spin => WaitPhase::Spin,
+            WaitStrategy::SpinYield { spins } => {
+                if iters < spins {
+                    WaitPhase::Spin
+                } else {
+                    WaitPhase::Yield
+                }
+            }
+            WaitStrategy::Backoff => {
+                if iters < 16 {
+                    WaitPhase::Spin
+                } else if iters < 64 {
+                    WaitPhase::Yield
+                } else {
+                    WaitPhase::Sleep
+                }
+            }
+        }
+    }
+
     /// One backoff step; `iters` is the caller's loop counter.
     #[inline]
     pub fn pause(self, iters: &mut u32) {
         *iters = iters.saturating_add(1);
-        match self {
-            WaitStrategy::Spin => std::hint::spin_loop(),
-            WaitStrategy::SpinYield { spins } => {
-                if *iters < spins {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
-            WaitStrategy::Backoff => {
-                if *iters < 16 {
-                    std::hint::spin_loop();
-                } else if *iters < 64 {
-                    std::thread::yield_now();
-                } else {
-                    // Cap the sleep low: on oversubscribed machines the
-                    // round-trip latency is bounded by this interval, and
-                    // a 32 us ceiling keeps the allocator usable even when
-                    // client and service share one core.
-                    let exp = (*iters - 64).min(5);
-                    std::thread::sleep(Duration::from_micros(1 << exp));
-                }
+        match self.phase(*iters) {
+            WaitPhase::Spin => std::hint::spin_loop(),
+            WaitPhase::Yield => std::thread::yield_now(),
+            WaitPhase::Sleep => {
+                // Only Backoff reaches here. Cap the sleep low: on
+                // oversubscribed machines the round-trip latency is
+                // bounded by this interval, and a 32 us ceiling keeps the
+                // allocator usable even when client and service share one
+                // core.
+                let exp = (*iters - 64).min(5);
+                std::thread::sleep(Duration::from_micros(1 << exp));
             }
         }
     }
@@ -125,6 +181,31 @@ mod tests {
             WaitStrategy::Backoff.pause(&mut iters);
         }
         assert_eq!(iters, 70);
+    }
+
+    #[test]
+    fn phases_escalate_at_documented_thresholds() {
+        let b = WaitStrategy::Backoff;
+        assert_eq!(b.phase(0), WaitPhase::Spin);
+        assert_eq!(b.phase(15), WaitPhase::Spin);
+        assert_eq!(b.phase(16), WaitPhase::Yield);
+        assert_eq!(b.phase(63), WaitPhase::Yield);
+        assert_eq!(b.phase(64), WaitPhase::Sleep);
+
+        let sy = WaitStrategy::SpinYield { spins: 8 };
+        assert_eq!(sy.phase(7), WaitPhase::Spin);
+        assert_eq!(sy.phase(8), WaitPhase::Yield);
+        assert_eq!(sy.phase(u32::MAX), WaitPhase::Yield);
+
+        assert_eq!(WaitStrategy::Spin.phase(u32::MAX), WaitPhase::Spin);
+    }
+
+    #[test]
+    fn phase_u32_roundtrip() {
+        for p in [WaitPhase::Spin, WaitPhase::Yield, WaitPhase::Sleep] {
+            assert_eq!(WaitPhase::from_u32(p as u32), p);
+        }
+        assert_eq!(WaitPhase::from_u32(99), WaitPhase::Spin);
     }
 
     #[test]

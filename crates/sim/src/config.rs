@@ -1,9 +1,7 @@
 //! Machine, cache, TLB, and cost-model configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one set-associative cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes. Must be `ways * sets * LINE_SIZE`.
     pub size_bytes: u64,
@@ -30,7 +28,8 @@ impl CacheConfig {
     /// Number of sets implied by the geometry.
     pub fn sets(&self) -> u64 {
         assert!(
-            self.size_bytes % (u64::from(self.ways) * crate::LINE_SIZE) == 0,
+            self.size_bytes
+                .is_multiple_of(u64::from(self.ways) * crate::LINE_SIZE),
             "capacity must divide evenly into ways * line size"
         );
         self.size_bytes / (u64::from(self.ways) * crate::LINE_SIZE)
@@ -38,7 +37,7 @@ impl CacheConfig {
 }
 
 /// Geometry of one TLB level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// Number of page-translation entries.
     pub entries: u32,
@@ -62,7 +61,10 @@ impl TlbConfig {
     /// Panics if `entries` is not divisible by `ways` or sets is not a power
     /// of two.
     pub fn set_assoc(entries: u32, ways: u32) -> Self {
-        assert!(entries % ways == 0, "entries must divide into ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must divide into ways"
+        );
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         TlbConfig { entries, ways }
@@ -75,7 +77,7 @@ impl TlbConfig {
 }
 
 /// The kind of core, per the paper's §3.2 "Type of Core to Offload to".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreType {
     /// A big out-of-order application core (the paper's "other rooms").
     BigOutOfOrder,
@@ -86,7 +88,7 @@ pub enum CoreType {
 }
 
 /// Per-core configuration: pipeline throughput plus private cache geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreConfig {
     /// Which kind of core this is.
     pub core_type: CoreType,
@@ -174,7 +176,7 @@ impl CoreConfig {
 /// cycles come from the paper's §3.1.1 (citing Rajaram et al. and
 /// Asgharzadeh et al.); the 214-cycle average LLC/TLB miss penalty is the
 /// §4.1 estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// L1 data-cache hit latency.
     pub l1_hit: u64,
@@ -213,7 +215,7 @@ impl Default for CostModel {
 
 /// Full machine configuration: one entry in `cores` per simulated core, a
 /// shared LLC, and the latency model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Per-core configurations. Core IDs index into this vector.
     pub cores: Vec<CoreConfig>,

@@ -1,15 +1,13 @@
 //! PMU-style counters matching the quantities reported in the paper's
 //! Tables 1–3.
 
-use serde::{Deserialize, Serialize};
-
 /// The counter set the paper reports per run.
 ///
 /// `cycles` and `instructions` are accumulated by the machine's cost model;
 /// the miss counters distinguish loads from stores the way `perf`'s
 /// `LLC-load-misses` / `LLC-store-misses` / `dTLB-load-misses` /
 /// `dTLB-store-misses` events do.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PmuCounters {
     /// Simulated cycles.
     pub cycles: u64,

@@ -206,8 +206,7 @@ impl Machine {
                 continue;
             }
 
-            if !core_cfg.own_cluster
-                && self.llc.access(line, is_write) == crate::cache::Lookup::Hit
+            if !core_cfg.own_cluster && self.llc.access(line, is_write) == crate::cache::Lookup::Hit
             {
                 latency += cost.llc_hit;
                 continue;
@@ -234,8 +233,11 @@ impl Machine {
         } else {
             core_cfg.mlp.max(1.0)
         };
-        let trans_mlp = core_cfg.mlp.max(1.0).min(2.0);
-        self.add_cycles(core, latency as f64 / mlp + trans_latency as f64 / trans_mlp);
+        let trans_mlp = core_cfg.mlp.clamp(1.0, 2.0);
+        self.add_cycles(
+            core,
+            latency as f64 / mlp + trans_latency as f64 / trans_mlp,
+        );
         latency + trans_latency
     }
 

@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn set_associative_maps_by_vpn() {
         let mut t = Tlb::new(TlbConfig::set_assoc(4, 2)); // 2 sets
-        // Pages 0 and 2 map to set 0; pages 1 and 3 to set 1.
+                                                          // Pages 0 and 2 map to set 0; pages 1 and 3 to set 1.
         t.access(0);
         t.access(2 * PAGE_SIZE);
         t.access(4 * PAGE_SIZE); // set 0 again -> evicts page 0

@@ -246,17 +246,13 @@ mod diag {
             // Distinct 4KiB pages per window of 64 consecutive nodes.
             let mut pages_per_win = Vec::new();
             for w in node_addrs.chunks(64) {
-                let pages: std::collections::HashSet<u64> =
-                    w.iter().map(|a| a >> 12).collect();
+                let pages: std::collections::HashSet<u64> = w.iter().map(|a| a >> 12).collect();
                 pages_per_win.push(pages.len());
             }
             let avg: f64 =
                 pages_per_win.iter().sum::<usize>() as f64 / pages_per_win.len().max(1) as f64;
             // Mean jump between consecutive nodes.
-            let jumps: Vec<u64> = node_addrs
-                .windows(2)
-                .map(|w| w[0].abs_diff(w[1]))
-                .collect();
+            let jumps: Vec<u64> = node_addrs.windows(2).map(|w| w[0].abs_diff(w[1])).collect();
             let med = {
                 let mut j = jumps.clone();
                 j.sort_unstable();

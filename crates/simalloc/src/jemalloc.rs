@@ -125,9 +125,7 @@ impl AllocModel for JemallocModel {
             self.atomics += 1;
             machine.retire(core, 110);
             for _ in 0..TCACHE_CAP / 2 {
-                let a = self.tcache[core][class]
-                    .pop()
-                    .expect("tcache above cap");
+                let a = self.tcache[core][class].pop().expect("tcache above cap");
                 // The block may belong to a different arena than the one
                 // this core drains to; route it home.
                 let home = self
@@ -188,7 +186,9 @@ mod tests {
         let mut m = machine(2);
         let mut a = JemallocModel::new(2);
         // Core 0 allocates from arena 0; core 1 frees them (arena 1 core).
-        let ps: Vec<u64> = (0..TCACHE_CAP + 4).map(|_| a.malloc(&mut m, 0, 64)).collect();
+        let ps: Vec<u64> = (0..TCACHE_CAP + 4)
+            .map(|_| a.malloc(&mut m, 0, 64))
+            .collect();
         for p in ps {
             a.free(&mut m, 1, p, 64);
         }

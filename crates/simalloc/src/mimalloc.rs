@@ -84,7 +84,7 @@ impl AllocModel for MimallocModel {
         };
         machine.retire(core, 18);
         self.allocs[core] += 1;
-        if self.allocs[core] % COLLECT_INTERVAL == 0 && !self.pending[core].is_empty() {
+        if self.allocs[core].is_multiple_of(COLLECT_INTERVAL) && !self.pending[core].is_empty() {
             // Detaching a thread_free list is one atomic per page batch.
             machine.access(
                 core,

@@ -140,7 +140,10 @@ impl AllocModel for PtMalloc2Model {
         let base = if let Some((csize, base)) = found {
             // Bin walk: touch the bin head and the chunk's own links
             // (which live in the dead chunk — aggregated layout).
-            machine.access(core, Access::load(self.bin_addr(csize), 8, AccessClass::Meta));
+            machine.access(
+                core,
+                Access::load(self.bin_addr(csize), 8, AccessClass::Meta),
+            );
             machine.access(core, Access::load(base, 16, AccessClass::Meta));
             machine.retire(core, 40);
             self.remove_free(base, csize);
@@ -151,7 +154,10 @@ impl AllocModel for PtMalloc2Model {
                 // Writing the remainder's boundary tag touches arena
                 // memory adjacent to live data.
                 machine.access(core, Access::store(rem_base, 16, AccessClass::Meta));
-                machine.access(core, Access::store(self.bin_addr(rem), 8, AccessClass::Meta));
+                machine.access(
+                    core,
+                    Access::store(self.bin_addr(rem), 8, AccessClass::Meta),
+                );
             }
             base
         } else {
@@ -217,7 +223,10 @@ impl AllocModel for PtMalloc2Model {
         self.insert_free(base, csize);
         // Updated boundary tag + bin insertion.
         machine.access(core, Access::store(base, 16, AccessClass::Meta));
-        machine.access(core, Access::store(self.bin_addr(csize), 8, AccessClass::Meta));
+        machine.access(
+            core,
+            Access::store(self.bin_addr(csize), 8, AccessClass::Meta),
+        );
         self.unlock(machine, core);
     }
 

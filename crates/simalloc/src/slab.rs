@@ -226,7 +226,9 @@ impl SlabHeap {
     ///
     /// Panics if `addr` does not belong to this heap.
     pub fn free(&mut self, machine: &mut Machine, core: usize, addr: u64) {
-        let pid = self.page_of(addr).expect("free of address not in slab heap");
+        let pid = self
+            .page_of(addr)
+            .expect("free of address not in slab heap");
         machine.access(
             core,
             Access::load(self.desc_addr(pid), 16, AccessClass::Meta),

@@ -49,8 +49,7 @@ impl TcMallocModel {
         let central_meta = space.reserve(64 * CLASS_SIZES.len() as u64, 4096);
         let tls_base = (0..threads).map(|_| space.reserve(4096, 4096)).collect();
         // TCMalloc spans for small classes are 8 KiB.
-        let central =
-            SlabHeap::with_page_size(&mut space, MetaTraffic::InBlock, usize::MAX, 8192);
+        let central = SlabHeap::with_page_size(&mut space, MetaTraffic::InBlock, usize::MAX, 8192);
         TcMallocModel {
             space,
             central,

@@ -1,0 +1,77 @@
+//! Cycle-resolution timestamps.
+//!
+//! On x86_64 this reads the TSC directly (`rdtsc`), which costs ~20
+//! cycles and does not serialize the pipeline — cheap enough to bracket
+//! individual allocator calls. Caveats, also documented in DESIGN.md:
+//!
+//! * Modern TSCs are *invariant* (constant-rate, synchronized across
+//!   cores), so deltas are meaningful even when a request is timed on the
+//!   client core and a reply lands after a migration. On exotic or very
+//!   old hardware without invariant TSC, cross-core deltas can skew.
+//! * `rdtsc` is not a serializing instruction; out-of-order execution can
+//!   shift a reading by a few cycles. Fine for histograms, not for
+//!   cycle-exact microbenchmarks (use fenced variants there).
+//!
+//! On other architectures the fallback is `Instant`-based monotonic
+//! nanoseconds; [`source`] reports which one is active so exported
+//! metrics can label their unit.
+
+#[cfg(not(target_arch = "x86_64"))]
+use std::sync::OnceLock;
+#[cfg(not(target_arch = "x86_64"))]
+use std::time::Instant;
+
+/// Current timestamp in cycles (x86_64) or nanoseconds (elsewhere).
+///
+/// Only differences between two readings are meaningful.
+#[must_use]
+pub fn cycles_now() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_rdtsc` has no preconditions; it reads a counter register.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Unit label for [`cycles_now`] readings: `"tsc_cycles"` or
+/// `"monotonic_ns"`.
+#[must_use]
+pub const fn source() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        "tsc_cycles"
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "monotonic_ns"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_advance() {
+        let a = cycles_now();
+        // Do a little real work so even a coarse clock ticks.
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = cycles_now();
+        assert!(b >= a, "timestamp went backwards: {a} -> {b}");
+    }
+
+    #[test]
+    fn source_is_labelled() {
+        assert!(["tsc_cycles", "monotonic_ns"].contains(&source()));
+    }
+}

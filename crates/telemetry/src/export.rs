@@ -1,0 +1,231 @@
+//! Metric exporters: Prometheus text exposition and JSON snapshots.
+//!
+//! The runtime assembles a [`MetricsSnapshot`] — an ordered bag of named
+//! counters, gauges, and histogram snapshots — and the exporters render
+//! it. Histograms are exported Prometheus-summary style (`{quantile=...}`
+//! series plus `_count`/`_sum`) rather than as 976 raw `_bucket` series.
+//!
+//! Both encoders are hand-rolled; the workspace builds without serde.
+
+use crate::hist::HistogramSnapshot;
+
+/// A point-in-time collection of named metrics.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsSnapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a counter sample. Names must be Prometheus-safe
+    /// (`[a-zA-Z_][a-zA-Z0-9_]*`); callers use static literals.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) -> &mut Self {
+        self.counters.push((name.into(), value));
+        self
+    }
+
+    /// Adds a gauge sample.
+    pub fn gauge(&mut self, name: impl Into<String>, value: i64) -> &mut Self {
+        self.gauges.push((name.into(), value));
+        self
+    }
+
+    /// Adds a histogram snapshot.
+    pub fn histogram(&mut self, name: impl Into<String>, snap: HistogramSnapshot) -> &mut Self {
+        self.histograms.push((name.into(), snap));
+        self
+    }
+
+    /// Looks up a histogram by name.
+    #[must_use]
+    pub fn get_histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Looks up a counter by name.
+    #[must_use]
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    #[must_use]
+    pub fn get_gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Renders Prometheus text exposition format (version 0.0.4).
+    #[must_use]
+    pub fn to_prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [
+                (0.5, h.p50()),
+                (0.9, h.p90()),
+                (0.99, h.p99()),
+                (1.0, h.max()),
+            ] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+
+    /// Renders a JSON document:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,p50,p90,p99,max}}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let _ = write!(out, "{}{}:{v}", comma(i), json_str(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let _ = write!(out, "{}{}:{v}", comma(i), json_str(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{}:{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                comma(i),
+                json_str(name),
+                h.count(),
+                h.sum(),
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max(),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn comma(i: usize) -> &'static str {
+    if i == 0 {
+        ""
+    } else {
+        ","
+    }
+}
+
+/// Quotes a metric name as a JSON string (escaping `"` and `\`, which
+/// never appear in well-formed metric names, defensively).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    fn sample() -> MetricsSnapshot {
+        let h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let mut m = MetricsSnapshot::new();
+        m.counter("ngm_calls_total", 3)
+            .gauge("ngm_ring_occupancy", 2)
+            .histogram("ngm_call_cycles", h.snapshot());
+        m
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = sample().to_prometheus_text();
+        assert!(text.contains("# TYPE ngm_calls_total counter"));
+        assert!(text.contains("ngm_calls_total 3"));
+        assert!(text.contains("# TYPE ngm_ring_occupancy gauge"));
+        assert!(text.contains("ngm_ring_occupancy 2"));
+        assert!(text.contains("# TYPE ngm_call_cycles summary"));
+        assert!(text.contains("ngm_call_cycles{quantile=\"0.5\"}"));
+        assert!(text.contains("ngm_call_cycles_count 3"));
+        assert!(text.contains("ngm_call_cycles_sum 60"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ngm_calls_total\":3"));
+        assert!(json.contains("\"ngm_ring_occupancy\":2"));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"sum\":60"));
+        assert!(json.contains("\"mean\":20.0"));
+        // Balanced braces (no nesting errors).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let m = MetricsSnapshot::new();
+        assert_eq!(
+            m.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+        assert_eq!(m.to_prometheus_text(), "");
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let m = sample();
+        assert_eq!(m.get_counter("ngm_calls_total"), Some(3));
+        assert_eq!(m.get_gauge("ngm_ring_occupancy"), Some(2));
+        assert!(m.get_histogram("ngm_call_cycles").is_some());
+        assert!(m.get_histogram("absent").is_none());
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the telemetry primitives: the histogram's bucket
+//! algebra and the trace ring's overflow accounting.
+
+use ngm_telemetry::hist::{bucket_bounds, bucket_index, LatencyHistogram, N_BUCKETS};
+use ngm_telemetry::trace::{TraceEventKind, TraceRing};
+use proptest::collection;
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> ngm_telemetry::hist::HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every `u64` lands in a bucket whose bounds contain it.
+    #[test]
+    fn bucket_roundtrip_contains_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+    }
+
+    /// Bucket bounds bound the relative error: the histogram's value
+    /// resolution is one part in 2^SUB_BITS (6.25%) or better.
+    #[test]
+    fn bucket_width_bounds_relative_error(v in any::<u64>()) {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        let width = hi - lo;
+        prop_assert!(
+            width == 0 || width * 16 <= lo,
+            "bucket [{lo}, {hi}] wider than 6.25% of its base"
+        );
+    }
+
+    /// Merging snapshots is associative and count/sum-preserving —
+    /// per-thread histograms can be combined in any grouping.
+    #[test]
+    fn merge_is_associative(
+        a in collection::vec(any::<u64>(), 0..32),
+        b in collection::vec(any::<u64>(), 0..32),
+        c in collection::vec(any::<u64>(), 0..32),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+        let expect_sum = a.iter().chain(&b).chain(&c).fold(0u64, |s, &v| s.wrapping_add(v));
+        prop_assert_eq!(left.sum(), expect_sum);
+    }
+
+    /// Percentiles are monotone in `p` and dominated by the max.
+    #[test]
+    fn percentiles_are_monotone(values in collection::vec(any::<u64>(), 1..64)) {
+        let s = snapshot_of(&values);
+        prop_assert!(s.p50() <= s.p90());
+        prop_assert!(s.p90() <= s.p99());
+        prop_assert!(s.p99() <= s.max());
+        // The reported max is the recorded max, rounded up by at most
+        // one bucket width.
+        let true_max = *values.iter().max().expect("non-empty");
+        let (_, hi) = bucket_bounds(bucket_index(true_max));
+        prop_assert!(s.max() >= true_max && s.max() <= hi);
+    }
+
+    /// Overflow never lies: length is capped, every drop is counted, and
+    /// the survivors are exactly the newest events.
+    #[test]
+    fn trace_ring_overflow_keeps_newest_and_counts_drops(
+        capacity in 1usize..32,
+        pushes in 0usize..96,
+    ) {
+        let ring = TraceRing::new(9, capacity);
+        for i in 0..pushes {
+            ring.push(TraceEventKind::Alloc, i as u64, 0);
+        }
+        let kept = pushes.min(capacity);
+        prop_assert_eq!(ring.len(), kept);
+        prop_assert_eq!(ring.dropped_total(), (pushes - kept) as u64);
+
+        let drain = ring.drain();
+        prop_assert_eq!(drain.dropped_total, (pushes - kept) as u64);
+        let kept_ids: Vec<u64> = drain.events.iter().map(|e| e.a).collect();
+        let expect: Vec<u64> = ((pushes - kept)..pushes).map(|i| i as u64).collect();
+        prop_assert_eq!(kept_ids, expect, "survivors must be the newest pushes in order");
+    }
+}

@@ -75,7 +75,10 @@ pub fn generate(p: &CacheThrashParams, emit: &mut dyn FnMut(Event)) {
                     write: true,
                 });
             }
-            emit(Event::Compute { thread: t, amount: 64 });
+            emit(Event::Compute {
+                thread: t,
+                amount: 64,
+            });
             emit(Event::Free { thread: t, id: *id });
             let fresh = next_id;
             next_id += 1;

@@ -1,13 +1,11 @@
 //! The event vocabulary shared by all workloads.
 
-use serde::{Deserialize, Serialize};
-
 /// One step of a workload.
 ///
 /// Object identity is a dense `u64` assigned by the generator; replayers
 /// map ids to addresses. `thread` selects the logical thread (mapped to a
 /// simulated core or a real OS thread by the replayer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// Allocate `size` bytes as object `id`.
     Malloc {
@@ -122,7 +120,10 @@ impl StreamSummary {
 ///
 /// Returns the summary on success; a description of the first violation
 /// otherwise. Used by property tests on every generator.
-pub fn validate(events: impl Iterator<Item = Event>, allow_leaks: bool) -> Result<StreamSummary, String> {
+pub fn validate(
+    events: impl Iterator<Item = Event>,
+    allow_leaks: bool,
+) -> Result<StreamSummary, String> {
     use std::collections::HashMap;
     let mut live: HashMap<u64, u32> = HashMap::new();
     let mut seen = std::collections::HashSet::new();

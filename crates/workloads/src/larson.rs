@@ -153,8 +153,7 @@ mod tests {
         let p = LarsonParams::tiny();
         let s = validate(collect(&p).into_iter(), false).unwrap();
         assert_eq!(s.mallocs, s.frees);
-        let expected =
-            u64::from(p.threads) * (u64::from(p.slots) + u64::from(p.rounds));
+        let expected = u64::from(p.threads) * (u64::from(p.slots) + u64::from(p.rounds));
         assert_eq!(s.mallocs, expected);
     }
 

@@ -2,18 +2,19 @@
 //!
 //! Two interchangeable encodings:
 //!
-//! * **JSON lines** — one serde-encoded event per line; human-inspectable,
-//!   diff-friendly.
-//! * **Binary** — a compact tagged little-endian encoding via `bytes`,
-//!   ~10× smaller, for long traces.
+//! * **JSON lines** — one externally-tagged object per line (the same
+//!   shape serde would emit, e.g. `{"Malloc":{"thread":0,"id":3,"size":64}}`);
+//!   human-inspectable, diff-friendly. Encoded and decoded by a small
+//!   hand-rolled codec so the crate stays dependency-free in hermetic
+//!   builds.
+//! * **Binary** — a compact tagged little-endian encoding, ~10× smaller,
+//!   for long traces.
 //!
 //! Traces let an experiment capture a workload once and replay the exact
 //! stream against every allocator, removing generator nondeterminism from
 //! comparisons entirely.
 
 use std::io::{self, BufRead, Read, Write};
-
-use bytes::{Buf, BufMut};
 
 use crate::events::Event;
 
@@ -24,16 +25,229 @@ const MAGIC: &[u8; 8] = b"NGMTRC01";
 ///
 /// # Errors
 ///
-/// Propagates serialization and I/O failures.
+/// Propagates I/O failures.
 pub fn write_json<'a>(
     events: impl Iterator<Item = &'a Event>,
     mut out: impl Write,
 ) -> io::Result<()> {
+    let mut line = String::with_capacity(96);
     for e in events {
-        serde_json::to_writer(&mut out, e)?;
-        out.write_all(b"\n")?;
+        line.clear();
+        event_to_json(e, &mut line);
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
     }
     Ok(())
+}
+
+fn event_to_json(e: &Event, out: &mut String) {
+    use std::fmt::Write as _;
+    match *e {
+        Event::Malloc { thread, id, size } => {
+            let _ = write!(
+                out,
+                r#"{{"Malloc":{{"thread":{thread},"id":{id},"size":{size}}}}}"#
+            );
+        }
+        Event::Free { thread, id } => {
+            let _ = write!(out, r#"{{"Free":{{"thread":{thread},"id":{id}}}}}"#);
+        }
+        Event::Touch {
+            thread,
+            id,
+            offset,
+            len,
+            write,
+        } => {
+            let _ = write!(
+                out,
+                r#"{{"Touch":{{"thread":{thread},"id":{id},"offset":{offset},"len":{len},"write":{write}}}}}"#
+            );
+        }
+        Event::Compute { thread, amount } => {
+            let _ = write!(
+                out,
+                r#"{{"Compute":{{"thread":{thread},"amount":{amount}}}}}"#
+            );
+        }
+    }
+}
+
+/// Cursor over one JSON line of the trace schema: externally-tagged
+/// objects whose fields are unsigned integers or booleans.
+struct JsonCursor<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonCursor {
+            s: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad trace JSON at byte {}: expected {what}", self.pos),
+        )
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> io::Result<()> {
+        self.skip_ws();
+        if self.pos < self.s.len() && self.s[self.pos] == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("'{}'", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> io::Result<&'a str> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s[self.pos] != b'"' {
+            if self.s[self.pos] == b'\\' {
+                return Err(self.err("unescaped key"));
+            }
+            self.pos += 1;
+        }
+        if self.pos == self.s.len() {
+            return Err(self.err("closing '\"'"));
+        }
+        let out =
+            std::str::from_utf8(&self.s[start..self.pos]).map_err(|_| self.err("UTF-8 key"))?;
+        self.pos += 1;
+        Ok(out)
+    }
+
+    fn u64_value(&mut self) -> io::Result<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("integer"));
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| self.err("integer in range"))
+    }
+
+    fn bool_value(&mut self) -> io::Result<bool> {
+        self.skip_ws();
+        let rest = &self.s[self.pos..];
+        if rest.starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if rest.starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(self.err("boolean"))
+        }
+    }
+
+    /// Parses `{"k":v, ...}` where each value is an integer or bool,
+    /// returning values in the order `keys` lists them.
+    fn fields(&mut self, keys: &[&str]) -> io::Result<Vec<u64>> {
+        self.expect(b'{')?;
+        let mut out = vec![None; keys.len()];
+        loop {
+            let key = self.string()?;
+            let slot = keys
+                .iter()
+                .position(|k| *k == key)
+                .ok_or_else(|| self.err("known field"))?;
+            self.expect(b':')?;
+            let v = if key == "write" {
+                u64::from(self.bool_value()?)
+            } else {
+                self.u64_value()?
+            };
+            if out[slot].replace(v).is_some() {
+                return Err(self.err("unique field"));
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("',' or '}'")),
+            }
+        }
+        out.into_iter()
+            .collect::<Option<Vec<u64>>>()
+            .ok_or_else(|| self.err("all fields present"))
+    }
+}
+
+fn narrow<T: TryFrom<u64>>(v: u64, cursor: &JsonCursor<'_>) -> io::Result<T> {
+    T::try_from(v).map_err(|_| cursor.err("field in range"))
+}
+
+fn event_from_json(line: &str) -> io::Result<Event> {
+    let mut c = JsonCursor::new(line);
+    c.expect(b'{')?;
+    let tag = c.string()?.to_string();
+    c.expect(b':')?;
+    let e = match tag.as_str() {
+        "Malloc" => {
+            let f = c.fields(&["thread", "id", "size"])?;
+            Event::Malloc {
+                thread: narrow(f[0], &c)?,
+                id: f[1],
+                size: narrow(f[2], &c)?,
+            }
+        }
+        "Free" => {
+            let f = c.fields(&["thread", "id"])?;
+            Event::Free {
+                thread: narrow(f[0], &c)?,
+                id: f[1],
+            }
+        }
+        "Touch" => {
+            let f = c.fields(&["thread", "id", "offset", "len", "write"])?;
+            Event::Touch {
+                thread: narrow(f[0], &c)?,
+                id: f[1],
+                offset: narrow(f[2], &c)?,
+                len: narrow(f[3], &c)?,
+                write: f[4] != 0,
+            }
+        }
+        "Compute" => {
+            let f = c.fields(&["thread", "amount"])?;
+            Event::Compute {
+                thread: narrow(f[0], &c)?,
+                amount: narrow(f[1], &c)?,
+            }
+        }
+        _ => return Err(c.err("known event tag")),
+    };
+    c.expect(b'}')?;
+    c.skip_ws();
+    if c.pos != c.s.len() {
+        return Err(c.err("end of line"));
+    }
+    Ok(e)
 }
 
 /// Reads a JSON-lines trace.
@@ -48,7 +262,7 @@ pub fn read_json(input: impl BufRead) -> io::Result<Vec<Event>> {
         if line.trim().is_empty() {
             continue;
         }
-        events.push(serde_json::from_str(&line)?);
+        events.push(event_from_json(&line)?);
     }
     Ok(events)
 }
@@ -56,15 +270,15 @@ pub fn read_json(input: impl BufRead) -> io::Result<Vec<Event>> {
 fn encode_event(e: &Event, buf: &mut Vec<u8>) {
     match *e {
         Event::Malloc { thread, id, size } => {
-            buf.put_u8(0);
-            buf.put_u8(thread);
-            buf.put_u64_le(id);
-            buf.put_u32_le(size);
+            buf.push(0);
+            buf.push(thread);
+            buf.extend_from_slice(&id.to_le_bytes());
+            buf.extend_from_slice(&size.to_le_bytes());
         }
         Event::Free { thread, id } => {
-            buf.put_u8(1);
-            buf.put_u8(thread);
-            buf.put_u64_le(id);
+            buf.push(1);
+            buf.push(thread);
+            buf.extend_from_slice(&id.to_le_bytes());
         }
         Event::Touch {
             thread,
@@ -73,16 +287,16 @@ fn encode_event(e: &Event, buf: &mut Vec<u8>) {
             len,
             write,
         } => {
-            buf.put_u8(if write { 3 } else { 2 });
-            buf.put_u8(thread);
-            buf.put_u64_le(id);
-            buf.put_u32_le(offset);
-            buf.put_u32_le(len);
+            buf.push(if write { 3 } else { 2 });
+            buf.push(thread);
+            buf.extend_from_slice(&id.to_le_bytes());
+            buf.extend_from_slice(&offset.to_le_bytes());
+            buf.extend_from_slice(&len.to_le_bytes());
         }
         Event::Compute { thread, amount } => {
-            buf.put_u8(4);
-            buf.put_u8(thread);
-            buf.put_u32_le(amount);
+            buf.push(4);
+            buf.push(thread);
+            buf.extend_from_slice(&amount.to_le_bytes());
         }
     }
 }
@@ -109,6 +323,43 @@ pub fn write_binary<'a>(
     Ok(())
 }
 
+/// Little-endian read cursor over a byte slice.
+struct ByteCursor<'a>(&'a [u8]);
+
+impl ByteCursor<'_> {
+    fn need(&self, n: usize) -> io::Result<()> {
+        if self.0.len() < n {
+            Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated trace record",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn get_u8(&mut self) -> io::Result<u8> {
+        self.need(1)?;
+        let v = self.0[0];
+        self.0 = &self.0[1..];
+        Ok(v)
+    }
+
+    fn get_u32_le(&mut self) -> io::Result<u32> {
+        self.need(4)?;
+        let (head, rest) = self.0.split_at(4);
+        self.0 = rest;
+        Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+    }
+
+    fn get_u64_le(&mut self) -> io::Result<u64> {
+        self.need(8)?;
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+    }
+}
+
 /// Reads a binary trace produced by [`write_binary`].
 ///
 /// # Errors
@@ -117,57 +368,37 @@ pub fn write_binary<'a>(
 pub fn read_binary(mut input: impl Read) -> io::Result<Vec<Event>> {
     let mut all = Vec::new();
     input.read_to_end(&mut all)?;
-    let mut buf = &all[..];
-    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    if all.len() < MAGIC.len() || &all[..MAGIC.len()] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
-    buf.advance(MAGIC.len());
+    let mut buf = ByteCursor(&all[MAGIC.len()..]);
     let mut events = Vec::new();
-    while buf.has_remaining() {
-        let need = |n: usize, buf: &&[u8]| -> io::Result<()> {
-            if buf.remaining() < n {
-                Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "truncated trace record",
-                ))
-            } else {
-                Ok(())
-            }
-        };
-        let tag = buf.get_u8();
+    while !buf.0.is_empty() {
+        let tag = buf.get_u8()?;
         let e = match tag {
-            0 => {
-                need(13, &buf)?;
-                Event::Malloc {
-                    thread: buf.get_u8(),
-                    id: buf.get_u64_le(),
-                    size: buf.get_u32_le(),
-                }
-            }
-            1 => {
-                need(9, &buf)?;
-                Event::Free {
-                    thread: buf.get_u8(),
-                    id: buf.get_u64_le(),
-                }
-            }
-            2 | 3 => {
-                need(17, &buf)?;
-                Event::Touch {
-                    write: tag == 3,
-                    thread: buf.get_u8(),
-                    id: buf.get_u64_le(),
-                    offset: buf.get_u32_le(),
-                    len: buf.get_u32_le(),
-                }
-            }
-            4 => {
-                need(5, &buf)?;
-                Event::Compute {
-                    thread: buf.get_u8(),
-                    amount: buf.get_u32_le(),
-                }
-            }
+            0 => Event::Malloc {
+                thread: buf.get_u8()?,
+                id: buf.get_u64_le()?,
+                size: buf.get_u32_le()?,
+            },
+            1 => Event::Free {
+                thread: buf.get_u8()?,
+                id: buf.get_u64_le()?,
+            },
+            2 | 3 => Event::Touch {
+                write: tag == 3,
+                thread: buf.get_u8()?,
+                id: buf.get_u64_le()?,
+                offset: buf.get_u32_le()?,
+                len: buf.get_u32_le()?,
+            },
+            4 => Event::Compute {
+                thread: buf.get_u8()?,
+                amount: buf.get_u32_le()?,
+            },
             t => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -199,6 +430,52 @@ mod tests {
     }
 
     #[test]
+    fn json_format_is_externally_tagged() {
+        let ev = [Event::Malloc {
+            thread: 1,
+            id: 7,
+            size: 64,
+        }];
+        let mut buf = Vec::new();
+        write_json(ev.iter(), &mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "{\"Malloc\":{\"thread\":1,\"id\":7,\"size\":64}}\n"
+        );
+    }
+
+    #[test]
+    fn json_accepts_whitespace_and_field_reorder() {
+        let line =
+            r#" { "Touch" : { "id": 3, "thread": 1, "len": 8, "offset": 0, "write": true } } "#;
+        assert_eq!(
+            event_from_json(line).unwrap(),
+            Event::Touch {
+                thread: 1,
+                id: 3,
+                offset: 0,
+                len: 8,
+                write: true,
+            }
+        );
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        for bad in [
+            "{}",
+            r#"{"Malloc":{"thread":0,"id":1}}"#,
+            r#"{"Malloc":{"thread":0,"id":1,"size":-4}}"#,
+            r#"{"Malloc":{"thread":900,"id":1,"size":4}}"#,
+            r#"{"Unknown":{"thread":0}}"#,
+            r#"{"Free":{"thread":0,"id":1}} trailing"#,
+            r#"{"Free":{"thread":0,"id":1,"id":2}}"#,
+        ] {
+            assert!(event_from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
     fn binary_roundtrip() {
         let ev = sample();
         let mut buf = Vec::new();
@@ -225,7 +502,7 @@ mod tests {
 
     #[test]
     fn truncated_record_rejected() {
-        let ev = vec![Event::Free { thread: 0, id: 1 }];
+        let ev = [Event::Free { thread: 0, id: 1 }];
         let mut buf = Vec::new();
         write_binary(ev.iter(), &mut buf).unwrap();
         buf.truncate(buf.len() - 1);

@@ -162,11 +162,7 @@ pub fn generate(p: &XalancParams, emit: &mut dyn FnMut(Event)) -> usize {
         // best-fit allocator.
         if window.len() == p.live_docs as usize {
             let old = window.pop_front().expect("window is full");
-            let mut ids: Vec<u64> = old
-                .elems
-                .iter()
-                .flat_map(|&(n, x, _)| [n, x])
-                .collect();
+            let mut ids: Vec<u64> = old.elems.iter().flat_map(|&(n, x, _)| [n, x]).collect();
             // Fisher-Yates with the workload RNG (deterministic).
             for i in (1..ids.len()).rev() {
                 let j = rng.random_range(0..=i);
@@ -302,10 +298,9 @@ pub fn generate(p: &XalancParams, emit: &mut dyn FnMut(Event)) -> usize {
                     } else if class < 985 {
                         // Medium-range lookback: log-uniform reach into
                         // the document's colder region.
-                        let max_back = i.min(4096).max(1);
+                        let max_back = i.clamp(1, 4096);
                         let r: f64 = rng.random();
-                        let back =
-                            ((max_back as f64).powf(r) as usize).min(i);
+                        let back = ((max_back as f64).powf(r) as usize).min(i);
                         doc.elems[i - back]
                     } else {
                         let d = rng.random_range(0..window.len() + 1);
@@ -447,8 +442,7 @@ mod tests {
         let p = XalancParams::tiny();
         let s = validate(collect(&p).into_iter(), false).unwrap();
         // Window docs + pins + in-flight outputs.
-        let per_doc = u64::from(p.nodes_per_doc)
-            * (2 + u64::from(p.pin_per_mille) / 100 + 1);
+        let per_doc = u64::from(p.nodes_per_doc) * (2 + u64::from(p.pin_per_mille) / 100 + 1);
         let cap = (u64::from(p.live_docs) * 2 + 1) * per_doc * 3;
         assert!(s.peak_live < cap, "peak {} vs cap {}", s.peak_live, cap);
     }

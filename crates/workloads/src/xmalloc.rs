@@ -133,7 +133,10 @@ mod tests {
     fn balanced_and_bounded() {
         let p = XmallocParams::tiny();
         let s = validate(collect(&p).into_iter(), false).unwrap();
-        assert_eq!(s.mallocs, u64::from(p.threads) * u64::from(p.allocs_per_thread));
+        assert_eq!(
+            s.mallocs,
+            u64::from(p.threads) * u64::from(p.allocs_per_thread)
+        );
         assert_eq!(s.mallocs, s.frees);
         assert!(s.peak_live <= u64::from(p.threads) * u64::from(p.batch) * 2);
     }

@@ -65,7 +65,6 @@ fn main() {
         let mut via = Via(&locked);
         let r = replay_heap(&mut via, events.iter().copied());
         check("global lock (ptmalloc-ish)", r.checksum, start.elapsed());
-        drop(r);
     }
 
     let sharded = ShardedHeap::new(1);

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use ngm_offload::{OffloadRuntime, Service};
+use ngm_offload::{RuntimeBuilder, Service};
 
 /// An interning service: all the hash-map metadata lives on the service
 /// core; clients exchange only small messages.
@@ -42,7 +42,11 @@ impl Service for InternService {
 }
 
 fn main() {
-    let rt = OffloadRuntime::start(InternService::default());
+    // A small trace ring per thread: enough to see the event flow without
+    // keeping the whole run in memory.
+    let rt = RuntimeBuilder::new()
+        .trace_capacity(1024)
+        .start(InternService::default());
 
     let mut joins = Vec::new();
     for t in 0..4u64 {
@@ -66,12 +70,28 @@ fn main() {
         j.join().expect("worker");
     }
 
+    // The telemetry layer works for any tenant of the room, not just
+    // malloc: latency histograms and the event trace come for free.
+    let metrics = rt.metrics();
+    let trace = rt.telemetry().drain_trace();
+
     let (svc, stats) = rt.shutdown();
     println!("interned keys        : {}", svc.ids.len());
     println!("lookups served       : {}", svc.lookups);
     println!("distinct inserts     : {}", svc.inserts);
     println!("usage hints drained  : {}", stats.posts_served);
     println!("service poll rounds  : {}", stats.poll_rounds);
+    println!(
+        "trace events kept    : {} ({} dropped on overflow)",
+        trace.events.len(),
+        trace.dropped_total
+    );
     assert_eq!(svc.ids.len(), 2_000, "global dedup worked");
+
+    println!(
+        "\n--- Prometheus text exposition ---\n{}",
+        metrics.to_prometheus_text()
+    );
+    println!("--- JSON snapshot ---\n{}", metrics.to_json());
     println!("\nsame runtime, different tenant: the room is programmable.");
 }

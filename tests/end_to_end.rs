@@ -106,7 +106,10 @@ fn sharded_heap_survives_thread_churn_with_cross_frees() {
     h1.drain_remote();
     assert_eq!(h0.stats().live_blocks, 0);
     assert_eq!(h1.stats().live_blocks, 0);
-    assert!(sharded.remote_frees() > 0, "migration produced remote frees");
+    assert!(
+        sharded.remote_frees() > 0,
+        "migration produced remote frees"
+    );
 }
 
 #[test]

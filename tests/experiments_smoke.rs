@@ -87,7 +87,8 @@ fn ablation_core_types_cover_design_space() {
 #[test]
 fn ablation_atomics_sweep_is_monotonic_for_ngm() {
     let rows = ablations::atomic_latency_with(&XalancParams::tiny());
-    assert!(rows
-        .windows(2)
-        .all(|w| w[0].ngm_wall <= w[1].ngm_wall), "NGM wall must grow with atomic cost");
+    assert!(
+        rows.windows(2).all(|w| w[0].ngm_wall <= w[1].ngm_wall),
+        "NGM wall must grow with atomic cost"
+    );
 }
