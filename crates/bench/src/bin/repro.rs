@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT...] [--scale N] [--no-prototype]
 //!
 //! EXPERIMENT: all (default) | fig1 | table1 | table2 | fig2 | table3
-//!           | model41 | ablations | telemetry
+//!           | model41 | ablations | batch | telemetry
 //! --scale N: multiply workload sizes by N (default 1; paper-style
 //!            stability from ~4)
 //! --no-prototype: skip the real-runtime wall-clock part of table3
@@ -35,7 +35,7 @@ fn main() {
             "--no-prototype" => with_prototype = false,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|telemetry]... [--scale N] [--no-prototype]"
+                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry]... [--scale N] [--no-prototype]"
                 );
                 return;
             }
@@ -73,6 +73,11 @@ fn main() {
     let real_ops = 20_000u32.saturating_mul(scale.0);
     if want("ablations") {
         println!("{}", ablations::render_all(scale, real_ops));
+    }
+    // "batch" re-renders just the batched-front-end ablation ("all"
+    // already includes it via the full ablation set).
+    if experiments.iter().any(|e| e == "batch") {
+        println!("{}", ablations::render_batched(scale, real_ops));
     }
     if want("telemetry") {
         println!("{}", telemetry::run(real_ops));

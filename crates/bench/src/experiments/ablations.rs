@@ -91,14 +91,22 @@ pub fn free_batching(ops: u32) -> Vec<BatchRow> {
                 .drain_batch(batch)
                 .start(service);
             let mut client = rt.register_client();
-            let layout_free = |addr: usize| ngm_core::FreeMsg {
-                addr,
-                size: 64,
-                align: 8,
+            let layout_free = |addr: usize| {
+                ngm_core::FreePost::One(ngm_core::FreeMsg {
+                    addr,
+                    size: 64,
+                    align: 8,
+                })
             };
             let start = Instant::now();
             for _ in 0..ops {
-                let addr = client.call(ngm_core::AllocReq { size: 64, align: 8 });
+                let addr = match client.call(ngm_core::MallocReq::One(ngm_core::AllocReq {
+                    size: 64,
+                    align: 8,
+                })) {
+                    ngm_core::MallocResp::One(addr) => addr,
+                    resp => panic!("One request answered with {resp:?}"),
+                };
                 assert_ne!(addr, 0);
                 client.post(layout_free(addr));
             }
@@ -281,7 +289,112 @@ pub fn handshake_batching_with(params: &XalancParams) -> Vec<BatchSimRow> {
         .collect()
 }
 
-/// Renders all five ablations.
+/// One measured batched-front-end configuration.
+#[derive(Debug, Clone)]
+pub struct MeasuredBatchRow {
+    /// Magazine batch size (1 = batching disabled: today's per-op path).
+    pub batch: usize,
+    /// Mean round-trip cycles of one service call at this configuration —
+    /// the per-op call at batch 1, the magazine refill otherwise.
+    pub roundtrip_mean: f64,
+    /// Service round-trip cycles charged per allocation once the refill
+    /// is amortized over the batch it fetched.
+    pub amortized_per_alloc: f64,
+}
+
+/// Ablation F, the tentpole measurement: the *real* batched front-end
+/// (per-handle magazines + batched free flush) vs the unbatched per-call
+/// path, on the live runtime. The amortized column is total round-trip
+/// cycles divided by allocations served — the measured counterpart of the
+/// §4.1 `T_comm` amortization that [`handshake_batching`] predicts in sim.
+pub fn measured_batched_frontend(ops: u32) -> Vec<MeasuredBatchRow> {
+    [1usize, 8, 16, 32]
+        .into_iter()
+        .map(|batch| {
+            let ngm = NgmBuilder {
+                batch_size: batch,
+                flush_threshold: batch,
+                ..NgmBuilder::default()
+            }
+            .start();
+            let mut h = ngm.handle();
+            let layout = std::alloc::Layout::from_size_align(64, 8).expect("valid");
+            for _ in 0..ops.max(1) {
+                let p = h.alloc(layout).expect("alloc");
+                // SAFETY: block just allocated, freed once.
+                unsafe { h.dealloc(p, layout) };
+            }
+            // At batch 1 every alloc is a per-op call; otherwise every
+            // service round trip on this path is a refill.
+            let snap = if batch == 1 {
+                ngm.telemetry().call_cycles.snapshot()
+            } else {
+                ngm.telemetry().refill_cycles.snapshot()
+            };
+            drop(h);
+            drop(ngm);
+            MeasuredBatchRow {
+                batch,
+                roundtrip_mean: snap.mean(),
+                amortized_per_alloc: snap.sum() as f64 / f64::from(ops.max(1)),
+            }
+        })
+        .collect()
+}
+
+/// Renders [`measured_batched_frontend`] next to the §4.1 model constants
+/// and the `ngm_batch` sim prediction, so measurement, analytical model,
+/// and simulator can be read side by side.
+pub fn render_batched(scale: Scale, real_ops: u32) -> String {
+    let rows = measured_batched_frontend(real_ops);
+    let unbatched = rows[0].amortized_per_alloc;
+    let mut t = Table::new(&[
+        "batch",
+        "round-trip mean (cyc)",
+        "amortized cyc/alloc",
+        "vs unbatched",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.batch.to_string(),
+            format!("{:.0}", r.roundtrip_mean),
+            format!("{:.0}", r.amortized_per_alloc),
+            if r.batch == 1 {
+                "1.00x (baseline)".into()
+            } else {
+                format!("{:.2}x", r.amortized_per_alloc / unbatched.max(1e-9))
+            },
+        ]);
+    }
+    let mut out = format!(
+        "Ablation F: batched front-end, measured on the real runtime \
+         ({} ops/config, {})\n{}\
+         §4.1 model: per-request handshake = {} atomics x {} cycles = {} \
+         cycles, so amortized cost ~{}/batch + per-item transfer\n\n",
+        real_ops,
+        ngm_telemetry::clock::source(),
+        t.render(),
+        ngm_model::ATOMICS_PER_CALL,
+        ngm_model::ATOMIC_CYCLES,
+        ngm_model::ATOMICS_PER_CALL * ngm_model::ATOMIC_CYCLES,
+        ngm_model::ATOMICS_PER_CALL * ngm_model::ATOMIC_CYCLES,
+    );
+    let mut t = Table::new(&["refill batch", "NGM-batch wall", "speedup vs Mimalloc"]);
+    for r in handshake_batching(scale) {
+        t.row(vec![
+            r.batch.to_string(),
+            r.ngm_wall.to_string(),
+            format!("{:+.2}%", (r.speedup_vs_mimalloc - 1.0) * 100.0),
+        ]);
+    }
+    out.push_str(&format!(
+        "Sim prediction (ngm_batch model, same sweep direction)\n{}",
+        t.render()
+    ));
+    out
+}
+
+/// Renders all the ablations.
 pub fn render_all(scale: Scale, real_ops: u32) -> String {
     let mut out = String::new();
 
@@ -355,9 +468,11 @@ pub fn render_all(scale: Scale, real_ops: u32) -> String {
         ]);
     }
     out.push_str(&format!(
-        "Ablation E: handshake batching (simulated; MMT's preallocation lesson)\n{}",
+        "Ablation E: handshake batching (simulated; MMT's preallocation lesson)\n{}\n",
         t.render()
     ));
+
+    out.push_str(&render_batched(scale, real_ops));
     out
 }
 
@@ -441,6 +556,23 @@ mod tests {
         let rows = free_batching(200);
         assert_eq!(rows.len(), 5);
         assert!(rows.iter().all(|r| r.frees_per_sec > 0.0));
+    }
+
+    #[test]
+    fn batched_frontend_beats_unbatched_per_call() {
+        let rows = measured_batched_frontend(2_000);
+        assert_eq!(rows[0].batch, 1, "baseline first");
+        let unbatched = rows[0].amortized_per_alloc;
+        assert!(unbatched > 0.0);
+        for r in rows.iter().filter(|r| r.batch >= 8) {
+            assert!(
+                r.amortized_per_alloc < unbatched,
+                "batch {} amortized {:.0} must beat unbatched {:.0}",
+                r.batch,
+                r.amortized_per_alloc,
+                unbatched
+            );
+        }
     }
 
     #[test]

@@ -12,8 +12,13 @@ use ngm_telemetry::clock::cycles_now;
 use ngm_telemetry::export::MetricsSnapshot;
 use ngm_telemetry::trace::TraceEventKind;
 
+use ngm_heap::classes::{layout_to_class, SizeClass, NUM_CLASSES};
+
 use crate::orphan::OrphanStack;
-use crate::service::{AllocReq, FreeMsg, MallocService, ServiceStats};
+use crate::service::{
+    AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
+    ServiceStats, MAX_BATCH,
+};
 use crate::watch::SharedHeapStats;
 
 /// Configuration for [`NextGenMalloc::start`].
@@ -30,6 +35,16 @@ pub struct NgmBuilder {
     /// Per-thread event-trace ring capacity; `0` (the default) disables
     /// tracing entirely, leaving only the always-on latency histograms.
     pub trace_capacity: usize,
+    /// Blocks fetched per magazine refill (clamped to
+    /// `1..=`[`MAX_BATCH`]). `1` (the default) disables the magazine:
+    /// every small alloc is its own round trip, exactly the pre-batching
+    /// behavior. Values ≥ 8 amortize the §4.1 handshake comfortably past
+    /// break-even.
+    pub batch_size: usize,
+    /// Small-block frees buffered client-side before one batched flush
+    /// post (clamped to `1..=`[`MAX_BATCH`]). `1` (the default) posts
+    /// each free individually, exactly the pre-batching behavior.
+    pub flush_threshold: usize,
 }
 
 impl Default for NgmBuilder {
@@ -43,6 +58,8 @@ impl Default for NgmBuilder {
             server_wait: WaitStrategy::default(),
             free_ring_capacity: 4096,
             trace_capacity: 0,
+            batch_size: 1,
+            flush_threshold: 1,
         }
     }
 }
@@ -67,6 +84,8 @@ impl NgmBuilder {
             runtime: rb.start(service),
             orphans,
             heap_watch,
+            batch_size: self.batch_size.clamp(1, MAX_BATCH) as u32,
+            flush_threshold: self.flush_threshold.clamp(1, MAX_BATCH) as u32,
         }
     }
 }
@@ -77,6 +96,8 @@ pub struct NextGenMalloc {
     runtime: OffloadRuntime<MallocService>,
     orphans: Arc<OrphanStack>,
     heap_watch: Arc<SharedHeapStats>,
+    batch_size: u32,
+    flush_threshold: u32,
 }
 
 impl NextGenMalloc {
@@ -95,6 +116,13 @@ impl NextGenMalloc {
         NgmHandle {
             client: self.runtime.register_client(),
             orphans: Arc::clone(&self.orphans),
+            batch_size: self.batch_size,
+            flush_threshold: self.flush_threshold,
+            magazines: [AddrBatch::empty(); NUM_CLASSES],
+            free_buf: AddrBatch::empty(),
+            stash_total: 0,
+            published_occupancy: 0,
+            post_weights: std::collections::VecDeque::new(),
         }
     }
 
@@ -150,13 +178,42 @@ impl NextGenMalloc {
 }
 
 /// A per-thread endpoint to the allocator.
+///
+/// With `batch_size > 1` the handle keeps a per-size-class **magazine** of
+/// pre-handed-out addresses: the common-case `alloc` is a pop from an
+/// inline array (no round trip, no atomics — the handle is `!Sync`, so
+/// this state is L1-resident and single-owner per §3.1.3), and one
+/// [`AllocBatchReq`] refill round trip is paid every `batch_size` allocs.
+/// Symmetrically, `flush_threshold > 1` buffers small-block frees and
+/// flushes them as one batched post.
 pub struct NgmHandle {
     client: ClientHandle<MallocService>,
     orphans: Arc<OrphanStack>,
+    batch_size: u32,
+    flush_threshold: u32,
+    /// One magazine per size class, inline so no allocation ever happens
+    /// on the fast path (crucial under the global-allocator adapter).
+    magazines: [AddrBatch; NUM_CLASSES],
+    /// Client-side buffer of small-block frees awaiting one batched post.
+    free_buf: AddrBatch,
+    /// Blocks currently stashed across all magazines (local mirror; the
+    /// shared gauge is only updated at refill/drop boundaries).
+    stash_total: i64,
+    /// What this handle last published into the shared magazine gauge.
+    published_occupancy: i64,
+    /// Frees carried by each not-yet-trimmed post, oldest first; the last
+    /// `pending_posts()` entries are exactly the undrained messages. Only
+    /// maintained when `flush_threshold > 1` (otherwise every post is one
+    /// free and the ring length is already the answer).
+    post_weights: std::collections::VecDeque<u32>,
 }
 
 impl NgmHandle {
-    /// Allocates a block (synchronous round trip to the service core).
+    /// Allocates a block.
+    ///
+    /// Small layouts with batching enabled are served from the per-class
+    /// magazine (refilled in one batched round trip when empty); anything
+    /// else is a synchronous round trip to the service core.
     ///
     /// # Errors
     ///
@@ -166,8 +223,19 @@ impl NgmHandle {
         if layout.size() == 0 {
             return Err(AllocError::ZeroSize);
         }
+        if self.batch_size > 1 {
+            if let Some(class) = layout_to_class(layout.size(), layout.align()) {
+                return self.alloc_batched(class, layout);
+            }
+        }
         let t0 = self.client.trace_ring().is_some().then(cycles_now);
-        let addr = self.client.call(AllocReq::from_layout(layout));
+        let addr = match self
+            .client
+            .call(MallocReq::One(AllocReq::from_layout(layout)))
+        {
+            MallocResp::One(addr) => addr,
+            MallocResp::Batch(_) => unreachable!("One request answered with a batch"),
+        };
         if let Some(t0) = t0 {
             let rtt = cycles_now().saturating_sub(t0);
             if let Some(ring) = self.client.trace_ring() {
@@ -177,8 +245,75 @@ impl NgmHandle {
         NonNull::new(addr as *mut u8).ok_or(AllocError::OutOfMemory)
     }
 
+    /// The magazine fast path: pop, refilling first when empty.
+    fn alloc_batched(
+        &mut self,
+        class: SizeClass,
+        layout: Layout,
+    ) -> Result<NonNull<u8>, AllocError> {
+        if self.magazines[class.0 as usize].is_empty() {
+            self.refill(class)?;
+        }
+        let addr = self.magazines[class.0 as usize]
+            .pop()
+            .expect("magazine nonempty after refill");
+        self.stash_total -= 1;
+        if let Some(ring) = self.client.trace_ring() {
+            ring.push(TraceEventKind::Alloc, layout.size() as u64, 0);
+        }
+        NonNull::new(addr as *mut u8).ok_or(AllocError::OutOfMemory)
+    }
+
+    /// One batched round trip to top up `class`'s magazine.
+    fn refill(&mut self, class: SizeClass) -> Result<(), AllocError> {
+        let resp = self.client.call_batched(MallocReq::Batch(AllocBatchReq {
+            class,
+            count: self.batch_size,
+        }));
+        let batch = match resp {
+            MallocResp::Batch(b) => b,
+            MallocResp::One(_) => unreachable!("Batch request answered with One"),
+        };
+        if batch.is_empty() {
+            return Err(AllocError::OutOfMemory);
+        }
+        let got = batch.len();
+        self.magazines[class.0 as usize] = batch;
+        self.stash_total += got as i64;
+        // Publish occupancy only here (and at drop) — pops since the last
+        // refill are folded into this one delta, keeping the alloc fast
+        // path free of shared-memory traffic.
+        self.publish_occupancy();
+        if let Some(ring) = self.client.trace_ring() {
+            ring.push(TraceEventKind::Refill, u64::from(class.0), got as u64);
+        }
+        Ok(())
+    }
+
+    fn publish_occupancy(&mut self) {
+        let delta = self.stash_total - self.published_occupancy;
+        if delta != 0 {
+            self.client.runtime_stats().add_magazine_occupancy(delta);
+            self.published_occupancy = self.stash_total;
+        }
+    }
+
+    /// Records the number of frees carried by the post about to be sent,
+    /// trimming entries for messages the service has already drained.
+    fn record_post_weight(&mut self, weight: u32) {
+        if self.flush_threshold <= 1 {
+            return;
+        }
+        while self.post_weights.len() > self.client.pending_posts() {
+            self.post_weights.pop_front();
+        }
+        self.post_weights.push_back(weight);
+    }
+
     /// Frees a block asynchronously; returns as soon as the message is in
-    /// the ring (§3.1.2: free is off the critical path).
+    /// the ring (§3.1.2: free is off the critical path). With
+    /// `flush_threshold > 1`, small-block frees are buffered in the handle
+    /// and flushed as one batched post.
     ///
     /// # Safety
     ///
@@ -186,14 +321,37 @@ impl NgmHandle {
     /// [`NextGenMalloc`] instance with the same `layout`, and must not be
     /// used afterwards.
     pub unsafe fn dealloc(&mut self, ptr: NonNull<u8>, layout: Layout) {
-        self.client.post(FreeMsg {
+        if self.flush_threshold > 1 && layout_to_class(layout.size(), layout.align()).is_some() {
+            self.free_buf.push(ptr.as_ptr() as usize);
+            if self.free_buf.len() >= self.flush_threshold as usize {
+                self.flush_frees();
+            }
+            if let Some(ring) = self.client.trace_ring() {
+                ring.push(TraceEventKind::Free, layout.size() as u64, 0);
+            }
+            return;
+        }
+        self.record_post_weight(1);
+        self.client.post(FreePost::One(FreeMsg {
             addr: ptr.as_ptr() as usize,
             size: layout.size(),
             align: layout.align(),
-        });
+        }));
         if let Some(ring) = self.client.trace_ring() {
             ring.push(TraceEventKind::Free, layout.size() as u64, 0);
         }
+    }
+
+    /// Posts the buffered frees (if any) as one batched message. Called
+    /// automatically when the buffer reaches `flush_threshold` and at
+    /// handle drop; callers needing promptness bounds may flush manually.
+    pub fn flush_frees(&mut self) {
+        if self.free_buf.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.free_buf);
+        self.record_post_weight(batch.len() as u32);
+        self.client.post(FreePost::Batch(batch));
     }
 
     /// Frees a small block by pushing it onto the orphan stack (no handle
@@ -209,9 +367,64 @@ impl NgmHandle {
         unsafe { self.orphans.push(ptr) };
     }
 
-    /// Frees waiting in this handle's ring (not yet applied).
+    /// Frees this handle has accepted but the service has not yet applied:
+    /// those buffered client-side awaiting a flush plus those carried by
+    /// messages still in the ring.
     pub fn pending_frees(&self) -> usize {
-        self.client.pending_posts()
+        let buffered = self.free_buf.len();
+        let in_ring = self.client.pending_posts();
+        if self.flush_threshold <= 1 {
+            // Degenerate mode: every ring message is exactly one free.
+            return buffered + in_ring;
+        }
+        let carried: u64 = self
+            .post_weights
+            .iter()
+            .rev()
+            .take(in_ring)
+            .map(|&w| u64::from(w))
+            .sum();
+        buffered + carried as usize
+    }
+
+    /// Blocks currently stashed in `class`'s magazine.
+    pub fn magazine_len(&self, class: SizeClass) -> usize {
+        self.magazines[class.0 as usize].len()
+    }
+
+    /// Blocks currently stashed across all magazines.
+    pub fn magazine_occupancy(&self) -> usize {
+        self.stash_total as usize
+    }
+
+    /// The addresses currently stashed in `class`'s magazine (test/
+    /// diagnostic use).
+    pub fn magazine_contents(&self, class: SizeClass) -> &[usize] {
+        self.magazines[class.0 as usize].as_slice()
+    }
+
+    /// Small-block frees buffered client-side, not yet posted.
+    pub fn buffered_frees(&self) -> usize {
+        self.free_buf.len()
+    }
+}
+
+impl Drop for NgmHandle {
+    /// Returns everything in flight to the service: buffered frees are
+    /// flushed, and every address still stashed in a magazine goes back
+    /// via [`FreePost::MagazineReturn`], so shutdown accounting stays
+    /// exact (`allocs == frees`, zero live blocks) with batching on.
+    fn drop(&mut self) {
+        self.flush_frees();
+        for c in 0..NUM_CLASSES {
+            if self.magazines[c].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.magazines[c]);
+            self.stash_total -= batch.len() as i64;
+            self.client.post(FreePost::MagazineReturn(batch));
+        }
+        self.publish_occupancy();
     }
 }
 
@@ -376,6 +589,118 @@ mod tests {
         assert!(m.get_histogram("ngm_call_cycles").is_some());
         // SAFETY: block from this handle's allocator.
         unsafe { h.dealloc(p, layout(128)) };
+    }
+
+    fn batched(batch_size: usize, flush_threshold: usize) -> NgmBuilder {
+        NgmBuilder {
+            batch_size,
+            flush_threshold,
+            ..NgmBuilder::default()
+        }
+    }
+
+    #[test]
+    fn batched_roundtrip_balances_at_shutdown() {
+        let ngm = batched(16, 8).start();
+        let mut h = ngm.handle();
+        let mut blocks = Vec::new();
+        for _ in 0..100 {
+            let p = h.alloc(layout(64)).unwrap();
+            // SAFETY: fresh 64-byte block.
+            unsafe { std::ptr::write_bytes(p.as_ptr(), 0x5A, 64) };
+            blocks.push(p);
+        }
+        for p in blocks {
+            // SAFETY: blocks from this handle's allocator.
+            unsafe { h.dealloc(p, layout(64)) };
+        }
+        drop(h);
+        let (svc, heap, _) = ngm.shutdown();
+        assert!(svc.batch_refills > 0, "magazine path was exercised");
+        assert_eq!(svc.allocs, svc.frees, "every refilled block came back");
+        assert_eq!(
+            svc.allocs - svc.magazine_returned,
+            100,
+            "app-visible allocs separable from unused stash"
+        );
+        assert_eq!(heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn explicit_batch_size_one_degenerates_to_unbatched() {
+        let ngm = batched(1, 1).start();
+        let mut h = ngm.handle();
+        for _ in 0..10 {
+            let p = h.alloc(layout(64)).unwrap();
+            // SAFETY: block from this handle's allocator.
+            unsafe { h.dealloc(p, layout(64)) };
+        }
+        drop(h);
+        let (svc, heap, _) = ngm.shutdown();
+        assert_eq!(svc.allocs, 10);
+        assert_eq!(svc.frees, 10);
+        assert_eq!(svc.batch_refills, 0);
+        assert_eq!(svc.magazine_returned, 0);
+        assert_eq!(heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn pending_frees_includes_client_buffered_frees() {
+        // Regression: pending_frees() used to report only ring posts, so
+        // frees parked in the client flush buffer were invisible.
+        let ngm = batched(8, 8).start();
+        let mut h = ngm.handle();
+        let a = h.alloc(layout(64)).unwrap();
+        let b = h.alloc(layout(64)).unwrap();
+        // SAFETY: blocks from this handle's allocator.
+        unsafe {
+            h.dealloc(a, layout(64));
+            h.dealloc(b, layout(64));
+        }
+        assert_eq!(h.buffered_frees(), 2, "below threshold: nothing posted");
+        assert_eq!(h.client.pending_posts(), 0);
+        assert_eq!(h.pending_frees(), 2, "buffered frees must be counted");
+        h.flush_frees();
+        assert_eq!(h.buffered_frees(), 0);
+    }
+
+    #[test]
+    fn magazine_occupancy_gauge_tracks_refills_and_drop() {
+        let ngm = batched(16, 1).start();
+        let mut h = ngm.handle();
+        let p = h.alloc(layout(64)).unwrap();
+        // The refill published its full batch before the pop.
+        assert_eq!(ngm.runtime_stats().magazine_occupancy, 16);
+        assert_eq!(h.magazine_occupancy(), 15, "one block went to the app");
+        // SAFETY: block from this handle's allocator.
+        unsafe { h.dealloc(p, layout(64)) };
+        drop(h);
+        assert_eq!(
+            ngm.runtime_stats().magazine_occupancy,
+            0,
+            "drop returns the stash and zeroes the gauge"
+        );
+        let (svc, heap, _) = ngm.shutdown();
+        assert_eq!(svc.allocs, svc.frees);
+        assert_eq!(heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn refills_land_in_refill_histogram_not_call_histogram() {
+        let ngm = batched(8, 1).start();
+        let mut h = ngm.handle();
+        let mut blocks = Vec::new();
+        for _ in 0..16 {
+            blocks.push(h.alloc(layout(64)).unwrap());
+        }
+        let refills = ngm.telemetry().refill_cycles.snapshot();
+        let calls = ngm.telemetry().call_cycles.snapshot();
+        assert_eq!(refills.count(), 2, "16 allocs at batch 8 = 2 refills");
+        assert_eq!(calls.count(), 0, "no per-op round trips happened");
+        for p in blocks {
+            // SAFETY: blocks from this handle's allocator.
+            unsafe { h.dealloc(p, layout(64)) };
+        }
     }
 
     #[test]

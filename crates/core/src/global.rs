@@ -4,7 +4,9 @@
 //! use ngm_core::NgmAllocator;
 //!
 //! #[global_allocator]
-//! static ALLOC: NgmAllocator = NgmAllocator;
+//! static ALLOC: NgmAllocator = NgmAllocator::new();
+//! // or, with the batched magazine front-end:
+//! // static ALLOC: NgmAllocator = NgmAllocator::batched(16, 8);
 //! ```
 //!
 //! The adapter mirrors the paper's prototype, which interposes on the C
@@ -56,12 +58,17 @@ pub(crate) fn mark_allocator_thread() {
     SERVICE_READY.store(true, Ordering::Release);
 }
 
-fn runtime() -> &'static NextGenMalloc {
+fn runtime(batch_size: usize, flush_threshold: usize) -> &'static NextGenMalloc {
     RUNTIME.get_or_init(|| {
         // Everything allocated while spawning the runtime comes from the
         // bootstrap arena.
         let was = GUARD.with(|g| g.replace(true));
-        let ngm = NextGenMalloc::start();
+        let ngm = crate::api::NgmBuilder {
+            batch_size,
+            flush_threshold,
+            ..crate::api::NgmBuilder::default()
+        }
+        .start();
         GUARD.with(|g| g.set(was));
         ngm
     })
@@ -69,12 +76,44 @@ fn runtime() -> &'static NextGenMalloc {
 
 /// NextGen-Malloc as a `GlobalAlloc`.
 ///
-/// Zero-sized; all state lives in a lazily-started [`NextGenMalloc`]
-/// runtime shared by every `NgmAllocator` value.
-pub struct NgmAllocator;
+/// Carries only the batching configuration (so it can be built in a
+/// `const` initializer — `#[global_allocator]` statics run before any
+/// environment is readable); all live state is in a lazily-started
+/// [`NextGenMalloc`] runtime shared by every `NgmAllocator` value. The
+/// value that triggers the first allocation decides the configuration.
+pub struct NgmAllocator {
+    batch_size: usize,
+    flush_threshold: usize,
+}
+
+impl Default for NgmAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl NgmAllocator {
-    fn alloc_small(layout: Layout) -> *mut u8 {
+    /// The unbatched adapter: every small alloc is one synchronous round
+    /// trip, every free one post (the pre-magazine behavior).
+    pub const fn new() -> Self {
+        NgmAllocator {
+            batch_size: 1,
+            flush_threshold: 1,
+        }
+    }
+
+    /// An adapter with the magazine front-end enabled: per-thread,
+    /// per-class stashes of `batch_size` addresses and free flushes of
+    /// `flush_threshold` (both clamped to `1..=`[`crate::MAX_BATCH`] at
+    /// runtime start).
+    pub const fn batched(batch_size: usize, flush_threshold: usize) -> Self {
+        NgmAllocator {
+            batch_size,
+            flush_threshold,
+        }
+    }
+
+    fn alloc_small(&self, layout: Layout) -> *mut u8 {
         // Re-entrant or service-thread context: bump arena. If the arena
         // ever fills, guarded requests that cannot recurse have no
         // fallback (null aborts the process); 16 MiB makes that remote.
@@ -82,7 +121,7 @@ impl NgmAllocator {
         if guarded {
             return bootstrap_alloc(layout);
         }
-        let rt = runtime();
+        let rt = runtime(self.batch_size, self.flush_threshold);
         if !SERVICE_READY.load(Ordering::Acquire) {
             // The service loop has not started polling yet; anything that
             // allocates in this window (the service thread's own startup
@@ -155,7 +194,7 @@ impl NgmAllocator {
 unsafe impl GlobalAlloc for NgmAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if layout_to_class(layout.size(), layout.align()).is_some() {
-            Self::alloc_small(layout)
+            self.alloc_small(layout)
         } else {
             // Large: dedicated mapping on the calling thread.
             let len = round_to_os_page(layout.size());
@@ -208,7 +247,7 @@ mod tests {
 
     #[test]
     fn direct_alloc_dealloc_small() {
-        let a = NgmAllocator;
+        let a = NgmAllocator::new();
         // SAFETY: standard GlobalAlloc usage with matching layouts.
         unsafe {
             let p = a.alloc(layout(100));
@@ -221,7 +260,7 @@ mod tests {
 
     #[test]
     fn direct_alloc_dealloc_large() {
-        let a = NgmAllocator;
+        let a = NgmAllocator::new();
         let l = layout(1 << 20);
         // SAFETY: standard GlobalAlloc usage.
         unsafe {
@@ -234,7 +273,7 @@ mod tests {
 
     #[test]
     fn many_threads_through_adapter() {
-        let a = &NgmAllocator;
+        let a = &NgmAllocator::new();
         std::thread::scope(|s| {
             for t in 0..4u8 {
                 s.spawn(move || {
@@ -262,7 +301,7 @@ mod tests {
     #[test]
     fn guarded_context_uses_arena() {
         GUARD.with(|g| g.set(true));
-        let a = NgmAllocator;
+        let a = NgmAllocator::new();
         // SAFETY: standard usage; arena blocks may be freed (ignored).
         unsafe {
             let p = a.alloc(layout(64));

@@ -33,5 +33,8 @@ pub mod watch;
 
 pub use api::{NextGenMalloc, NgmBuilder, NgmHandle};
 pub use global::NgmAllocator;
-pub use service::{AllocReq, FreeMsg, MallocService, ServiceStats};
+pub use service::{
+    AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
+    ServiceStats, MAX_BATCH,
+};
 pub use watch::SharedHeapStats;

@@ -4,12 +4,19 @@ use std::alloc::Layout;
 use std::ptr::NonNull;
 use std::sync::Arc;
 
-use ngm_heap::classes::{layout_to_class, NUM_CLASSES};
+use ngm_heap::classes::{layout_to_class, SizeClass, NUM_CLASSES};
 use ngm_heap::{Heap, HeapStats, SegregatedHeap};
 use ngm_offload::Service;
 
 use crate::orphan::OrphanStack;
 use crate::watch::SharedHeapStats;
+
+/// Maximum number of addresses carried by one batched request or reply.
+///
+/// This bounds the size of the in-flight message (the request slot and
+/// free ring store payloads inline), so it is a compile-time constant
+/// rather than a builder knob; `NgmBuilder::batch_size` is clamped to it.
+pub const MAX_BATCH: usize = 32;
 
 /// A synchronous allocation request (the contents of the paper's
 /// `requested_size` transfer).
@@ -48,6 +55,118 @@ pub struct FreeMsg {
     pub align: usize,
 }
 
+/// A request for a magazine refill: up to [`MAX_BATCH`] blocks of one
+/// size class in a single round trip, amortizing the §4.1 handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocBatchReq {
+    /// The size class to refill from.
+    pub class: SizeClass,
+    /// How many blocks the client wants (clamped to [`MAX_BATCH`]).
+    pub count: u32,
+}
+
+/// A fixed-capacity batch of block addresses, stored inline so the whole
+/// message fits in a request slot or ring cell without heap allocation.
+/// Used both for refill replies and for batched frees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrBatch {
+    addrs: [usize; MAX_BATCH],
+    len: u32,
+}
+
+impl Default for AddrBatch {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl AddrBatch {
+    /// An empty batch.
+    pub const fn empty() -> Self {
+        AddrBatch {
+            addrs: [0; MAX_BATCH],
+            len: 0,
+        }
+    }
+
+    /// Appends an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch already holds [`MAX_BATCH`] addresses.
+    pub fn push(&mut self, addr: usize) {
+        self.addrs[self.len as usize] = addr;
+        self.len += 1;
+    }
+
+    /// Removes and returns the most recently pushed address (LIFO — a
+    /// just-refilled magazine hands back the warmest block first).
+    pub fn pop(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.addrs[self.len as usize])
+    }
+
+    /// The addresses held.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.addrs[..self.len as usize]
+    }
+
+    /// Number of addresses held.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the batch holds no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The malloc service's synchronous request protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MallocReq {
+    /// One allocation of an arbitrary layout (today's per-call path).
+    One(AllocReq),
+    /// A magazine refill: many blocks of one class, one round trip.
+    Batch(AllocBatchReq),
+}
+
+/// The malloc service's synchronous response protocol.
+///
+/// The variants differ widely in size, but responses travel by value
+/// through the fixed-size [`RequestSlot`](ngm_offload::RequestSlot)
+/// mailbox — boxing the batch would allocate through the very allocator
+/// being implemented.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MallocResp {
+    /// Block address, or 0 on failure.
+    One(usize),
+    /// The refilled addresses; may be shorter than requested (or empty)
+    /// under memory pressure.
+    Batch(AddrBatch),
+}
+
+/// The malloc service's asynchronous free protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreePost {
+    /// One free with its full layout (today's per-call path; the only
+    /// route for large blocks, whose layout cannot be recovered from the
+    /// address alone).
+    One(FreeMsg),
+    /// A flushed client free buffer: small-class addresses only — the
+    /// service recovers each class from its page descriptor.
+    Batch(AddrBatch),
+    /// Unused addresses returned from a magazine at handle drop. Frees
+    /// the blocks like [`FreePost::Batch`] but is additionally counted in
+    /// [`ServiceStats::magazine_returned`], so shutdown accounting can
+    /// separate application frees from never-handed-out stash.
+    MagazineReturn(AddrBatch),
+}
+
 /// Counters maintained by the service (no atomics — only the service core
 /// writes them).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -60,6 +179,14 @@ pub struct ServiceStats {
     pub failures: u64,
     /// Orphan blocks reclaimed from the global stack.
     pub orphans_reclaimed: u64,
+    /// Batched refill requests served (each hands out up to
+    /// [`MAX_BATCH`] blocks, all counted in `allocs`).
+    pub batch_refills: u64,
+    /// Blocks returned unused from client magazines at handle drop.
+    /// These are counted in both `allocs` (when refilled) and `frees`
+    /// (when returned), so `allocs - magazine_returned` is the number of
+    /// blocks the application actually received.
+    pub magazine_returned: u64,
     /// Housekeeping sweeps executed while idle.
     pub housekeeping_runs: u64,
     /// Pages prepared ahead of demand during idle time (§3.3.2's
@@ -119,33 +246,7 @@ impl MallocService {
         self.heap.stats()
     }
 
-    fn drain_orphans(&mut self) {
-        // Move the heap out of the way of the closure borrow.
-        let heap = &mut self.heap;
-        let n = self.orphans.drain(|p| {
-            // SAFETY: orphan blocks are live small blocks from this heap
-            // (the global allocator only orphans pointers whose segment
-            // magic matched).
-            unsafe { heap.deallocate_by_ptr(p) };
-        });
-        self.stats.orphans_reclaimed += n as u64;
-        self.stats.frees += n as u64;
-    }
-}
-
-impl Service for MallocService {
-    type Req = AllocReq;
-    type Resp = usize; // Block address, or 0 on failure.
-    type Post = FreeMsg;
-
-    fn on_start(&mut self) {
-        // The service thread's own Rust allocations must never round-trip
-        // to itself when NgmAllocator is the global allocator.
-        crate::global::mark_allocator_thread();
-    }
-
-    fn call(&mut self, req: AllocReq) -> usize {
-        self.idle_ticks = 0;
+    fn alloc_one(&mut self, req: AllocReq) -> usize {
         if let Some(class) = layout_to_class(req.size, req.align) {
             self.demand[class.0 as usize] = self.demand[class.0 as usize].saturating_add(1);
         }
@@ -161,14 +262,97 @@ impl Service for MallocService {
         }
     }
 
-    fn post(&mut self, msg: FreeMsg) {
+    fn alloc_batch(&mut self, req: AllocBatchReq) -> AddrBatch {
+        let mut out = AddrBatch::empty();
+        let count = (req.count as usize).min(MAX_BATCH);
+        if (req.class.0 as usize) >= NUM_CLASSES || count == 0 {
+            self.stats.failures += count.max(1) as u64;
+            return out;
+        }
+        self.demand[req.class.0 as usize] =
+            self.demand[req.class.0 as usize].saturating_add(count as u32);
+        self.stats.batch_refills += 1;
+        match self
+            .heap
+            .allocate_batch(req.class, count, &mut |p| out.push(p.as_ptr() as usize))
+        {
+            Ok(n) => {
+                self.stats.allocs += n as u64;
+                // A short refill is not an application-visible failure —
+                // the client retries or degrades — so only a fully empty
+                // reply counts as one.
+            }
+            Err(_) => self.stats.failures += 1,
+        }
+        out
+    }
+
+    fn free_batch(&mut self, batch: &AddrBatch) {
+        // SAFETY: every address in a batch is a live small block handed
+        // out by this heap; the client relinquished them on post.
+        unsafe {
+            self.heap.deallocate_batch(
+                batch
+                    .as_slice()
+                    .iter()
+                    .map(|&a| NonNull::new(a as *mut u8).expect("free of null address")),
+            );
+        }
+        self.stats.frees += batch.len() as u64;
+    }
+
+    fn drain_orphans(&mut self) {
+        // Move the heap out of the way of the closure borrow.
+        let heap = &mut self.heap;
+        let n = self.orphans.drain(|p| {
+            // SAFETY: orphan blocks are live small blocks from this heap
+            // (the global allocator only orphans pointers whose segment
+            // magic matched).
+            unsafe { heap.deallocate_by_ptr(p) };
+        });
+        self.stats.orphans_reclaimed += n as u64;
+        self.stats.frees += n as u64;
+    }
+}
+
+impl Service for MallocService {
+    type Req = MallocReq;
+    type Resp = MallocResp;
+    type Post = FreePost;
+
+    fn on_start(&mut self) {
+        // The service thread's own Rust allocations must never round-trip
+        // to itself when NgmAllocator is the global allocator.
+        crate::global::mark_allocator_thread();
+    }
+
+    fn call(&mut self, req: MallocReq) -> MallocResp {
         self.idle_ticks = 0;
-        let ptr = NonNull::new(msg.addr as *mut u8).expect("free of null address");
-        let layout = Layout::from_size_align(msg.size, msg.align).expect("valid layout in FreeMsg");
-        // SAFETY: the client posting the message owned the live block and
-        // relinquished it; layout is the one it was allocated with.
-        unsafe { self.heap.deallocate(ptr, layout) };
-        self.stats.frees += 1;
+        match req {
+            MallocReq::One(r) => MallocResp::One(self.alloc_one(r)),
+            MallocReq::Batch(b) => MallocResp::Batch(self.alloc_batch(b)),
+        }
+    }
+
+    fn post(&mut self, msg: FreePost) {
+        self.idle_ticks = 0;
+        match msg {
+            FreePost::One(m) => {
+                let ptr = NonNull::new(m.addr as *mut u8).expect("free of null address");
+                let layout =
+                    Layout::from_size_align(m.size, m.align).expect("valid layout in FreeMsg");
+                // SAFETY: the client posting the message owned the live
+                // block and relinquished it; layout is the one it was
+                // allocated with.
+                unsafe { self.heap.deallocate(ptr, layout) };
+                self.stats.frees += 1;
+            }
+            FreePost::Batch(b) => self.free_batch(&b),
+            FreePost::MagazineReturn(b) => {
+                self.free_batch(&b);
+                self.stats.magazine_returned += b.len() as u64;
+            }
+        }
     }
 
     fn idle(&mut self) {
@@ -209,21 +393,32 @@ mod tests {
         MallocService::new(Arc::new(OrphanStack::new()))
     }
 
+    fn alloc_one(s: &mut MallocService, size: usize, align: usize) -> usize {
+        match s.call(MallocReq::One(AllocReq { size, align })) {
+            MallocResp::One(addr) => addr,
+            other => panic!("One request answered with {other:?}"),
+        }
+    }
+
+    fn free_one(s: &mut MallocService, addr: usize, size: usize, align: usize) {
+        s.post(FreePost::One(FreeMsg { addr, size, align }));
+    }
+
+    fn refill(s: &mut MallocService, class: SizeClass, count: u32) -> AddrBatch {
+        match s.call(MallocReq::Batch(AllocBatchReq { class, count })) {
+            MallocResp::Batch(b) => b,
+            other => panic!("Batch request answered with {other:?}"),
+        }
+    }
+
     #[test]
     fn call_allocates_and_post_frees() {
         let mut s = svc();
-        let addr = s.call(AllocReq {
-            size: 128,
-            align: 8,
-        });
+        let addr = alloc_one(&mut s, 128, 8);
         assert_ne!(addr, 0);
         // SAFETY: we own the fresh block.
         unsafe { std::ptr::write_bytes(addr as *mut u8, 0x77, 128) };
-        s.post(FreeMsg {
-            addr,
-            size: 128,
-            align: 8,
-        });
+        free_one(&mut s, addr, 128, 8);
         assert_eq!(s.service_stats().allocs, 1);
         assert_eq!(s.service_stats().frees, 1);
         assert_eq!(s.heap_stats().live_blocks, 0);
@@ -232,15 +427,73 @@ mod tests {
     #[test]
     fn zero_size_request_fails_cleanly() {
         let mut s = svc();
-        let addr = s.call(AllocReq { size: 0, align: 1 });
+        let addr = alloc_one(&mut s, 0, 1);
         assert_eq!(addr, 0);
         assert_eq!(s.service_stats().failures, 1);
     }
 
     #[test]
+    fn batch_refill_hands_out_distinct_writable_blocks() {
+        let mut s = svc();
+        let class = ngm_heap::classes::size_to_class(64).expect("64 is a small class");
+        let b = refill(&mut s, class, 16);
+        assert_eq!(b.len(), 16);
+        let mut seen = std::collections::HashSet::new();
+        for &addr in b.as_slice() {
+            assert!(seen.insert(addr), "address {addr:#x} handed out twice");
+            assert_eq!(addr % 64, 0, "class-64 block misaligned");
+            // SAFETY: fresh live block of 64 bytes.
+            unsafe { std::ptr::write_bytes(addr as *mut u8, 0xAB, 64) };
+        }
+        let st = s.service_stats();
+        assert_eq!(st.allocs, 16);
+        assert_eq!(st.batch_refills, 1);
+        s.post(FreePost::Batch(b));
+        let st = s.service_stats();
+        assert_eq!(st.frees, 16);
+        assert_eq!(st.magazine_returned, 0);
+        assert_eq!(s.heap_stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn batch_count_is_clamped_to_max() {
+        let mut s = svc();
+        let class = ngm_heap::classes::size_to_class(64).expect("small class");
+        let b = refill(&mut s, class, u32::MAX);
+        assert_eq!(b.len(), MAX_BATCH);
+        s.post(FreePost::Batch(b));
+        assert_eq!(s.heap_stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn invalid_class_refill_fails_cleanly() {
+        let mut s = svc();
+        let b = refill(&mut s, SizeClass(NUM_CLASSES as u16), 8);
+        assert!(b.is_empty());
+        assert_eq!(s.service_stats().allocs, 0);
+        assert!(s.service_stats().failures > 0);
+    }
+
+    #[test]
+    fn magazine_return_balances_but_is_separable() {
+        let mut s = svc();
+        let class = ngm_heap::classes::size_to_class(256).expect("small class");
+        let b = refill(&mut s, class, 8);
+        assert_eq!(b.len(), 8);
+        // Client used none of them and dropped its handle.
+        s.post(FreePost::MagazineReturn(b));
+        let st = s.service_stats();
+        assert_eq!(st.allocs, 8);
+        assert_eq!(st.frees, 8);
+        assert_eq!(st.magazine_returned, 8);
+        assert_eq!(st.allocs - st.magazine_returned, 0, "app received nothing");
+        assert_eq!(s.heap_stats().live_blocks, 0);
+    }
+
+    #[test]
     fn orphans_reclaimed_on_idle() {
         let mut s = svc();
-        let addr = s.call(AllocReq { size: 64, align: 8 });
+        let addr = alloc_one(&mut s, 64, 8);
         let orphans = Arc::clone(&s.orphans);
         // SAFETY: the block is live, we relinquish it to the stack.
         unsafe { orphans.push(NonNull::new(addr as *mut u8).unwrap()) };
@@ -254,12 +507,8 @@ mod tests {
         let mut s = svc();
         // Create demand in one class, then drain its pages empty so the
         // bin has no ready page.
-        let addr = s.call(AllocReq { size: 64, align: 8 });
-        s.post(FreeMsg {
-            addr,
-            size: 64,
-            align: 8,
-        });
+        let addr = alloc_one(&mut s, 64, 8);
+        free_one(&mut s, addr, 64, 8);
         s.heap.release_empty();
         assert_eq!(s.heap_stats().pages_in_use, 0);
         for _ in 0..MallocService::PREPARE_IDLE {
@@ -274,7 +523,7 @@ mod tests {
         let mut s = svc();
         let watch = Arc::clone(s.heap_watch());
         assert_eq!(watch.load().live_blocks, 0);
-        let _addr = s.call(AllocReq { size: 64, align: 8 });
+        let _addr = alloc_one(&mut s, 64, 8);
         s.idle();
         assert_eq!(watch.load().live_blocks, 1);
         assert_eq!(watch.load(), s.heap_stats());
@@ -284,12 +533,8 @@ mod tests {
     fn housekeeping_fires_after_long_idle() {
         let mut s = svc();
         // Allocate and free so a segment exists but is empty.
-        let addr = s.call(AllocReq { size: 64, align: 8 });
-        s.post(FreeMsg {
-            addr,
-            size: 64,
-            align: 8,
-        });
+        let addr = alloc_one(&mut s, 64, 8);
+        free_one(&mut s, addr, 64, 8);
         assert_eq!(s.heap_stats().segments, 1);
         for _ in 0..MallocService::HOUSEKEEPING_IDLE {
             s.idle();

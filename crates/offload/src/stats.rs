@@ -1,6 +1,6 @@
 //! Runtime statistics for the offload service thread.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crate::wait::WaitPhase;
 
@@ -26,9 +26,16 @@ pub struct RuntimeStats {
     pub clients_registered: AtomicU64,
     /// Times a client found its post ring full and had to retry.
     pub post_full_retries: AtomicU64,
+    /// Batched synchronous requests served (magazine refills in the
+    /// malloc deployment); a subset of `calls_served`.
+    pub batched_calls_served: AtomicU64,
     /// Gauge: posts pending across all client rings, as of the service
     /// loop's last poll round.
     pub ring_occupancy: AtomicUsize,
+    /// Gauge: pre-handed-out items stashed in client magazines, published
+    /// by handles at refill/drop boundaries (never on the pop fast path —
+    /// §3.1.3's no-new-atomics rule).
+    pub magazine_occupancy: AtomicI64,
     /// Gauge: the service wait loop's current [`WaitPhase`] (as `u32`).
     pub wait_phase: AtomicU32,
     /// Times the service wait loop changed phase (spin → yield → sleep,
@@ -55,8 +62,13 @@ pub struct StatsSnapshot {
     pub clients_registered: u64,
     /// Times a client found its post ring full and had to retry.
     pub post_full_retries: u64,
+    /// Batched synchronous requests served (magazine refills).
+    pub batched_calls_served: u64,
     /// Posts pending across all client rings at the last poll round.
     pub ring_occupancy: usize,
+    /// Items stashed in client magazines as of the last refill/drop
+    /// publication.
+    pub magazine_occupancy: i64,
     /// The service wait loop's phase when the snapshot was taken.
     pub wait_phase: WaitPhase,
     /// Wait-loop phase transitions so far.
@@ -86,7 +98,9 @@ impl RuntimeStats {
             empty_rounds: AtomicU64::new(0),
             clients_registered: AtomicU64::new(0),
             post_full_retries: AtomicU64::new(0),
+            batched_calls_served: AtomicU64::new(0),
             ring_occupancy: AtomicUsize::new(0),
+            magazine_occupancy: AtomicI64::new(0),
             wait_phase: AtomicU32::new(WaitPhase::Spin as u32),
             wait_transitions: AtomicU64::new(0),
             pin_requested: AtomicBool::new(false),
@@ -97,6 +111,12 @@ impl RuntimeStats {
     /// Records a successful pin.
     pub fn record_pin(&self, core: usize) {
         self.pinned_core.store(core, Ordering::Relaxed);
+    }
+
+    /// Adjusts the magazine-occupancy gauge by `delta`. Called by client
+    /// handles only at refill and drain boundaries, never per pop.
+    pub fn add_magazine_occupancy(&self, delta: i64) {
+        self.magazine_occupancy.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Records a wait-loop phase change (gauge overwrite plus transition
@@ -116,7 +136,9 @@ impl RuntimeStats {
             empty_rounds: self.empty_rounds.load(Ordering::Relaxed),
             clients_registered: self.clients_registered.load(Ordering::Relaxed),
             post_full_retries: self.post_full_retries.load(Ordering::Relaxed),
+            batched_calls_served: self.batched_calls_served.load(Ordering::Relaxed),
             ring_occupancy: self.ring_occupancy.load(Ordering::Relaxed),
+            magazine_occupancy: self.magazine_occupancy.load(Ordering::Relaxed),
             wait_phase: WaitPhase::from_u32(self.wait_phase.load(Ordering::Relaxed)),
             wait_transitions: self.wait_transitions.load(Ordering::Relaxed),
             pinned_core: (pinned != NOT_PINNED).then_some(pinned),
@@ -167,6 +189,17 @@ mod tests {
         s.poll_rounds.store(10, Ordering::Relaxed);
         s.empty_rounds.store(4, Ordering::Relaxed);
         assert!((s.snapshot().idle_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magazine_occupancy_gauge_moves_both_ways() {
+        let s = RuntimeStats::new();
+        assert_eq!(s.snapshot().magazine_occupancy, 0);
+        s.add_magazine_occupancy(16);
+        s.add_magazine_occupancy(16);
+        assert_eq!(s.snapshot().magazine_occupancy, 32);
+        s.add_magazine_occupancy(-32);
+        assert_eq!(s.snapshot().magazine_occupancy, 0);
     }
 
     #[test]

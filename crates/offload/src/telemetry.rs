@@ -24,6 +24,11 @@ pub struct RuntimeTelemetry {
     /// Latency of fire-and-forget posts (asynchronous frees): time to
     /// place the message in the ring, including full-ring retries.
     pub post_cycles: LatencyHistogram,
+    /// Round-trip latency of *batched* synchronous calls (magazine
+    /// refills). Kept separate from `call_cycles` so the amortized
+    /// per-item cost of the batched handshake can be compared against the
+    /// per-call round trip without mixing the two populations.
+    pub refill_cycles: LatencyHistogram,
     /// Capacity of each per-thread trace ring; 0 disables tracing.
     trace_capacity: usize,
     /// All trace rings ever created for this runtime (service loop plus
@@ -38,6 +43,7 @@ impl std::fmt::Debug for RuntimeTelemetry {
             .field("trace_capacity", &self.trace_capacity)
             .field("call_cycles", &self.call_cycles)
             .field("post_cycles", &self.post_cycles)
+            .field("refill_cycles", &self.refill_cycles)
             .finish_non_exhaustive()
     }
 }
@@ -51,6 +57,7 @@ impl RuntimeTelemetry {
         RuntimeTelemetry {
             call_cycles: LatencyHistogram::new(),
             post_cycles: LatencyHistogram::new(),
+            refill_cycles: LatencyHistogram::new(),
             trace_capacity,
             rings: Mutex::new(Vec::new()),
             next_thread: AtomicU32::new(0),
@@ -119,9 +126,11 @@ impl RuntimeTelemetry {
             .counter("ngm_empty_rounds_total", stats.empty_rounds)
             .counter("ngm_clients_registered_total", stats.clients_registered)
             .counter("ngm_post_full_retries_total", stats.post_full_retries)
+            .counter("ngm_batched_calls_total", stats.batched_calls_served)
             .counter("ngm_wait_transitions_total", stats.wait_transitions)
             .counter("ngm_trace_dropped_total", self.trace_dropped_total())
             .gauge("ngm_ring_occupancy", stats.ring_occupancy as i64)
+            .gauge("ngm_magazine_occupancy", stats.magazine_occupancy)
             .gauge("ngm_wait_phase", stats.wait_phase as i64)
             .gauge(
                 "ngm_pinned_core",
@@ -132,7 +141,8 @@ impl RuntimeTelemetry {
                 i64::from(ngm_telemetry::clock::source() == "tsc_cycles"),
             )
             .histogram("ngm_call_cycles", self.call_cycles.snapshot())
-            .histogram("ngm_post_cycles", self.post_cycles.snapshot());
+            .histogram("ngm_post_cycles", self.post_cycles.snapshot())
+            .histogram("ngm_refill_cycles", self.refill_cycles.snapshot());
         m
     }
 }
@@ -186,10 +196,17 @@ mod tests {
         t.call_cycles.record(100);
         t.call_cycles.record(200);
         t.post_cycles.record(30);
+        t.refill_cycles.record(500);
         let stats = crate::stats::RuntimeStats::new().snapshot();
         let m = t.metrics(&stats);
         assert_eq!(m.get_counter("ngm_calls_total"), Some(0));
+        assert_eq!(m.get_counter("ngm_batched_calls_total"), Some(0));
         assert_eq!(m.get_gauge("ngm_pinned_core"), Some(-1));
+        assert_eq!(m.get_gauge("ngm_magazine_occupancy"), Some(0));
+        assert_eq!(
+            m.get_histogram("ngm_refill_cycles").map(|h| h.count()),
+            Some(1)
+        );
         assert_eq!(
             m.get_histogram("ngm_call_cycles").map(|h| h.count()),
             Some(2)

@@ -75,6 +75,29 @@ fn model41_reproduces_paper_numbers() {
 }
 
 #[test]
+fn repro_batch_renders_and_crosses_breakeven() {
+    // The `repro batch` case: measured batched front-end vs unbatched,
+    // printed next to the §4.1 model and the ngm_batch sim prediction.
+    let rows = ablations::measured_batched_frontend(2_000);
+    assert_eq!(rows[0].batch, 1, "baseline row first");
+    let unbatched = rows[0].amortized_per_alloc;
+    for r in rows.iter().filter(|r| r.batch >= 8) {
+        assert!(
+            r.amortized_per_alloc < unbatched,
+            "batch {} amortized {:.0} cyc/alloc must beat unbatched {:.0}",
+            r.batch,
+            r.amortized_per_alloc,
+            unbatched
+        );
+    }
+    let s = ablations::render_batched(Scale(1), 500);
+    assert!(s.contains("Ablation F"));
+    assert!(s.contains("vs unbatched"));
+    assert!(s.contains("§4.1 model"));
+    assert!(s.contains("Sim prediction"));
+}
+
+#[test]
 fn ablation_core_types_cover_design_space() {
     let rows = ablations::core_types_with(&XalancParams::tiny());
     let labels: Vec<&str> = rows.iter().map(|r| r.label).collect();

@@ -1,10 +1,14 @@
 //! Property-based tests of the real heaps: arbitrary alloc/touch/free
 //! interleavings must preserve block integrity, alignment, and accounting
-//! for every heap implementation.
+//! for every heap implementation — plus the magazine invariants of the
+//! batched front-end (refill bounded by capacity, stashed addresses
+//! unique and class-aligned, flushes lossless, drop returns everything).
 
 use std::alloc::Layout;
 use std::ptr::NonNull;
 
+use ngm_core::{NgmBuilder, MAX_BATCH};
+use ngm_heap::classes::{class_to_size, size_to_class};
 use ngm_heap::{AggregatedHeap, AllocError, Heap, LockedHeap, SegregatedHeap, ShardedHeap};
 use proptest::prelude::*;
 
@@ -162,5 +166,146 @@ proptest! {
             }
         }
         prop_assert_eq!(heap.stats().live_blocks, 0);
+    }
+}
+
+/// A scripted operation against a batched [`ngm_core::NgmHandle`].
+#[derive(Debug, Clone)]
+enum MagOp {
+    Alloc { size: usize },
+    Free { index: usize },
+    Flush,
+}
+
+fn mag_op_strategy() -> impl Strategy<Value = MagOp> {
+    prop_oneof![
+        4 => (1usize..8192).prop_map(|size| MagOp::Alloc { size }),
+        3 => any::<usize>().prop_map(|index| MagOp::Free { index }),
+        1 => Just(MagOp::Flush),
+    ]
+}
+
+proptest! {
+    // Each case spins up a real runtime (service thread included), so
+    // keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn magazine_refill_bounded_unique_and_aligned(
+        batch in 1usize..=2 * MAX_BATCH, // past MAX_BATCH: must clamp
+        flush in 1usize..=MAX_BATCH,
+        size in 1usize..8192,
+    ) {
+        let ngm = NgmBuilder {
+            batch_size: batch,
+            flush_threshold: flush,
+            ..NgmBuilder::default()
+        }
+        .start();
+        let mut h = ngm.handle();
+        let layout = Layout::from_size_align(size, 8).expect("valid");
+        let class = size_to_class(size).expect("small size has a class");
+        let p = h.alloc(layout).expect("alloc");
+
+        // Refill never exceeds the (clamped) configured capacity.
+        let effective = batch.clamp(1, MAX_BATCH);
+        prop_assert!(
+            h.magazine_len(class) < effective,
+            "magazine holds {} after one pop, capacity {}",
+            h.magazine_len(class),
+            effective
+        );
+        prop_assert!(h.magazine_occupancy() <= effective);
+
+        // Stashed addresses are unique, distinct from the block just
+        // handed out, and aligned like every block of their class.
+        let class_size = class_to_size(class) as usize;
+        let class_align = 1usize << class_size.trailing_zeros().min(4);
+        let stash = h.magazine_contents(class).to_vec();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(p.as_ptr() as usize);
+        for &addr in &stash {
+            prop_assert!(seen.insert(addr), "duplicate stashed address {addr:#x}");
+            prop_assert_eq!(addr % class_align, 0, "stashed address misaligned for class");
+        }
+        prop_assert_eq!(p.as_ptr() as usize % layout.align(), 0);
+
+        // SAFETY: block from this handle's allocator.
+        unsafe { h.dealloc(p, layout) };
+        drop(h);
+        let (svc, heap, _) = ngm.shutdown();
+        prop_assert_eq!(svc.allocs, svc.frees);
+        prop_assert_eq!(heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn batched_handle_never_loses_a_block(
+        batch in 1usize..=MAX_BATCH,
+        flush in 1usize..=MAX_BATCH,
+        ops in prop::collection::vec(mag_op_strategy(), 1..80),
+    ) {
+        let ngm = NgmBuilder {
+            batch_size: batch,
+            flush_threshold: flush,
+            ..NgmBuilder::default()
+        }
+        .start();
+        let mut h = ngm.handle();
+        let mut live: Vec<(NonNull<u8>, Layout, u8)> = Vec::new();
+        let mut stamp: u8 = 0;
+        let mut app_allocs = 0u64;
+        for op in &ops {
+            match *op {
+                MagOp::Alloc { size } => {
+                    let layout = Layout::from_size_align(size, 8).expect("valid");
+                    let p = h.alloc(layout).expect("alloc");
+                    app_allocs += 1;
+                    stamp = stamp.wrapping_add(1);
+                    // SAFETY: fresh block of `size` bytes.
+                    unsafe { std::ptr::write_bytes(p.as_ptr(), stamp, size) };
+                    live.push((p, layout, stamp));
+                }
+                MagOp::Free { index } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (p, layout, tag) = live.swap_remove(index % live.len());
+                    // Magazines and flush buffers must never alias a
+                    // live block: the pattern survives until its free.
+                    for off in [0, layout.size() / 2, layout.size() - 1] {
+                        // SAFETY: live block, in-bounds offset.
+                        prop_assert_eq!(unsafe { *p.as_ptr().add(off) }, tag, "block corrupted");
+                    }
+                    // SAFETY: block from this handle, freed exactly once.
+                    unsafe { h.dealloc(p, layout) };
+                }
+                MagOp::Flush => {
+                    let buffered = h.buffered_frees();
+                    h.flush_frees();
+                    prop_assert_eq!(h.buffered_frees(), 0);
+                    // A flush is one post carrying all buffered frees;
+                    // none may be dropped on the floor.
+                    prop_assert!(h.pending_frees() >= buffered || buffered == 0);
+                }
+            }
+        }
+        for (p, layout, tag) in live {
+            // SAFETY: remaining live blocks, freed exactly once.
+            unsafe {
+                prop_assert_eq!(*p.as_ptr(), tag);
+                h.dealloc(p, layout);
+            }
+        }
+        let stash_at_drop = h.magazine_occupancy() as u64;
+        drop(h); // Flushes the buffer, returns every stashed address.
+        let (svc, heap, rt) = ngm.shutdown();
+        // Flush preserved every buffered free and drop returned the whole
+        // stash: the books balance exactly.
+        prop_assert_eq!(svc.allocs, svc.frees);
+        prop_assert_eq!(svc.magazine_returned, stash_at_drop);
+        prop_assert_eq!(svc.allocs - svc.magazine_returned, app_allocs);
+        prop_assert_eq!(heap.live_blocks, 0);
+        prop_assert_eq!(heap.live_bytes, 0);
+        prop_assert_eq!(rt.magazine_occupancy, 0);
     }
 }
