@@ -1,22 +1,28 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT...] [--scale N] [--no-prototype]
+//! repro [EXPERIMENT...] [--scale N] [--no-prototype] [--hw]
 //!
 //! EXPERIMENT: all (default) | fig1 | table1 | table2 | fig2 | table3
-//!           | model41 | ablations | batch | telemetry
+//!           | model41 | ablations | batch | telemetry | pmu
 //! --scale N: multiply workload sizes by N (default 1; paper-style
 //!            stability from ~4)
 //! --no-prototype: skip the real-runtime wall-clock part of table3
+//! --hw: additionally measure table1/table2 on the host PMU while the
+//!       replay runs, printing sim and hardware (or labeled software-
+//!       fallback) columns side by side
 //! ```
 
-use ngm_bench::experiments::{ablations, fig1, fig2, model41, table1, table2, table3, telemetry};
+use ngm_bench::experiments::{
+    ablations, fig1, fig2, model41, pmu, table1, table2, table3, telemetry,
+};
 use ngm_bench::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale(1);
     let mut with_prototype = true;
+    let mut with_hw = false;
     let mut experiments: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -33,9 +39,10 @@ fn main() {
                 scale = Scale(n.max(1));
             }
             "--no-prototype" => with_prototype = false,
+            "--hw" => with_hw = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry]... [--scale N] [--no-prototype]"
+                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu]... [--scale N] [--no-prototype] [--hw]"
                 );
                 return;
             }
@@ -57,9 +64,15 @@ fn main() {
     }
     if want("table1") {
         println!("{}", table1::run(scale).render());
+        if with_hw {
+            println!("{}", table1::run_hw(scale).render());
+        }
     }
     if want("table2") {
         println!("{}", table2::run(scale).render());
+        if with_hw {
+            println!("{}", table2::run_hw(scale).render());
+        }
     }
     if want("fig2") {
         println!("{}", fig2::run_fig2(scale).render());
@@ -81,5 +94,8 @@ fn main() {
     }
     if want("telemetry") {
         println!("{}", telemetry::run(real_ops));
+    }
+    if want("pmu") {
+        println!("{}", pmu::run(scale, real_ops));
     }
 }

@@ -4,8 +4,12 @@
 //! ~4× between PTMalloc2 and the modern allocators; instruction counts
 //! are nearly equal; cycles differ ~1.7×.
 
+use ngm_pmu::PmuReport;
 use ngm_sim::PmuCounters;
+use ngm_simalloc::{run_kind_warm, ModelKind};
+use ngm_workloads::xalanc;
 
+use crate::hw::{self, MpkiDelta};
 use crate::report::{mpki, sci, Table};
 use crate::Scale;
 
@@ -112,6 +116,58 @@ impl Table1 {
     }
 }
 
+/// Table 1 measured twice per allocator: the simulator's counters and
+/// the host PMU counting the same replay.
+#[derive(Debug)]
+pub struct Table1Hw {
+    /// Side-by-side report: `<name>:sim/sw` next to `<name>:run/hw`
+    /// (or `:run/sw` on the fed-fallback path).
+    pub report: PmuReport,
+    /// Per-allocator, per-miss-event MPKI comparisons (the CI artifact).
+    pub deltas: Vec<MpkiDelta>,
+}
+
+/// Runs Table 1 with hardware measurement: every allocator model's
+/// replay executes under a [`ngm_pmu::PmuSession`], and the table prints
+/// the simulated and measured column for each, backend-labeled. Never
+/// panics when perf is unavailable — the measured column degrades to the
+/// sim-fed software backend.
+pub fn run_hw(scale: Scale) -> Table1Hw {
+    run_hw_with(&super::xalanc_params(scale))
+}
+
+/// As [`run_hw`] with explicit workload parameters (tests use small
+/// ones).
+pub fn run_hw_with(params: &ngm_workloads::xalanc::XalancParams) -> Table1Hw {
+    let (events, warmup) = xalanc::collect_with_warmup(params);
+    let mut report =
+        PmuReport::new("Table 1 (hardware): xalancbmk replay, simulator vs host PMU per allocator");
+    let mut deltas = Vec::new();
+    for kind in ModelKind::BASELINES {
+        let (r, measured) = hw::measure_replay(
+            || run_kind_warm(kind, 1, events.iter().copied(), warmup),
+            |r| r.total,
+        );
+        let sim = hw::sim_reading(&r.total);
+        deltas.extend(hw::mpki_deltas(r.name, &sim, &measured));
+        report.push(format!("{}:sim", r.name), sim);
+        report.push(format!("{}:run", r.name), measured);
+    }
+    Table1Hw { report, deltas }
+}
+
+impl Table1Hw {
+    /// Renders the side-by-side table plus the delta lines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}",
+            self.report.render(),
+            hw::render_deltas(&self.deltas)
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +209,27 @@ mod tests {
         let s = t.render();
         assert!(s.contains("LLC-load-MPKI"));
         assert!(s.contains("dTLB-store-misses"));
+    }
+
+    #[test]
+    fn hw_table_has_sim_and_measured_columns_for_all_models() {
+        // Satellite/acceptance: must not panic when perf is unavailable,
+        // and must print both columns for all four allocator models,
+        // each labeled with the backend that produced it.
+        let t = run_hw_with(&ngm_workloads::xalanc::XalancParams::tiny());
+        assert_eq!(t.report.cols.len(), 8, "sim + run column per model");
+        let s = t.render();
+        for name in ["PTMalloc2", "JeMalloc", "TCMalloc", "Mimalloc"] {
+            assert!(
+                s.contains(&format!("{name}:sim/sw")),
+                "missing sim col:\n{s}"
+            );
+            assert!(
+                s.contains(&format!("{name}:run/hw")) || s.contains(&format!("{name}:run/sw")),
+                "missing labeled measured col:\n{s}"
+            );
+        }
+        assert!(s.contains("sim-vs-measured MPKI deltas"), "{s}");
+        assert_eq!(t.deltas.len(), 16, "4 models x 4 miss events");
     }
 }

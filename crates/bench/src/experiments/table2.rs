@@ -4,10 +4,12 @@
 //! per-thread caches exchanging cross-thread-freed blocks through the
 //! central lists drag block lines between cores.
 
+use ngm_pmu::PmuReport;
 use ngm_sim::PmuCounters;
 use ngm_simalloc::{run_kind, ModelKind};
 use ngm_workloads::xmalloc::{self, XmallocParams};
 
+use crate::hw::{self, MpkiDelta};
 use crate::report::{sci, Table};
 use crate::Scale;
 
@@ -84,6 +86,63 @@ impl Table2 {
     }
 }
 
+/// Table 2 measured twice per thread count: simulator and host PMU.
+#[derive(Debug)]
+pub struct Table2Hw {
+    /// Side-by-side report: `<threads>t:sim/sw` next to `<threads>t:run`
+    /// with its backend label.
+    pub report: PmuReport,
+    /// Per-thread-count, per-miss-event MPKI comparisons (the CI
+    /// artifact).
+    pub deltas: Vec<MpkiDelta>,
+}
+
+/// Runs Table 2 with hardware measurement: each thread count's TCMalloc
+/// replay executes under a [`ngm_pmu::PmuSession`]. Degrades to the
+/// sim-fed software backend (never panics) where perf is unavailable.
+pub fn run_hw(scale: Scale) -> Table2Hw {
+    let mut report = PmuReport::new(
+        "Table 2 (hardware): xmalloc/TCMalloc replay, simulator vs host PMU per thread count",
+    );
+    let mut deltas = Vec::new();
+    for threads in [1u8, 2, 4, 8] {
+        let params = XmallocParams {
+            allocs_per_thread: Scale(scale.0).apply(20_000) / u32::from(threads),
+            ..XmallocParams::default().with_threads(threads)
+        };
+        let mut events = Vec::new();
+        xmalloc::generate(&params, &mut |e| events.push(e));
+        let (r, measured) = hw::measure_replay(
+            || {
+                run_kind(
+                    ModelKind::TcMalloc,
+                    threads as usize,
+                    events.iter().copied(),
+                )
+            },
+            |r| r.total,
+        );
+        let sim = hw::sim_reading(&r.total);
+        let col = format!("{threads}t");
+        deltas.extend(hw::mpki_deltas(&col, &sim, &measured));
+        report.push(format!("{col}:sim"), sim);
+        report.push(format!("{col}:run"), measured);
+    }
+    Table2Hw { report, deltas }
+}
+
+impl Table2Hw {
+    /// Renders the side-by-side table plus the delta lines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}",
+            self.report.render(),
+            hw::render_deltas(&self.deltas)
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +174,21 @@ mod tests {
         let s = run(Scale(1)).render();
         assert!(s.contains("LLC-load-misses"));
         assert!(s.contains("1->8"));
+    }
+
+    #[test]
+    fn hw_table_has_sim_and_measured_columns_per_thread_count() {
+        let t = run_hw(Scale(1));
+        assert_eq!(t.report.cols.len(), 8, "sim + run column per thread count");
+        let s = t.render();
+        for threads in ["1t", "2t", "4t", "8t"] {
+            assert!(s.contains(&format!("{threads}:sim/sw")), "{s}");
+            assert!(
+                s.contains(&format!("{threads}:run/hw"))
+                    || s.contains(&format!("{threads}:run/sw")),
+                "measured column must be backend-labeled:\n{s}"
+            );
+        }
+        assert_eq!(t.deltas.len(), 16, "4 thread counts x 4 miss events");
     }
 }

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod hw;
 pub mod replay;
 pub mod report;
 pub mod trace;

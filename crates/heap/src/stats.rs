@@ -35,13 +35,18 @@ impl HeapStats {
     /// Includes metadata overhead, so even a perfectly packed heap reports
     /// a nonzero floor — which is honest: the paper's Figure 2 trade-off is
     /// partly about how much space the metadata itself costs.
+    ///
+    /// Large (direct-mapped) bytes count toward occupancy: during a
+    /// segment release the live accounting can transiently exceed the
+    /// committed total, so the result is clamped rather than letting the
+    /// estimate go negative.
     pub fn fragmentation(&self) -> f64 {
         let committed = self.committed_bytes();
         if committed == 0 {
-            0.0
-        } else {
-            1.0 - (self.live_bytes as f64 / committed as f64).min(1.0)
+            return 0.0;
         }
+        let occupied = self.live_bytes.saturating_add(self.large_bytes);
+        (1.0 - occupied as f64 / committed as f64).clamp(0.0, 1.0)
     }
 
     /// Live allocation count, small plus large.
@@ -67,6 +72,29 @@ mod tests {
             ..Default::default()
         };
         assert!((s.fragmentation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fragmentation_is_clamped_to_unit_interval() {
+        // Mid-release, live accounting can transiently exceed committed
+        // space (segment decommitted before its blocks are debited); the
+        // estimate must clamp instead of going negative.
+        let s = HeapStats {
+            segments: 1,
+            live_bytes: crate::segment::SEGMENT_SIZE as u64,
+            large_bytes: crate::segment::SEGMENT_SIZE as u64,
+            ..Default::default()
+        };
+        let f = s.fragmentation();
+        assert!((0.0..=1.0).contains(&f), "fragmentation {f} out of range");
+        assert_eq!(f, 0.0);
+
+        // And the degenerate all-committed-no-live end stays at 1.0.
+        let s = HeapStats {
+            segments: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.fragmentation(), 1.0);
     }
 
     #[test]

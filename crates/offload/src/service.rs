@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use ngm_pmu::PmuSession;
 use ngm_telemetry::clock::cycles_now;
 use ngm_telemetry::export::MetricsSnapshot;
 use ngm_telemetry::trace::{TraceEventKind, TraceRing};
@@ -73,6 +74,38 @@ pub struct ClientHandle<S: Service> {
     stats: Arc<RuntimeStats>,
     telemetry: Arc<RuntimeTelemetry>,
     trace: Option<Arc<TraceRing>>,
+    pmu: ClientPmu,
+}
+
+/// A client handle's PMU measurement state. The session is armed lazily
+/// on the first request so the counters are opened on (and attribute to)
+/// the thread that actually issues requests, not whichever thread called
+/// `register_client`.
+enum ClientPmu {
+    /// Profiling disabled for this runtime.
+    Off,
+    /// Profiling on, no request issued yet.
+    Unarmed,
+    /// Counting this thread since its first request.
+    Running(Box<PmuSession>),
+}
+
+impl ClientPmu {
+    fn arm(&mut self) {
+        if matches!(self, ClientPmu::Unarmed) {
+            let mut session = Box::new(PmuSession::new());
+            session.begin();
+            *self = ClientPmu::Running(session);
+        }
+    }
+}
+
+impl<S: Service> Drop for ClientHandle<S> {
+    fn drop(&mut self) {
+        if let ClientPmu::Running(session) = &mut self.pmu {
+            self.telemetry.record_client_pmu(session.finish());
+        }
+    }
 }
 
 impl<S: Service> ClientHandle<S> {
@@ -83,6 +116,7 @@ impl<S: Service> ClientHandle<S> {
     /// histogram: one relaxed bucket increment plus one relaxed sum
     /// increment — the whole telemetry cost on this path.
     pub fn call(&mut self, req: S::Req) -> S::Resp {
+        self.pmu.arm();
         let t0 = cycles_now();
         let resp = self.slot.call(req, self.wait);
         self.telemetry
@@ -97,6 +131,7 @@ impl<S: Service> ClientHandle<S> {
     /// the amortized batched cost stays distinguishable from the per-call
     /// cost, and the batched-call counter is bumped.
     pub fn call_batched(&mut self, req: S::Req) -> S::Resp {
+        self.pmu.arm();
         let t0 = cycles_now();
         let resp = self.slot.call(req, self.wait);
         self.telemetry
@@ -118,6 +153,7 @@ impl<S: Service> ClientHandle<S> {
     /// being posted — that is a client lifecycle bug, not a recoverable
     /// condition.
     pub fn post(&mut self, msg: S::Post) {
+        self.pmu.arm();
         let t0 = cycles_now();
         let mut msg = msg;
         let mut iters = 0u32;
@@ -169,6 +205,7 @@ pub struct RuntimeBuilder {
     ring_capacity: usize,
     drain_batch: usize,
     trace_capacity: usize,
+    profile: bool,
 }
 
 impl Default for RuntimeBuilder {
@@ -180,6 +217,7 @@ impl Default for RuntimeBuilder {
             ring_capacity: 1024,
             drain_batch: 64,
             trace_capacity: 0,
+            profile: false,
         }
     }
 }
@@ -229,6 +267,16 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables PMU profiling (off by default): the service loop and every
+    /// client handle wrap their lifetimes in a [`ngm_pmu::PmuSession`],
+    /// attributing cycles and cache/TLB misses to the service core versus
+    /// the app cores (§2.3). Falls back to software counters (labeled as
+    /// such) wherever `perf_event_open` is unavailable.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
     /// Starts the service thread running `service`.
     pub fn start<S: Service>(self, service: S) -> OffloadRuntime<S> {
         OffloadRuntime::start_with(service, self)
@@ -251,7 +299,10 @@ impl<S: Service> OffloadRuntime<S> {
 
     fn start_with(service: S, cfg: RuntimeBuilder) -> Self {
         let stats = Arc::new(RuntimeStats::new());
-        let telemetry = Arc::new(RuntimeTelemetry::new(cfg.trace_capacity));
+        let telemetry = Arc::new(RuntimeTelemetry::with_profiling(
+            cfg.trace_capacity,
+            cfg.profile,
+        ));
         // Claim the service loop's trace ring before any client can
         // register, so runtime thread id 0 is always the service.
         let service_trace = telemetry.new_ring();
@@ -308,6 +359,11 @@ impl<S: Service> OffloadRuntime<S> {
             stats: Arc::clone(&self.shared.stats),
             telemetry: Arc::clone(&self.shared.telemetry),
             trace: self.shared.telemetry.new_ring(),
+            pmu: if self.shared.telemetry.profiling_enabled() {
+                ClientPmu::Unarmed
+            } else {
+                ClientPmu::Off
+            },
         }
     }
 
@@ -369,6 +425,14 @@ fn service_loop<S: Service>(
             shared.stats.record_pin(c);
         }
     }
+    // PMU counters opened here (after pinning) count this thread — the
+    // service core's whole lifetime, polling overhead included, which is
+    // exactly the §2.3 attribution question.
+    let mut pmu = shared.telemetry.profiling_enabled().then(|| {
+        let mut session = PmuSession::new();
+        session.begin();
+        session
+    });
     service.on_start();
 
     let mut clients: Vec<ClientChannel<S>> = Vec::new();
@@ -435,6 +499,9 @@ fn service_loop<S: Service>(
             }
             phase = now;
         }
+    }
+    if let Some(session) = &mut pmu {
+        shared.telemetry.record_service_pmu(session.finish());
     }
     service
 }
@@ -630,6 +697,57 @@ mod tests {
         // subset, not a separate population.
         assert_eq!(stats.calls_served, 12);
         assert_eq!(stats.batched_calls_served, 4);
+    }
+
+    #[test]
+    fn profiling_attributes_service_and_client_cores() {
+        let rt = RuntimeBuilder::new().profile(true).start(doubler());
+        assert!(rt.telemetry().profiling_enabled());
+        assert!(
+            rt.telemetry().pmu_report().is_none(),
+            "no readings until a session retires"
+        );
+        let mut c = rt.register_client();
+        for i in 0..16 {
+            c.call(i);
+            c.post(i);
+        }
+        drop(c); // Client reading deposits on handle drop.
+        let telemetry = Arc::clone(rt.telemetry());
+        let (_, _) = rt.shutdown(); // Service reading deposits at loop exit.
+        let rep = telemetry.pmu_report().expect("both columns deposited");
+        assert_eq!(rep.cols.len(), 2);
+        let rendered = rep.render();
+        assert!(
+            rendered.contains("service/"),
+            "service column labeled with its backend:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("clients(1)/"),
+            "client column labeled with its backend:\n{rendered}"
+        );
+        // Whichever backend ran, both columns measured nonzero cycles
+        // or marked the event honestly unmeasurable — never silence.
+        for c in &rep.cols {
+            match c.reading.get(ngm_pmu::PmuEvent::Cycles) {
+                Some(v) => assert!(v > 0, "lifetimes take cycles"),
+                None => assert_eq!(c.reading.backend, ngm_pmu::BackendKind::Hardware),
+            }
+        }
+        // And the report flows into the exportable metrics.
+        let m = telemetry.metrics(&crate::stats::RuntimeStats::new().snapshot());
+        assert!(m.labeled_gauge_count("ngm_pmu_count") > 0);
+    }
+
+    #[test]
+    fn profiling_off_by_default_deposits_nothing() {
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        c.call(1);
+        drop(c);
+        let telemetry = Arc::clone(rt.telemetry());
+        rt.shutdown();
+        assert!(telemetry.pmu_report().is_none());
     }
 
     #[test]

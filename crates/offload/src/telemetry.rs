@@ -10,11 +10,23 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
+use ngm_pmu::{PmuReading, PmuReport};
 use ngm_telemetry::export::MetricsSnapshot;
 use ngm_telemetry::hist::LatencyHistogram;
 use ngm_telemetry::trace::{TraceDrain, TraceRing};
 
 use crate::stats::StatsSnapshot;
+
+/// PMU readings attributed by core role (§2.3: the service core takes
+/// the allocator's misses so the app cores don't).
+#[derive(Debug, Default)]
+struct PmuStore {
+    /// The service loop's whole-lifetime reading.
+    service: Option<PmuReading>,
+    /// All retired client handles' readings, merged.
+    clients: Option<PmuReading>,
+    client_count: u32,
+}
 
 /// Telemetry shared by one offload runtime and all its clients.
 pub struct RuntimeTelemetry {
@@ -35,6 +47,9 @@ pub struct RuntimeTelemetry {
     /// one per client), kept for draining.
     rings: Mutex<Vec<Arc<TraceRing>>>,
     next_thread: AtomicU32,
+    /// Whether PMU profiling was requested for this runtime.
+    profile: bool,
+    pmu: Mutex<PmuStore>,
 }
 
 impl std::fmt::Debug for RuntimeTelemetry {
@@ -54,6 +69,15 @@ impl RuntimeTelemetry {
     /// gate).
     #[must_use]
     pub fn new(trace_capacity: usize) -> Self {
+        Self::with_profiling(trace_capacity, false)
+    }
+
+    /// Like [`RuntimeTelemetry::new`], with PMU profiling opted in or
+    /// out. When on, the service loop and every client handle wrap their
+    /// lifetimes in a [`ngm_pmu::PmuSession`] and deposit the readings
+    /// here.
+    #[must_use]
+    pub fn with_profiling(trace_capacity: usize, profile: bool) -> Self {
         RuntimeTelemetry {
             call_cycles: LatencyHistogram::new(),
             post_cycles: LatencyHistogram::new(),
@@ -61,6 +85,8 @@ impl RuntimeTelemetry {
             trace_capacity,
             rings: Mutex::new(Vec::new()),
             next_thread: AtomicU32::new(0),
+            profile,
+            pmu: Mutex::new(PmuStore::default()),
         }
     }
 
@@ -68,6 +94,54 @@ impl RuntimeTelemetry {
     #[must_use]
     pub fn tracing_enabled(&self) -> bool {
         self.trace_capacity > 0
+    }
+
+    /// Whether PMU profiling is enabled.
+    #[must_use]
+    pub fn profiling_enabled(&self) -> bool {
+        self.profile
+    }
+
+    /// Deposits the service loop's whole-lifetime PMU reading.
+    pub fn record_service_pmu(&self, reading: PmuReading) {
+        self.lock_pmu().service = Some(reading);
+    }
+
+    /// Deposits one client handle's whole-lifetime PMU reading; readings
+    /// from all clients are merged into a single app-core column.
+    pub fn record_client_pmu(&self, reading: PmuReading) {
+        let mut pmu = self.lock_pmu();
+        pmu.clients = Some(match &pmu.clients {
+            Some(acc) => acc.merge(&reading),
+            None => reading,
+        });
+        pmu.client_count += 1;
+    }
+
+    /// The service-core-vs-app-cores PMU report, when profiling was on
+    /// and at least one reading has been deposited. The service column
+    /// appears after the loop exits (shutdown); each client column merges
+    /// in when its handle drops.
+    #[must_use]
+    pub fn pmu_report(&self) -> Option<PmuReport> {
+        let pmu = self.lock_pmu();
+        if pmu.service.is_none() && pmu.clients.is_none() {
+            return None;
+        }
+        let mut rep = PmuReport::new("PMU: service core vs app cores");
+        if let Some(s) = pmu.service {
+            rep.push("service", s);
+        }
+        if let Some(c) = pmu.clients {
+            rep.push(format!("clients({})", pmu.client_count), c);
+        }
+        Some(rep)
+    }
+
+    fn lock_pmu(&self) -> std::sync::MutexGuard<'_, PmuStore> {
+        self.pmu
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Creates (and retains for draining) a trace ring with the next
@@ -143,6 +217,9 @@ impl RuntimeTelemetry {
             .histogram("ngm_call_cycles", self.call_cycles.snapshot())
             .histogram("ngm_post_cycles", self.post_cycles.snapshot())
             .histogram("ngm_refill_cycles", self.refill_cycles.snapshot());
+        if let Some(rep) = self.pmu_report() {
+            rep.publish(&mut m);
+        }
         m
     }
 }

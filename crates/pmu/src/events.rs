@@ -1,0 +1,152 @@
+//! The counter set the paper's Tables 1 and 2 are built from.
+
+/// Generic hardware event: CPU cycles (`PERF_TYPE_HARDWARE`).
+const PERF_TYPE_HARDWARE: u32 = 0;
+/// Cache event namespace (`PERF_TYPE_HW_CACHE`).
+const PERF_TYPE_HW_CACHE: u32 = 3;
+
+const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+
+/// Last-level cache, in the `PERF_COUNT_HW_CACHE_*` id space.
+const PERF_COUNT_HW_CACHE_LL: u64 = 2;
+/// First-level data TLB.
+const PERF_COUNT_HW_CACHE_DTLB: u64 = 3;
+const PERF_COUNT_HW_CACHE_OP_READ: u64 = 0;
+const PERF_COUNT_HW_CACHE_OP_WRITE: u64 = 1;
+const PERF_COUNT_HW_CACHE_RESULT_MISS: u64 = 1;
+
+/// Builds a `PERF_TYPE_HW_CACHE` config word: `id | (op << 8) |
+/// (result << 16)` per `perf_event_open(2)`.
+const fn cache_config(id: u64, op: u64, result: u64) -> u64 {
+    id | (op << 8) | (result << 16)
+}
+
+/// The six events behind the paper's Table 1 columns (Table 2 uses the
+/// first four). Order is the table's row order and the order counters are
+/// attached to a perf group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PmuEvent {
+    /// `cycles` row — `PERF_COUNT_HW_CPU_CYCLES`.
+    Cycles,
+    /// `instructions` row (the MPKI denominator) —
+    /// `PERF_COUNT_HW_INSTRUCTIONS`.
+    Instructions,
+    /// `LLC-load-misses` row — LL cache, read op, miss result.
+    LlcLoadMisses,
+    /// `LLC-store-misses` row — LL cache, write op, miss result.
+    LlcStoreMisses,
+    /// `dTLB-load-misses` row — dTLB, read op, miss result.
+    DtlbLoadMisses,
+    /// `dTLB-store-misses` row — dTLB, write op, miss result.
+    DtlbStoreMisses,
+}
+
+impl PmuEvent {
+    /// Every event, in Table 1 row order.
+    pub const ALL: [PmuEvent; 6] = [
+        PmuEvent::Cycles,
+        PmuEvent::Instructions,
+        PmuEvent::LlcLoadMisses,
+        PmuEvent::LlcStoreMisses,
+        PmuEvent::DtlbLoadMisses,
+        PmuEvent::DtlbStoreMisses,
+    ];
+
+    /// The `perf_event_attr.type` for this event.
+    #[must_use]
+    pub fn perf_type(self) -> u32 {
+        match self {
+            PmuEvent::Cycles | PmuEvent::Instructions => PERF_TYPE_HARDWARE,
+            _ => PERF_TYPE_HW_CACHE,
+        }
+    }
+
+    /// The `perf_event_attr.config` for this event.
+    #[must_use]
+    pub fn perf_config(self) -> u64 {
+        match self {
+            PmuEvent::Cycles => PERF_COUNT_HW_CPU_CYCLES,
+            PmuEvent::Instructions => PERF_COUNT_HW_INSTRUCTIONS,
+            PmuEvent::LlcLoadMisses => cache_config(
+                PERF_COUNT_HW_CACHE_LL,
+                PERF_COUNT_HW_CACHE_OP_READ,
+                PERF_COUNT_HW_CACHE_RESULT_MISS,
+            ),
+            PmuEvent::LlcStoreMisses => cache_config(
+                PERF_COUNT_HW_CACHE_LL,
+                PERF_COUNT_HW_CACHE_OP_WRITE,
+                PERF_COUNT_HW_CACHE_RESULT_MISS,
+            ),
+            PmuEvent::DtlbLoadMisses => cache_config(
+                PERF_COUNT_HW_CACHE_DTLB,
+                PERF_COUNT_HW_CACHE_OP_READ,
+                PERF_COUNT_HW_CACHE_RESULT_MISS,
+            ),
+            PmuEvent::DtlbStoreMisses => cache_config(
+                PERF_COUNT_HW_CACHE_DTLB,
+                PERF_COUNT_HW_CACHE_OP_WRITE,
+                PERF_COUNT_HW_CACHE_RESULT_MISS,
+            ),
+        }
+    }
+
+    /// The paper's row label for this event (matches `perf stat -e`
+    /// spelling, which Table 1 reuses).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PmuEvent::Cycles => "cycles",
+            PmuEvent::Instructions => "instructions",
+            PmuEvent::LlcLoadMisses => "LLC-load-misses",
+            PmuEvent::LlcStoreMisses => "LLC-store-misses",
+            PmuEvent::DtlbLoadMisses => "dTLB-load-misses",
+            PmuEvent::DtlbStoreMisses => "dTLB-store-misses",
+        }
+    }
+
+    /// This event's index in [`PmuEvent::ALL`] (and in every
+    /// [`crate::PmuReading`]'s count array).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_in_declaration_order() {
+        for (i, e) in PmuEvent::ALL.into_iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+
+    #[test]
+    fn cache_configs_match_perf_event_h() {
+        // Values cross-checked against linux/perf_event.h:
+        // LL read miss = 2 | (0<<8) | (1<<16); dTLB write miss =
+        // 3 | (1<<8) | (1<<16).
+        assert_eq!(PmuEvent::LlcLoadMisses.perf_config(), 0x1_00_02);
+        assert_eq!(PmuEvent::LlcStoreMisses.perf_config(), 0x1_01_02);
+        assert_eq!(PmuEvent::DtlbLoadMisses.perf_config(), 0x1_00_03);
+        assert_eq!(PmuEvent::DtlbStoreMisses.perf_config(), 0x1_01_03);
+        assert_eq!(PmuEvent::Cycles.perf_config(), 0);
+        assert_eq!(PmuEvent::Instructions.perf_config(), 1);
+    }
+
+    #[test]
+    fn hardware_events_use_hardware_type() {
+        assert_eq!(PmuEvent::Cycles.perf_type(), 0);
+        assert_eq!(PmuEvent::Instructions.perf_type(), 0);
+        assert_eq!(PmuEvent::DtlbStoreMisses.perf_type(), 3);
+    }
+
+    #[test]
+    fn names_match_perf_stat_spelling() {
+        assert_eq!(PmuEvent::LlcLoadMisses.name(), "LLC-load-misses");
+        assert_eq!(PmuEvent::DtlbStoreMisses.name(), "dTLB-store-misses");
+    }
+}

@@ -14,7 +14,18 @@ use crate::hist::HistogramSnapshot;
 pub struct MetricsSnapshot {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, i64)>,
+    labeled_gauges: Vec<LabeledSample>,
     histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// One gauge sample carrying a Prometheus label set. Label *names* must
+/// be Prometheus-safe (callers use static literals); label *values* are
+/// arbitrary strings — the renderers escape them.
+#[derive(Debug, Clone)]
+struct LabeledSample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: i64,
 }
 
 impl MetricsSnapshot {
@@ -34,6 +45,26 @@ impl MetricsSnapshot {
     /// Adds a gauge sample.
     pub fn gauge(&mut self, name: impl Into<String>, value: i64) -> &mut Self {
         self.gauges.push((name.into(), value));
+        self
+    }
+
+    /// Adds a gauge sample with a label set (e.g. per allocation site or
+    /// per PMU event). Label values may contain any characters; the
+    /// renderers escape them.
+    pub fn labeled_gauge(
+        &mut self,
+        name: impl Into<String>,
+        labels: &[(&str, &str)],
+        value: i64,
+    ) -> &mut Self {
+        self.labeled_gauges.push(LabeledSample {
+            name: name.into(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
         self
     }
 
@@ -67,6 +98,32 @@ impl MetricsSnapshot {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    /// Looks up a labeled gauge by name and exact label set (order- and
+    /// content-sensitive, as published).
+    #[must_use]
+    pub fn get_labeled_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.labeled_gauges
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), &(lk, lv))| k == lk && v == lv)
+            })
+            .map(|s| s.value)
+    }
+
+    /// Number of labeled-gauge samples published under `name`.
+    #[must_use]
+    pub fn labeled_gauge_count(&self, name: &str) -> usize {
+        self.labeled_gauges
+            .iter()
+            .filter(|s| s.name == name)
+            .count()
+    }
+
     /// Renders Prometheus text exposition format (version 0.0.4).
     #[must_use]
     pub fn to_prometheus_text(&self) -> String {
@@ -77,6 +134,18 @@ impl MetricsSnapshot {
         }
         for (name, v) in &self.gauges {
             let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        let mut last_labeled: Option<&str> = None;
+        for s in &self.labeled_gauges {
+            if last_labeled != Some(s.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} gauge", s.name);
+                last_labeled = Some(s.name.as_str());
+            }
+            let _ = write!(out, "{}{{", s.name);
+            for (i, (k, v)) in s.labels.iter().enumerate() {
+                let _ = write!(out, "{}{k}=\"{}\"", comma(i), escape_label_value(v));
+            }
+            let _ = writeln!(out, "}} {}", s.value);
         }
         for (name, h) in &self.histograms {
             let _ = writeln!(out, "# TYPE {name} summary");
@@ -107,6 +176,23 @@ impl MetricsSnapshot {
         for (i, (name, v)) in self.gauges.iter().enumerate() {
             let _ = write!(out, "{}{}:{v}", comma(i), json_str(name));
         }
+        // Labeled gauges join the gauge object under their full series
+        // name (`name{k="v"}`); json_str escapes the embedded quotes.
+        for (i, s) in self.labeled_gauges.iter().enumerate() {
+            let mut series = format!("{}{{", s.name);
+            for (j, (k, v)) in s.labels.iter().enumerate() {
+                use std::fmt::Write as _;
+                let _ = write!(series, "{}{k}=\"{}\"", comma(j), escape_label_value(v));
+            }
+            series.push('}');
+            let _ = write!(
+                out,
+                "{}{}:{}",
+                comma(i + self.gauges.len()),
+                json_str(&series),
+                s.value
+            );
+        }
         out.push_str("},\"histograms\":{");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
             let _ = write!(
@@ -134,6 +220,22 @@ fn comma(i: usize) -> &'static str {
     } else {
         ","
     }
+}
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote, and line feed must be escaped (`\\`, `\"`,
+/// `\n`); everything else passes through.
+fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Quotes a metric name as a JSON string (escaping `"` and `\`, which
@@ -227,5 +329,65 @@ mod tests {
     #[test]
     fn json_escapes_names() {
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn labeled_gauges_render_and_lookup() {
+        let mut m = MetricsSnapshot::new();
+        m.labeled_gauge(
+            "ngm_site_live_bytes",
+            &[("site", "src/api.rs:222:17"), ("kind", "small")],
+            4096,
+        );
+        let text = m.to_prometheus_text();
+        assert!(text.contains("# TYPE ngm_site_live_bytes gauge"));
+        assert!(
+            text.contains("ngm_site_live_bytes{site=\"src/api.rs:222:17\",kind=\"small\"} 4096"),
+            "bad labeled rendering:\n{text}"
+        );
+        assert_eq!(
+            m.get_labeled_gauge(
+                "ngm_site_live_bytes",
+                &[("site", "src/api.rs:222:17"), ("kind", "small")]
+            ),
+            Some(4096)
+        );
+        assert_eq!(m.get_labeled_gauge("ngm_site_live_bytes", &[]), None);
+        assert_eq!(m.labeled_gauge_count("ngm_site_live_bytes"), 1);
+    }
+
+    #[test]
+    fn label_values_with_quote_and_newline_are_escaped() {
+        // Satellite: a label value containing `"` and `\n` must render as
+        // a single well-formed exposition line.
+        let mut m = MetricsSnapshot::new();
+        m.labeled_gauge("ngm_site_live_bytes", &[("site", "a\"b\nc\\d")], 7);
+        let text = m.to_prometheus_text();
+        let line = text
+            .lines()
+            .find(|l| !l.starts_with('#'))
+            .expect("one sample line");
+        assert_eq!(
+            line, "ngm_site_live_bytes{site=\"a\\\"b\\nc\\\\d\"} 7",
+            "escaping broke the exposition line"
+        );
+        assert_eq!(
+            text.lines().filter(|l| !l.starts_with('#')).count(),
+            1,
+            "raw newline leaked into the rendering:\n{text}"
+        );
+        // The JSON document stays parseable too: balanced braces, no raw
+        // control characters.
+        let json = m.to_json();
+        assert!(!json.contains('\n'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn escape_label_value_rules() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
     }
 }

@@ -13,9 +13,12 @@
 //! * [`trace::TraceRing`] — a bounded per-thread event ring for
 //!   alloc/free/post/refill/wait-transition events. Overflow drops the
 //!   oldest event and counts the drop; nothing is lost silently.
-//! * [`export::MetricsSnapshot`] — a named bag of counters, gauges, and
-//!   histogram snapshots renderable as Prometheus text exposition or a
-//!   JSON document.
+//! * [`export::MetricsSnapshot`] — a named bag of counters, gauges
+//!   (plain and labeled), and histogram snapshots renderable as
+//!   Prometheus text exposition or a JSON document.
+//! * [`sites::SiteProfiler`] — a sampled (1-in-N) allocation-site heap
+//!   profiler: call-site hash → live bytes/blocks/peak, with a shutdown
+//!   leak report listing surviving sites.
 //!
 //! Timestamps come from [`clock::cycles_now`]: `rdtsc` on x86_64, a
 //! monotonic-nanosecond fallback elsewhere (see that module for caveats).
@@ -23,6 +26,7 @@
 pub mod clock;
 pub mod export;
 pub mod hist;
+pub mod sites;
 pub mod trace;
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};

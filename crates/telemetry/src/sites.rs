@@ -1,0 +1,318 @@
+//! Sampled allocation-site heap profiler.
+//!
+//! Attributes live heap usage to the call sites that allocated it: a
+//! 1-in-N sampled map from call-site hash to live bytes / live blocks /
+//! peak bytes. Sampling keeps the hot path cheap — the common case is one
+//! relaxed counter increment and an early return; only sampled
+//! allocations pay for the label formatting and the map update. At
+//! shutdown, [`SiteProfiler::report`] yields a leak report listing the
+//! sites whose sampled allocations are still live, and the whole report
+//! publishes through the [`export`](crate::export) metrics exporter as
+//! labeled gauges.
+//!
+//! The profiler never stores raw pointers beyond their lifetime as map
+//! keys — addresses are plain `usize` bookkeeping tokens, matched on
+//! free and forgotten.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::export::MetricsSnapshot;
+
+/// Aggregated statistics for one allocation site.
+#[derive(Debug, Clone, Default)]
+pub struct SiteStats {
+    /// Human-readable site label (`file:line:col` via `#[track_caller]`).
+    pub label: String,
+    /// Bytes currently live among this site's sampled allocations.
+    pub live_bytes: u64,
+    /// Blocks currently live among this site's sampled allocations.
+    pub live_blocks: u64,
+    /// Highest `live_bytes` ever observed for this site.
+    pub peak_bytes: u64,
+    /// Sampled allocations attributed to this site over the whole run.
+    pub total_allocs: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Call-site hash → accumulated stats.
+    sites: HashMap<u64, SiteStats>,
+    /// Sampled live address → (site hash, bytes), consumed on free.
+    live: HashMap<usize, (u64, u64)>,
+}
+
+/// A sampled call-site → heap-usage attribution map.
+///
+/// `record_alloc`/`record_free` are safe to call from any thread; the
+/// map is guarded by a mutex that only sampled operations touch.
+#[derive(Debug)]
+pub struct SiteProfiler {
+    /// Sample 1 in `interval` allocations (1 = every allocation).
+    interval: u64,
+    tick: AtomicU64,
+    /// Count of tracked live addresses, so unsampled frees can early-out
+    /// without taking the lock when nothing is tracked.
+    tracked: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl SiteProfiler {
+    /// A profiler sampling 1 in `sample_interval` allocations.
+    /// An interval of 0 is treated as 1 (sample everything).
+    #[must_use]
+    pub fn new(sample_interval: u64) -> Self {
+        SiteProfiler {
+            interval: sample_interval.max(1),
+            tick: AtomicU64::new(0),
+            tracked: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured 1-in-N sampling interval.
+    #[must_use]
+    pub fn sample_interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Records an allocation of `bytes` at `addr`. The `label` closure
+    /// is only invoked if this allocation is sampled, so callers can
+    /// defer `file:line` formatting off the common path.
+    pub fn record_alloc(&self, addr: usize, bytes: usize, label: impl FnOnce() -> String) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        if !tick.is_multiple_of(self.interval) {
+            return;
+        }
+        let label = label();
+        let hash = site_hash(&label);
+        let mut inner = self.inner.lock().unwrap();
+        let site = inner.sites.entry(hash).or_insert_with(|| SiteStats {
+            label,
+            ..SiteStats::default()
+        });
+        site.live_bytes += bytes as u64;
+        site.live_blocks += 1;
+        site.total_allocs += 1;
+        site.peak_bytes = site.peak_bytes.max(site.live_bytes);
+        if inner.live.insert(addr, (hash, bytes as u64)).is_none() {
+            self.tracked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a free of `addr`. Frees of unsampled allocations are
+    /// ignored; when nothing is tracked this is a single relaxed load.
+    pub fn record_free(&self, addr: usize) {
+        if self.tracked.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let Some((hash, bytes)) = inner.live.remove(&addr) else {
+            return;
+        };
+        self.tracked.fetch_sub(1, Ordering::Relaxed);
+        if let Some(site) = inner.sites.get_mut(&hash) {
+            site.live_bytes = site.live_bytes.saturating_sub(bytes);
+            site.live_blocks = site.live_blocks.saturating_sub(1);
+        }
+    }
+
+    /// Snapshots the attribution map, sites ordered by live bytes
+    /// descending (ties broken by label for determinism).
+    #[must_use]
+    pub fn report(&self) -> SiteReport {
+        let inner = self.inner.lock().unwrap();
+        let mut sites: Vec<SiteStats> = inner.sites.values().cloned().collect();
+        sites.sort_by(|a, b| {
+            b.live_bytes
+                .cmp(&a.live_bytes)
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        SiteReport {
+            sample_interval: self.interval,
+            sites,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the site attribution map.
+#[derive(Debug, Clone)]
+pub struct SiteReport {
+    /// The profiler's 1-in-N sampling interval (counts are of sampled
+    /// allocations, so multiply by roughly this to estimate totals).
+    pub sample_interval: u64,
+    /// Per-site stats, ordered by live bytes descending.
+    pub sites: Vec<SiteStats>,
+}
+
+impl SiteReport {
+    /// Sites with sampled allocations still live — the leak suspects at
+    /// shutdown.
+    #[must_use]
+    pub fn surviving(&self) -> Vec<&SiteStats> {
+        self.sites.iter().filter(|s| s.live_blocks > 0).collect()
+    }
+
+    /// True when no sampled allocation survived.
+    #[must_use]
+    pub fn leak_free(&self) -> bool {
+        self.surviving().is_empty()
+    }
+
+    /// Renders the shutdown leak report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "allocation-site profile (1-in-{} sampling)\n",
+            self.sample_interval
+        );
+        let surviving = self.surviving();
+        if surviving.is_empty() {
+            out.push_str("no surviving allocations: all sampled sites freed everything\n");
+        } else {
+            out.push_str(&format!(
+                "{} site(s) with surviving allocations:\n",
+                surviving.len()
+            ));
+            for s in surviving {
+                out.push_str(&format!(
+                    "  {:<40} live {} B in {} block(s), peak {} B, {} sampled alloc(s)\n",
+                    s.label, s.live_bytes, s.live_blocks, s.peak_bytes, s.total_allocs
+                ));
+            }
+        }
+        for s in self.sites.iter().filter(|s| s.live_blocks == 0) {
+            out.push_str(&format!(
+                "  {:<40} freed      (peak {} B, {} sampled alloc(s))\n",
+                s.label, s.peak_bytes, s.total_allocs
+            ));
+        }
+        out
+    }
+
+    /// Publishes every site as labeled gauges
+    /// (`ngm_site_{live_bytes,live_blocks,peak_bytes}{site="..."}`)
+    /// through the metrics exporter.
+    pub fn publish(&self, m: &mut MetricsSnapshot) {
+        for s in &self.sites {
+            let labels = [("site", s.label.as_str())];
+            m.labeled_gauge("ngm_site_live_bytes", &labels, s.live_bytes as i64);
+            m.labeled_gauge("ngm_site_live_blocks", &labels, s.live_blocks as i64);
+            m.labeled_gauge("ngm_site_peak_bytes", &labels, s.peak_bytes as i64);
+        }
+        m.gauge("ngm_site_count", self.sites.len() as i64);
+        m.gauge("ngm_site_surviving_count", self.surviving().len() as i64);
+    }
+}
+
+/// FNV-1a over the label — stable across runs, no dependency.
+fn site_hash(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_tracks_live_and_peak() {
+        let p = SiteProfiler::new(1);
+        p.record_alloc(0x1000, 64, || "a.rs:1:1".into());
+        p.record_alloc(0x2000, 32, || "a.rs:1:1".into());
+        p.record_alloc(0x3000, 128, || "b.rs:9:5".into());
+        p.record_free(0x2000);
+        let r = p.report();
+        assert_eq!(r.sites.len(), 2);
+        // Ordered by live bytes descending: b (128) before a (64).
+        assert_eq!(r.sites[0].label, "b.rs:9:5");
+        assert_eq!(r.sites[1].live_bytes, 64);
+        assert_eq!(r.sites[1].peak_bytes, 96, "peak saw both blocks");
+        assert_eq!(r.sites[1].total_allocs, 2);
+        assert!(!r.leak_free());
+    }
+
+    #[test]
+    fn freeing_everything_is_leak_free() {
+        let p = SiteProfiler::new(1);
+        p.record_alloc(0x10, 8, || "x".into());
+        p.record_alloc(0x20, 8, || "x".into());
+        p.record_free(0x10);
+        p.record_free(0x20);
+        let r = p.report();
+        assert!(r.leak_free());
+        assert!(r.render().contains("no surviving allocations"));
+        assert_eq!(r.sites[0].peak_bytes, 16);
+    }
+
+    #[test]
+    fn sampling_skips_and_label_closure_is_lazy() {
+        let p = SiteProfiler::new(4);
+        let mut formatted = 0u32;
+        for i in 0..16usize {
+            p.record_alloc(0x1000 + i * 16, 10, || {
+                formatted += 1;
+                "s".into()
+            });
+        }
+        assert_eq!(formatted, 4, "1-in-4 sampling formats 4 of 16 labels");
+        let r = p.report();
+        assert_eq!(r.sites[0].total_allocs, 4);
+        // Frees of unsampled addresses are ignored without panicking.
+        p.record_free(0xdead_beef);
+    }
+
+    #[test]
+    fn unsampled_free_without_tracking_is_cheap_noop() {
+        let p = SiteProfiler::new(1);
+        p.record_free(0x1234); // nothing tracked: early-out path
+        assert!(p.report().sites.is_empty());
+    }
+
+    #[test]
+    fn report_publishes_labeled_gauges() {
+        let p = SiteProfiler::new(1);
+        p.record_alloc(0x1, 100, || "src/api.rs:10:3".into());
+        let r = p.report();
+        let mut m = MetricsSnapshot::new();
+        r.publish(&mut m);
+        assert_eq!(
+            m.get_labeled_gauge("ngm_site_live_bytes", &[("site", "src/api.rs:10:3")]),
+            Some(100)
+        );
+        let text = m.to_prometheus_text();
+        assert!(text.contains("ngm_site_peak_bytes{site=\"src/api.rs:10:3\"} 100"));
+        assert!(text.contains("ngm_site_surviving_count 1"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        use std::sync::Arc;
+        let p = Arc::new(SiteProfiler::new(1));
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250usize {
+                    let addr = (t + 1) * 0x10_0000 + i * 16;
+                    p.record_alloc(addr, 16, || format!("thread{t}"));
+                    if i % 2 == 0 {
+                        p.record_free(addr);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = p.report();
+        let total_live: u64 = r.sites.iter().map(|s| s.live_blocks).sum();
+        assert_eq!(total_live, 4 * 125);
+        assert_eq!(r.sites.len(), 4);
+    }
+}
