@@ -2,7 +2,7 @@
 //! round-trip latency on the real offload runtime.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ngm_core::NgmBuilder;
+use ngm_core::NgmConfig;
 use ngm_offload::WaitStrategy;
 
 fn ablation_wait(c: &mut Criterion) {
@@ -19,11 +19,10 @@ fn ablation_wait(c: &mut Criterion) {
         if matches!(wait, WaitStrategy::Spin) && ngm_offload::available_cores() < 2 {
             continue;
         }
-        let ngm = NgmBuilder {
-            client_wait: wait,
-            ..NgmBuilder::default()
-        }
-        .start();
+        let ngm = NgmConfig::new()
+            .with_client_wait(wait)
+            .build()
+            .expect("valid config");
         let mut h = ngm.handle();
         g.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
             b.iter(|| {

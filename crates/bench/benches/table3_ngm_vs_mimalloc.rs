@@ -19,7 +19,7 @@ fn table3(c: &mut Criterion) {
     });
     g.bench_function("ngm_offloaded", |b| {
         b.iter(|| {
-            let ngm = ngm_core::NextGenMalloc::start();
+            let ngm = ngm_core::Ngm::start();
             let mut h = ngm.handle();
             let cs = replay_ngm(&mut h, events.iter().copied()).checksum;
             drop(h);

@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT...] [--scale N] [--no-prototype] [--hw]
 //!
 //! EXPERIMENT: all (default) | fig1 | table1 | table2 | fig2 | table3
-//!           | model41 | ablations | batch | telemetry | pmu
+//!           | model41 | ablations | batch | telemetry | pmu | shards
 //! --scale N: multiply workload sizes by N (default 1; paper-style
 //!            stability from ~4)
 //! --no-prototype: skip the real-runtime wall-clock part of table3
@@ -14,7 +14,7 @@
 //! ```
 
 use ngm_bench::experiments::{
-    ablations, fig1, fig2, model41, pmu, table1, table2, table3, telemetry,
+    ablations, fig1, fig2, model41, pmu, shards, table1, table2, table3, telemetry,
 };
 use ngm_bench::Scale;
 
@@ -42,7 +42,7 @@ fn main() {
             "--hw" => with_hw = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu]... [--scale N] [--no-prototype] [--hw]"
+                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards]... [--scale N] [--no-prototype] [--hw]"
                 );
                 return;
             }
@@ -97,5 +97,11 @@ fn main() {
     }
     if want("pmu") {
         println!("{}", pmu::run(scale, real_ops));
+    }
+    if want("shards") {
+        println!("{}", shards::run(scale).render());
+        if with_hw {
+            println!("{}", shards::run_hw(scale));
+        }
     }
 }

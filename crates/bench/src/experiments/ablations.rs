@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use ngm_core::{MallocService, NgmBuilder};
+use ngm_core::{MallocService, NgmConfig};
 use ngm_offload::WaitStrategy;
 use ngm_sim::{CoreConfig, Machine, MachineConfig};
 use ngm_simalloc::{run, ModelKind, NgmBatchModel, NgmModel};
@@ -45,13 +45,12 @@ pub fn wait_strategies(ops: u32) -> Vec<WaitRow> {
     strategies
         .into_iter()
         .map(|(label, wait)| {
-            let ngm = NgmBuilder {
-                client_wait: wait,
-                // The server must always yield on this box or a spinning
-                // client never runs; server policy is fixed to default.
-                ..NgmBuilder::default()
-            }
-            .start();
+            // The server must always yield on this box or a spinning
+            // client never runs; server policy is left at its default.
+            let ngm = NgmConfig::new()
+                .with_client_wait(wait)
+                .build()
+                .expect("valid config");
             let mut h = ngm.handle();
             let layout = std::alloc::Layout::from_size_align(64, 8).expect("valid");
             let start = Instant::now();
@@ -87,9 +86,14 @@ pub fn free_batching(ops: u32) -> Vec<BatchRow> {
         .map(|batch| {
             let orphans = std::sync::Arc::new(ngm_core::orphan::OrphanStack::new());
             let service = MallocService::new(std::sync::Arc::clone(&orphans));
-            let rt = ngm_offload::RuntimeBuilder::new()
-                .drain_batch(batch)
-                .start(service);
+            let rt = ngm_offload::OffloadRuntime::try_start(
+                service,
+                ngm_offload::RuntimeConfig {
+                    drain_batch: batch,
+                    ..ngm_offload::RuntimeConfig::new()
+                },
+            )
+            .expect("spawn service thread");
             let mut client = rt.register_client();
             let layout_free = |addr: usize| {
                 ngm_core::FreePost::One(ngm_core::FreeMsg {
@@ -222,7 +226,7 @@ pub struct MeasuredCommRow {
 /// always-on latency histograms — the quantity §4.1 models with
 /// `ATOMICS_PER_CALL x ATOMIC_CYCLES`.
 pub fn measured_comm(ops: u32) -> Vec<MeasuredCommRow> {
-    let ngm = NgmBuilder::default().start();
+    let ngm = NgmConfig::new().build().expect("valid config");
     let mut h = ngm.handle();
     let layout = std::alloc::Layout::from_size_align(64, 8).expect("valid");
     for _ in 0..ops.max(1) {
@@ -311,12 +315,10 @@ pub fn measured_batched_frontend(ops: u32) -> Vec<MeasuredBatchRow> {
     [1usize, 8, 16, 32]
         .into_iter()
         .map(|batch| {
-            let ngm = NgmBuilder {
-                batch_size: batch,
-                flush_threshold: batch,
-                ..NgmBuilder::default()
-            }
-            .start();
+            let ngm = NgmConfig::new()
+                .with_batch(batch, batch)
+                .build()
+                .expect("valid config");
             let mut h = ngm.handle();
             let layout = std::alloc::Layout::from_size_align(64, 8).expect("valid");
             for _ in 0..ops.max(1) {

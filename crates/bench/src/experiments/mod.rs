@@ -5,6 +5,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod model41;
 pub mod pmu;
+pub mod shards;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -16,7 +16,7 @@
 use std::alloc::Layout;
 use std::sync::Arc;
 
-use ngm_core::NgmBuilder;
+use ngm_core::NgmConfig;
 use ngm_simalloc::{run_kind_warm, ModelKind};
 use ngm_workloads::xalanc;
 
@@ -36,14 +36,12 @@ pub fn run(scale: Scale, ops: u32) -> String {
     };
 
     // --- 1. Real-runtime attribution ---------------------------------
-    let ngm = NgmBuilder {
-        profile: true,
-        site_sample: SITE_SAMPLE,
-        batch_size: 16,
-        flush_threshold: 8,
-        ..NgmBuilder::default()
-    }
-    .start();
+    let ngm = NgmConfig::new()
+        .with_profile(true)
+        .with_site_sample(SITE_SAMPLE)
+        .with_batch(16, 8)
+        .build()
+        .expect("valid config");
     let ops = ops.max(1);
     let mut joins = Vec::new();
     for t in 0..2u32 {

@@ -1,0 +1,294 @@
+//! Shards ablation: how wide should the allocator's "own room" be?
+//!
+//! The paper dedicates *one* service core (§3.1.3); this ablation
+//! generalizes it to a tier of N sharded service cores and measures when
+//! the extra rooms pay. The simulated half crosses shard count × client
+//! count on a malloc-heavy churn workload: with few clients one service
+//! core keeps up and sharding buys little, but as clients grow the single
+//! core saturates and the tier divides the bottleneck. The real-runtime
+//! half runs the same shape on the live sharded [`ngm_core::Ngm`] and
+//! verifies the routing invariant that makes the tier correct at all:
+//! every shard balances `allocs == frees` exactly, even though clients
+//! free blocks cross-thread.
+
+use std::sync::Arc;
+
+use ngm_sim::Machine;
+use ngm_simalloc::{run_warm, NgmShardedModel};
+use ngm_workloads::churn::{self, ChurnParams};
+
+use crate::Scale;
+
+/// Shard counts crossed by the ablation.
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Client (application-core) counts crossed by the ablation.
+pub const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One simulated cell: a (shards, clients) pair.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardCell {
+    /// Service shards in the tier.
+    pub shards: usize,
+    /// Application cores issuing malloc/free.
+    pub clients: usize,
+    /// Simulated wall cycles for the whole replay.
+    pub wall_cycles: u64,
+    /// Allocations per million wall cycles (the throughput figure).
+    pub allocs_per_mcycle: f64,
+}
+
+/// The full simulated grid plus the real-runtime validation rows.
+#[derive(Debug, Clone)]
+pub struct ShardsReport {
+    /// One cell per (shards, clients) pair, row-major by shard count.
+    pub cells: Vec<ShardCell>,
+    /// Real-runtime rows, one per shard count.
+    pub real: Vec<RealShardRow>,
+}
+
+/// One real-runtime measurement: the live sharded tier under churning
+/// client threads.
+#[derive(Debug, Clone)]
+pub struct RealShardRow {
+    /// Service shards in the tier.
+    pub shards: usize,
+    /// Client threads used.
+    pub clients: usize,
+    /// Wall-clock seconds for the churn loop.
+    pub secs: f64,
+    /// Allocations per second across all clients.
+    pub allocs_per_sec: f64,
+    /// Whether every shard balanced `allocs == frees` at shutdown.
+    pub balanced: bool,
+    /// Per-shard allocation counts (the tier's load spread).
+    pub per_shard_allocs: Vec<u64>,
+}
+
+/// A malloc-heavy multi-class churn: sizes span several size classes so
+/// the class → shard map spreads traffic across the whole tier, and
+/// touches/compute are minimal so the allocator dominates — the regime
+/// where the service tier is the bottleneck.
+fn workload(clients: usize, scale: Scale) -> Vec<ngm_workloads::Event> {
+    churn::collect(&ChurnParams {
+        threads: clients as u8,
+        total_allocs: 4_000 * (scale.0.max(1)) * clients as u32,
+        live_cap: 128,
+        size_range: (16, 2048),
+        free_percent: 45,
+        touch_percent: 5,
+        compute_per_step: 4,
+        seed: 0x5ead5,
+    })
+}
+
+/// Runs the simulated grid.
+pub fn run(scale: Scale) -> ShardsReport {
+    let mut cells = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        for &clients in &CLIENT_COUNTS {
+            let events = workload(clients, scale);
+            let allocs = events
+                .iter()
+                .filter(|e| matches!(e, ngm_workloads::Event::Malloc { .. }))
+                .count() as f64;
+            let mut svc = ngm_sim::CoreConfig::big();
+            svc.l2 = ngm_sim::CacheConfig::kib(1024, 16);
+            let mut machine = Machine::new(ngm_sim::MachineConfig::asymmetric_many(
+                clients, shards, svc,
+            ));
+            let mut model = NgmShardedModel::new(clients, shards);
+            let r = run_warm(&mut machine, &mut model, events.into_iter(), 0);
+            assert_eq!(r.leaked, 0, "balanced stream");
+            cells.push(ShardCell {
+                shards,
+                clients,
+                wall_cycles: r.wall_cycles,
+                allocs_per_mcycle: allocs / (r.wall_cycles as f64 / 1e6),
+            });
+        }
+    }
+    ShardsReport {
+        cells,
+        real: CLIENT_COUNTS
+            .iter()
+            .rev()
+            .take(1) // the saturated case: most clients
+            .flat_map(|&clients| {
+                SHARD_COUNTS
+                    .iter()
+                    .map(move |&shards| run_real(shards, clients, scale, false))
+            })
+            .collect(),
+    }
+}
+
+/// Runs the churn shape on the live runtime with `shards` service
+/// threads and `clients` client threads. With `profile` the runtime also
+/// arms PMU sessions (the `--hw` path).
+pub fn run_real(shards: usize, clients: usize, scale: Scale, profile: bool) -> RealShardRow {
+    use std::alloc::Layout;
+
+    let ngm = Arc::new(
+        ngm_core::NgmConfig::new()
+            .with_shards(shards)
+            .with_batch(16, 8)
+            .with_placement(ngm_core::CorePlacement::Unpinned)
+            .with_profile(profile)
+            .build()
+            .expect("valid config"),
+    );
+    let per_thread = 20_000usize * scale.0.max(1) as usize;
+    let start = std::time::Instant::now();
+    let joins: Vec<_> = (0..clients)
+        .map(|t| {
+            let ngm = Arc::clone(&ngm);
+            std::thread::spawn(move || {
+                let mut h = ngm.handle();
+                let mut live: Vec<(std::ptr::NonNull<u8>, Layout)> = Vec::new();
+                for i in 0..per_thread {
+                    // Sizes sweep eight consecutive classes so `class % n`
+                    // spreads traffic across the whole tier.
+                    let size = 16 * (1 + (i + t) % 8);
+                    let l = Layout::from_size_align(size, 8).expect("valid");
+                    live.push((h.alloc(l).expect("alloc"), l));
+                    if live.len() > 64 {
+                        let (p, l) = live.swap_remove((i * 31) % live.len());
+                        // SAFETY: live block from this allocator.
+                        unsafe { h.dealloc(p, l) };
+                    }
+                }
+                for (p, l) in live {
+                    // SAFETY: live block from this allocator.
+                    unsafe { h.dealloc(p, l) };
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("worker");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let ngm = Arc::into_inner(ngm).expect("all clones dropped");
+    let down = ngm.shutdown();
+    RealShardRow {
+        shards,
+        clients,
+        secs,
+        allocs_per_sec: (clients * per_thread) as f64 / secs,
+        balanced: down.clean() && down.balanced(),
+        per_shard_allocs: down.shards.iter().map(|s| s.service.allocs).collect(),
+    }
+}
+
+impl ShardsReport {
+    /// The simulated speedup of `shards` over one shard at `clients`.
+    pub fn sim_speedup(&self, shards: usize, clients: usize) -> f64 {
+        let wall = |s: usize| {
+            self.cells
+                .iter()
+                .find(|c| c.shards == s && c.clients == clients)
+                .expect("cell in grid")
+                .wall_cycles as f64
+        };
+        wall(1) / wall(shards)
+    }
+
+    /// Renders the grid, the speedup line, and the real-runtime rows.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "## Shards ablation — service-tier width (simulated)\n");
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>16} {:>16}",
+            "shards", "clients", "wall cycles", "allocs/Mcycle"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>16} {:>16.1}",
+                c.shards, c.clients, c.wall_cycles, c.allocs_per_mcycle
+            );
+        }
+        let clients = *CLIENT_COUNTS.last().expect("non-empty");
+        let _ = writeln!(out);
+        for &s in &SHARD_COUNTS[1..] {
+            let _ = writeln!(
+                out,
+                "speedup at {clients} clients, {s} shards vs 1: {:.2}x",
+                self.sim_speedup(s, clients)
+            );
+        }
+        if !self.real.is_empty() {
+            let _ = writeln!(out, "\n### Real runtime (wall clock, per-shard balance)\n");
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>12} {:>14}  {:<9} per-shard allocs",
+                "shards", "clients", "secs", "allocs/sec", "balanced"
+            );
+            for r in &self.real {
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>8} {:>12.3} {:>14.0}  {:<9} {:?}",
+                    r.shards, r.clients, r.secs, r.allocs_per_sec, r.balanced, r.per_shard_allocs
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The `--hw` variant: reruns the saturated real-runtime case with PMU
+/// profiling armed and renders the per-shard report.
+pub fn run_hw(scale: Scale) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "## Shards ablation — hardware counters\n");
+    let clients = *CLIENT_COUNTS.last().expect("non-empty");
+    for &shards in &SHARD_COUNTS {
+        use std::alloc::Layout;
+        let ngm = Arc::new(
+            ngm_core::NgmConfig::new()
+                .with_shards(shards)
+                .with_placement(ngm_core::CorePlacement::Unpinned)
+                .with_profile(true)
+                .build()
+                .expect("valid config"),
+        );
+        let joins: Vec<_> = (0..clients)
+            .map(|t| {
+                let ngm = Arc::clone(&ngm);
+                std::thread::spawn(move || {
+                    let mut h = ngm.handle();
+                    for i in 0..8_000usize * scale.0.max(1) as usize {
+                        let size = 16 * (1 + (i + t) % 8);
+                        let l = Layout::from_size_align(size, 8).expect("valid");
+                        let p = h.alloc(l).expect("alloc");
+                        // SAFETY: block just allocated, freed once.
+                        unsafe { h.dealloc(p, l) };
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().expect("worker");
+        }
+        let ngm = Arc::into_inner(ngm).expect("all clones dropped");
+        let report = ngm.pmu_report();
+        let down = ngm.shutdown();
+        let _ = writeln!(
+            out,
+            "### {shards} shard(s), {clients} clients — balanced: {}",
+            down.clean() && down.balanced()
+        );
+        match report {
+            Some(r) => {
+                let _ = writeln!(out, "{}", r.render());
+            }
+            None => {
+                let _ = writeln!(out, "(no PMU readings deposited — perf events unavailable)");
+            }
+        }
+    }
+    out
+}

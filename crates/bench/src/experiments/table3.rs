@@ -102,7 +102,7 @@ pub fn run_with(params: &XalancParams, with_prototype: bool) -> Table3 {
         let mut handle = sharded.handle(0);
         let a = replay_heap(&mut handle, events.iter().copied());
 
-        let ngm = ngm_core::NextGenMalloc::start();
+        let ngm = ngm_core::Ngm::start();
         let mut h = ngm.handle();
         let b = replay_ngm(&mut h, events.iter().copied());
         assert_eq!(a.checksum, b.checksum, "replays must compute identically");

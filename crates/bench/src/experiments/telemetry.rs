@@ -6,17 +6,16 @@
 
 use std::alloc::Layout;
 
-use ngm_core::NgmBuilder;
+use ngm_core::NgmConfig;
 
 use crate::trace::convert;
 
 /// Runs the demo workload and renders all three export formats.
 pub fn run(ops: u32) -> String {
-    let ngm = NgmBuilder {
-        trace_capacity: 8192,
-        ..NgmBuilder::default()
-    }
-    .start();
+    let ngm = NgmConfig::new()
+        .with_trace_capacity(8192)
+        .build()
+        .expect("valid config");
 
     let mut joins = Vec::new();
     for t in 0..2u32 {

@@ -213,13 +213,13 @@ mod tests {
         let mut seg = SegregatedHeap::new(1);
         let direct = replay_heap(&mut seg, events.iter().copied());
 
-        let ngm = ngm_core::NextGenMalloc::start();
+        let ngm = ngm_core::Ngm::start();
         let mut h = ngm.handle();
         let off = replay_ngm(&mut h, events.iter().copied());
         drop(h);
-        let (svc, heap, _) = ngm.shutdown();
+        let down = ngm.shutdown();
         assert_eq!(off.checksum, direct.checksum);
-        assert_eq!(svc.allocs, off.mallocs);
-        assert_eq!(heap.live_blocks, 0, "all frees drained at shutdown");
+        assert_eq!(down.service.allocs, off.mallocs);
+        assert_eq!(down.heap.live_blocks, 0, "all frees drained at shutdown");
     }
 }

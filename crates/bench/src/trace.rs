@@ -99,7 +99,7 @@ pub fn convert(trace: &[TraceEvent]) -> TraceConversion {
 mod tests {
     use super::*;
     use crate::replay::replay_heap;
-    use ngm_core::NgmBuilder;
+    use ngm_core::NgmConfig;
     use ngm_heap::SegregatedHeap;
 
     fn ev(tsc: u64, thread: u32, kind: TraceEventKind, a: u64) -> TraceEvent {
@@ -114,11 +114,10 @@ mod tests {
 
     #[test]
     fn runtime_trace_replays_against_a_fresh_heap() {
-        let ngm = NgmBuilder {
-            trace_capacity: 4096,
-            ..NgmBuilder::default()
-        }
-        .start();
+        let ngm = NgmConfig::new()
+            .with_trace_capacity(4096)
+            .build()
+            .expect("valid config");
         let mut h = ngm.handle();
         let mut blocks = Vec::new();
         for i in 0..64usize {

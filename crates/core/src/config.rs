@@ -1,0 +1,372 @@
+//! The one layered configuration for the whole allocator: [`NgmConfig`].
+//!
+//! This replaces the previous zoo of entry points (`NgmBuilder`,
+//! `RuntimeBuilder`, `NgmAllocator::new()`/`batched()`) with a single
+//! plain value: every knob is a public field, the whole thing is
+//! `const`-constructible (so it can sit in a `#[global_allocator]`
+//! static), chainable through `with_*` setters, `Default`-able, and
+//! validated exactly once — [`NgmConfig::build`] returns a typed
+//! [`NgmError`] instead of clamping silently or panicking.
+
+use ngm_offload::{ServiceError, WaitStrategy};
+
+use crate::service::MAX_BATCH;
+
+/// Maximum number of service shards in one allocator.
+///
+/// Small on purpose: every shard is a dedicated pinned core (§2.3 — the
+/// point is to give the allocator *a* room, not the whole house), and the
+/// shard index must fit the owner-id encoding below.
+pub const MAX_SHARDS: usize = 8;
+
+/// Base of the heap owner-id space: shard `s` stamps `OWNER_BASE | s`
+/// into every segment it creates ("ngm" shifted to leave the low byte for
+/// the shard index). [`ngm_heap::owner_of_small_ptr`] then recovers the
+/// owning shard from any small-block address — the pure-by-address
+/// routing the sharded free path relies on.
+pub const OWNER_BASE: u64 = 0x6e67_6d00;
+
+/// Where the service threads are pinned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorePlacement {
+    /// Pin shard `i` to core `cores − 1 − i` when the machine has more
+    /// cores than shards (the paper's "own room" at the top of the core
+    /// list, generalized); float every shard otherwise.
+    #[default]
+    Auto,
+    /// Never pin; shards float under the OS scheduler.
+    Unpinned,
+    /// Pin shard `i` to core `base + i`. Out-of-range cores degrade to a
+    /// recorded pin failure, not an error (this box may be smaller than
+    /// the deployment target).
+    Base(usize),
+}
+
+/// Why [`NgmConfig::build`] refused a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NgmError {
+    /// `shards` was `0` or above [`MAX_SHARDS`].
+    InvalidShards {
+        /// The rejected shard count.
+        requested: usize,
+    },
+    /// `batch_size` was `0` or above [`MAX_BATCH`].
+    InvalidBatch {
+        /// The rejected batch size.
+        requested: usize,
+    },
+    /// `flush_threshold` was `0` or above [`MAX_BATCH`].
+    InvalidFlush {
+        /// The rejected flush threshold.
+        requested: usize,
+    },
+    /// `free_ring_capacity` was `0`.
+    ZeroRingCapacity,
+    /// A shard's service thread could not be spawned.
+    Spawn(ServiceError),
+}
+
+impl std::fmt::Display for NgmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NgmError::InvalidShards { requested } => {
+                write!(f, "shard count {requested} not in 1..={MAX_SHARDS}")
+            }
+            NgmError::InvalidBatch { requested } => {
+                write!(f, "batch size {requested} not in 1..={MAX_BATCH}")
+            }
+            NgmError::InvalidFlush { requested } => {
+                write!(f, "flush threshold {requested} not in 1..={MAX_BATCH}")
+            }
+            NgmError::ZeroRingCapacity => write!(f, "free ring capacity must be nonzero"),
+            NgmError::Spawn(e) => write!(f, "failed to start a service shard: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NgmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NgmError::Spawn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration for the whole allocator, shards included.
+///
+/// ```
+/// use ngm_core::{CorePlacement, NgmConfig};
+///
+/// let ngm = NgmConfig::new()
+///     .with_shards(2)
+///     .with_batch(16, 8)
+///     .with_placement(CorePlacement::Unpinned)
+///     .build()
+///     .expect("valid config");
+/// # ngm.shutdown();
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NgmConfig {
+    /// Number of service shards, each a dedicated service thread owning
+    /// its own [`ngm_heap::SegregatedHeap`] (`1..=`[`MAX_SHARDS`]).
+    pub shards: usize,
+    /// Core placement policy for the service threads.
+    pub placement: CorePlacement,
+    /// Wait policy for client threads blocked on `alloc`; `None` picks
+    /// the machine-appropriate default when the runtime starts.
+    pub client_wait: Option<WaitStrategy>,
+    /// Wait policy for the service threads' polling loops; `None` picks
+    /// the machine-appropriate default when the runtime starts.
+    pub server_wait: Option<WaitStrategy>,
+    /// Capacity of each client's per-shard asynchronous free ring.
+    pub free_ring_capacity: usize,
+    /// Per-thread event-trace ring capacity; `0` (the default) disables
+    /// tracing entirely, leaving only the always-on latency histograms.
+    pub trace_capacity: usize,
+    /// Blocks fetched per magazine refill (`1..=`[`MAX_BATCH`]). `1`
+    /// (the default) disables the magazine: every small alloc is its own
+    /// round trip. Values ≥ 8 amortize the §4.1 handshake comfortably
+    /// past break-even.
+    pub batch_size: usize,
+    /// Small-block frees buffered client-side before one batched flush
+    /// post (`1..=`[`MAX_BATCH`]). `1` (the default) posts each free
+    /// individually.
+    pub flush_threshold: usize,
+    /// Enables PMU profiling (off by default): each service loop and one
+    /// handle per client thread wrap their lifetimes in a
+    /// [`ngm_pmu::PmuSession`], attributing cycles and cache/TLB misses
+    /// to the service cores versus the app cores.
+    pub profile: bool,
+    /// Allocation-site profiling sample interval: attribute 1 in
+    /// `site_sample` allocations to their call site (`1` = every
+    /// allocation). `0` (the default) disables the site profiler.
+    pub site_sample: u64,
+}
+
+impl NgmConfig {
+    /// The `const` default configuration: one shard, auto placement, no
+    /// batching, no tracing or profiling.
+    pub const fn new() -> Self {
+        NgmConfig {
+            shards: 1,
+            placement: CorePlacement::Auto,
+            client_wait: None,
+            server_wait: None,
+            free_ring_capacity: 4096,
+            trace_capacity: 0,
+            batch_size: 1,
+            flush_threshold: 1,
+            profile: false,
+            site_sample: 0,
+        }
+    }
+
+    /// Sets the number of service shards.
+    pub const fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the core placement policy.
+    pub const fn with_placement(mut self, placement: CorePlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the client wait strategy.
+    pub const fn with_client_wait(mut self, wait: WaitStrategy) -> Self {
+        self.client_wait = Some(wait);
+        self
+    }
+
+    /// Sets the service-thread wait strategy.
+    pub const fn with_server_wait(mut self, wait: WaitStrategy) -> Self {
+        self.server_wait = Some(wait);
+        self
+    }
+
+    /// Sets the per-shard free-ring capacity.
+    pub const fn with_free_ring_capacity(mut self, capacity: usize) -> Self {
+        self.free_ring_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-thread event-trace ring capacity (0 disables).
+    pub const fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Sets both batching knobs: magazine refill size and free-flush
+    /// threshold.
+    pub const fn with_batch(mut self, batch_size: usize, flush_threshold: usize) -> Self {
+        self.batch_size = batch_size;
+        self.flush_threshold = flush_threshold;
+        self
+    }
+
+    /// Enables or disables PMU profiling.
+    pub const fn with_profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Sets the allocation-site sample interval (0 disables).
+    pub const fn with_site_sample(mut self, interval: u64) -> Self {
+        self.site_sample = interval;
+        self
+    }
+
+    /// Checks every field without building anything.
+    ///
+    /// # Errors
+    ///
+    /// The first [`NgmError`] a field violates, in declaration order.
+    pub const fn validate(&self) -> Result<(), NgmError> {
+        if self.shards == 0 || self.shards > MAX_SHARDS {
+            return Err(NgmError::InvalidShards {
+                requested: self.shards,
+            });
+        }
+        if self.batch_size == 0 || self.batch_size > MAX_BATCH {
+            return Err(NgmError::InvalidBatch {
+                requested: self.batch_size,
+            });
+        }
+        if self.flush_threshold == 0 || self.flush_threshold > MAX_BATCH {
+            return Err(NgmError::InvalidFlush {
+                requested: self.flush_threshold,
+            });
+        }
+        if self.free_ring_capacity == 0 {
+            return Err(NgmError::ZeroRingCapacity);
+        }
+        Ok(())
+    }
+
+    /// Clamps every field into its valid range, so `build` cannot fail
+    /// validation. Contexts that cannot surface a `Result` — the
+    /// `#[global_allocator]` path, the deprecated builder shims — go
+    /// through this instead of aborting the process on a bad knob.
+    pub const fn sanitized(mut self) -> Self {
+        self.shards = clamp(self.shards, 1, MAX_SHARDS);
+        self.batch_size = clamp(self.batch_size, 1, MAX_BATCH);
+        self.flush_threshold = clamp(self.flush_threshold, 1, MAX_BATCH);
+        if self.free_ring_capacity == 0 {
+            self.free_ring_capacity = 4096;
+        }
+        self
+    }
+
+    /// Validates, then starts the allocator: `shards` pinned service
+    /// threads, each owning its own segregated heap.
+    ///
+    /// # Errors
+    ///
+    /// A validation [`NgmError`], or [`NgmError::Spawn`] if the OS
+    /// refuses a service thread.
+    pub fn build(self) -> Result<crate::api::Ngm, NgmError> {
+        self.validate()?;
+        crate::api::Ngm::from_config(self)
+    }
+}
+
+impl Default for NgmConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const fn clamp(v: usize, lo: usize, hi: usize) -> usize {
+    if v < lo {
+        lo
+    } else if v > hi {
+        hi
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(NgmConfig::new().validate(), Ok(()));
+        NgmConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn const_construction_compiles() {
+        // The whole chain must be usable in a static initializer.
+        const CFG: NgmConfig = NgmConfig::new()
+            .with_shards(4)
+            .with_batch(16, 8)
+            .with_placement(CorePlacement::Unpinned)
+            .with_free_ring_capacity(1 << 12)
+            .with_trace_capacity(0)
+            .with_profile(false)
+            .with_site_sample(0);
+        assert_eq!(CFG.shards, 4);
+        assert_eq!(CFG.batch_size, 16);
+        assert_eq!(CFG.validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_fields_are_typed_errors() {
+        assert_eq!(
+            NgmConfig::new().with_shards(0).validate(),
+            Err(NgmError::InvalidShards { requested: 0 })
+        );
+        assert_eq!(
+            NgmConfig::new().with_shards(MAX_SHARDS + 1).validate(),
+            Err(NgmError::InvalidShards {
+                requested: MAX_SHARDS + 1
+            })
+        );
+        assert_eq!(
+            NgmConfig::new().with_batch(0, 1).validate(),
+            Err(NgmError::InvalidBatch { requested: 0 })
+        );
+        assert_eq!(
+            NgmConfig::new().with_batch(1, MAX_BATCH + 1).validate(),
+            Err(NgmError::InvalidFlush {
+                requested: MAX_BATCH + 1
+            })
+        );
+        assert_eq!(
+            NgmConfig::new().with_free_ring_capacity(0).validate(),
+            Err(NgmError::ZeroRingCapacity)
+        );
+    }
+
+    #[test]
+    fn build_surfaces_validation_errors() {
+        let err = NgmConfig::new().with_shards(0).build().unwrap_err();
+        assert_eq!(err, NgmError::InvalidShards { requested: 0 });
+        assert!(err.to_string().contains("shard count"));
+    }
+
+    #[test]
+    fn sanitized_clamps_everything_into_range() {
+        let cfg = NgmConfig::new()
+            .with_shards(99)
+            .with_batch(0, 1000)
+            .with_free_ring_capacity(0)
+            .sanitized();
+        assert_eq!(cfg.shards, MAX_SHARDS);
+        assert_eq!(cfg.batch_size, 1);
+        assert_eq!(cfg.flush_threshold, MAX_BATCH);
+        assert_eq!(cfg.free_ring_capacity, 4096);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn owner_base_leaves_room_for_every_shard() {
+        // The shard index lives in the low byte of the owner id.
+        const { assert!(MAX_SHARDS <= 0xff) }
+        assert_eq!(OWNER_BASE & 0xff, 0);
+    }
+}

@@ -1,12 +1,12 @@
 //! `GlobalAlloc` adapter: install NextGen-Malloc for a whole program.
 //!
 //! ```ignore
-//! use ngm_core::NgmAllocator;
+//! use ngm_core::{NgmAllocator, NgmConfig};
 //!
 //! #[global_allocator]
-//! static ALLOC: NgmAllocator = NgmAllocator::new();
-//! // or, with the batched magazine front-end:
-//! // static ALLOC: NgmAllocator = NgmAllocator::batched(16, 8);
+//! static ALLOC: NgmAllocator = NgmAllocator::with_config(
+//!     NgmConfig::new().with_shards(2).with_batch(16, 8),
+//! );
 //! ```
 //!
 //! The adapter mirrors the paper's prototype, which interposes on the C
@@ -32,10 +32,11 @@ use std::sync::OnceLock;
 use ngm_heap::classes::layout_to_class;
 use ngm_heap::sys::{round_to_os_page, Mapping};
 
-use crate::api::{NextGenMalloc, NgmHandle};
+use crate::api::{Ngm, NgmHandle};
 use crate::bootstrap::{bootstrap_alloc, is_bootstrap_ptr};
+use crate::config::NgmConfig;
 
-static RUNTIME: OnceLock<NextGenMalloc> = OnceLock::new();
+static RUNTIME: OnceLock<Ngm> = OnceLock::new();
 
 /// Set by the service thread once its polling loop is about to start.
 /// Until then every allocation — including the service thread's own
@@ -58,17 +59,12 @@ pub(crate) fn mark_allocator_thread() {
     SERVICE_READY.store(true, Ordering::Release);
 }
 
-fn runtime(batch_size: usize, flush_threshold: usize) -> &'static NextGenMalloc {
+fn runtime(cfg: &NgmConfig) -> &'static Ngm {
     RUNTIME.get_or_init(|| {
         // Everything allocated while spawning the runtime comes from the
         // bootstrap arena.
         let was = GUARD.with(|g| g.replace(true));
-        let ngm = crate::api::NgmBuilder {
-            batch_size,
-            flush_threshold,
-            ..crate::api::NgmBuilder::default()
-        }
-        .start();
+        let ngm = cfg.build().expect("sanitized config is valid");
         GUARD.with(|g| g.set(was));
         ngm
     })
@@ -76,41 +72,51 @@ fn runtime(batch_size: usize, flush_threshold: usize) -> &'static NextGenMalloc 
 
 /// NextGen-Malloc as a `GlobalAlloc`.
 ///
-/// Carries only the batching configuration (so it can be built in a
-/// `const` initializer — `#[global_allocator]` statics run before any
-/// environment is readable); all live state is in a lazily-started
-/// [`NextGenMalloc`] runtime shared by every `NgmAllocator` value. The
-/// value that triggers the first allocation decides the configuration.
+/// Carries only an [`NgmConfig`] (so it can be built in a `const`
+/// initializer — `#[global_allocator]` statics run before any environment
+/// is readable); all live state is in a lazily-started [`Ngm`] runtime
+/// shared by every `NgmAllocator` value. The value that triggers the
+/// first allocation decides the configuration.
 pub struct NgmAllocator {
-    batch_size: usize,
-    flush_threshold: usize,
+    cfg: NgmConfig,
 }
 
 impl Default for NgmAllocator {
     fn default() -> Self {
-        Self::new()
+        Self::with_config(NgmConfig::new())
     }
 }
 
 impl NgmAllocator {
+    /// An adapter with the given configuration. Out-of-range knobs are
+    /// clamped into range ([`NgmConfig::sanitized`]) rather than
+    /// reported: a `#[global_allocator]` static has nowhere to surface a
+    /// build error.
+    pub const fn with_config(cfg: NgmConfig) -> Self {
+        NgmAllocator {
+            cfg: cfg.sanitized(),
+        }
+    }
+
     /// The unbatched adapter: every small alloc is one synchronous round
     /// trip, every free one post (the pre-magazine behavior).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `NgmAllocator::with_config(NgmConfig::new())`"
+    )]
     pub const fn new() -> Self {
-        NgmAllocator {
-            batch_size: 1,
-            flush_threshold: 1,
-        }
+        Self::with_config(NgmConfig::new())
     }
 
     /// An adapter with the magazine front-end enabled: per-thread,
     /// per-class stashes of `batch_size` addresses and free flushes of
-    /// `flush_threshold` (both clamped to `1..=`[`crate::MAX_BATCH`] at
-    /// runtime start).
+    /// `flush_threshold` (both clamped to `1..=`[`crate::MAX_BATCH`]).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `NgmAllocator::with_config(NgmConfig::new().with_batch(...))`"
+    )]
     pub const fn batched(batch_size: usize, flush_threshold: usize) -> Self {
-        NgmAllocator {
-            batch_size,
-            flush_threshold,
-        }
+        Self::with_config(NgmConfig::new().with_batch(batch_size, flush_threshold))
     }
 
     fn alloc_small(&self, layout: Layout) -> *mut u8 {
@@ -121,7 +127,7 @@ impl NgmAllocator {
         if guarded {
             return bootstrap_alloc(layout);
         }
-        let rt = runtime(self.batch_size, self.flush_threshold);
+        let rt = runtime(&self.cfg);
         if !SERVICE_READY.load(Ordering::Acquire) {
             // The service loop has not started polling yet; anything that
             // allocates in this window (the service thread's own startup
@@ -181,9 +187,10 @@ impl NgmAllocator {
             }
         }
         // No usable handle (guarded context, TLS teardown, foreign thread
-        // exiting): orphan the block; the service reclaims it when idle.
+        // exiting): orphan the block onto its owning shard's stack; that
+        // service reclaims it when idle.
         // SAFETY: live small block relinquished by the caller.
-        unsafe { rt.orphans().push(ptr) };
+        unsafe { rt.orphan_push(ptr) };
     }
 }
 
@@ -247,7 +254,7 @@ mod tests {
 
     #[test]
     fn direct_alloc_dealloc_small() {
-        let a = NgmAllocator::new();
+        let a = NgmAllocator::default();
         // SAFETY: standard GlobalAlloc usage with matching layouts.
         unsafe {
             let p = a.alloc(layout(100));
@@ -260,7 +267,7 @@ mod tests {
 
     #[test]
     fn direct_alloc_dealloc_large() {
-        let a = NgmAllocator::new();
+        let a = NgmAllocator::default();
         let l = layout(1 << 20);
         // SAFETY: standard GlobalAlloc usage.
         unsafe {
@@ -273,7 +280,7 @@ mod tests {
 
     #[test]
     fn many_threads_through_adapter() {
-        let a = &NgmAllocator::new();
+        let a = &NgmAllocator::default();
         std::thread::scope(|s| {
             for t in 0..4u8 {
                 s.spawn(move || {
@@ -301,7 +308,7 @@ mod tests {
     #[test]
     fn guarded_context_uses_arena() {
         GUARD.with(|g| g.set(true));
-        let a = NgmAllocator::new();
+        let a = NgmAllocator::default();
         // SAFETY: standard usage; arena blocks may be freed (ignored).
         unsafe {
             let p = a.alloc(layout(64));

@@ -1,22 +1,24 @@
 //! NextGen-Malloc: a memory allocator with its own room in the house.
 //!
 //! This crate is the paper's primary contribution assembled from the
-//! substrate crates: all `malloc`/`free` work executes on one dedicated
-//! service thread (pinned to its own core when the machine has one to
-//! spare), operating a [`ngm_heap::SegregatedHeap`] whose metadata is
-//! decoupled from user data and which — being single-owner — contains no
-//! atomic operations at all.
+//! substrate crates: all `malloc`/`free` work executes on a tier of one
+//! or more dedicated service threads (each pinned to its own core when
+//! the machine has one to spare), each operating a disjoint
+//! [`ngm_heap::SegregatedHeap`] whose metadata is decoupled from user
+//! data and which — being single-owner — contains no atomic operations
+//! at all.
 //!
 //! * Allocation is synchronous: the calling thread publishes a request in
 //!   its [`ngm_offload::RequestSlot`] and spins/parks for the response
 //!   (§4.2's `malloc_start`/`malloc_done` protocol).
-//! * Deallocation is asynchronous: `free` posts to an SPSC ring and
-//!   returns immediately (§3.1.2: the free phase is off the critical
-//!   path).
+//! * Deallocation is asynchronous: `free` posts to an SPSC ring on the
+//!   *owning* shard (routed by address) and returns immediately (§3.1.2:
+//!   the free phase is off the critical path).
 //!
 //! Three ways to use it:
 //!
-//! 1. [`NextGenMalloc`] + [`NgmHandle`] — explicit handles, full control.
+//! 1. [`NgmConfig`] → [`Ngm`] + [`NgmHandle`] — explicit handles, full
+//!    control over shard count, placement, batching, and telemetry.
 //! 2. [`NgmAllocator`] — a `GlobalAlloc` you can install with
 //!    `#[global_allocator]`.
 //! 3. [`service::MallocService`] directly on
@@ -26,15 +28,20 @@
 
 pub mod api;
 pub mod bootstrap;
+pub mod config;
 pub mod global;
 pub mod orphan;
 pub mod service;
 pub mod watch;
 
-pub use api::{NextGenMalloc, NgmBuilder, NgmHandle};
+pub use api::{Ngm, NgmHandle, NgmShutdown, ShardShutdown};
+pub use config::{CorePlacement, NgmConfig, NgmError, MAX_SHARDS, OWNER_BASE};
 pub use global::NgmAllocator;
 pub use service::{
     AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
     ServiceStats, MAX_BATCH,
 };
 pub use watch::SharedHeapStats;
+
+#[allow(deprecated)]
+pub use api::{NextGenMalloc, NgmBuilder};

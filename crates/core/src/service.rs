@@ -37,9 +37,12 @@ impl AllocReq {
         }
     }
 
-    fn layout(self) -> Layout {
-        // Alignment validity is enforced where requests are created.
-        Layout::from_size_align(self.size, self.align).expect("valid layout in AllocReq")
+    fn layout(self) -> Option<Layout> {
+        // Requests cross a thread boundary; a malformed one (non-power-of-
+        // two alignment, overflowing size) must degrade to a counted
+        // failure on the service side, never a service panic — one bad
+        // client must not take the shard down for everyone else.
+        Layout::from_size_align(self.size, self.align).ok()
     }
 }
 
@@ -192,12 +195,33 @@ pub struct ServiceStats {
     /// Pages prepared ahead of demand during idle time (§3.3.2's
     /// predictive preallocation).
     pub pages_preallocated: u64,
+    /// Malformed requests refused (null free addresses, impossible
+    /// layouts). Each is also counted in `failures` where it displaced an
+    /// allocation; a free with a protocol error is skipped, not applied.
+    pub protocol_errors: u64,
+}
+
+impl ServiceStats {
+    /// Folds another shard's counters into this one, presenting a set of
+    /// shard-owned services as one logical service. All fields sum.
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.allocs += other.allocs;
+        self.frees += other.frees;
+        self.failures += other.failures;
+        self.orphans_reclaimed += other.orphans_reclaimed;
+        self.batch_refills += other.batch_refills;
+        self.magazine_returned += other.magazine_returned;
+        self.housekeeping_runs += other.housekeeping_runs;
+        self.pages_preallocated += other.pages_preallocated;
+        self.protocol_errors += other.protocol_errors;
+    }
 }
 
 /// The allocator service state. Owned exclusively by the service thread;
 /// note the absence of any synchronization in the hot paths.
 pub struct MallocService {
     heap: SegregatedHeap,
+    shard: u16,
     orphans: Arc<OrphanStack>,
     stats: ServiceStats,
     idle_ticks: u32,
@@ -217,16 +241,32 @@ impl MallocService {
     /// (early: a short lull is enough to top up hot classes).
     const PREPARE_IDLE: u32 = 64;
 
-    /// Creates the service around a fresh segregated heap.
+    /// Creates the service around a fresh segregated heap (shard 0).
     pub fn new(orphans: Arc<OrphanStack>) -> Self {
+        Self::for_shard(0, orphans)
+    }
+
+    /// Creates the service as shard `shard` of a sharded tier: its heap
+    /// stamps [`crate::OWNER_BASE`]` | shard` into every segment it
+    /// creates, so any small-block address routes back to this shard via
+    /// [`ngm_heap::owner_of_small_ptr`] — no shared map, no atomics, and
+    /// the answer cannot change while the block is live.
+    pub fn for_shard(shard: u16, orphans: Arc<OrphanStack>) -> Self {
         MallocService {
-            heap: SegregatedHeap::new(0x6e676d), // "ngm"
+            heap: SegregatedHeap::new(crate::config::OWNER_BASE | u64::from(shard)),
+            shard,
             orphans,
             stats: ServiceStats::default(),
             idle_ticks: 0,
             demand: [0; NUM_CLASSES],
             watch: Arc::new(SharedHeapStats::new()),
         }
+    }
+
+    /// This service's shard index within its tier (0 for a standalone
+    /// service).
+    pub fn shard(&self) -> u16 {
+        self.shard
     }
 
     /// The live-readable heap-stats mirror. Clone the `Arc` before
@@ -247,10 +287,15 @@ impl MallocService {
     }
 
     fn alloc_one(&mut self, req: AllocReq) -> usize {
+        let Some(layout) = req.layout() else {
+            self.stats.protocol_errors += 1;
+            self.stats.failures += 1;
+            return 0;
+        };
         if let Some(class) = layout_to_class(req.size, req.align) {
             self.demand[class.0 as usize] = self.demand[class.0 as usize].saturating_add(1);
         }
-        match self.heap.allocate(req.layout()) {
+        match self.heap.allocate(layout) {
             Ok(p) => {
                 self.stats.allocs += 1;
                 p.as_ptr() as usize
@@ -288,17 +333,23 @@ impl MallocService {
     }
 
     fn free_batch(&mut self, batch: &AddrBatch) {
-        // SAFETY: every address in a batch is a live small block handed
-        // out by this heap; the client relinquished them on post.
+        let nulls = batch.as_slice().iter().filter(|&&a| a == 0).count();
+        if nulls > 0 {
+            // A null in a free batch is a client bug; skip it and count
+            // it rather than panicking the shard everyone shares.
+            self.stats.protocol_errors += nulls as u64;
+        }
+        // SAFETY: every non-null address in a batch is a live small block
+        // handed out by this heap; the client relinquished them on post.
         unsafe {
             self.heap.deallocate_batch(
                 batch
                     .as_slice()
                     .iter()
-                    .map(|&a| NonNull::new(a as *mut u8).expect("free of null address")),
+                    .filter_map(|&a| NonNull::new(a as *mut u8)),
             );
         }
-        self.stats.frees += batch.len() as u64;
+        self.stats.frees += (batch.len() - nulls) as u64;
     }
 
     fn drain_orphans(&mut self) {
@@ -338,9 +389,16 @@ impl Service for MallocService {
         self.idle_ticks = 0;
         match msg {
             FreePost::One(m) => {
-                let ptr = NonNull::new(m.addr as *mut u8).expect("free of null address");
-                let layout =
-                    Layout::from_size_align(m.size, m.align).expect("valid layout in FreeMsg");
+                let (Some(ptr), Ok(layout)) = (
+                    NonNull::new(m.addr as *mut u8),
+                    Layout::from_size_align(m.size, m.align),
+                ) else {
+                    // Refusing a malformed free leaks one block at worst;
+                    // panicking here would kill the shard for every
+                    // client. Count it and move on.
+                    self.stats.protocol_errors += 1;
+                    return;
+                };
                 // SAFETY: the client posting the message owned the live
                 // block and relinquished it; layout is the one it was
                 // allocated with.
@@ -488,6 +546,82 @@ mod tests {
         assert_eq!(st.magazine_returned, 8);
         assert_eq!(st.allocs - st.magazine_returned, 0, "app received nothing");
         assert_eq!(s.heap_stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn malformed_requests_are_counted_not_fatal() {
+        let mut s = svc();
+        // Non-power-of-two alignment: an impossible layout.
+        let addr = alloc_one(&mut s, 64, 3);
+        assert_eq!(addr, 0);
+        assert_eq!(s.service_stats().failures, 1);
+        assert_eq!(s.service_stats().protocol_errors, 1);
+        // Null free and impossible-layout free: skipped, counted.
+        s.post(FreePost::One(FreeMsg {
+            addr: 0,
+            size: 64,
+            align: 8,
+        }));
+        let real = alloc_one(&mut s, 64, 8);
+        s.post(FreePost::One(FreeMsg {
+            addr: real,
+            size: 64,
+            align: 7,
+        }));
+        assert_eq!(s.service_stats().frees, 0);
+        assert_eq!(s.service_stats().protocol_errors, 3);
+        // A batch with a null entry frees the rest.
+        let mut b = AddrBatch::empty();
+        b.push(real);
+        b.push(0);
+        s.post(FreePost::Batch(b));
+        assert_eq!(s.service_stats().frees, 1);
+        assert_eq!(s.service_stats().protocol_errors, 4);
+        assert_eq!(s.heap_stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn shard_service_stamps_routable_owner_ids() {
+        let mut a = MallocService::for_shard(0, Arc::new(OrphanStack::new()));
+        let mut b = MallocService::for_shard(3, Arc::new(OrphanStack::new()));
+        assert_eq!(b.shard(), 3);
+        let pa = alloc_one(&mut a, 64, 8);
+        let pb = alloc_one(&mut b, 64, 8);
+        // SAFETY: both are live small blocks from segregated heaps.
+        unsafe {
+            let oa = ngm_heap::owner_of_small_ptr(NonNull::new(pa as *mut u8).unwrap());
+            let ob = ngm_heap::owner_of_small_ptr(NonNull::new(pb as *mut u8).unwrap());
+            assert_eq!(oa, crate::config::OWNER_BASE);
+            assert_eq!(ob, crate::config::OWNER_BASE | 3);
+        }
+        free_one(&mut a, pa, 64, 8);
+        free_one(&mut b, pb, 64, 8);
+    }
+
+    #[test]
+    fn service_stats_absorb_sums_all_fields() {
+        let a = ServiceStats {
+            allocs: 1,
+            frees: 2,
+            failures: 3,
+            orphans_reclaimed: 4,
+            batch_refills: 5,
+            magazine_returned: 6,
+            housekeeping_runs: 7,
+            pages_preallocated: 8,
+            protocol_errors: 9,
+        };
+        let mut m = a;
+        m.absorb(&a);
+        assert_eq!(m.allocs, 2);
+        assert_eq!(m.frees, 4);
+        assert_eq!(m.failures, 6);
+        assert_eq!(m.orphans_reclaimed, 8);
+        assert_eq!(m.batch_refills, 10);
+        assert_eq!(m.magazine_returned, 12);
+        assert_eq!(m.housekeeping_runs, 14);
+        assert_eq!(m.pages_preallocated, 16);
+        assert_eq!(m.protocol_errors, 18);
     }
 
     #[test]

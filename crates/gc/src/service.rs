@@ -1,6 +1,6 @@
 //! The heap as a tenant of the dedicated core.
 
-use ngm_offload::{ClientHandle, OffloadRuntime, RuntimeBuilder, Service, StatsSnapshot};
+use ngm_offload::{ClientHandle, OffloadRuntime, Service, StatsSnapshot};
 
 use crate::heap::{GcStats, LocalGcHeap, NodeId};
 
@@ -189,7 +189,7 @@ impl GcRuntime {
     /// Starts the collector with a self-trigger threshold.
     pub fn start(auto_every: u64) -> Self {
         GcRuntime {
-            rt: RuntimeBuilder::new().start(GcService::new(auto_every)),
+            rt: OffloadRuntime::start(GcService::new(auto_every)),
         }
     }
 

@@ -47,6 +47,26 @@ pub use stats::HeapStats;
 use std::alloc::Layout;
 use std::ptr::NonNull;
 
+/// Reads the `owner_id` stamped into the segment containing `ptr`.
+///
+/// This is the sharded service tier's routing primitive: each shard's
+/// [`SegregatedHeap`] is created with a distinct owner id, the id is
+/// written into every segment header at segment-creation time and never
+/// mutated afterwards, so a plain (non-atomic) read here is race-free and
+/// the answer for a given address cannot change while the block is live.
+/// Frees therefore route to the allocating shard by address alone — a
+/// pure function of the address, stable across any client-side rebalance
+/// of *allocation* traffic.
+///
+/// # Safety
+///
+/// `ptr` must point into a live segment created by a [`SegregatedHeap`]
+/// (i.e. be a small-class block handed out by one).
+pub unsafe fn owner_of_small_ptr(ptr: NonNull<u8>) -> u64 {
+    // SAFETY: forwarded contract — `ptr` is interior to a live segment.
+    unsafe { segment::SegmentRef::of_ptr(ptr).header() }.owner_id
+}
+
 /// A single-owner heap: exclusive access replaces synchronization.
 ///
 /// # Safety
@@ -74,4 +94,39 @@ pub unsafe trait Heap {
 
     /// Point-in-time usage statistics.
     fn stats(&self) -> HeapStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_of_small_ptr_routes_by_allocating_heap() {
+        let mut shard_a = SegregatedHeap::new(0xA);
+        let mut shard_b = SegregatedHeap::new(0xB);
+        let layout = Layout::from_size_align(48, 8).unwrap();
+        let mut blocks = Vec::new();
+        for i in 0..64 {
+            let (heap, want) = if i % 2 == 0 {
+                (&mut shard_a, 0xA)
+            } else {
+                (&mut shard_b, 0xB)
+            };
+            let p = heap.allocate(layout).unwrap();
+            blocks.push((p, want));
+        }
+        // Every block routes back to the heap that allocated it, purely
+        // by address — interleaving doesn't confuse it.
+        for &(p, want) in &blocks {
+            assert_eq!(unsafe { owner_of_small_ptr(p) }, want);
+        }
+        for (i, &(p, _)) in blocks.iter().enumerate() {
+            let heap = if i % 2 == 0 {
+                &mut shard_a
+            } else {
+                &mut shard_b
+            };
+            unsafe { heap.deallocate(p, layout) };
+        }
+    }
 }

@@ -53,6 +53,23 @@ impl HeapStats {
     pub fn live_total(&self) -> u64 {
         self.live_blocks + self.large_allocs
     }
+
+    /// Folds another heap's counters into this one, presenting a set of
+    /// shard-owned heaps as a single logical heap. All fields sum;
+    /// `peak_live_bytes` becomes the sum of per-shard peaks, an upper
+    /// bound on the true combined peak (the shards did not necessarily
+    /// peak at the same instant).
+    pub fn absorb(&mut self, other: &HeapStats) {
+        self.live_blocks += other.live_blocks;
+        self.live_bytes += other.live_bytes;
+        self.segments += other.segments;
+        self.pages_in_use += other.pages_in_use;
+        self.large_allocs += other.large_allocs;
+        self.large_bytes += other.large_bytes;
+        self.total_allocs += other.total_allocs;
+        self.total_frees += other.total_frees;
+        self.peak_live_bytes += other.peak_live_bytes;
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +112,47 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.fragmentation(), 1.0);
+    }
+
+    #[test]
+    fn absorb_sums_every_field() {
+        let mut a = HeapStats {
+            live_blocks: 1,
+            live_bytes: 10,
+            segments: 1,
+            pages_in_use: 2,
+            large_allocs: 1,
+            large_bytes: 100,
+            total_allocs: 5,
+            total_frees: 4,
+            peak_live_bytes: 110,
+        };
+        let b = HeapStats {
+            live_blocks: 2,
+            live_bytes: 20,
+            segments: 3,
+            pages_in_use: 4,
+            large_allocs: 5,
+            large_bytes: 600,
+            total_allocs: 70,
+            total_frees: 65,
+            peak_live_bytes: 640,
+        };
+        a.absorb(&b);
+        let want = HeapStats {
+            live_blocks: 3,
+            live_bytes: 30,
+            segments: 4,
+            pages_in_use: 6,
+            large_allocs: 6,
+            large_bytes: 700,
+            total_allocs: 75,
+            total_frees: 69,
+            // Sum of per-shard peaks — an upper bound, not the true
+            // combined peak.
+            peak_live_bytes: 750,
+        };
+        assert_eq!(a, want);
     }
 
     #[test]

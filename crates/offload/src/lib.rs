@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod pad;
 pub mod pin;
 pub mod ring;
@@ -31,11 +32,17 @@ pub mod stats;
 pub mod telemetry;
 pub mod wait;
 
+pub use error::ServiceError;
 pub use pad::CachePadded;
 pub use pin::{available_cores, pin_current_thread, PinError};
 pub use ring::{spsc, Consumer, Producer};
-pub use service::{ClientHandle, OffloadRuntime, RuntimeBuilder, Service};
+pub use service::{
+    ClientHandle, OffloadRuntime, PostOutcome, RuntimeConfig, Service, ShardFailure,
+};
 pub use slot::RequestSlot;
 pub use stats::{RuntimeStats, StatsSnapshot};
 pub use telemetry::RuntimeTelemetry;
 pub use wait::{WaitPhase, WaitStrategy};
+
+#[allow(deprecated)]
+pub use service::RuntimeBuilder;

@@ -15,6 +15,7 @@ use ngm_telemetry::clock::cycles_now;
 use ngm_telemetry::export::MetricsSnapshot;
 use ngm_telemetry::trace::{TraceEventKind, TraceRing};
 
+use crate::error::ServiceError;
 use crate::pin::pin_current_thread;
 use crate::ring::{spsc, Consumer, Producer, PushError};
 use crate::slot::RequestSlot;
@@ -75,6 +76,15 @@ pub struct ClientHandle<S: Service> {
     telemetry: Arc<RuntimeTelemetry>,
     trace: Option<Arc<TraceRing>>,
     pmu: ClientPmu,
+}
+
+/// What a successful [`ClientHandle::try_post`] observed on the way in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PostOutcome {
+    /// Full-ring retries paid before the message fit. Zero means the ring
+    /// had room immediately; sustained nonzero values mean the service
+    /// shard is saturated and traffic should rebalance away from it.
+    pub full_retries: u32,
 }
 
 /// A client handle's PMU measurement state. The session is armed lazily
@@ -143,30 +153,68 @@ impl<S: Service> ClientHandle<S> {
         resp
     }
 
+    /// Like [`ClientHandle::call`], but refuses instead of hanging when
+    /// this runtime's service thread is known dead (its ring closed).
+    ///
+    /// The check is best-effort: a service that dies *between* the check
+    /// and the response leaves the caller spinning, exactly as before —
+    /// only deaths observable up front are converted into an error.
+    pub fn try_call(&mut self, req: S::Req) -> Result<S::Resp, ServiceError> {
+        if !self.is_open() {
+            self.stats.mark_service_down();
+            return Err(ServiceError::ServiceStopped);
+        }
+        Ok(self.call(req))
+    }
+
+    /// As [`ClientHandle::try_call`] for batched requests.
+    pub fn try_call_batched(&mut self, req: S::Req) -> Result<S::Resp, ServiceError> {
+        if !self.is_open() {
+            self.stats.mark_service_down();
+            return Err(ServiceError::ServiceStopped);
+        }
+        Ok(self.call_batched(req))
+    }
+
     /// Posts an asynchronous message, spinning if the ring is momentarily
     /// full. The enqueue latency (including full-ring retries) lands in
     /// the runtime's post-latency histogram.
     ///
-    /// # Panics
-    ///
-    /// Panics if the service thread has shut down while messages are still
-    /// being posted — that is a client lifecycle bug, not a recoverable
-    /// condition.
+    /// If the service thread is gone the message is dropped and counted
+    /// in [`RuntimeStats::posts_dropped`] — use [`ClientHandle::try_post`]
+    /// to observe that (and ring pressure) explicitly.
     pub fn post(&mut self, msg: S::Post) {
+        let _ = self.try_post(msg);
+    }
+
+    /// Posts an asynchronous message, reporting ring pressure and service
+    /// death instead of hiding them.
+    ///
+    /// On success the returned [`PostOutcome`] says how many full-ring
+    /// retries the enqueue needed — the saturation signal the sharded
+    /// front-end's rebalance path keys off. If the service thread is gone
+    /// the message is dropped, counted in [`RuntimeStats::posts_dropped`],
+    /// the runtime's `service_down` flag is raised, and
+    /// [`ServiceError::ServiceStopped`] comes back.
+    pub fn try_post(&mut self, msg: S::Post) -> Result<PostOutcome, ServiceError> {
         self.pmu.arm();
         let t0 = cycles_now();
         let mut msg = msg;
         let mut iters = 0u32;
+        let mut retries = 0u32;
         loop {
             match self.posts.push(msg) {
                 Ok(()) => break,
                 Err(PushError::Full(m)) => {
                     self.stats.post_full_retries.fetch_add(1, Ordering::Relaxed);
+                    retries = retries.saturating_add(1);
                     msg = m;
                     self.wait.pause(&mut iters);
                 }
                 Err(PushError::Closed(_)) => {
-                    panic!("offload service stopped while clients were still posting")
+                    self.stats.record_post_dropped();
+                    self.stats.mark_service_down();
+                    return Err(ServiceError::ServiceStopped);
                 }
             }
         }
@@ -176,6 +224,16 @@ impl<S: Service> ClientHandle<S> {
         if let Some(ring) = &self.trace {
             ring.push(TraceEventKind::Post, self.posts.len() as u64, 0);
         }
+        Ok(PostOutcome {
+            full_retries: retries,
+        })
+    }
+
+    /// Whether this handle's service thread is still consuming: `false`
+    /// once the ring's consumer is gone (service stopped, panicked, or
+    /// retired this client).
+    pub fn is_open(&self) -> bool {
+        !self.posts.is_closed()
     }
 
     /// Number of posted messages not yet drained (racy snapshot).
@@ -197,89 +255,130 @@ impl<S: Service> ClientHandle<S> {
     }
 }
 
-/// Configuration for [`OffloadRuntime::start`].
-pub struct RuntimeBuilder {
-    core: Option<usize>,
-    server_wait: WaitStrategy,
-    client_wait: WaitStrategy,
-    ring_capacity: usize,
-    drain_batch: usize,
-    trace_capacity: usize,
-    profile: bool,
+/// Configuration for [`OffloadRuntime::try_start`]: a plain value with
+/// public fields, `Default`-able and `const`-friendly via
+/// [`RuntimeConfig::new`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Core to pin the service thread to; `None` leaves it floating. Pin
+    /// failures are recorded in the runtime stats, not fatal (this box
+    /// may expose a single vCPU).
+    pub core: Option<usize>,
+    /// Wait strategy for the service thread's idle polling; `None` picks
+    /// the machine-appropriate default at start time.
+    pub server_wait: Option<WaitStrategy>,
+    /// Wait strategy for clients blocked on synchronous calls; `None`
+    /// picks the machine-appropriate default at start time.
+    pub client_wait: Option<WaitStrategy>,
+    /// Capacity of each client's asynchronous post ring.
+    pub ring_capacity: usize,
+    /// Maximum posts drained from one client per polling round.
+    pub drain_batch: usize,
+    /// Per-thread event-trace ring capacity (0 disables tracing). Rings
+    /// drop their oldest event on overflow and count the drops.
+    pub trace_capacity: usize,
+    /// Enables PMU profiling (off by default): the service loop and every
+    /// client handle wrap their lifetimes in a [`ngm_pmu::PmuSession`],
+    /// attributing cycles and cache/TLB misses to the service core versus
+    /// the app cores (§2.3). Falls back to software counters (labeled as
+    /// such) wherever `perf_event_open` is unavailable.
+    pub profile: bool,
+    /// Index of this runtime within a sharded service tier; names the
+    /// thread (`ngm-service-<shard>`) and labels its telemetry. A
+    /// standalone runtime is shard 0.
+    pub shard: usize,
 }
 
-impl Default for RuntimeBuilder {
-    fn default() -> Self {
-        RuntimeBuilder {
+impl RuntimeConfig {
+    /// The `const` default configuration (wait strategies resolve to the
+    /// machine-appropriate default when the runtime starts).
+    pub const fn new() -> Self {
+        RuntimeConfig {
             core: None,
-            server_wait: WaitStrategy::default(),
-            client_wait: WaitStrategy::default(),
+            server_wait: None,
+            client_wait: None,
             ring_capacity: 1024,
             drain_batch: 64,
             trace_capacity: 0,
             profile: false,
+            shard: 0,
         }
     }
 }
 
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Configuration for [`OffloadRuntime::start`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use `RuntimeConfig` (plain fields) with `OffloadRuntime::try_start`"
+)]
+#[derive(Default)]
+pub struct RuntimeBuilder {
+    cfg: RuntimeConfig,
+}
+
+#[allow(deprecated)]
 impl RuntimeBuilder {
     /// Creates a builder with defaults suited to the current machine.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Pin the service thread to `core`. Pin failures are recorded in the
-    /// runtime stats, not fatal (this box may expose a single vCPU).
+    /// Pin the service thread to `core`.
     pub fn pin_to(mut self, core: usize) -> Self {
-        self.core = Some(core);
+        self.cfg.core = Some(core);
         self
     }
 
     /// Wait strategy for the service thread's idle polling.
     pub fn server_wait(mut self, wait: WaitStrategy) -> Self {
-        self.server_wait = wait;
+        self.cfg.server_wait = Some(wait);
         self
     }
 
     /// Wait strategy for clients blocked on synchronous calls.
     pub fn client_wait(mut self, wait: WaitStrategy) -> Self {
-        self.client_wait = wait;
+        self.cfg.client_wait = Some(wait);
         self
     }
 
     /// Capacity of each client's asynchronous post ring.
     pub fn ring_capacity(mut self, cap: usize) -> Self {
-        self.ring_capacity = cap;
+        self.cfg.ring_capacity = cap;
         self
     }
 
     /// Maximum posts drained from one client per polling round.
     pub fn drain_batch(mut self, batch: usize) -> Self {
-        self.drain_batch = batch;
+        self.cfg.drain_batch = batch;
         self
     }
 
-    /// Enables event tracing with a per-thread ring of `capacity` events
-    /// (0, the default, disables it). Rings drop their oldest event on
-    /// overflow and count the drops.
+    /// Enables event tracing with a per-thread ring of `capacity` events.
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
-        self.trace_capacity = capacity;
+        self.cfg.trace_capacity = capacity;
         self
     }
 
-    /// Enables PMU profiling (off by default): the service loop and every
-    /// client handle wrap their lifetimes in a [`ngm_pmu::PmuSession`],
-    /// attributing cycles and cache/TLB misses to the service core versus
-    /// the app cores (§2.3). Falls back to software counters (labeled as
-    /// such) wherever `perf_event_open` is unavailable.
+    /// Enables PMU profiling (off by default).
     pub fn profile(mut self, on: bool) -> Self {
-        self.profile = on;
+        self.cfg.profile = on;
         self
     }
 
     /// Starts the service thread running `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn the thread (the historical
+    /// behavior; [`OffloadRuntime::try_start`] reports it instead).
     pub fn start<S: Service>(self, service: S) -> OffloadRuntime<S> {
-        OffloadRuntime::start_with(service, self)
+        OffloadRuntime::try_start(service, self.cfg).expect("failed to spawn service thread")
     }
 }
 
@@ -294,10 +393,16 @@ pub struct OffloadRuntime<S: Service> {
 impl<S: Service> OffloadRuntime<S> {
     /// Starts a runtime with default configuration.
     pub fn start(service: S) -> Self {
-        RuntimeBuilder::default().start(service)
+        Self::try_start(service, RuntimeConfig::new()).expect("failed to spawn service thread")
     }
 
-    fn start_with(service: S, cfg: RuntimeBuilder) -> Self {
+    /// Starts a runtime with the given configuration, reporting spawn
+    /// failure instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::SpawnFailed`] when the OS refuses the thread.
+    pub fn try_start(service: S, cfg: RuntimeConfig) -> Result<Self, ServiceError> {
         let stats = Arc::new(RuntimeStats::new());
         let telemetry = Arc::new(RuntimeTelemetry::with_profiling(
             cfg.trace_capacity,
@@ -314,30 +419,40 @@ impl<S: Service> OffloadRuntime<S> {
             has_new: AtomicBool::new(false),
         });
         let thread_shared = Arc::clone(&shared);
+        let server_wait = cfg.server_wait.unwrap_or_default();
         let thread = std::thread::Builder::new()
-            .name("ngm-service".into())
+            .name(format!("ngm-service-{}", cfg.shard))
             .spawn(move || {
                 service_loop(
                     service,
                     thread_shared,
                     service_trace,
                     cfg.core,
-                    cfg.server_wait,
+                    server_wait,
                     cfg.drain_batch,
                 )
             })
-            .expect("failed to spawn service thread");
-        OffloadRuntime {
+            .map_err(|_| ServiceError::SpawnFailed)?;
+        Ok(OffloadRuntime {
             shared,
             thread: Some(thread),
-            builder_wait: cfg.client_wait,
+            builder_wait: cfg.client_wait.unwrap_or_default(),
             ring_capacity: cfg.ring_capacity,
-        }
+        })
     }
 
     /// Registers a new client and returns its handle. May be called at any
     /// time, from any thread holding a reference to the runtime.
     pub fn register_client(&self) -> ClientHandle<S> {
+        self.register_client_with_pmu(self.shared.telemetry.profiling_enabled())
+    }
+
+    /// As [`OffloadRuntime::register_client`], but with explicit control
+    /// over whether this handle arms a per-thread PMU session on first
+    /// use. A PMU session counts its *whole thread*: a thread holding one
+    /// handle per service shard must arm exactly one of them, or every
+    /// shard's report would re-count the same thread.
+    pub fn register_client_with_pmu(&self, pmu: bool) -> ClientHandle<S> {
         let slot = Arc::new(RequestSlot::new());
         let (tx, rx) = spsc(self.ring_capacity);
         {
@@ -359,12 +474,39 @@ impl<S: Service> OffloadRuntime<S> {
             stats: Arc::clone(&self.shared.stats),
             telemetry: Arc::clone(&self.shared.telemetry),
             trace: self.shared.telemetry.new_ring(),
-            pmu: if self.shared.telemetry.profiling_enabled() {
+            pmu: if pmu && self.shared.telemetry.profiling_enabled() {
                 ClientPmu::Unarmed
             } else {
                 ClientPmu::Off
             },
         }
+    }
+
+    /// Asks the service thread to stop without consuming the runtime.
+    ///
+    /// Outstanding posts are drained, then the loop exits and the shard
+    /// stops accepting work — clients observe the closed rings and get
+    /// [`ServiceError::ServiceStopped`] from their `try_*` calls. The
+    /// sharded tier uses this to decommission one shard while the others
+    /// keep serving; a later [`OffloadRuntime::try_shutdown`] joins the
+    /// already-exited thread and recovers the service state normally.
+    pub fn request_stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+
+    /// Whether the service thread has exited (orderly or by panic).
+    /// Observing `true` before shutdown marks the runtime's
+    /// `service_down` flag.
+    pub fn is_finished(&self) -> bool {
+        let done = self
+            .thread
+            .as_ref()
+            .map(JoinHandle::is_finished)
+            .unwrap_or(true);
+        if done && !self.shared.stop.load(Ordering::Acquire) {
+            self.shared.stats.mark_service_down();
+        }
+        done
     }
 
     /// A snapshot of the runtime's counters.
@@ -400,6 +542,44 @@ impl<S: Service> OffloadRuntime<S> {
             .expect("service thread panicked");
         (svc, self.shared.stats.snapshot())
     }
+
+    /// As [`OffloadRuntime::shutdown`], but a panicked service thread
+    /// comes back as [`ShardFailure`] (with the final counters) instead
+    /// of propagating the panic — the sharded tier reports a dead shard
+    /// and keeps the survivors' accounting.
+    // Cold path by definition (one call per runtime lifetime); the
+    // counters ride in the error so a dead shard still reports its books.
+    #[allow(clippy::result_large_err)]
+    pub fn try_shutdown(mut self) -> Result<(S, StatsSnapshot), ShardFailure> {
+        self.shared.stop.store(true, Ordering::Release);
+        let Some(thread) = self.thread.take() else {
+            return Err(ShardFailure {
+                error: ServiceError::AlreadyShutDown,
+                stats: self.shared.stats.snapshot(),
+            });
+        };
+        match thread.join() {
+            Ok(svc) => Ok((svc, self.shared.stats.snapshot())),
+            Err(_) => {
+                self.shared.stats.mark_service_down();
+                Err(ShardFailure {
+                    error: ServiceError::ServicePanicked,
+                    stats: self.shared.stats.snapshot(),
+                })
+            }
+        }
+    }
+}
+
+/// What [`OffloadRuntime::try_shutdown`] returns for a shard whose
+/// service state could not be recovered.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardFailure {
+    /// Why the service state is gone.
+    pub error: ServiceError,
+    /// The runtime counters as of the failed shutdown (these live outside
+    /// the service thread and survive its death).
+    pub stats: StatsSnapshot,
 }
 
 impl<S: Service> Drop for OffloadRuntime<S> {
@@ -639,10 +819,15 @@ mod tests {
 
     #[test]
     fn tracing_captures_posts_refills_and_wait_transitions() {
-        let rt = RuntimeBuilder::new()
-            .trace_capacity(256)
-            .server_wait(WaitStrategy::Backoff)
-            .start(doubler());
+        let rt = OffloadRuntime::try_start(
+            doubler(),
+            RuntimeConfig {
+                trace_capacity: 256,
+                server_wait: Some(WaitStrategy::Backoff),
+                ..RuntimeConfig::new()
+            },
+        )
+        .unwrap();
         let mut c = rt.register_client();
         for i in 0..10 {
             c.post(i);
@@ -701,7 +886,14 @@ mod tests {
 
     #[test]
     fn profiling_attributes_service_and_client_cores() {
-        let rt = RuntimeBuilder::new().profile(true).start(doubler());
+        let rt = OffloadRuntime::try_start(
+            doubler(),
+            RuntimeConfig {
+                profile: true,
+                ..RuntimeConfig::new()
+            },
+        )
+        .unwrap();
         assert!(rt.telemetry().profiling_enabled());
         assert!(
             rt.telemetry().pmu_report().is_none(),
@@ -762,7 +954,14 @@ mod tests {
 
     #[test]
     fn ring_occupancy_gauge_moves() {
-        let rt = RuntimeBuilder::new().drain_batch(1).start(doubler());
+        let rt = OffloadRuntime::try_start(
+            doubler(),
+            RuntimeConfig {
+                drain_batch: 1,
+                ..RuntimeConfig::new()
+            },
+        )
+        .unwrap();
         let mut c = rt.register_client();
         for i in 0..200 {
             c.post(i);
@@ -772,5 +971,148 @@ mod tests {
         // All posts eventually drained; the gauge ends at zero.
         assert_eq!(stats.posts_served, 200);
         assert_eq!(stats.ring_occupancy, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_still_starts_a_runtime() {
+        let rt = RuntimeBuilder::new().drain_batch(8).start(doubler());
+        let mut c = rt.register_client();
+        assert_eq!(c.call(4), 8);
+        let (_, stats) = rt.shutdown();
+        assert_eq!(stats.calls_served, 1);
+    }
+
+    #[test]
+    fn post_after_shutdown_is_dropped_and_counted() {
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        c.post(1);
+        let stats = Arc::clone(&rt.shared.stats);
+        let (_, _) = rt.shutdown();
+        // The service (and every ring consumer) is gone: the post must
+        // neither panic nor hang.
+        assert_eq!(c.try_post(2), Err(ServiceError::ServiceStopped));
+        c.post(3); // infallible form also degrades silently
+        assert!(!c.is_open());
+        let snap = stats.snapshot();
+        assert_eq!(snap.posts_dropped, 2);
+        assert!(snap.service_down);
+    }
+
+    #[test]
+    fn try_call_refuses_dead_service() {
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        assert_eq!(c.try_call(21), Ok(42));
+        let (_, _) = rt.shutdown();
+        assert_eq!(c.try_call(1), Err(ServiceError::ServiceStopped));
+        assert_eq!(c.try_call_batched(1), Err(ServiceError::ServiceStopped));
+    }
+
+    #[test]
+    fn try_post_reports_full_ring_pressure() {
+        // A tiny ring with a slow-to-start drain: at least one retry must
+        // surface in the outcome once the ring saturates.
+        let rt = OffloadRuntime::try_start(
+            doubler(),
+            RuntimeConfig {
+                ring_capacity: 2,
+                ..RuntimeConfig::new()
+            },
+        )
+        .unwrap();
+        let mut c = rt.register_client();
+        let mut saw_pressure = false;
+        for i in 0..1000 {
+            let outcome = c.try_post(i).expect("service alive");
+            saw_pressure |= outcome.full_retries > 0;
+        }
+        drop(c);
+        let (_, stats) = rt.shutdown();
+        assert_eq!(stats.posts_served, 1000);
+        if saw_pressure {
+            assert!(stats.post_full_retries > 0);
+        }
+    }
+
+    #[test]
+    fn request_stop_decommissions_without_consuming() {
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        for i in 1..=10 {
+            c.post(i);
+        }
+        rt.request_stop();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while c.is_open() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "service never stopped"
+            );
+            std::thread::yield_now();
+        }
+        // Work already in the ring was drained before the loop exited;
+        // work posted after the stop is refused, not lost silently.
+        assert_eq!(c.try_post(11), Err(ServiceError::ServiceStopped));
+        drop(c);
+        let (svc, stats) = rt.try_shutdown().expect("clean exit joins normally");
+        assert_eq!(svc.sum, 55);
+        assert_eq!(stats.posts_served, 10);
+        assert_eq!(stats.posts_dropped, 1);
+    }
+
+    #[test]
+    fn try_shutdown_reports_service_panic_with_stats() {
+        #[derive(Debug)]
+        struct Exploder;
+        impl Service for Exploder {
+            type Req = ();
+            type Resp = ();
+            type Post = ();
+            fn call(&mut self, _req: ()) {}
+            fn post(&mut self, _msg: ()) {
+                panic!("boom");
+            }
+        }
+        let rt = OffloadRuntime::start(Exploder);
+        let mut c = rt.register_client();
+        // The service panics draining this post; posting is async, so
+        // the client is not stuck waiting on a reply that never comes.
+        c.post(());
+        // Wait for the death to become observable before shutting down.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while c.is_open() {
+            assert!(std::time::Instant::now() < deadline, "service never died");
+            std::thread::yield_now();
+        }
+        drop(c);
+        let failure = rt.try_shutdown().expect_err("service panicked");
+        assert_eq!(failure.error, ServiceError::ServicePanicked);
+        assert!(failure.stats.service_down);
+    }
+
+    #[test]
+    fn is_finished_flags_unclean_death() {
+        #[derive(Debug)]
+        struct QuitEarly;
+        impl Service for QuitEarly {
+            type Req = ();
+            type Resp = ();
+            type Post = ();
+            fn call(&mut self, _req: ()) {}
+            fn post(&mut self, _msg: ()) {}
+            fn idle(&mut self) {
+                panic!("service dies on first idle round");
+            }
+        }
+        let rt = OffloadRuntime::start(QuitEarly);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !rt.is_finished() {
+            assert!(std::time::Instant::now() < deadline, "service never died");
+            std::thread::yield_now();
+        }
+        assert!(rt.stats().service_down);
+        let _ = rt.try_shutdown().expect_err("thread panicked");
     }
 }

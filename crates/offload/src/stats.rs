@@ -26,6 +26,19 @@ pub struct RuntimeStats {
     pub clients_registered: AtomicU64,
     /// Times a client found its post ring full and had to retry.
     pub post_full_retries: AtomicU64,
+    /// Fire-and-forget messages dropped because the service thread was
+    /// already gone (its ring closed). Nonzero only after an unclean
+    /// shard death; the memory those messages would have freed is lost.
+    pub posts_dropped: AtomicU64,
+    /// Flag: a client observed this runtime's service thread dead (ring
+    /// closed / thread finished) outside of an orderly shutdown.
+    pub service_down: AtomicBool,
+    /// Times clients remapped allocation traffic away from this shard
+    /// because its ring saturated (the sharded tier's rebalance path).
+    pub rebalances: AtomicU64,
+    /// Times clients rerouted a request to a surviving shard because
+    /// this shard's service thread had died.
+    pub failovers: AtomicU64,
     /// Batched synchronous requests served (magazine refills in the
     /// malloc deployment); a subset of `calls_served`.
     pub batched_calls_served: AtomicU64,
@@ -62,6 +75,15 @@ pub struct StatsSnapshot {
     pub clients_registered: u64,
     /// Times a client found its post ring full and had to retry.
     pub post_full_retries: u64,
+    /// Messages dropped because the service thread was already gone.
+    pub posts_dropped: u64,
+    /// Whether a client observed this runtime's service thread dead
+    /// outside of an orderly shutdown.
+    pub service_down: bool,
+    /// Times clients rebalanced allocation traffic off this shard.
+    pub rebalances: u64,
+    /// Times clients failed a request over to a surviving shard.
+    pub failovers: u64,
     /// Batched synchronous requests served (magazine refills).
     pub batched_calls_served: u64,
     /// Posts pending across all client rings at the last poll round.
@@ -98,6 +120,10 @@ impl RuntimeStats {
             empty_rounds: AtomicU64::new(0),
             clients_registered: AtomicU64::new(0),
             post_full_retries: AtomicU64::new(0),
+            posts_dropped: AtomicU64::new(0),
+            service_down: AtomicBool::new(false),
+            rebalances: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
             batched_calls_served: AtomicU64::new(0),
             ring_occupancy: AtomicUsize::new(0),
             magazine_occupancy: AtomicI64::new(0),
@@ -111,6 +137,27 @@ impl RuntimeStats {
     /// Records a successful pin.
     pub fn record_pin(&self, core: usize) {
         self.pinned_core.store(core, Ordering::Relaxed);
+    }
+
+    /// Flags this runtime's service thread as dead (observed by a client
+    /// outside of an orderly shutdown).
+    pub fn mark_service_down(&self) {
+        self.service_down.store(true, Ordering::Relaxed);
+    }
+
+    /// Counts one message dropped because the service was gone.
+    pub fn record_post_dropped(&self) {
+        self.posts_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one rebalance of client traffic off this shard.
+    pub fn record_rebalance(&self) {
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one failover of a request to a surviving shard.
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adjusts the magazine-occupancy gauge by `delta`. Called by client
@@ -136,6 +183,10 @@ impl RuntimeStats {
             empty_rounds: self.empty_rounds.load(Ordering::Relaxed),
             clients_registered: self.clients_registered.load(Ordering::Relaxed),
             post_full_retries: self.post_full_retries.load(Ordering::Relaxed),
+            posts_dropped: self.posts_dropped.load(Ordering::Relaxed),
+            service_down: self.service_down.load(Ordering::Relaxed),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
             batched_calls_served: self.batched_calls_served.load(Ordering::Relaxed),
             ring_occupancy: self.ring_occupancy.load(Ordering::Relaxed),
             magazine_occupancy: self.magazine_occupancy.load(Ordering::Relaxed),
@@ -147,6 +198,27 @@ impl RuntimeStats {
 }
 
 impl StatsSnapshot {
+    /// Folds another shard's snapshot into this one: counters and
+    /// occupancy gauges sum, `service_down` ORs, and the fields that only
+    /// make sense per shard (`wait_phase`, `pinned_core`) keep `self`'s
+    /// values. Used to present a fleet of service shards as one runtime.
+    pub fn absorb(&mut self, other: &StatsSnapshot) {
+        self.calls_served += other.calls_served;
+        self.posts_served += other.posts_served;
+        self.poll_rounds += other.poll_rounds;
+        self.empty_rounds += other.empty_rounds;
+        self.clients_registered += other.clients_registered;
+        self.post_full_retries += other.post_full_retries;
+        self.posts_dropped += other.posts_dropped;
+        self.service_down |= other.service_down;
+        self.rebalances += other.rebalances;
+        self.failovers += other.failovers;
+        self.batched_calls_served += other.batched_calls_served;
+        self.ring_occupancy += other.ring_occupancy;
+        self.magazine_occupancy += other.magazine_occupancy;
+        self.wait_transitions += other.wait_transitions;
+    }
+
     /// Fraction of polling rounds that found no work, in `[0, 1]`.
     pub fn idle_fraction(&self) -> f64 {
         if self.poll_rounds == 0 {
@@ -200,6 +272,35 @@ mod tests {
         assert_eq!(s.snapshot().magazine_occupancy, 32);
         s.add_magazine_occupancy(-32);
         assert_eq!(s.snapshot().magazine_occupancy, 0);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_ors_down_flag() {
+        let a = RuntimeStats::new();
+        a.calls_served.store(3, Ordering::Relaxed);
+        a.ring_occupancy.store(2, Ordering::Relaxed);
+        let b = RuntimeStats::new();
+        b.calls_served.store(4, Ordering::Relaxed);
+        b.ring_occupancy.store(5, Ordering::Relaxed);
+        b.mark_service_down();
+        b.record_rebalance();
+        b.record_post_dropped();
+        let mut snap = a.snapshot();
+        snap.absorb(&b.snapshot());
+        assert_eq!(snap.calls_served, 7);
+        assert_eq!(snap.ring_occupancy, 7);
+        assert!(snap.service_down);
+        assert_eq!(snap.rebalances, 1);
+        assert_eq!(snap.posts_dropped, 1);
+    }
+
+    #[test]
+    fn fresh_stats_report_service_up() {
+        let s = RuntimeStats::new();
+        let snap = s.snapshot();
+        assert!(!snap.service_down);
+        assert_eq!(snap.posts_dropped, 0);
+        assert_eq!(snap.failovers, 0);
     }
 
     #[test]

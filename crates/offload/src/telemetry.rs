@@ -193,6 +193,44 @@ impl RuntimeTelemetry {
     /// and gauges (from `stats`) plus both latency histograms.
     #[must_use]
     pub fn metrics(&self, stats: &StatsSnapshot) -> MetricsSnapshot {
+        self.metrics_merged(stats, &[])
+    }
+
+    /// As [`RuntimeTelemetry::metrics`], but folding in `peers` — the
+    /// other shards of a sharded service tier. Latency histograms and
+    /// trace-drop totals merge across all telemetries (each series
+    /// appears once, covering every shard); `stats` is expected to be the
+    /// callers' already-merged counter snapshot. PMU columns from every
+    /// shard land in one report.
+    #[must_use]
+    pub fn metrics_merged(
+        &self,
+        stats: &StatsSnapshot,
+        peers: &[&RuntimeTelemetry],
+    ) -> MetricsSnapshot {
+        let mut call = self.call_cycles.snapshot();
+        let mut post = self.post_cycles.snapshot();
+        let mut refill = self.refill_cycles.snapshot();
+        let mut trace_dropped = self.trace_dropped_total();
+        for p in peers {
+            call.merge(&p.call_cycles.snapshot());
+            post.merge(&p.post_cycles.snapshot());
+            refill.merge(&p.refill_cycles.snapshot());
+            trace_dropped += p.trace_dropped_total();
+        }
+        let mut pmu = self.pmu_report();
+        for p in peers {
+            if let Some(peer_rep) = p.pmu_report() {
+                match &mut pmu {
+                    Some(rep) => {
+                        for col in peer_rep.cols {
+                            rep.push(col.name, col.reading);
+                        }
+                    }
+                    None => pmu = Some(peer_rep),
+                }
+            }
+        }
         let mut m = MetricsSnapshot::new();
         m.counter("ngm_calls_total", stats.calls_served)
             .counter("ngm_posts_total", stats.posts_served)
@@ -200,9 +238,13 @@ impl RuntimeTelemetry {
             .counter("ngm_empty_rounds_total", stats.empty_rounds)
             .counter("ngm_clients_registered_total", stats.clients_registered)
             .counter("ngm_post_full_retries_total", stats.post_full_retries)
+            .counter("ngm_posts_dropped_total", stats.posts_dropped)
+            .counter("ngm_rebalances_total", stats.rebalances)
+            .counter("ngm_failovers_total", stats.failovers)
+            .gauge("ngm_service_down", i64::from(stats.service_down))
             .counter("ngm_batched_calls_total", stats.batched_calls_served)
             .counter("ngm_wait_transitions_total", stats.wait_transitions)
-            .counter("ngm_trace_dropped_total", self.trace_dropped_total())
+            .counter("ngm_trace_dropped_total", trace_dropped)
             .gauge("ngm_ring_occupancy", stats.ring_occupancy as i64)
             .gauge("ngm_magazine_occupancy", stats.magazine_occupancy)
             .gauge("ngm_wait_phase", stats.wait_phase as i64)
@@ -214,10 +256,10 @@ impl RuntimeTelemetry {
                 "ngm_clock_is_tsc",
                 i64::from(ngm_telemetry::clock::source() == "tsc_cycles"),
             )
-            .histogram("ngm_call_cycles", self.call_cycles.snapshot())
-            .histogram("ngm_post_cycles", self.post_cycles.snapshot())
-            .histogram("ngm_refill_cycles", self.refill_cycles.snapshot());
-        if let Some(rep) = self.pmu_report() {
+            .histogram("ngm_call_cycles", call)
+            .histogram("ngm_post_cycles", post)
+            .histogram("ngm_refill_cycles", refill);
+        if let Some(rep) = pmu {
             rep.publish(&mut m);
         }
         m

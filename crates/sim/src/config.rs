@@ -252,6 +252,23 @@ impl MachineConfig {
         }
     }
 
+    /// An asymmetric machine with a *tier* of service cores: `n_big`
+    /// application cores plus `n_service` copies of the given service
+    /// core, each in its own cluster (the sharded generalization of
+    /// [`MachineConfig::asymmetric`] — service cores occupy the highest
+    /// core IDs).
+    pub fn asymmetric_many(n_big: usize, n_service: usize, service: CoreConfig) -> Self {
+        let mut cores = vec![CoreConfig::big(); n_big];
+        let mut service = service;
+        service.own_cluster = true;
+        cores.extend(std::iter::repeat_n(service, n_service));
+        MachineConfig {
+            cores,
+            llc: CacheConfig::kib(2 * 1024, 16),
+            cost: CostModel::default(),
+        }
+    }
+
     /// Number of cores in the machine.
     pub fn num_cores(&self) -> usize {
         self.cores.len()
@@ -299,6 +316,21 @@ mod tests {
         assert_eq!(m.num_cores(), 5);
         assert_eq!(m.cores[4].core_type, CoreType::NearMemory);
         assert!(m.cores[4].dram_latency_override.is_some());
+    }
+
+    #[test]
+    fn asymmetric_many_appends_a_service_tier() {
+        let m = MachineConfig::asymmetric_many(4, 3, CoreConfig::big());
+        assert_eq!(m.num_cores(), 7);
+        for s in 4..7 {
+            assert!(m.cores[s].own_cluster, "service cores get their own room");
+        }
+        assert!(!m.cores[0].own_cluster);
+        // One service core degenerates to the classic asymmetric shape.
+        assert_eq!(
+            MachineConfig::asymmetric_many(2, 1, CoreConfig::near_memory()),
+            MachineConfig::asymmetric(2, CoreConfig::near_memory())
+        );
     }
 
     #[test]

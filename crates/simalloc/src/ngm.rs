@@ -182,6 +182,156 @@ impl AllocModel for NgmModel {
     }
 }
 
+/// The sharded NextGen-Malloc model: the service tier generalized to
+/// `shards` dedicated cores, each owning a disjoint slab heap.
+///
+/// Routing mirrors the real runtime: allocations pick the shard serving
+/// the block's size class (`class % shards`), and frees recompute the
+/// same pure function from the block's size — so a free always lands on
+/// the shard whose heap created the block, regardless of which
+/// application core issues it. Each (client, shard) pair has its own
+/// request slot and free ring; shards share nothing, preserving the
+/// zero-atomics-per-shard invariant at any tier width.
+///
+/// Build the machine with [`ngm_sim::MachineConfig::asymmetric_many`]
+/// (`app_threads` big cores + `shards` service cores); the service tier
+/// occupies the highest core IDs.
+pub struct NgmShardedModel {
+    space: AddressSpace,
+    shards: Vec<SlabHeap>,
+    /// Request/response slot line per (client, shard) pair, indexed
+    /// `client * shards + shard`.
+    slot_base: Vec<u64>,
+    /// Free-ring base and cursor per (client, shard) pair.
+    ring_base: Vec<u64>,
+    ring_pos: Vec<u64>,
+    app_threads: usize,
+    atomics: u64,
+}
+
+impl NgmShardedModel {
+    /// Creates the model for `threads` application cores served by
+    /// `shards` service cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(threads: usize, shards: usize) -> Self {
+        assert!(shards > 0, "a service tier has at least one shard");
+        let mut space = AddressSpace::default();
+        let pairs = threads * shards;
+        let slot_base = (0..pairs).map(|_| space.reserve(128, 128)).collect();
+        let ring_base = (0..pairs)
+            .map(|_| space.reserve(RING_ENTRIES * 16, 4096))
+            .collect();
+        let heaps = (0..shards)
+            .map(|_| {
+                SlabHeap::with_page_size(&mut space, MetaTraffic::IndexArray, usize::MAX, 16384)
+            })
+            .collect();
+        NgmShardedModel {
+            space,
+            shards: heaps,
+            slot_base,
+            ring_base,
+            ring_pos: vec![0; pairs],
+            app_threads: threads,
+            atomics: 0,
+        }
+    }
+
+    /// Number of service shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard serving `class` — a pure function shared by the alloc
+    /// and free paths (the sim analog of the real runtime's owner-id
+    /// routing: same class table, same heap, both directions).
+    fn shard_of_class(&self, class: usize) -> usize {
+        class % self.shards.len()
+    }
+
+    fn service_core(&self, machine: &Machine, shard: usize) -> usize {
+        debug_assert!(
+            machine.num_cores() >= self.app_threads + self.shards.len(),
+            "machine too small: build it with MachineConfig::asymmetric_many"
+        );
+        machine.num_cores() - self.shards.len() + shard
+    }
+
+    fn pair(&self, core: usize, shard: usize) -> usize {
+        core * self.shards.len() + shard
+    }
+}
+
+impl AllocModel for NgmShardedModel {
+    fn name(&self) -> &'static str {
+        "NextGen-Malloc (sharded)"
+    }
+
+    fn malloc(&mut self, machine: &mut Machine, core: usize, size: u32) -> u64 {
+        let Some((class, _block)) = size_class(size) else {
+            return large_alloc(&mut self.space, machine, core, size);
+        };
+        let shard = self.shard_of_class(class);
+        let svc = self.service_core(machine, shard);
+        let slot = self.slot_base[self.pair(core, shard)];
+        machine.retire(core, 10);
+        self.atomics += 4;
+
+        // The §4.2 handshake against the owning shard; identical per-op
+        // cost to the single-shard model — the win is concurrency, not a
+        // cheaper protocol.
+        machine.access(core, Access::store(slot + 8, 16, AccessClass::Meta));
+        machine.access(core, Access::atomic(slot, 8, AccessClass::Meta));
+
+        let mut svc_latency = 0u64;
+        svc_latency += machine.access(svc, Access::atomic(slot, 8, AccessClass::Meta));
+        machine.retire(svc, 22);
+        svc_latency += 11; // service compute at ipc 2
+        let addr = self.shards[shard].alloc(machine, svc, &mut self.space, class);
+        svc_latency += machine.access(svc, Access::store(slot + 8, 16, AccessClass::Meta));
+        svc_latency += machine.access(svc, Access::atomic(slot, 8, AccessClass::Meta));
+
+        machine.idle(core, svc_latency);
+        machine.access(core, Access::atomic(slot, 8, AccessClass::Meta));
+        machine.access(core, Access::load(slot + 8, 16, AccessClass::Meta));
+        addr
+    }
+
+    fn free(&mut self, machine: &mut Machine, core: usize, addr: u64, size: u32) {
+        let Some((class, _block)) = size_class(size) else {
+            large_free(machine, core);
+            return;
+        };
+        // Same pure routing as malloc: the class decides the owning
+        // shard, so the free drains into the heap that placed the block.
+        let shard = self.shard_of_class(class);
+        let svc = self.service_core(machine, shard);
+        let pair = self.pair(core, shard);
+
+        machine.retire(core, 8);
+        let entry = self.ring_base[pair] + (self.ring_pos[pair] % RING_ENTRIES) * 16;
+        self.ring_pos[pair] += 1;
+        machine.access(core, Access::store(entry, 16, AccessClass::Meta));
+
+        machine.retire(svc, 15);
+        machine.access(svc, Access::load(entry, 16, AccessClass::Meta));
+        self.shards[shard].free(machine, svc, addr);
+    }
+
+    fn meta_bytes(&self) -> u64 {
+        self.shards.iter().map(SlabHeap::meta_bytes).sum::<u64>()
+            + self.slot_base.len() as u64 * 128
+            + self.ring_base.len() as u64 * RING_ENTRIES * 16
+    }
+
+    fn atomics(&self) -> u64 {
+        self.atomics
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +396,88 @@ mod tests {
         // cold line plus a page walk) — far below a synchronous malloc
         // round trip with its four atomics.
         assert!(spent < 250, "async free cost {spent} too high");
+    }
+
+    fn sharded_machine(app: usize, shards: usize) -> Machine {
+        let mut svc = ngm_sim::CoreConfig::big();
+        svc.l2 = ngm_sim::CacheConfig::kib(1024, 16);
+        Machine::new(ngm_sim::MachineConfig::asymmetric_many(app, shards, svc))
+    }
+
+    #[test]
+    fn sharded_single_shard_matches_roundtrip_semantics() {
+        let mut m = sharded_machine(1, 1);
+        let mut a = NgmShardedModel::new(1, 1);
+        let p = a.malloc(&mut m, 0, 64);
+        a.free(&mut m, 0, p, 64);
+        let q = a.malloc(&mut m, 0, 64);
+        assert_eq!(p, q, "freed block is reused, as in the unsharded model");
+        assert_eq!(a.atomics(), 2 * NgmModel::ATOMICS_PER_MALLOC);
+    }
+
+    #[test]
+    fn sharded_frees_route_to_the_allocating_shard() {
+        // Round-trip blocks of many classes: every free must reach the
+        // shard that placed the block, or the reuse check fails (a heap
+        // can only hand back addresses it owns).
+        let mut m = sharded_machine(2, 4);
+        let mut a = NgmShardedModel::new(2, 4);
+        let sizes = [16u32, 64, 100, 256, 1024, 4000];
+        let blocks: Vec<(u64, u32)> = sizes.iter().map(|&s| (a.malloc(&mut m, 0, s), s)).collect();
+        for &(addr, size) in &blocks {
+            a.free(&mut m, 1, addr, size); // freed from the *other* core
+        }
+        for &(addr, size) in &blocks {
+            let again = a.malloc(&mut m, 0, size);
+            assert_eq!(
+                again, addr,
+                "size {size}: block not reused — free misrouted"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_tier_spreads_service_work() {
+        let mut m = sharded_machine(4, 4);
+        let mut a = NgmShardedModel::new(4, 4);
+        for core in 0..4 {
+            for i in 0..200u32 {
+                // Sizes sweep several classes so each shard sees traffic.
+                let size = 16 << (i % 5);
+                let p = a.malloc(&mut m, core, size);
+                a.free(&mut m, core, p, size);
+            }
+        }
+        let n = m.num_cores();
+        let busy = (n - 4..n)
+            .filter(|&c| m.core_counters(c).instructions > 0)
+            .count();
+        assert!(busy >= 2, "only {busy} of 4 shards did any work");
+    }
+
+    #[test]
+    fn sharding_divides_the_service_bottleneck() {
+        // Service-bound regime: many clients, pure alloc/free churn. The
+        // tier's whole point (§3.2 generalized): N shards split the one
+        // saturated service core, so wall cycles drop.
+        let run = |shards: usize| {
+            let mut m = sharded_machine(8, shards);
+            let mut a = NgmShardedModel::new(8, shards);
+            for core in 0..8 {
+                for i in 0..300u32 {
+                    let size = 16 << (i % 4);
+                    let p = a.malloc(&mut m, core, size);
+                    a.free(&mut m, core, p, size);
+                }
+            }
+            m.wall_cycles()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            (four as f64) < one as f64 / 1.5,
+            "4 shards not ≥1.5x faster: 1-shard {one} vs 4-shard {four}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! ```
 
 use ngm_bench::replay::{replay_heap, replay_ngm};
-use ngm_core::NextGenMalloc;
+use ngm_core::Ngm;
 use ngm_heap::{AggregatedHeap, LockedHeap, SegregatedHeap, ShardedHeap};
 use ngm_simalloc::{run_kind_warm, ModelKind};
 use ngm_workloads::xalanc::{self, XalancParams};
@@ -72,13 +72,13 @@ fn main() {
     let r = replay_heap(&mut shard, events.iter().copied());
     check("sharded (mimalloc-ish)", r.checksum, r.elapsed);
 
-    let ngm = NextGenMalloc::start();
+    let ngm = Ngm::start();
     let mut h = ngm.handle();
     let r = replay_ngm(&mut h, events.iter().copied());
     check("NextGen-Malloc (offloaded)", r.checksum, r.elapsed);
     drop(h);
-    let (_, heap_stats, _) = ngm.shutdown();
-    assert_eq!(heap_stats.live_blocks, 0);
+    let down = ngm.shutdown();
+    assert_eq!(down.heap.live_blocks, 0);
 
     // -- Simulated PMU shape ----------------------------------------------
     println!("\nsimulated A72 (steady state, app cores):");

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use ngm_offload::{RuntimeBuilder, Service};
+use ngm_offload::{OffloadRuntime, RuntimeConfig, Service};
 
 /// An interning service: all the hash-map metadata lives on the service
 /// core; clients exchange only small messages.
@@ -44,9 +44,14 @@ impl Service for InternService {
 fn main() {
     // A small trace ring per thread: enough to see the event flow without
     // keeping the whole run in memory.
-    let rt = RuntimeBuilder::new()
-        .trace_capacity(1024)
-        .start(InternService::default());
+    let rt = OffloadRuntime::try_start(
+        InternService::default(),
+        RuntimeConfig {
+            trace_capacity: 1024,
+            ..RuntimeConfig::new()
+        },
+    )
+    .expect("spawn service thread");
 
     let mut joins = Vec::new();
     for t in 0..4u64 {

@@ -7,12 +7,12 @@
 
 use std::alloc::Layout;
 
-use ngm_core::NextGenMalloc;
+use ngm_core::Ngm;
 
 fn main() {
     // Start the runtime: spawns the service thread and (when the machine
     // has a spare core) pins it — the paper's "own room in the house".
-    let ngm = NextGenMalloc::start();
+    let ngm = Ngm::start();
     println!(
         "service thread started (machine has {} cores)",
         ngm_offload::available_cores()
@@ -51,14 +51,14 @@ fn main() {
         println!("thread {t}: peak live blocks {}", j.join().expect("worker"));
     }
 
-    let (svc, heap, rt) = ngm.shutdown();
+    let down = ngm.shutdown();
     println!("\n-- service statistics --");
-    println!("allocations served : {}", svc.allocs);
-    println!("frees applied      : {}", svc.frees);
-    println!("segments mapped    : {}", heap.segments);
-    println!("peak live bytes    : {}", heap.peak_live_bytes);
-    println!("pinned core        : {:?}", rt.pinned_core);
-    println!("idle poll fraction : {:.3}", rt.idle_fraction());
-    assert_eq!(heap.live_blocks, 0, "no leaks");
+    println!("allocations served : {}", down.service.allocs);
+    println!("frees applied      : {}", down.service.frees);
+    println!("segments mapped    : {}", down.heap.segments);
+    println!("peak live bytes    : {}", down.heap.peak_live_bytes);
+    println!("pinned core        : {:?}", down.runtime.pinned_core);
+    println!("idle poll fraction : {:.3}", down.runtime.idle_fraction());
+    assert_eq!(down.heap.live_blocks, 0, "no leaks");
     println!("\nall blocks returned; no leaks.");
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use ngm_bench::replay::{replay_heap, replay_ngm};
-use ngm_core::NextGenMalloc;
+use ngm_core::Ngm;
 use ngm_heap::SegregatedHeap;
 use ngm_simalloc::{run_kind_warm, ModelKind};
 use ngm_workloads::xalanc::{self, XalancParams};
@@ -39,18 +39,18 @@ fn main() {
         direct.elapsed, direct.mallocs
     );
 
-    let ngm = NextGenMalloc::start();
+    let ngm = Ngm::start();
     let mut handle = ngm.handle();
     let offloaded = replay_ngm(&mut handle, events.iter().copied());
     drop(handle);
-    let (svc, heap_stats, rt) = ngm.shutdown();
+    let down = ngm.shutdown();
     println!(
         "offloaded (NGM)        : {:?} (service on core {:?})",
-        offloaded.elapsed, rt.pinned_core
+        offloaded.elapsed, down.runtime.pinned_core
     );
     assert_eq!(direct.checksum, offloaded.checksum, "identical computation");
-    assert_eq!(svc.allocs, offloaded.mallocs);
-    assert_eq!(heap_stats.live_blocks, 0);
+    assert_eq!(down.service.allocs, offloaded.mallocs);
+    assert_eq!(down.heap.live_blocks, 0);
 
     // -- Simulated PMU view (the Table 1/3 machinery) ---------------------
     println!("\nsimulated A72 PMU counters (app cores, steady state):");

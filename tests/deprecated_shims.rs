@@ -1,0 +1,104 @@
+//! The deprecated pre-0.5 API surface still works, verbatim.
+//!
+//! This file opts out of deprecation warnings on purpose: CI builds the
+//! rest of the workspace with `RUSTFLAGS="-D deprecated"` to prove no
+//! first-party code still uses the old builders, while this test alone
+//! keeps the shims themselves exercised until they are removed.
+
+#![allow(deprecated)]
+
+use std::alloc::Layout;
+
+use ngm_core::{NextGenMalloc, Ngm, NgmAllocator, NgmBuilder, NgmConfig};
+use ngm_offload::{OffloadRuntime, RuntimeBuilder, WaitStrategy};
+
+#[test]
+fn ngm_builder_field_init_still_starts() {
+    // The historical call shape: struct-literal over Default, fields
+    // tweaked in place, infallible start() with clamping.
+    let ngm = NgmBuilder {
+        service_core: None,
+        batch_size: 16,
+        flush_threshold: 8,
+        ..NgmBuilder::default()
+    }
+    .start();
+    let mut h = ngm.handle();
+    let layout = Layout::from_size_align(64, 8).expect("valid");
+    let p = h.alloc(layout).expect("alloc");
+    // SAFETY: live block from this allocator.
+    unsafe { h.dealloc(p, layout) };
+    drop(h);
+    let down = ngm.shutdown();
+    assert!(down.clean() && down.balanced());
+}
+
+#[test]
+fn ngm_builder_clamps_instead_of_erroring() {
+    // Out-of-range batch knobs were clamped, never reported.
+    let ngm = NgmBuilder {
+        service_core: None,
+        batch_size: usize::MAX,
+        flush_threshold: 0,
+        ..NgmBuilder::default()
+    }
+    .start();
+    assert_eq!(ngm.num_shards(), 1);
+    assert!(ngm.shutdown().clean());
+}
+
+#[test]
+fn next_gen_malloc_alias_and_builder_fn() {
+    // The old type name and associated builder() entry point.
+    let ngm: NextGenMalloc = Ngm::builder().start();
+    assert_eq!(ngm.num_shards(), 1);
+    let _stack = ngm.orphans(); // shard 0's stack, as it always was
+    assert!(ngm.shutdown().clean());
+}
+
+#[test]
+fn const_allocator_constructors_still_compile() {
+    // These must stay const-constructible: they appeared in
+    // `#[global_allocator]` statics. Constructing them must not start
+    // any runtime.
+    static _UNBATCHED: NgmAllocator = NgmAllocator::new();
+    static _BATCHED: NgmAllocator = NgmAllocator::batched(16, 8);
+    // And the replacement accepts what the shims forwarded to.
+    static _CURRENT: NgmAllocator = NgmAllocator::with_config(NgmConfig::new().with_batch(16, 8));
+}
+
+#[test]
+fn offload_runtime_builder_still_starts() {
+    #[derive(Debug, Default)]
+    struct Echo;
+    impl ngm_offload::Service for Echo {
+        type Req = u64;
+        type Resp = u64;
+        type Post = u64;
+        fn call(&mut self, req: u64) -> u64 {
+            req + 1
+        }
+        fn post(&mut self, _msg: u64) {}
+    }
+
+    let rt = RuntimeBuilder::new()
+        .client_wait(WaitStrategy::Spin)
+        .ring_capacity(64)
+        .start(Echo);
+    let mut client = rt.register_client();
+    assert_eq!(client.call(41), 42);
+    drop(client);
+    let (_svc, stats) = rt.shutdown();
+    assert_eq!(stats.calls_served, 1);
+    // The modern spelling accepts the same knobs as plain fields.
+    let rt = OffloadRuntime::try_start(
+        Echo,
+        ngm_offload::RuntimeConfig {
+            ring_capacity: 64,
+            ..ngm_offload::RuntimeConfig::new()
+        },
+    )
+    .expect("spawn");
+    let (_svc, stats) = rt.shutdown();
+    assert_eq!(stats.calls_served, 0);
+}

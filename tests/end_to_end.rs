@@ -3,7 +3,7 @@
 //! offloaded runtime must account for every byte.
 
 use ngm_bench::replay::{replay_heap, replay_ngm};
-use ngm_core::{NextGenMalloc, NgmBuilder};
+use ngm_core::{Ngm, NgmConfig};
 use ngm_heap::{AggregatedHeap, Heap, SegregatedHeap, ShardedHeap};
 use ngm_offload::WaitStrategy;
 use ngm_workloads::xalanc::{self, XalancParams};
@@ -27,27 +27,26 @@ fn all_real_allocators_compute_identically() {
     let mut shard = sharded.handle(0);
     let c = replay_heap(&mut shard, events.iter().copied());
 
-    let ngm = NextGenMalloc::start();
+    let ngm = Ngm::start();
     let mut h = ngm.handle();
     let d = replay_ngm(&mut h, events.iter().copied());
     drop(h);
-    let (svc, heap, _) = ngm.shutdown();
+    let down = ngm.shutdown();
 
     assert_eq!(a.checksum, b.checksum);
     assert_eq!(a.checksum, c.checksum);
     assert_eq!(a.checksum, d.checksum);
-    assert_eq!(svc.allocs, a.mallocs);
-    assert_eq!(svc.frees, a.frees);
-    assert_eq!(heap.live_blocks, 0);
+    assert_eq!(down.service.allocs, a.mallocs);
+    assert_eq!(down.service.frees, a.frees);
+    assert_eq!(down.heap.live_blocks, 0);
 }
 
 #[test]
 fn ngm_accounts_for_every_operation_across_threads() {
-    let ngm = NgmBuilder {
-        client_wait: WaitStrategy::Backoff,
-        ..NgmBuilder::default()
-    }
-    .start();
+    let ngm = NgmConfig::new()
+        .with_client_wait(WaitStrategy::Backoff)
+        .build()
+        .expect("valid config");
     let threads = 4;
     let per_thread = 3_000u64;
     let joins: Vec<_> = (0..threads)
@@ -64,12 +63,12 @@ fn ngm_accounts_for_every_operation_across_threads() {
         })
         .collect();
     let total: u64 = joins.into_iter().map(|j| j.join().expect("worker")).sum();
-    let (svc, heap, rt) = ngm.shutdown();
+    let down = ngm.shutdown();
     assert_eq!(total, threads as u64 * per_thread);
-    assert_eq!(svc.allocs, total);
-    assert_eq!(svc.frees, total);
-    assert_eq!(heap.live_blocks, 0);
-    assert_eq!(rt.clients_registered, threads as u64);
+    assert_eq!(down.service.allocs, total);
+    assert_eq!(down.service.frees, total);
+    assert_eq!(down.heap.live_blocks, 0);
+    assert_eq!(down.runtime.clients_registered, threads as u64);
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Smoke tests over the full experiment harness: every table and figure
 //! renders at reduced scale with its key invariant intact.
 
-use ngm_bench::experiments::{ablations, fig1, fig2, model41, table1, table2, table3};
+use ngm_bench::experiments::{ablations, fig1, fig2, model41, shards, table1, table2, table3};
 use ngm_bench::Scale;
 use ngm_workloads::xalanc::XalancParams;
 
@@ -114,4 +114,29 @@ fn ablation_atomics_sweep_is_monotonic_for_ngm() {
         rows.windows(2).all(|w| w[0].ngm_wall <= w[1].ngm_wall),
         "NGM wall must grow with atomic cost"
     );
+}
+
+#[test]
+fn shards_ablation_divides_the_bottleneck() {
+    // The `repro shards` case: at 8 clients the single service core is
+    // saturated, and a 4-shard tier must simulate at least 1.5x faster —
+    // with every live-runtime shard balancing allocs == frees exactly.
+    let report = shards::run(Scale(1));
+    assert_eq!(
+        report.cells.len(),
+        shards::SHARD_COUNTS.len() * shards::CLIENT_COUNTS.len()
+    );
+    let speedup = report.sim_speedup(4, 8);
+    assert!(
+        speedup >= 1.5,
+        "4 shards vs 1 at 8 clients gave only {speedup:.2}x"
+    );
+    for row in &report.real {
+        assert!(row.balanced, "{} shard(s) failed to balance", row.shards);
+        let active = row.per_shard_allocs.iter().filter(|&&a| a > 0).count();
+        assert_eq!(active, row.shards, "all shards took traffic");
+    }
+    let s = report.render();
+    assert!(s.contains("Shards ablation"));
+    assert!(s.contains("speedup at 8 clients"));
 }

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use ngm_core::NgmAllocator;
 
 #[global_allocator]
-static ALLOC: NgmAllocator = NgmAllocator::new();
+static ALLOC: NgmAllocator = NgmAllocator::with_config(ngm_core::NgmConfig::new());
 
 #[test]
 fn collections_grow_and_shrink() {

@@ -9,7 +9,8 @@ use std::collections::HashMap;
 use ngm_core::NgmAllocator;
 
 #[global_allocator]
-static ALLOC: NgmAllocator = NgmAllocator::batched(16, 8);
+static ALLOC: NgmAllocator =
+    NgmAllocator::with_config(ngm_core::NgmConfig::new().with_batch(16, 8));
 
 #[test]
 fn collections_churn_through_magazines() {

@@ -7,7 +7,7 @@
 use std::alloc::Layout;
 use std::ptr::NonNull;
 
-use ngm_core::{NgmBuilder, MAX_BATCH};
+use ngm_core::{NgmConfig, MAX_BATCH};
 use ngm_heap::classes::{class_to_size, size_to_class};
 use ngm_heap::{AggregatedHeap, AllocError, Heap, LockedHeap, SegregatedHeap, ShardedHeap};
 use proptest::prelude::*;
@@ -196,12 +196,13 @@ proptest! {
         flush in 1usize..=MAX_BATCH,
         size in 1usize..8192,
     ) {
-        let ngm = NgmBuilder {
-            batch_size: batch,
-            flush_threshold: flush,
-            ..NgmBuilder::default()
-        }
-        .start();
+        // `sanitized()` clamps the deliberately out-of-range batch the
+        // way the old builder did; `build()` alone would reject it.
+        let ngm = NgmConfig::new()
+            .with_batch(batch, flush)
+            .sanitized()
+            .build()
+            .expect("sanitized config is valid");
         let mut h = ngm.handle();
         let layout = Layout::from_size_align(size, 8).expect("valid");
         let class = size_to_class(size).expect("small size has a class");
@@ -233,9 +234,9 @@ proptest! {
         // SAFETY: block from this handle's allocator.
         unsafe { h.dealloc(p, layout) };
         drop(h);
-        let (svc, heap, _) = ngm.shutdown();
-        prop_assert_eq!(svc.allocs, svc.frees);
-        prop_assert_eq!(heap.live_blocks, 0);
+        let down = ngm.shutdown();
+        prop_assert_eq!(down.service.allocs, down.service.frees);
+        prop_assert_eq!(down.heap.live_blocks, 0);
     }
 
     #[test]
@@ -244,12 +245,10 @@ proptest! {
         flush in 1usize..=MAX_BATCH,
         ops in prop::collection::vec(mag_op_strategy(), 1..80),
     ) {
-        let ngm = NgmBuilder {
-            batch_size: batch,
-            flush_threshold: flush,
-            ..NgmBuilder::default()
-        }
-        .start();
+        let ngm = NgmConfig::new()
+            .with_batch(batch, flush)
+            .build()
+            .expect("valid config");
         let mut h = ngm.handle();
         let mut live: Vec<(NonNull<u8>, Layout, u8)> = Vec::new();
         let mut stamp: u8 = 0;
@@ -298,14 +297,14 @@ proptest! {
         }
         let stash_at_drop = h.magazine_occupancy() as u64;
         drop(h); // Flushes the buffer, returns every stashed address.
-        let (svc, heap, rt) = ngm.shutdown();
+        let down = ngm.shutdown();
         // Flush preserved every buffered free and drop returned the whole
         // stash: the books balance exactly.
-        prop_assert_eq!(svc.allocs, svc.frees);
-        prop_assert_eq!(svc.magazine_returned, stash_at_drop);
-        prop_assert_eq!(svc.allocs - svc.magazine_returned, app_allocs);
-        prop_assert_eq!(heap.live_blocks, 0);
-        prop_assert_eq!(heap.live_bytes, 0);
-        prop_assert_eq!(rt.magazine_occupancy, 0);
+        prop_assert_eq!(down.service.allocs, down.service.frees);
+        prop_assert_eq!(down.service.magazine_returned, stash_at_drop);
+        prop_assert_eq!(down.service.allocs - down.service.magazine_returned, app_allocs);
+        prop_assert_eq!(down.heap.live_blocks, 0);
+        prop_assert_eq!(down.heap.live_bytes, 0);
+        prop_assert_eq!(down.runtime.magazine_occupancy, 0);
     }
 }
