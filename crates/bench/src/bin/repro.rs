@@ -5,6 +5,7 @@
 //!
 //! EXPERIMENT: all (default) | fig1 | table1 | table2 | fig2 | table3
 //!           | model41 | ablations | batch | telemetry | pmu | shards
+//!           | faults (needs --features faultinject to arm the hooks)
 //! --scale N: multiply workload sizes by N (default 1; paper-style
 //!            stability from ~4)
 //! --no-prototype: skip the real-runtime wall-clock part of table3
@@ -14,7 +15,7 @@
 //! ```
 
 use ngm_bench::experiments::{
-    ablations, fig1, fig2, model41, pmu, shards, table1, table2, table3, telemetry,
+    ablations, faults, fig1, fig2, model41, pmu, shards, table1, table2, table3, telemetry,
 };
 use ngm_bench::Scale;
 
@@ -42,7 +43,7 @@ fn main() {
             "--hw" => with_hw = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards]... [--scale N] [--no-prototype] [--hw]"
+                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards|faults]... [--scale N] [--no-prototype] [--hw]"
                 );
                 return;
             }
@@ -103,5 +104,8 @@ fn main() {
         if with_hw {
             println!("{}", shards::run_hw(scale));
         }
+    }
+    if want("faults") {
+        println!("{}", faults::run(scale));
     }
 }

@@ -24,10 +24,10 @@ use std::alloc::Layout;
 use std::ptr::NonNull;
 use std::sync::Arc;
 
-use ngm_heap::{AllocError, HeapStats};
+use ngm_heap::{AllocError, FallbackHeap, HeapStats};
 use ngm_offload::{
-    ClientHandle, OffloadRuntime, RuntimeConfig, RuntimeTelemetry, ServiceError, StatsSnapshot,
-    WaitStrategy,
+    ClientHandle, OffloadRuntime, PostError, RuntimeConfig, RuntimeTelemetry, ServiceError,
+    StatsSnapshot, WaitStrategy,
 };
 use ngm_pmu::PmuReport;
 use ngm_telemetry::clock::cycles_now;
@@ -37,7 +37,7 @@ use ngm_telemetry::trace::TraceEventKind;
 
 use ngm_heap::classes::{layout_to_class, SizeClass, NUM_CLASSES};
 
-use crate::config::{CorePlacement, NgmConfig, NgmError, OWNER_BASE};
+use crate::config::{CorePlacement, NgmConfig, NgmError, FALLBACK_OWNER, OWNER_BASE};
 use crate::orphan::OrphanStack;
 use crate::service::{
     AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
@@ -60,6 +60,10 @@ pub struct Ngm {
     batch_size: u32,
     flush_threshold: u32,
     sites: Option<Arc<SiteProfiler>>,
+    /// The inline allocator of last resort, shared by every handle. Lazy:
+    /// maps nothing until the first time a handle exhausts every shard
+    /// (all deadlined or dead) and has to serve an allocation itself.
+    fallback: Arc<FallbackHeap>,
 }
 
 impl std::fmt::Debug for Ngm {
@@ -107,6 +111,7 @@ impl Ngm {
                     trace_capacity: cfg.trace_capacity,
                     profile: cfg.profile,
                     shard: i,
+                    deadline: cfg.deadline,
                     ..RuntimeConfig::new()
                 },
             )
@@ -122,6 +127,7 @@ impl Ngm {
             batch_size: cfg.batch_size as u32,
             flush_threshold: cfg.flush_threshold as u32,
             sites: (cfg.site_sample > 0).then(|| Arc::new(SiteProfiler::new(cfg.site_sample))),
+            fallback: Arc::new(FallbackHeap::new(FALLBACK_OWNER)),
         })
     }
 
@@ -172,7 +178,22 @@ impl Ngm {
             pressure: vec![0u32; n].into_boxed_slice(),
             failed: vec![false; n].into_boxed_slice(),
             sites: self.sites.clone(),
+            fallback: Arc::clone(&self.fallback),
         }
+    }
+
+    /// The shared degradation heap (diagnostics: `allocs()` > 0 means
+    /// some request exhausted every shard and was served inline).
+    pub fn fallback_heap(&self) -> &Arc<FallbackHeap> {
+        &self.fallback
+    }
+
+    /// Shard `shard`'s live fault-injection knobs (`faultinject` builds
+    /// only): wedge the service loop, drop or delay responses, kill the
+    /// thread mid-serve — while the tier runs.
+    #[cfg(feature = "faultinject")]
+    pub fn fault_state(&self, shard: usize) -> &Arc<ngm_offload::FaultState> {
+        self.shards[shard].runtime.fault_state()
     }
 
     /// Shard `shard`'s orphan stack (used by the global-allocator adapter
@@ -202,8 +223,16 @@ impl Ngm {
     /// relinquished by the caller.
     pub unsafe fn orphan_push(&self, ptr: NonNull<u8>) {
         // SAFETY: forwarded contract — a live small block from one of our
-        // segregated heaps.
-        let shard = self.shard_of_owned(unsafe { ngm_heap::owner_of_small_ptr(ptr) });
+        // segregated heaps (shard or fallback).
+        let owner = unsafe { ngm_heap::owner_of_small_ptr(ptr) };
+        if self.fallback.is_active() && owner == FALLBACK_OWNER {
+            // Degraded-mode block: no shard ever owned it, so no orphan
+            // stack can reclaim it. Free it inline.
+            // SAFETY: forwarded contract.
+            unsafe { self.fallback.deallocate(ptr) };
+            return;
+        }
+        let shard = self.shard_of_owned(owner);
         // SAFETY: forwarded contract.
         unsafe { self.shards[shard].orphans.push(ptr) };
     }
@@ -298,6 +327,7 @@ impl Ngm {
         m.counter("ngm_heap_allocs_total", heap.total_allocs)
             .counter("ngm_heap_frees_total", heap.total_frees)
             .counter("ngm_heap_large_allocs_total", heap.large_allocs)
+            .counter("ngm_fallback_allocs", self.fallback.allocs())
             .gauge("ngm_service_shards", self.shards.len() as i64)
             .gauge("ngm_heap_live_blocks", heap.live_blocks as i64)
             .gauge("ngm_heap_live_bytes", heap.live_bytes as i64)
@@ -359,13 +389,20 @@ impl Ngm {
         let mut runtime: Option<StatsSnapshot> = None;
         for (i, shard) in Vec::from(self.shards).into_iter().enumerate() {
             let out = match shard.runtime.try_shutdown() {
-                Ok((svc, stats)) => ShardShutdown {
-                    shard: i,
-                    service: svc.service_stats(),
-                    heap: svc.heap_stats(),
-                    runtime: stats,
-                    error: None,
-                },
+                Ok((mut svc, stats)) => {
+                    // The stop path drains rings but never runs another
+                    // idle round, so orphans pushed late (deadline-
+                    // rerouted frees, teardown races) are still pending —
+                    // reclaim them now that we own the service again.
+                    svc.reclaim_orphans();
+                    ShardShutdown {
+                        shard: i,
+                        service: svc.service_stats(),
+                        heap: svc.heap_stats(),
+                        runtime: stats,
+                        error: None,
+                    }
+                }
                 Err(failure) => ShardShutdown {
                     shard: i,
                     service: ServiceStats::default(),
@@ -384,6 +421,13 @@ impl Ngm {
             }
             shards.push(out);
         }
+        // Fold the degradation heap into the merged totals: its blocks
+        // are real allocations the application received, so they must
+        // participate in the allocs == frees invariant.
+        service.fallback_allocs = self.fallback.allocs();
+        service.allocs += self.fallback.allocs();
+        service.frees += self.fallback.frees();
+        heap.absorb(&self.fallback.stats());
         NgmShutdown {
             shards,
             service,
@@ -517,6 +561,7 @@ impl NgmBuilder {
             flush_threshold: self.flush_threshold,
             profile: self.profile,
             site_sample: self.site_sample,
+            deadline: Some(ngm_offload::DEFAULT_DEADLINE),
         };
         cfg.sanitized().build().expect("sanitized config is valid")
     }
@@ -574,6 +619,8 @@ pub struct NgmHandle {
     failed: Box<[bool]>,
     /// The shared allocation-site profiler, when enabled.
     sites: Option<Arc<SiteProfiler>>,
+    /// The shared inline allocator of last resort (see [`Ngm`]).
+    fallback: Arc<FallbackHeap>,
 }
 
 impl NgmHandle {
@@ -663,8 +710,12 @@ impl NgmHandle {
         }
     }
 
-    /// One synchronous allocation round trip, failing over to surviving
-    /// shards when the target is dead.
+    /// One synchronous allocation round trip. A *dead* target fails over
+    /// to survivors; a merely *slow* one (deadline fired) is rerouted
+    /// around without being written off — deadlines are transient, so the
+    /// shard stays eligible once it catches up. When every shard has been
+    /// tried and none answered, the request degrades to the inline
+    /// fallback heap rather than hanging or failing.
     fn call_alloc(&mut self, shard: usize, layout: Layout) -> Result<NonNull<u8>, AllocError> {
         let mut shard = shard;
         for _ in 0..self.nshards() {
@@ -680,10 +731,35 @@ impl NgmHandle {
                     return NonNull::new(addr as *mut u8).ok_or(AllocError::OutOfMemory);
                 }
                 Ok(MallocResp::Batch(_)) => unreachable!("One request answered with a batch"),
+                Err(ServiceError::Deadline { .. }) => shard = self.reroute_after_deadline(shard),
                 Err(_) => shard = self.fail_over(shard),
             }
         }
-        Err(AllocError::OutOfMemory)
+        self.fallback_alloc(layout)
+    }
+
+    /// Moves allocation traffic off a shard that just blew a deadline and
+    /// picks the next shard to try. Unlike [`NgmHandle::fail_over`] this
+    /// does not mark the shard failed: a deadline is congestion or a
+    /// transient wedge, and the shard rejoins the rotation as soon as
+    /// routing sends traffic back its way.
+    fn reroute_after_deadline(&mut self, slow: usize) -> usize {
+        self.rebalance_away_from(slow);
+        let n = self.nshards();
+        for step in 1..n {
+            let cand = (slow + step) % n;
+            if !self.failed[cand] && self.clients[cand].is_open() {
+                return cand;
+            }
+        }
+        slow
+    }
+
+    /// The degradation endpoint: every shard deadlined or died, so serve
+    /// the allocation inline from the shared [`FallbackHeap`] (small
+    /// classes only — its docs explain why large layouts cannot degrade).
+    fn fallback_alloc(&mut self, layout: Layout) -> Result<NonNull<u8>, AllocError> {
+        self.fallback.allocate(layout)
     }
 
     /// Marks `dead` failed (once), moves its allocation traffic to the
@@ -721,7 +797,13 @@ impl NgmHandle {
     ) -> Result<NonNull<u8>, AllocError> {
         let ci = class.0 as usize;
         if self.magazines[ci].is_empty() {
-            self.refill(class)?;
+            if let Err(e) = self.refill(class) {
+                // No shard could refill (all deadlined, dead, or empty):
+                // degrade this one allocation to the inline fallback
+                // instead of failing it, keeping the app alive through
+                // the outage.
+                return self.fallback_alloc(layout).map_err(|_| e);
+            }
         }
         let addr = self.magazines[ci]
             .pop()
@@ -763,6 +845,17 @@ impl NgmHandle {
                     return Ok(());
                 }
                 Ok(MallocResp::One(_)) => unreachable!("Batch request answered with One"),
+                Err(ServiceError::Deadline { .. }) => {
+                    // Slow, not dead: route the class elsewhere for now
+                    // without burying the shard.
+                    let next = self.reroute_after_deadline(shard);
+                    self.class_shard[ci] = next as u16;
+                    if next == shard {
+                        // No alternative shard exists; stop burning a
+                        // full deadline per loop iteration and degrade.
+                        break;
+                    }
+                }
                 Err(_) => {
                     let next = self.fail_over(shard);
                     self.class_shard[ci] = next as u16;
@@ -797,8 +890,13 @@ impl NgmHandle {
     /// Posts to one shard, feeding ring-pressure into the rebalance
     /// logic and handling shard death (the message is dropped and counted
     /// by the offload layer; allocation traffic moves to survivors).
+    ///
+    /// A ring that stays full past the deadline hands the message back;
+    /// small-block frees are then rerouted to the owning shard's orphan
+    /// stack (reclaimed on its next idle round, or at shutdown) so the
+    /// blocks are never leaked and accounting stays exact.
     fn post_routed(&mut self, shard: usize, msg: FreePost) {
-        match self.clients[shard].try_post(msg) {
+        match self.clients[shard].try_post_deadline(msg) {
             Ok(outcome) => {
                 if outcome.full_retries > 0 {
                     self.pressure[shard] =
@@ -808,8 +906,41 @@ impl NgmHandle {
                     }
                 }
             }
-            Err(_) => {
+            Err(PostError::Stopped) => {
                 let _ = self.fail_over(shard);
+            }
+            Err(PostError::Deadline { msg, .. }) => {
+                self.reroute_frees_to_orphans(shard, msg);
+                self.rebalance_away_from(shard);
+            }
+        }
+    }
+
+    /// Diverts the contents of an undeliverable free post to `shard`'s
+    /// orphan stack. Large frees cannot ride the orphan stack (their
+    /// layout is not recoverable from the address), so they are dropped
+    /// and counted like frees owed to a dead shard.
+    fn reroute_frees_to_orphans(&mut self, shard: usize, msg: FreePost) {
+        match msg {
+            FreePost::One(m) => {
+                if layout_to_class(m.size, m.align).is_some() {
+                    if let Some(p) = NonNull::new(m.addr as *mut u8) {
+                        // SAFETY: the free path relinquished this live
+                        // small block when it built the post.
+                        unsafe { self.orphans[shard].push(p) };
+                    }
+                } else {
+                    self.clients[shard].runtime_stats().record_post_dropped();
+                }
+            }
+            FreePost::Batch(b) | FreePost::MagazineReturn(b) => {
+                for &addr in b.as_slice() {
+                    if let Some(p) = NonNull::new(addr as *mut u8) {
+                        // SAFETY: as above — batched frees carry only
+                        // relinquished live small blocks.
+                        unsafe { self.orphans[shard].push(p) };
+                    }
+                }
             }
         }
     }
@@ -864,6 +995,20 @@ impl NgmHandle {
             prof.record_free(ptr.as_ptr() as usize);
         }
         let small = layout_to_class(layout.size(), layout.align()).is_some();
+        // The fallback gate comes before any shard shortcut (including
+        // the single-shard one inside `shard_of_small`): once the tier
+        // has ever degraded, any small block might be fallback-owned.
+        // SAFETY (owner read): small blocks from this tier are segment-
+        // backed, per this method's contract.
+        if small
+            && self.fallback.is_active()
+            && unsafe { ngm_heap::owner_of_small_ptr(ptr) } == FALLBACK_OWNER
+        {
+            // SAFETY: forwarded contract — a live fallback block the
+            // caller relinquished.
+            unsafe { self.fallback.deallocate(ptr) };
+            return;
+        }
         let shard = if small {
             self.shard_of_small(ptr)
         } else {
@@ -923,6 +1068,15 @@ impl NgmHandle {
     pub unsafe fn dealloc_orphan(&self, ptr: NonNull<u8>) {
         if let Some(prof) = &self.sites {
             prof.record_free(ptr.as_ptr() as usize);
+        }
+        // SAFETY (owner read): callers only pass live small blocks from
+        // this tier's segment-backed heaps.
+        if self.fallback.is_active()
+            && unsafe { ngm_heap::owner_of_small_ptr(ptr) } == FALLBACK_OWNER
+        {
+            // SAFETY: forwarded contract — a relinquished fallback block.
+            unsafe { self.fallback.deallocate(ptr) };
+            return;
         }
         let shard = self.shard_of_small(ptr);
         // SAFETY: forwarded contract.
@@ -1554,6 +1708,63 @@ mod tests {
     }
 
     #[test]
+    fn dead_tier_degrades_to_inline_fallback() {
+        // Liveness floor: with every shard stopped, small allocations are
+        // served inline from the fallback heap instead of failing (or
+        // hanging), frees route back to it by address, and shutdown
+        // accounting still balances with the fallback folded in.
+        let ngm = Ngm::start();
+        let mut h = ngm.handle();
+        ngm.stop_shard(0);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !ngm.shards[0].runtime.is_finished() {
+            assert!(std::time::Instant::now() < deadline, "shard never stopped");
+            std::thread::yield_now();
+        }
+        let p = h.alloc(layout(64)).expect("degraded alloc still serves");
+        // SAFETY: fresh 64-byte block from the fallback heap.
+        unsafe { std::ptr::write_bytes(p.as_ptr(), 0x66, 64) };
+        assert!(ngm.fallback_heap().is_active());
+        // Large layouts cannot degrade (no address-pure free route).
+        assert_eq!(h.alloc(layout(1 << 20)), Err(AllocError::OutOfMemory));
+        // SAFETY: block from this handle's allocator.
+        unsafe { h.dealloc(p, layout(64)) };
+        drop(h);
+        let down = ngm.shutdown();
+        assert_eq!(down.service.fallback_allocs, 1);
+        assert_eq!(down.service.allocs, down.service.frees);
+        assert_eq!(down.heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn fallback_orphan_route_frees_inline() {
+        // dealloc_orphan and Ngm::orphan_push must recognize fallback-
+        // owned blocks and free them inline — no shard's orphan stack can
+        // ever reclaim them.
+        let ngm = Ngm::start();
+        let mut h = ngm.handle();
+        ngm.stop_shard(0);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !ngm.shards[0].runtime.is_finished() {
+            assert!(std::time::Instant::now() < deadline, "shard never stopped");
+            std::thread::yield_now();
+        }
+        let a = h.alloc(layout(64)).unwrap();
+        let b = h.alloc(layout(64)).unwrap();
+        // SAFETY: live fallback blocks, relinquished.
+        unsafe {
+            h.dealloc_orphan(a);
+            ngm.orphan_push(b);
+        }
+        assert_eq!(ngm.fallback_heap().frees(), 2);
+        drop(h);
+        let down = ngm.shutdown();
+        assert_eq!(down.service.fallback_allocs, 2);
+        assert_eq!(down.service.allocs, down.service.frees);
+        assert_eq!(down.heap.live_blocks, 0);
+    }
+
+    #[test]
     fn handle_api_is_source_compatible_with_single_shard() {
         // The whole single-shard test suite above runs through the same
         // NgmHandle; this spot-checks the sharded accessors degrade
@@ -1566,5 +1777,129 @@ mod tests {
         let down = ngm.shutdown();
         assert_eq!(down.shards.len(), 1);
         assert!(down.clean() && down.balanced());
+    }
+
+    // ---- fault-injection tests (deterministic, feature-gated) ----
+
+    #[cfg(feature = "faultinject")]
+    mod faults {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn wedged_shard_reroutes_allocs_within_deadline() {
+            // With one of two shards wedged (alive but not serving), a
+            // request routed at it must deadline, reroute to the
+            // survivor, and succeed — not hang and not write the shard
+            // off as dead.
+            let ngm = sharded(2)
+                .with_deadline(Some(Duration::from_millis(20)))
+                .build()
+                .unwrap();
+            let mut h = ngm.handle();
+            let class64 = ngm_heap::size_to_class(64).unwrap();
+            let victim = h.class_route(class64);
+            ngm.fault_state(victim).set_wedged(true);
+            let start = std::time::Instant::now();
+            let p = h.alloc(layout(64)).expect("rerouted around the wedge");
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "bounded, not a hang"
+            );
+            assert_ne!(h.class_route(class64), victim, "traffic moved off");
+            // SAFETY: live block from this handle's allocator.
+            unsafe { h.dealloc(p, layout(64)) };
+            ngm.fault_state(victim).set_wedged(false);
+            drop(h);
+            let down = ngm.shutdown();
+            assert!(down.clean(), "wedge cleared: orderly exit: {down:?}");
+            assert!(down.runtime.deadlines >= 1, "expiry counted: {down:?}");
+            assert_eq!(down.service.allocs, down.service.frees);
+            assert_eq!(down.heap.live_blocks, 0);
+        }
+
+        #[test]
+        fn deadlined_frees_reroute_to_orphans_not_leak() {
+            // Fill the wedged shard's free ring, then keep freeing: the
+            // posts that deadline must land on the shard's orphan stack
+            // and be reclaimed once the shard recovers, so the books
+            // still balance at shutdown.
+            let ngm = sharded(1)
+                .with_free_ring_capacity(8)
+                .with_deadline(Some(Duration::from_millis(10)))
+                .build()
+                .unwrap();
+            let mut h = ngm.handle();
+            let blocks: Vec<_> = (0..64).map(|_| h.alloc(layout(64)).unwrap()).collect();
+            ngm.fault_state(0).set_wedged(true);
+            for p in blocks {
+                // SAFETY: live blocks from this handle's allocator.
+                unsafe { h.dealloc(p, layout(64)) };
+            }
+            ngm.fault_state(0).set_wedged(false);
+            drop(h);
+            let down = ngm.shutdown();
+            assert!(down.clean());
+            assert!(down.runtime.deadlines >= 1, "ring backpressure expired");
+            assert_eq!(down.runtime.posts_dropped, 0, "nothing was lost");
+            assert_eq!(down.service.allocs, down.service.frees, "{down:?}");
+            assert_eq!(down.heap.live_blocks, 0);
+        }
+
+        #[test]
+        fn wedged_tier_degrades_to_fallback_and_recovers() {
+            // Every shard wedged: allocation exhausts reroutes and lands
+            // on the inline fallback. After the wedge clears the tier
+            // serves normally again and shutdown folds the fallback in.
+            let ngm = sharded(2)
+                .with_deadline(Some(Duration::from_millis(10)))
+                .build()
+                .unwrap();
+            let mut h = ngm.handle();
+            ngm.fault_state(0).set_wedged(true);
+            ngm.fault_state(1).set_wedged(true);
+            let p = h.alloc(layout(64)).expect("fallback keeps serving");
+            assert!(ngm.fallback_heap().is_active());
+            ngm.fault_state(0).set_wedged(false);
+            ngm.fault_state(1).set_wedged(false);
+            let q = h.alloc(layout(64)).expect("tier recovered");
+            // SAFETY: live blocks; p is fallback-owned, q shard-owned.
+            unsafe {
+                h.dealloc(p, layout(64));
+                h.dealloc(q, layout(64));
+            }
+            assert_eq!(ngm.fallback_heap().frees(), 1, "p routed home inline");
+            drop(h);
+            let down = ngm.shutdown();
+            assert!(down.clean());
+            assert!(down.service.fallback_allocs >= 1);
+            assert_eq!(down.service.allocs, down.service.frees, "{down:?}");
+            assert_eq!(down.heap.live_blocks, 0);
+        }
+
+        #[test]
+        fn killed_shard_mid_traffic_fails_over_cleanly() {
+            // A shard that dies *by panic* mid-serve: the caller gets a
+            // typed error path (failover to the survivor), the panic is
+            // reported at shutdown, and the survivor stays balanced.
+            let ngm = sharded(2)
+                .with_deadline(Some(Duration::from_millis(50)))
+                .build()
+                .unwrap();
+            let mut h = ngm.handle();
+            let class64 = ngm_heap::size_to_class(64).unwrap();
+            let victim = h.class_route(class64);
+            ngm.fault_state(victim).kill_next_call();
+            let p = h.alloc(layout(64)).expect("survivor serves");
+            assert_ne!(h.class_route(class64), victim);
+            // SAFETY: live block from this handle's allocator.
+            unsafe { h.dealloc(p, layout(64)) };
+            drop(h);
+            let down = ngm.shutdown();
+            assert!(!down.clean(), "the kill is reported, not swallowed");
+            assert!(down.shards[victim].error.is_some());
+            assert!(down.runtime.service_down);
+            assert_eq!(down.heap.live_blocks, 0, "survivor + fallback exact");
+        }
     }
 }

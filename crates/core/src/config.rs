@@ -8,6 +8,8 @@
 //! validated exactly once — [`NgmConfig::build`] returns a typed
 //! [`NgmError`] instead of clamping silently or panicking.
 
+use std::time::Duration;
+
 use ngm_offload::{ServiceError, WaitStrategy};
 
 use crate::service::MAX_BATCH;
@@ -25,6 +27,12 @@ pub const MAX_SHARDS: usize = 8;
 /// owning shard from any small-block address — the pure-by-address
 /// routing the sharded free path relies on.
 pub const OWNER_BASE: u64 = 0x6e67_6d00;
+
+/// Owner id stamped into segments of the inline fallback heap — the low
+/// byte is `0xff`, outside the shard range (shards use `0..MAX_SHARDS`),
+/// so the same address-routing read that sends a free to its shard sends
+/// a degraded-mode block back to the fallback heap instead.
+pub const FALLBACK_OWNER: u64 = OWNER_BASE | 0xff;
 
 /// Where the service threads are pinned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,6 +150,12 @@ pub struct NgmConfig {
     /// `site_sample` allocations to their call site (`1` = every
     /// allocation). `0` (the default) disables the site profiler.
     pub site_sample: u64,
+    /// Per-request deadline for every blocking primitive (slot waits,
+    /// free-ring retries). A request that exceeds it surfaces a typed
+    /// error and degrades (reroute, then inline fallback) instead of
+    /// hanging. Defaults to [`ngm_offload::DEFAULT_DEADLINE`]; `None`
+    /// restores unbounded waits.
+    pub deadline: Option<Duration>,
 }
 
 impl NgmConfig {
@@ -159,6 +173,7 @@ impl NgmConfig {
             flush_threshold: 1,
             profile: false,
             site_sample: 0,
+            deadline: Some(ngm_offload::DEFAULT_DEADLINE),
         }
     }
 
@@ -215,6 +230,12 @@ impl NgmConfig {
     /// Sets the allocation-site sample interval (0 disables).
     pub const fn with_site_sample(mut self, interval: u64) -> Self {
         self.site_sample = interval;
+        self
+    }
+
+    /// Sets the per-request deadline (`None` restores unbounded waits).
+    pub const fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -308,7 +329,8 @@ mod tests {
             .with_free_ring_capacity(1 << 12)
             .with_trace_capacity(0)
             .with_profile(false)
-            .with_site_sample(0);
+            .with_site_sample(0)
+            .with_deadline(Some(Duration::from_millis(100)));
         assert_eq!(CFG.shards, 4);
         assert_eq!(CFG.batch_size, 16);
         assert_eq!(CFG.validate(), Ok(()));
@@ -365,8 +387,11 @@ mod tests {
 
     #[test]
     fn owner_base_leaves_room_for_every_shard() {
-        // The shard index lives in the low byte of the owner id.
-        const { assert!(MAX_SHARDS <= 0xff) }
+        // The shard index lives in the low byte of the owner id, and 0xff
+        // is reserved for the fallback heap.
+        const { assert!(MAX_SHARDS < 0xff) }
         assert_eq!(OWNER_BASE & 0xff, 0);
+        assert_eq!(FALLBACK_OWNER & 0xff, 0xff);
+        assert!(FALLBACK_OWNER.wrapping_sub(OWNER_BASE) as usize >= MAX_SHARDS);
     }
 }

@@ -35,7 +35,7 @@ pub mod service;
 pub mod watch;
 
 pub use api::{Ngm, NgmHandle, NgmShutdown, ShardShutdown};
-pub use config::{CorePlacement, NgmConfig, NgmError, MAX_SHARDS, OWNER_BASE};
+pub use config::{CorePlacement, NgmConfig, NgmError, FALLBACK_OWNER, MAX_SHARDS, OWNER_BASE};
 pub use global::NgmAllocator;
 pub use service::{
     AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,

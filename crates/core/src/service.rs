@@ -199,6 +199,12 @@ pub struct ServiceStats {
     /// layouts). Each is also counted in `failures` where it displaced an
     /// allocation; a free with a protocol error is skipped, not applied.
     pub protocol_errors: u64,
+    /// Blocks allocated inline by clients from the degradation heap while
+    /// the tier was unreachable (deadlined or dead). Zero on individual
+    /// shards — the fallback path bypasses every shard by definition —
+    /// and folded into the merged totals at shutdown, where these blocks
+    /// also count in `allocs`/`frees` so accounting still balances.
+    pub fallback_allocs: u64,
 }
 
 impl ServiceStats {
@@ -214,6 +220,7 @@ impl ServiceStats {
         self.housekeeping_runs += other.housekeeping_runs;
         self.pages_preallocated += other.pages_preallocated;
         self.protocol_errors += other.protocol_errors;
+        self.fallback_allocs += other.fallback_allocs;
     }
 }
 
@@ -350,6 +357,17 @@ impl MallocService {
             );
         }
         self.stats.frees += (batch.len() - nulls) as u64;
+    }
+
+    /// Drains this shard's orphan stack into the heap immediately.
+    ///
+    /// The service loop's *stop* path drains rings but never runs another
+    /// idle round, so orphans pushed late (deadline-rerouted frees, frees
+    /// from handle teardown racing shutdown) would otherwise be stranded
+    /// and show up as an alloc/free imbalance. [`crate::Ngm::shutdown`]
+    /// calls this on each recovered service before reading its stats.
+    pub fn reclaim_orphans(&mut self) {
+        self.drain_orphans();
     }
 
     fn drain_orphans(&mut self) {
@@ -610,6 +628,7 @@ mod tests {
             housekeeping_runs: 7,
             pages_preallocated: 8,
             protocol_errors: 9,
+            fallback_allocs: 10,
         };
         let mut m = a;
         m.absorb(&a);
@@ -622,6 +641,7 @@ mod tests {
         assert_eq!(m.housekeeping_runs, 14);
         assert_eq!(m.pages_preallocated, 16);
         assert_eq!(m.protocol_errors, 18);
+        assert_eq!(m.fallback_allocs, 20);
     }
 
     #[test]

@@ -337,11 +337,16 @@ mod tests {
         }
         m.hint_collect(); // returns immediately
                           // Barrier to observe the result deterministically.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         let stats = loop {
             let s = m.stats();
             if s.collections >= 1 {
                 break s;
             }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "hinted collection never ran"
+            );
             std::thread::yield_now();
         };
         assert!(stats.total_swept >= 100);

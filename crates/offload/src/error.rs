@@ -9,6 +9,7 @@
 //! gracefully instead of unwinding.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Why an offload-runtime operation could not be completed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,16 @@ pub enum ServiceError {
     /// `shutdown`/`try_shutdown` was called on a runtime that already
     /// joined its thread.
     AlreadyShutDown,
+    /// The operation's deadline budget elapsed before the shard answered:
+    /// the shard is wedged or saturated, not (necessarily) dead. Callers
+    /// should reroute to another shard or degrade to the inline fallback
+    /// path rather than retire the shard outright.
+    Deadline {
+        /// The shard the request was addressed to.
+        shard: usize,
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -32,6 +43,10 @@ impl fmt::Display for ServiceError {
             ServiceError::ServicePanicked => write!(f, "offload service thread panicked"),
             ServiceError::SpawnFailed => write!(f, "failed to spawn offload service thread"),
             ServiceError::AlreadyShutDown => write!(f, "offload runtime was already shut down"),
+            ServiceError::Deadline { shard, waited } => write!(
+                f,
+                "request to shard {shard} exceeded its deadline after {waited:?}"
+            ),
         }
     }
 }
@@ -49,6 +64,10 @@ mod tests {
             ServiceError::ServicePanicked,
             ServiceError::SpawnFailed,
             ServiceError::AlreadyShutDown,
+            ServiceError::Deadline {
+                shard: 3,
+                waited: Duration::from_millis(250),
+            },
         ];
         let mut seen = std::collections::HashSet::new();
         for e in all {

@@ -1,0 +1,168 @@
+//! Deterministic fault injection for the service loop (`faultinject`
+//! feature only — the module does not exist otherwise, so the hot path
+//! pays nothing when the feature is off).
+//!
+//! The hang-proofing work in this crate (deadlines, bounded retries,
+//! retraction) is only trustworthy if the failure modes it defends
+//! against can be produced *on demand*: a wedged-but-alive service loop,
+//! a response that never comes, a response that arrives later than the
+//! client's budget, and a service thread that dies mid-serve. Each knob
+//! here is a relaxed atomic the service loop consults once per pending
+//! call, so tests (and the `repro faults` experiment) can dial faults in
+//! and out while the tier is live.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// What the service loop should do with the next pending call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Serve normally.
+    Serve,
+    /// Leave the request unserved until the client retracts it — the
+    /// "response dropped" fault. The client's deadline fires and the
+    /// retraction CAS reclaims the request.
+    Drop,
+    /// Busy-wait this many cycles before serving — the "late response"
+    /// fault. Below the client's budget this is recoverable latency;
+    /// above it, the client times out while the serve is in flight.
+    Delay(u64),
+    /// Panic the service thread *inside* the serve (after the request is
+    /// claimed) — the "shard killed mid-refill" fault. The client
+    /// observes an abandoned request; the runtime reports
+    /// `ServicePanicked` at shutdown.
+    Kill,
+}
+
+/// Live fault knobs for one shard's service loop. All methods are safe to
+/// call from any thread while the shard runs.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    wedged: AtomicBool,
+    drop_every: AtomicU64,
+    delay_cycles: AtomicU64,
+    kill_next: AtomicBool,
+    calls_seen: AtomicU64,
+}
+
+impl FaultState {
+    /// A state with every fault off.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wedges (or unwedges) the service loop: while wedged it serves no
+    /// calls and drains no posts, but still honors stop requests so
+    /// shutdown stays orderly.
+    pub fn set_wedged(&self, on: bool) {
+        self.wedged.store(on, Ordering::Release);
+    }
+
+    /// Whether the loop is currently wedged.
+    #[must_use]
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.load(Ordering::Acquire)
+    }
+
+    /// Drops every `n`th response (leaves the request for the client to
+    /// retract). `0` disables the fault.
+    pub fn set_drop_every(&self, n: u64) {
+        self.drop_every.store(n, Ordering::Release);
+    }
+
+    /// Delays every served call by busy-waiting `cycles` first. `0`
+    /// disables the fault.
+    pub fn set_delay_cycles(&self, cycles: u64) {
+        self.delay_cycles.store(cycles, Ordering::Release);
+    }
+
+    /// Arms a one-shot kill: the service thread panics inside its next
+    /// serve, after claiming the request.
+    pub fn kill_next_call(&self) {
+        self.kill_next.store(true, Ordering::Release);
+    }
+
+    /// Calls the service loop observed while faults were armed.
+    #[must_use]
+    pub fn calls_seen(&self) -> u64 {
+        self.calls_seen.load(Ordering::Relaxed)
+    }
+
+    /// Decides the fate of one pending call. Called by the service loop
+    /// once per request it is about to serve; precedence is
+    /// kill > drop > delay.
+    #[must_use]
+    pub fn next_action(&self) -> FaultAction {
+        if self.kill_next.swap(false, Ordering::AcqRel) {
+            return FaultAction::Kill;
+        }
+        let seen = self.calls_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let every = self.drop_every.load(Ordering::Acquire);
+        if every > 0 && seen.is_multiple_of(every) {
+            return FaultAction::Drop;
+        }
+        let delay = self.delay_cycles.load(Ordering::Acquire);
+        if delay > 0 {
+            return FaultAction::Delay(delay);
+        }
+        FaultAction::Serve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_off_serves() {
+        let f = FaultState::new();
+        for _ in 0..100 {
+            assert_eq!(f.next_action(), FaultAction::Serve);
+        }
+        assert!(!f.is_wedged());
+        assert_eq!(f.calls_seen(), 100);
+    }
+
+    #[test]
+    fn drop_every_nth_is_periodic() {
+        let f = FaultState::new();
+        f.set_drop_every(3);
+        let actions: Vec<_> = (0..9).map(|_| f.next_action()).collect();
+        let drops = actions
+            .iter()
+            .filter(|a| matches!(a, FaultAction::Drop))
+            .count();
+        assert_eq!(drops, 3);
+        assert_eq!(actions[2], FaultAction::Drop);
+        assert_eq!(actions[5], FaultAction::Drop);
+        f.set_drop_every(0);
+        assert_eq!(f.next_action(), FaultAction::Serve);
+    }
+
+    #[test]
+    fn kill_is_one_shot_and_wins_precedence() {
+        let f = FaultState::new();
+        f.set_drop_every(1);
+        f.kill_next_call();
+        assert_eq!(f.next_action(), FaultAction::Kill);
+        assert_eq!(f.next_action(), FaultAction::Drop, "kill disarmed");
+    }
+
+    #[test]
+    fn delay_reports_configured_cycles() {
+        let f = FaultState::new();
+        f.set_delay_cycles(500);
+        assert_eq!(f.next_action(), FaultAction::Delay(500));
+        f.set_delay_cycles(0);
+        assert_eq!(f.next_action(), FaultAction::Serve);
+    }
+
+    #[test]
+    fn wedge_toggles() {
+        let f = FaultState::new();
+        f.set_wedged(true);
+        assert!(f.is_wedged());
+        f.set_wedged(false);
+        assert!(!f.is_wedged());
+    }
+}

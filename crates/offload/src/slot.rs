@@ -13,9 +13,10 @@
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
 
 use crate::pad::CachePadded;
-use crate::wait::WaitStrategy;
+use crate::wait::{WaitState, WaitStrategy};
 
 /// Slot is idle; the client may publish a request.
 const EMPTY: u32 = 0;
@@ -23,6 +24,29 @@ const EMPTY: u32 = 0;
 const REQUEST: u32 = 1;
 /// A response is published (the paper's `malloc_done`).
 const RESPONSE: u32 = 2;
+/// The server has claimed the request and is computing the response.
+///
+/// This state exists for the deadline path: a client that times out
+/// retracts its request with a `REQUEST → EMPTY` CAS, and the server's
+/// own `REQUEST → SERVING` CAS in [`RequestSlot::serve`] makes the two
+/// race winners unambiguous — exactly one side owns the request payload.
+const SERVING: u32 = 3;
+
+/// What a deadline-bounded [`RequestSlot::call_deadline`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallDeadline<R> {
+    /// The response arrived within budget.
+    Ok(R),
+    /// The deadline expired and the client won the retract race: the
+    /// request was never observed by the server and the slot is EMPTY
+    /// again, safe to reuse. Carries the time spent waiting.
+    Retracted(Duration),
+    /// The deadline (plus an equal grace period) expired *after* the
+    /// server claimed the request: the request payload is consumed, no
+    /// response ever arrived, and the slot is poisoned — the caller must
+    /// never issue another call on it. Carries the time spent waiting.
+    Abandoned(Duration),
+}
 
 /// A one-deep synchronous request/response mailbox between one client
 /// thread and the service core.
@@ -34,6 +58,12 @@ pub struct RequestSlot<Q, R> {
     state: CachePadded<AtomicU32>,
     req: UnsafeCell<MaybeUninit<Q>>,
     resp: UnsafeCell<MaybeUninit<R>>,
+    /// Publish counter for fault injection: lets the service loop's "drop
+    /// response" fault ignore one *specific* request rather than whatever
+    /// currently occupies the slot, which would swallow the retry a
+    /// deadline-expired client publishes after retracting.
+    #[cfg(feature = "faultinject")]
+    publish_seq: std::sync::atomic::AtomicU64,
 }
 
 // SAFETY: access to `req` and `resp` is mediated by the `state` protocol:
@@ -58,7 +88,30 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
             state: CachePadded::new(AtomicU32::new(EMPTY)),
             req: UnsafeCell::new(MaybeUninit::uninit()),
             resp: UnsafeCell::new(MaybeUninit::uninit()),
+            #[cfg(feature = "faultinject")]
+            publish_seq: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Bumps the publish counter; called immediately before each REQUEST
+    /// store so a server that observes REQUEST (Acquire) also observes the
+    /// matching sequence number.
+    #[cfg(feature = "faultinject")]
+    #[inline]
+    fn bump_publish_seq(&self) {
+        self.publish_seq.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[cfg(not(feature = "faultinject"))]
+    #[inline]
+    fn bump_publish_seq(&self) {}
+
+    /// The sequence number of the most recently published request. Only
+    /// meaningful to the server while it observes `has_request()`.
+    #[cfg(feature = "faultinject")]
+    #[must_use]
+    pub fn publish_seq(&self) -> u64 {
+        self.publish_seq.load(Ordering::Relaxed)
     }
 
     /// Client side: publishes `request`, waits for the response with the
@@ -73,9 +126,13 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
         // SAFETY: state is EMPTY, so the server is not touching `req`, and
         // no other client shares this slot (single-client contract).
         unsafe { (*self.req.get()).write(request) };
+        self.bump_publish_seq();
         self.state.store(REQUEST, Ordering::Release);
 
-        wait.wait_for_value(&self.state, RESPONSE);
+        // Route through the shared WaitState machine so the configured
+        // strategy's spin phase actually runs before any yield/sleep.
+        let mut state = WaitState::new(wait);
+        state.wait_for_value(&self.state, RESPONSE);
 
         // SAFETY: state is RESPONSE (Acquire), so the server's write of
         // `resp` happens-before this read, and the server will not touch the
@@ -85,15 +142,92 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
         response
     }
 
+    /// Client side, hang-proof: publishes `request` and waits at most
+    /// `budget` for the response.
+    ///
+    /// On timeout the client tries to *retract* the request with a
+    /// `REQUEST → EMPTY` CAS. If the CAS wins, the server never saw the
+    /// request: the payload is reclaimed and [`CallDeadline::Retracted`]
+    /// is returned with the slot EMPTY and reusable. If the CAS loses,
+    /// the server has already claimed the request (state `SERVING` or
+    /// `RESPONSE`), so the client waits one more `budget` for the
+    /// in-flight response — a served response is never discarded, which
+    /// is what keeps alloc/free accounting exact. Only if even that grace
+    /// period expires (service thread killed mid-serve) does the call
+    /// give up with [`CallDeadline::Abandoned`], after which the slot
+    /// must not be used again.
+    pub fn call_deadline(
+        &self,
+        request: Q,
+        wait: WaitStrategy,
+        budget: Duration,
+    ) -> CallDeadline<R> {
+        debug_assert_eq!(self.state.load(Ordering::Relaxed), EMPTY);
+        // SAFETY: state is EMPTY (single-client contract), as in `call`.
+        unsafe { (*self.req.get()).write(request) };
+        self.bump_publish_seq();
+        self.state.store(REQUEST, Ordering::Release);
+
+        let mut state = WaitState::with_budget(wait, Some(budget));
+        if state.wait_for_value(&self.state, RESPONSE) {
+            // SAFETY: state is RESPONSE (Acquire), as in `call`.
+            let response = unsafe { (*self.resp.get()).assume_init_read() };
+            self.state.store(EMPTY, Ordering::Release);
+            return CallDeadline::Ok(response);
+        }
+
+        // Deadline expired. Race the server for the request.
+        if self
+            .state
+            .compare_exchange(REQUEST, EMPTY, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // We won: the server never claimed the request. Reclaim the
+            // payload we published so it is not leaked.
+            // SAFETY: the CAS above proves the server never moved the slot
+            // out of REQUEST, so `req` still holds the value we wrote and
+            // the server will not touch the slot (it observes EMPTY).
+            unsafe { (*self.req.get()).assume_init_drop() };
+            return CallDeadline::Retracted(state.waited());
+        }
+
+        // The server claimed the request (SERVING) or already answered
+        // (RESPONSE). Grant a grace period equal to the original budget
+        // for the in-flight serve to finish; a completed response must be
+        // collected, never dropped.
+        let mut grace = WaitState::with_budget(wait, Some(budget));
+        if grace.wait_for_value(&self.state, RESPONSE) {
+            // SAFETY: state is RESPONSE (Acquire), as in `call`.
+            let response = unsafe { (*self.resp.get()).assume_init_read() };
+            self.state.store(EMPTY, Ordering::Release);
+            return CallDeadline::Ok(response);
+        }
+
+        // The server died mid-serve: the request payload is gone and no
+        // response will ever arrive. The slot stays in SERVING forever;
+        // the caller must retire it.
+        CallDeadline::Abandoned(state.waited() + grace.waited())
+    }
+
     /// Server side: if a request is pending, consumes it, computes the
     /// response with `f`, publishes it, and returns `true`.
     pub fn serve(&self, f: impl FnOnce(Q) -> R) -> bool {
-        if self.state.load(Ordering::Acquire) != REQUEST {
+        // Claim the request with a CAS rather than a plain load: a
+        // deadline-expired client may race us with a `REQUEST → EMPTY`
+        // retraction, and exactly one side must own the payload. The CAS
+        // is uncontended in the common case (the line is already exclusive
+        // to the service core) so the protocol stays near the raw atomic
+        // cost the paper measures.
+        if self
+            .state
+            .compare_exchange(REQUEST, SERVING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
             return false;
         }
-        // SAFETY: state is REQUEST (Acquire), so the client's write of `req`
-        // happens-before this read, and the client is spinning on RESPONSE,
-        // not touching the payload cells.
+        // SAFETY: the CAS claimed the request (Acquire), so the client's
+        // write of `req` happens-before this read, and a retracting client
+        // observes SERVING and leaves the payload cells alone.
         let request = unsafe { (*self.req.get()).assume_init_read() };
         let response = f(request);
         // SAFETY: as above — the client cannot access `resp` until it
@@ -123,6 +257,8 @@ impl<Q, R> Drop for RequestSlot<Q, R> {
                 // a value the client never collected.
                 unsafe { (*self.resp.get()).assume_init_drop() };
             }
+            // SERVING: the server consumed `req` but never wrote `resp`
+            // (killed mid-serve) — neither cell holds a live value.
             _ => {}
         }
     }
@@ -177,6 +313,113 @@ mod tests {
         slot.state.store(REQUEST, Ordering::Release);
         drop(slot);
         assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn call_deadline_retracts_when_never_served() {
+        static DROPS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let slot: RequestSlot<D, u8> = RequestSlot::new();
+        // No server anywhere: the deadline must fire, retract, and drop
+        // the unserved request payload.
+        let r = slot.call_deadline(D, WaitStrategy::Backoff, Duration::from_millis(3));
+        assert!(
+            matches!(r, CallDeadline::Retracted(_)),
+            "expected retraction, got {r:?}"
+        );
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1, "retracted payload dropped");
+        // Slot is EMPTY again: a later served call works.
+        assert!(!slot.has_request());
+        let server = |q: D| {
+            drop(q);
+            7u8
+        };
+        let client = std::thread::scope(|s| {
+            let h =
+                s.spawn(|| slot.call_deadline(D, WaitStrategy::Backoff, Duration::from_secs(30)));
+            let mut served = false;
+            while !served {
+                served = slot.serve(server);
+                std::hint::spin_loop();
+            }
+            h.join().unwrap()
+        });
+        assert_eq!(client, CallDeadline::Ok(7));
+    }
+
+    #[test]
+    fn serve_and_retract_race_has_one_owner() {
+        // Drive the race many times: each request must be either served
+        // (client gets the response, possibly late) or retracted (server
+        // never saw it) — never both, never neither.
+        let slot: Arc<RequestSlot<u32, u32>> = Arc::new(RequestSlot::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let served = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let (srv_slot, srv_stop, srv_count) =
+            (Arc::clone(&slot), Arc::clone(&stop), Arc::clone(&served));
+        let h = std::thread::spawn(move || {
+            while !srv_stop.load(Ordering::Acquire) {
+                if srv_slot.serve(|q| q + 1) {
+                    srv_count.fetch_add(1, Ordering::Relaxed);
+                }
+                std::hint::spin_loop();
+            }
+        });
+        let mut ok = 0usize;
+        let mut retracted = 0usize;
+        for i in 0..2_000u32 {
+            // A tiny budget makes both race outcomes common.
+            match slot.call_deadline(i, WaitStrategy::Spin, Duration::from_nanos(50)) {
+                CallDeadline::Ok(r) => {
+                    assert_eq!(r, i + 1);
+                    ok += 1;
+                }
+                CallDeadline::Retracted(_) => retracted += 1,
+                CallDeadline::Abandoned(_) => panic!("server is alive; nothing abandons"),
+            }
+        }
+        stop.store(true, Ordering::Release);
+        h.join().unwrap();
+        assert_eq!(ok + retracted, 2_000);
+        assert_eq!(
+            served.load(Ordering::Relaxed),
+            ok,
+            "every serve was collected"
+        );
+    }
+
+    #[test]
+    fn call_deadline_reports_abandoned_when_server_dies_mid_serve() {
+        let slot: Arc<RequestSlot<u32, u32>> = Arc::new(RequestSlot::new());
+        let srv = Arc::clone(&slot);
+        // A server that claims the request and then dies without responding.
+        let h = std::thread::spawn(move || loop {
+            let mut claimed = false;
+            let dead = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                srv.serve(|_q| -> u32 {
+                    panic!("killed mid-serve");
+                })
+            }));
+            if dead.is_err() {
+                claimed = true;
+            }
+            if claimed {
+                break;
+            }
+            std::hint::spin_loop();
+        });
+        let r = slot.call_deadline(9, WaitStrategy::Backoff, Duration::from_millis(10));
+        assert!(
+            matches!(r, CallDeadline::Abandoned(_)),
+            "mid-serve death must surface as Abandoned, got {r:?}"
+        );
+        h.join().unwrap();
     }
 
     #[test]

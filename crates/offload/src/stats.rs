@@ -42,6 +42,13 @@ pub struct RuntimeStats {
     /// Batched synchronous requests served (magazine refills in the
     /// malloc deployment); a subset of `calls_served`.
     pub batched_calls_served: AtomicU64,
+    /// Times a client's call or post exhausted its deadline budget
+    /// against this shard (the shard was wedged or saturated, not
+    /// necessarily dead).
+    pub deadlines: AtomicU64,
+    /// Total bounded retry iterations clients spent against this shard:
+    /// full-ring post retries plus reroute attempts after a deadline.
+    pub retry_total: AtomicU64,
     /// Gauge: posts pending across all client rings, as of the service
     /// loop's last poll round.
     pub ring_occupancy: AtomicUsize,
@@ -86,6 +93,10 @@ pub struct StatsSnapshot {
     pub failovers: u64,
     /// Batched synchronous requests served (magazine refills).
     pub batched_calls_served: u64,
+    /// Client operations that exhausted their deadline budget.
+    pub deadlines: u64,
+    /// Total bounded retry iterations clients spent against this shard.
+    pub retry_total: u64,
     /// Posts pending across all client rings at the last poll round.
     pub ring_occupancy: usize,
     /// Items stashed in client magazines as of the last refill/drop
@@ -125,6 +136,8 @@ impl RuntimeStats {
             rebalances: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             batched_calls_served: AtomicU64::new(0),
+            deadlines: AtomicU64::new(0),
+            retry_total: AtomicU64::new(0),
             ring_occupancy: AtomicUsize::new(0),
             magazine_occupancy: AtomicI64::new(0),
             wait_phase: AtomicU32::new(WaitPhase::Spin as u32),
@@ -160,6 +173,18 @@ impl RuntimeStats {
         self.failovers.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one deadline expiry against this shard.
+    pub fn record_deadline(&self) {
+        self.deadlines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` bounded retry iterations to the running total.
+    pub fn add_retries(&self, n: u64) {
+        if n != 0 {
+            self.retry_total.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Adjusts the magazine-occupancy gauge by `delta`. Called by client
     /// handles only at refill and drain boundaries, never per pop.
     pub fn add_magazine_occupancy(&self, delta: i64) {
@@ -188,6 +213,8 @@ impl RuntimeStats {
             rebalances: self.rebalances.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
             batched_calls_served: self.batched_calls_served.load(Ordering::Relaxed),
+            deadlines: self.deadlines.load(Ordering::Relaxed),
+            retry_total: self.retry_total.load(Ordering::Relaxed),
             ring_occupancy: self.ring_occupancy.load(Ordering::Relaxed),
             magazine_occupancy: self.magazine_occupancy.load(Ordering::Relaxed),
             wait_phase: WaitPhase::from_u32(self.wait_phase.load(Ordering::Relaxed)),
@@ -214,6 +241,8 @@ impl StatsSnapshot {
         self.rebalances += other.rebalances;
         self.failovers += other.failovers;
         self.batched_calls_served += other.batched_calls_served;
+        self.deadlines += other.deadlines;
+        self.retry_total += other.retry_total;
         self.ring_occupancy += other.ring_occupancy;
         self.magazine_occupancy += other.magazine_occupancy;
         self.wait_transitions += other.wait_transitions;
@@ -285,6 +314,8 @@ mod tests {
         b.mark_service_down();
         b.record_rebalance();
         b.record_post_dropped();
+        b.record_deadline();
+        b.add_retries(5);
         let mut snap = a.snapshot();
         snap.absorb(&b.snapshot());
         assert_eq!(snap.calls_served, 7);
@@ -292,6 +323,8 @@ mod tests {
         assert!(snap.service_down);
         assert_eq!(snap.rebalances, 1);
         assert_eq!(snap.posts_dropped, 1);
+        assert_eq!(snap.deadlines, 1);
+        assert_eq!(snap.retry_total, 5);
     }
 
     #[test]

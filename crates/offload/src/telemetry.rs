@@ -243,6 +243,8 @@ impl RuntimeTelemetry {
             .counter("ngm_failovers_total", stats.failovers)
             .gauge("ngm_service_down", i64::from(stats.service_down))
             .counter("ngm_batched_calls_total", stats.batched_calls_served)
+            .counter("ngm_deadline_total", stats.deadlines)
+            .counter("ngm_retry_total", stats.retry_total)
             .counter("ngm_wait_transitions_total", stats.wait_transitions)
             .counter("ngm_trace_dropped_total", trace_dropped)
             .gauge("ngm_ring_occupancy", stats.ring_occupancy as i64)

@@ -8,7 +8,7 @@
 //! sweeps these policies.
 
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The observable state of a wait loop: which escalation stage a thread
 /// is in after a given number of fruitless probes. Telemetry samples
@@ -24,6 +24,9 @@ pub enum WaitPhase {
     Yield = 1,
     /// Sleeping in escalating intervals.
     Sleep = 2,
+    /// The wait's deadline budget is exhausted; the caller must stop
+    /// waiting and surface a typed error instead of blocking further.
+    Timeout = 3,
 }
 
 impl WaitPhase {
@@ -34,6 +37,7 @@ impl WaitPhase {
             WaitPhase::Spin => "spin",
             WaitPhase::Yield => "yield",
             WaitPhase::Sleep => "sleep",
+            WaitPhase::Timeout => "timeout",
         }
     }
 
@@ -44,6 +48,7 @@ impl WaitPhase {
         match v {
             1 => WaitPhase::Yield,
             2 => WaitPhase::Sleep,
+            3 => WaitPhase::Timeout,
             _ => WaitPhase::Spin,
         }
     }
@@ -131,6 +136,9 @@ impl WaitStrategy {
                 let exp = (*iters - 64).min(5);
                 std::thread::sleep(Duration::from_micros(1 << exp));
             }
+            // A bare strategy has no budget, so `phase` never reports
+            // Timeout; only `WaitState` (which owns a budget) does.
+            WaitPhase::Timeout => unreachable!("WaitStrategy::phase never times out"),
         }
     }
 
@@ -138,6 +146,121 @@ impl WaitStrategy {
     #[inline]
     pub fn wait_for_value(self, flag: &AtomicU32, value: u32) {
         self.wait_until(|| flag.load(Ordering::Acquire) == value);
+    }
+}
+
+/// The shared wait-loop state machine: strategy + iteration counter +
+/// optional deadline budget, in one place.
+///
+/// Every blocking loop in the offload layer (slot waits, ring push
+/// retries, the service poll loop) routes through one of these instead of
+/// hand-rolling `yield_now()` loops, so (a) the configured
+/// [`WaitStrategy`] is what actually runs — Ablation A measures the
+/// policy it selected — and (b) every wait escalates
+/// spin → yield → sleep → **timeout** rather than hanging forever.
+///
+/// The deadline check is kept off the hot path: `Instant::now()` is only
+/// consulted once the wait has escalated past the spin phase, or every
+/// 64th probe while still spinning.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitState {
+    strategy: WaitStrategy,
+    budget: Option<Duration>,
+    iters: u32,
+    started: Option<Instant>,
+    expired: bool,
+}
+
+impl WaitState {
+    /// A wait loop with no deadline: pure strategy escalation.
+    #[must_use]
+    pub fn new(strategy: WaitStrategy) -> Self {
+        Self::with_budget(strategy, None)
+    }
+
+    /// A wait loop that reports timeout once `budget` has elapsed.
+    /// `None` means unbounded (identical to [`WaitState::new`]).
+    #[must_use]
+    pub fn with_budget(strategy: WaitStrategy, budget: Option<Duration>) -> Self {
+        WaitState {
+            strategy,
+            budget,
+            iters: 0,
+            started: None,
+            expired: false,
+        }
+    }
+
+    /// Fruitless probes so far.
+    #[must_use]
+    pub fn iters(&self) -> u32 {
+        self.iters
+    }
+
+    /// The escalation phase the *next* probe will wait in;
+    /// [`WaitPhase::Timeout`] once the budget is exhausted.
+    #[must_use]
+    pub fn phase(&self) -> WaitPhase {
+        if self.expired {
+            WaitPhase::Timeout
+        } else {
+            self.strategy.phase(self.iters)
+        }
+    }
+
+    /// How long this wait has been going (zero before the first pause).
+    #[must_use]
+    pub fn waited(&self) -> Duration {
+        self.started.map_or(Duration::ZERO, |t| t.elapsed())
+    }
+
+    /// One backoff step. Returns `true` if the caller should keep
+    /// waiting, `false` if the deadline budget is exhausted (in which
+    /// case no pause was taken and the caller must bail out with a typed
+    /// error). Without a budget this always returns `true`.
+    #[inline]
+    pub fn pause(&mut self) -> bool {
+        if let Some(budget) = self.budget {
+            let started = *self.started.get_or_insert_with(Instant::now);
+            let check =
+                self.iters & 63 == 0 || !matches!(self.strategy.phase(self.iters), WaitPhase::Spin);
+            if check && started.elapsed() >= budget {
+                self.expired = true;
+                return false;
+            }
+        }
+        self.strategy.pause(&mut self.iters);
+        true
+    }
+
+    /// Rearms the machine after progress was made: the iteration counter,
+    /// deadline clock, and expired flag all reset.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.iters = 0;
+        self.started = None;
+        self.expired = false;
+    }
+
+    /// Waits until `cond` holds or the budget expires. Returns `true` if
+    /// the condition was met, `false` on timeout.
+    #[inline]
+    pub fn wait_until(&mut self, mut cond: impl FnMut() -> bool) -> bool {
+        loop {
+            if cond() {
+                return true;
+            }
+            if !self.pause() {
+                return false;
+            }
+        }
+    }
+
+    /// Waits until the atomic `flag` holds `value` (acquire ordering) or
+    /// the budget expires. Returns `true` if the value was observed.
+    #[inline]
+    pub fn wait_for_value(&mut self, flag: &AtomicU32, value: u32) -> bool {
+        self.wait_until(|| flag.load(Ordering::Acquire) == value)
     }
 }
 
@@ -202,10 +325,68 @@ mod tests {
 
     #[test]
     fn phase_u32_roundtrip() {
-        for p in [WaitPhase::Spin, WaitPhase::Yield, WaitPhase::Sleep] {
+        for p in [
+            WaitPhase::Spin,
+            WaitPhase::Yield,
+            WaitPhase::Sleep,
+            WaitPhase::Timeout,
+        ] {
             assert_eq!(WaitPhase::from_u32(p as u32), p);
         }
         assert_eq!(WaitPhase::from_u32(99), WaitPhase::Spin);
+    }
+
+    #[test]
+    fn wait_state_without_budget_never_times_out() {
+        let mut w = WaitState::new(WaitStrategy::Spin);
+        for _ in 0..10_000 {
+            assert!(w.pause());
+        }
+        assert_eq!(w.phase(), WaitPhase::Spin);
+    }
+
+    #[test]
+    fn wait_state_reports_timeout_after_budget() {
+        let mut w = WaitState::with_budget(WaitStrategy::Backoff, Some(Duration::from_millis(2)));
+        let ok = w.wait_until(|| false);
+        assert!(!ok, "condition never holds, budget must expire");
+        assert_eq!(w.phase(), WaitPhase::Timeout);
+        assert!(w.waited() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn wait_state_succeeds_before_budget() {
+        let mut w = WaitState::with_budget(WaitStrategy::Spin, Some(Duration::from_secs(5)));
+        let mut n = 0;
+        assert!(w.wait_until(|| {
+            n += 1;
+            n == 10
+        }));
+        assert_eq!(n, 10);
+        assert_eq!(w.iters(), 9);
+    }
+
+    #[test]
+    fn wait_state_reset_rearms_the_deadline() {
+        let mut w = WaitState::with_budget(WaitStrategy::Spin, Some(Duration::from_millis(1)));
+        assert!(!w.wait_until(|| false));
+        w.reset();
+        assert_eq!(w.phase(), WaitPhase::Spin);
+        assert_eq!(w.iters(), 0);
+        assert!(w.pause(), "fresh budget after reset");
+    }
+
+    #[test]
+    fn wait_state_for_value_times_out_on_absent_store() {
+        let flag = AtomicU32::new(0);
+        let mut w = WaitState::with_budget(
+            WaitStrategy::SpinYield { spins: 4 },
+            Some(Duration::from_millis(2)),
+        );
+        assert!(!w.wait_for_value(&flag, 1));
+        flag.store(1, Ordering::Release);
+        w.reset();
+        assert!(w.wait_for_value(&flag, 1));
     }
 
     #[test]
