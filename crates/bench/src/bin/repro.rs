@@ -5,6 +5,7 @@
 //!
 //! EXPERIMENT: all (default) | fig1 | table1 | table2 | fig2 | table3
 //!           | model41 | ablations | batch | telemetry | pmu | shards
+//!           | spans (request-lifecycle phase breakdown)
 //!           | faults (needs --features faultinject to arm the hooks)
 //! --scale N: multiply workload sizes by N (default 1; paper-style
 //!            stability from ~4)
@@ -15,7 +16,7 @@
 //! ```
 
 use ngm_bench::experiments::{
-    ablations, faults, fig1, fig2, model41, pmu, shards, table1, table2, table3, telemetry,
+    ablations, faults, fig1, fig2, model41, pmu, shards, spans, table1, table2, table3, telemetry,
 };
 use ngm_bench::Scale;
 
@@ -43,7 +44,7 @@ fn main() {
             "--hw" => with_hw = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards|faults]... [--scale N] [--no-prototype] [--hw]"
+                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards|spans|faults]... [--scale N] [--no-prototype] [--hw]"
                 );
                 return;
             }
@@ -103,6 +104,12 @@ fn main() {
         println!("{}", shards::run(scale).render());
         if with_hw {
             println!("{}", shards::run_hw(scale));
+        }
+    }
+    if want("spans") {
+        println!("{}", spans::run(scale).render());
+        if with_hw {
+            println!("{}", spans::run_hw(scale));
         }
     }
     if want("faults") {

@@ -7,6 +7,7 @@ pub mod fig2;
 pub mod model41;
 pub mod pmu;
 pub mod shards;
+pub mod spans;
 pub mod table1;
 pub mod table2;
 pub mod table3;

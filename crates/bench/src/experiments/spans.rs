@@ -1,0 +1,243 @@
+//! Span phase breakdown: where a request's round trip actually goes.
+//!
+//! Every unbatched `alloc` round trip is stamped at six lifecycle
+//! boundaries (enqueue → ring-resident → claimed → served → published →
+//! observed), and the five gaps land in the per-shard
+//! `ngm_phase_*_cycles` histograms. This experiment drives the live tier
+//! per shard count and renders the phase table: sum, share of the round
+//! trip, and windowed percentiles per phase, in cycles and nanoseconds.
+//!
+//! The load-bearing invariant — checked here and asserted by the smoke
+//! test — is **coverage**: the five phase sums partition the round trip,
+//! so their total must equal the `ngm_call_cycles` sum (the stamps are
+//! clamped into each call's `[t0, t5]`, so the identity is exact by
+//! construction; the acceptance bar is ±10%). The `--hw` variant reruns
+//! the same shape with PMU sessions armed, confirming the four extra
+//! `rdtsc` stamps don't distort the round trip they measure.
+
+use std::sync::Arc;
+
+use ngm_offload::{PHASES, PHASE_NAMES};
+use ngm_telemetry::clock::cycles_to_ns;
+use ngm_telemetry::hist::HistogramSnapshot;
+
+use crate::report::Table;
+use crate::Scale;
+
+/// Shard counts crossed by the breakdown.
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Client threads driving each row.
+pub const CLIENTS: usize = 2;
+
+/// One shard count's phase breakdown, merged across shards.
+#[derive(Debug, Clone)]
+pub struct SpanRow {
+    /// Service shards in the tier.
+    pub shards: usize,
+    /// Unbatched calls measured.
+    pub calls: u64,
+    /// Sum of `ngm_call_cycles` — the whole round trips.
+    pub call_sum: u64,
+    /// Windowed snapshot per phase, [`PHASE_NAMES`] order.
+    pub phases: Vec<HistogramSnapshot>,
+}
+
+impl SpanRow {
+    /// Total cycles across all five phases.
+    #[must_use]
+    pub fn phase_total(&self) -> u64 {
+        self.phases.iter().map(HistogramSnapshot::sum).sum()
+    }
+
+    /// Phase-sum coverage of the call sum (1.0 = exact partition).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.call_sum == 0 {
+            return 0.0;
+        }
+        self.phase_total() as f64 / self.call_sum as f64
+    }
+}
+
+/// The full experiment: one row per shard count.
+#[derive(Debug, Clone)]
+pub struct SpansReport {
+    /// Rows in [`SHARD_COUNTS`] order.
+    pub rows: Vec<SpanRow>,
+}
+
+/// Drives an unbatched alloc/free churn (batch 1 so every alloc is one
+/// stamped round trip) and reads the merged phase histograms back
+/// through the metrics exporter — the same series Prometheus would
+/// scrape.
+fn run_row(shards: usize, scale: Scale, profile: bool) -> (SpanRow, Option<String>) {
+    use std::alloc::Layout;
+
+    let ngm = Arc::new(
+        ngm_core::NgmConfig::new()
+            .with_shards(shards)
+            .with_placement(ngm_core::CorePlacement::Unpinned)
+            .with_profile(profile)
+            .build()
+            .expect("valid config"),
+    );
+    let per_thread = 10_000usize * scale.0.max(1) as usize;
+    let joins: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let ngm = Arc::clone(&ngm);
+            std::thread::spawn(move || {
+                let mut h = ngm.handle();
+                for i in 0..per_thread {
+                    let size = 16 * (1 + (i + t) % 8);
+                    let l = Layout::from_size_align(size, 8).expect("valid");
+                    let p = h.alloc(l).expect("alloc");
+                    // SAFETY: block just allocated, freed once.
+                    unsafe { h.dealloc(p, l) };
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("worker");
+    }
+    let m = ngm.metrics();
+    let calls = m
+        .get_histogram("ngm_call_cycles")
+        .expect("call histogram exported");
+    let phases: Vec<HistogramSnapshot> = PHASE_NAMES
+        .iter()
+        .map(|name| {
+            m.get_histogram(&format!("ngm_phase_{name}_cycles"))
+                .expect("phase histogram exported")
+                .clone()
+        })
+        .collect();
+    let ngm = Arc::into_inner(ngm).expect("all clones dropped");
+    let pmu = profile.then(|| {
+        ngm.pmu_report()
+            .map_or_else(|| "(no PMU readings deposited)".into(), |r| r.render())
+    });
+    let down = ngm.shutdown();
+    assert!(down.clean() && down.balanced(), "spans run stayed exact");
+    (
+        SpanRow {
+            shards,
+            calls: calls.count(),
+            call_sum: calls.sum(),
+            phases,
+        },
+        pmu,
+    )
+}
+
+/// Runs the phase breakdown across [`SHARD_COUNTS`].
+pub fn run(scale: Scale) -> SpansReport {
+    SpansReport {
+        rows: SHARD_COUNTS
+            .iter()
+            .map(|&shards| run_row(shards, scale, false).0)
+            .collect(),
+    }
+}
+
+impl SpansReport {
+    /// Renders the per-shard-count phase tables and coverage lines.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "## Spans — request-lifecycle phase breakdown ({CLIENTS} clients, unbatched)\n"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "### {} shard(s): {} calls, round-trip sum {} cycles",
+                row.shards, row.calls, row.call_sum
+            );
+            let mut t = Table::new(&["phase", "sum cycles", "share", "p50", "p99", "p50 ns"]);
+            let total = row.phase_total().max(1);
+            for (i, name) in PHASE_NAMES.iter().enumerate() {
+                debug_assert!(i < PHASES);
+                let h = &row.phases[i];
+                t.row(vec![
+                    (*name).to_string(),
+                    h.sum().to_string(),
+                    format!("{:.1}%", 100.0 * h.sum() as f64 / total as f64),
+                    h.p50().to_string(),
+                    h.p99().to_string(),
+                    cycles_to_ns(h.p50()).to_string(),
+                ]);
+            }
+            let _ = writeln!(out, "{}", t.render());
+            let _ = writeln!(
+                out,
+                "phase-sum coverage of call sum: {:.4} (1.0 = exact partition)\n",
+                row.coverage()
+            );
+        }
+        out
+    }
+}
+
+/// The `--hw` variant: the same breakdown with PMU sessions armed, so
+/// the phase table and the service-vs-client counter report come from
+/// one run.
+pub fn run_hw(scale: Scale) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "## Spans — phase breakdown under PMU\n");
+    for &shards in &SHARD_COUNTS {
+        let (row, pmu) = run_row(shards, scale, true);
+        let _ = writeln!(
+            out,
+            "### {shards} shard(s): {} calls, coverage {:.4}",
+            row.calls,
+            row.coverage()
+        );
+        if let Some(pmu) = pmu {
+            let _ = writeln!(out, "{pmu}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_sums_partition_the_round_trip() {
+        let (row, pmu) = run_row(2, Scale(1), false);
+        assert!(pmu.is_none());
+        assert_eq!(row.calls, (CLIENTS * 10_000) as u64);
+        let cov = row.coverage();
+        assert!(
+            (cov - 1.0).abs() < 0.10,
+            "phase sum within 10% of call sum (got {cov}): exact partition expected"
+        );
+    }
+
+    #[test]
+    fn report_renders_phase_names_and_coverage() {
+        let report = SpansReport {
+            rows: vec![SpanRow {
+                shards: 1,
+                calls: 4,
+                call_sum: 400,
+                phases: (0..PHASES)
+                    .map(|_| {
+                        let h = ngm_telemetry::hist::LatencyHistogram::new();
+                        h.record(20);
+                        h.snapshot()
+                    })
+                    .collect(),
+            }],
+        };
+        let text = report.render();
+        for name in PHASE_NAMES {
+            assert!(text.contains(name), "{text}");
+        }
+        assert!(text.contains("coverage"), "{text}");
+    }
+}

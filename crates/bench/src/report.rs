@@ -1,5 +1,6 @@
 //! Plain-text table rendering for the repro harness.
 
+use ngm_telemetry::clock::cycles_to_ns;
 use ngm_telemetry::hist::HistogramSnapshot;
 
 /// A simple aligned table: a header row plus data rows.
@@ -66,11 +67,14 @@ impl Table {
     }
 }
 
-/// Renders named latency-histogram snapshots as a count/percentile table
-/// (values in whatever unit the histogram recorded — cycles from
-/// `ngm_telemetry::clock::cycles_now` for the runtime's histograms).
+/// Renders named latency-histogram snapshots as a count/percentile table.
+/// Histograms record TSC cycles ([`ngm_telemetry::clock::cycles_now`]);
+/// each percentile is shown in cycles and, via the calibrated
+/// cycles-per-ns ratio, in wall-clock nanoseconds.
 pub fn latency_table(rows: &[(&str, &HistogramSnapshot)]) -> String {
-    let mut t = Table::new(&["op kind", "count", "p50", "p90", "p99", "max"]);
+    let mut t = Table::new(&[
+        "op kind", "count", "p50", "p90", "p99", "max", "p50 ns", "p99 ns",
+    ]);
     for (name, h) in rows {
         t.row(vec![
             (*name).to_string(),
@@ -79,6 +83,8 @@ pub fn latency_table(rows: &[(&str, &HistogramSnapshot)]) -> String {
             h.p90().to_string(),
             h.p99().to_string(),
             h.max().to_string(),
+            cycles_to_ns(h.p50()).to_string(),
+            cycles_to_ns(h.p99()).to_string(),
         ]);
     }
     t.render()
@@ -149,6 +155,7 @@ mod tests {
         let s = latency_table(&[("malloc call", &snap)]);
         assert!(s.contains("malloc call"));
         assert!(s.contains("p99"));
+        assert!(s.contains("p50 ns"), "both units are shown: {s}");
         assert!(s.lines().count() == 3, "header, rule, one row: {s}");
     }
 }

@@ -39,8 +39,9 @@ pub struct TraceConversion {
 
 /// Converts a drained trace (sorted or not) into a replayable stream.
 ///
-/// Non-allocation events (`Post`, `Refill`, `WaitTransition`) are
-/// skipped: they describe the transport, not the heap.
+/// Non-allocation events (`Post`, `Refill`, `WaitTransition`, `Span`)
+/// are skipped: they describe the transport and the request lifecycle,
+/// not the heap.
 pub fn convert(trace: &[TraceEvent]) -> TraceConversion {
     let mut sorted: Vec<&TraceEvent> = trace.iter().collect();
     sorted.sort_by_key(|e| e.tsc);
@@ -79,7 +80,10 @@ pub fn convert(trace: &[TraceEvent]) -> TraceConversion {
                     None => out.unmatched_frees += 1,
                 }
             }
-            TraceEventKind::Post | TraceEventKind::Refill | TraceEventKind::WaitTransition => {}
+            TraceEventKind::Post
+            | TraceEventKind::Refill
+            | TraceEventKind::WaitTransition
+            | TraceEventKind::Span => {}
         }
     }
 
@@ -200,6 +204,7 @@ mod tests {
             ev(1, 0, TraceEventKind::Post, 5),
             ev(2, 0, TraceEventKind::Refill, 3),
             ev(3, 0, TraceEventKind::WaitTransition, 1),
+            ev(4, 0, TraceEventKind::Span, 0xabc),
         ];
         let conv = convert(&trace);
         assert!(conv.events.is_empty());

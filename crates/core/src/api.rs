@@ -30,14 +30,17 @@ use ngm_offload::{
     StatsSnapshot, WaitStrategy,
 };
 use ngm_pmu::PmuReport;
+use ngm_telemetry::blackbox::{self, BlackboxDump, ShardState, DEFAULT_LAST_K};
 use ngm_telemetry::clock::cycles_now;
 use ngm_telemetry::export::MetricsSnapshot;
 use ngm_telemetry::sites::{SiteProfiler, SiteReport};
 use ngm_telemetry::trace::TraceEventKind;
+use ngm_telemetry::window::HeatFrame;
 
 use ngm_heap::classes::{layout_to_class, SizeClass, NUM_CLASSES};
 
 use crate::config::{CorePlacement, NgmConfig, NgmError, FALLBACK_OWNER, OWNER_BASE};
+use crate::heat::{HeatReport, ObsState, ShardHeat};
 use crate::orphan::OrphanStack;
 use crate::service::{
     AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
@@ -64,6 +67,8 @@ pub struct Ngm {
     /// maps nothing until the first time a handle exhausts every shard
     /// (all deadlined or dead) and has to serve an allocation itself.
     fallback: Arc<FallbackHeap>,
+    /// Shared heat windows + blackbox gate (see [`crate::heat`]).
+    obs: Arc<ObsState>,
 }
 
 impl std::fmt::Debug for Ngm {
@@ -87,12 +92,14 @@ impl Ngm {
     pub(crate) fn from_config(cfg: NgmConfig) -> Result<Self, NgmError> {
         let cores = ngm_offload::available_cores();
         let mut shards = Vec::with_capacity(cfg.shards);
+        let mut demand_watches = Vec::with_capacity(cfg.shards);
         for i in 0..cfg.shards {
             let orphans = Arc::new(OrphanStack::new());
             let service = MallocService::for_shard(i as u16, Arc::clone(&orphans));
-            // Keep observing the heap after the service thread takes the
-            // service (and its heap) away from us.
+            // Keep observing the heap (and refill demand) after the
+            // service thread takes the service away from us.
             let heap_watch = Arc::clone(service.heap_watch());
+            demand_watches.push(Arc::clone(service.demand_watch()));
             let core = match cfg.placement {
                 // Highest cores first, leaving the low cores — where most
                 // runtimes place app threads — alone; float when the
@@ -128,6 +135,7 @@ impl Ngm {
             flush_threshold: cfg.flush_threshold as u32,
             sites: (cfg.site_sample > 0).then(|| Arc::new(SiteProfiler::new(cfg.site_sample))),
             fallback: Arc::new(FallbackHeap::new(FALLBACK_OWNER)),
+            obs: Arc::new(ObsState::new(cfg.blackbox, cfg.heat_window, demand_watches)),
         })
     }
 
@@ -179,7 +187,46 @@ impl Ngm {
             failed: vec![false; n].into_boxed_slice(),
             sites: self.sites.clone(),
             fallback: Arc::clone(&self.fallback),
+            obs: Arc::clone(&self.obs),
         }
+    }
+
+    /// Samples every shard into its heat window and returns the windowed
+    /// aggregates: recent calls, deadline/retry/fallback rates, ring
+    /// occupancy, windowed phase percentiles, and per-size-class refill
+    /// demand. Each call pushes one frame per shard, so the window depth
+    /// ([`NgmConfig::with_heat_window`]) spans the last N sampling
+    /// intervals at whatever cadence the caller reports.
+    pub fn heat_report(&self) -> HeatReport {
+        let fallbacks = self.fallback.allocs();
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let stats = s.runtime.stats();
+                let telemetry = s.runtime.telemetry();
+                let frame = HeatFrame {
+                    tsc: cycles_now(),
+                    ring_occupancy: stats.ring_occupancy as u64,
+                    calls: stats.calls_served,
+                    deadlines: stats.deadlines,
+                    retries: stats.post_full_retries,
+                    fallbacks,
+                    phases: telemetry
+                        .phase_cycles
+                        .iter()
+                        .map(|h| h.snapshot())
+                        .collect(),
+                    demand: self.obs.demand(i),
+                };
+                ShardHeat {
+                    shard: i,
+                    heat: self.obs.push_frame(i, frame),
+                }
+            })
+            .collect();
+        HeatReport { shards }
     }
 
     /// The shared degradation heap (diagnostics: `allocs()` > 0 means
@@ -327,13 +374,17 @@ impl Ngm {
         m.counter("ngm_heap_allocs_total", heap.total_allocs)
             .counter("ngm_heap_frees_total", heap.total_frees)
             .counter("ngm_heap_large_allocs_total", heap.large_allocs)
-            .counter("ngm_fallback_allocs", self.fallback.allocs())
+            .counter("ngm_fallback_allocs_total", self.fallback.allocs())
             .gauge("ngm_service_shards", self.shards.len() as i64)
             .gauge("ngm_heap_live_blocks", heap.live_blocks as i64)
             .gauge("ngm_heap_live_bytes", heap.live_bytes as i64)
             .gauge("ngm_heap_segments", heap.segments as i64)
             .gauge("ngm_heap_pages_in_use", heap.pages_in_use as i64)
             .gauge("ngm_heap_peak_live_bytes", heap.peak_live_bytes as i64);
+        // Metrics sampling doubles as heat sampling: every scrape pushes
+        // one frame per shard, so the heat window spans the last N
+        // scrape intervals.
+        self.heat_report().publish(&mut m);
         if let Some(report) = self.site_report() {
             report.publish(&mut m);
         }
@@ -562,6 +613,8 @@ impl NgmBuilder {
             profile: self.profile,
             site_sample: self.site_sample,
             deadline: Some(ngm_offload::DEFAULT_DEADLINE),
+            heat_window: ngm_telemetry::window::DEFAULT_HEAT_FRAMES,
+            blackbox: true,
         };
         cfg.sanitized().build().expect("sanitized config is valid")
     }
@@ -621,6 +674,8 @@ pub struct NgmHandle {
     sites: Option<Arc<SiteProfiler>>,
     /// The shared inline allocator of last resort (see [`Ngm`]).
     fallback: Arc<FallbackHeap>,
+    /// Shared heat windows + blackbox gate (see [`crate::heat`]).
+    obs: Arc<ObsState>,
 }
 
 impl NgmHandle {
@@ -630,6 +685,33 @@ impl NgmHandle {
 
     fn nshards(&self) -> usize {
         self.clients.len()
+    }
+
+    /// Captures and emits a blackbox dump for a failure edge implicating
+    /// `shard`: that shard's last-K trace events, every shard's slot/ring
+    /// state, and the current heat picture. Gated on the config knob and
+    /// the process-wide rate limiter, so the common suppressed case costs
+    /// one branch and one relaxed load — never an allocation.
+    fn blackbox(&self, reason: &'static str, shard: usize) {
+        if !self.obs.blackbox || !blackbox::should_emit() {
+            return;
+        }
+        let shards = (0..self.nshards())
+            .map(|s| ShardState {
+                shard: s,
+                slot_state: self.clients[s].slot_state_label(),
+                ring_occupancy: self.clients[s].pending_posts() as u64,
+                down: !self.clients[s].is_open(),
+            })
+            .collect();
+        blackbox::emit(&BlackboxDump {
+            reason: reason.into(),
+            shard,
+            tsc: cycles_now(),
+            events: self.clients[shard].telemetry().peek_trace(DEFAULT_LAST_K),
+            shards,
+            heat: self.obs.render_current(),
+        });
     }
 
     /// The shard that owns `ptr`, read from its segment header — a pure
@@ -731,11 +813,14 @@ impl NgmHandle {
                     return NonNull::new(addr as *mut u8).ok_or(AllocError::OutOfMemory);
                 }
                 Ok(MallocResp::Batch(_)) => unreachable!("One request answered with a batch"),
-                Err(ServiceError::Deadline { .. }) => shard = self.reroute_after_deadline(shard),
+                Err(ServiceError::Deadline { .. }) => {
+                    self.blackbox("deadline", shard);
+                    shard = self.reroute_after_deadline(shard);
+                }
                 Err(_) => shard = self.fail_over(shard),
             }
         }
-        self.fallback_alloc(layout)
+        self.fallback_alloc(layout, shard)
     }
 
     /// Moves allocation traffic off a shard that just blew a deadline and
@@ -758,7 +843,9 @@ impl NgmHandle {
     /// The degradation endpoint: every shard deadlined or died, so serve
     /// the allocation inline from the shared [`FallbackHeap`] (small
     /// classes only — its docs explain why large layouts cannot degrade).
-    fn fallback_alloc(&mut self, layout: Layout) -> Result<NonNull<u8>, AllocError> {
+    /// `shard` is the last shard tried, implicated in the dump.
+    fn fallback_alloc(&mut self, layout: Layout, shard: usize) -> Result<NonNull<u8>, AllocError> {
+        self.blackbox("fallback", shard);
         self.fallback.allocate(layout)
     }
 
@@ -777,6 +864,7 @@ impl NgmHandle {
         }
         if !self.failed[dead] {
             self.failed[dead] = true;
+            self.blackbox("shard-death", dead);
             self.clients[dead].runtime_stats().record_failover();
             if next != dead {
                 for slot in self.class_shard.iter_mut() {
@@ -802,7 +890,8 @@ impl NgmHandle {
                 // degrade this one allocation to the inline fallback
                 // instead of failing it, keeping the app alive through
                 // the outage.
-                return self.fallback_alloc(layout).map_err(|_| e);
+                let shard = self.class_shard[ci] as usize;
+                return self.fallback_alloc(layout, shard).map_err(|_| e);
             }
         }
         let addr = self.magazines[ci]
@@ -848,6 +937,7 @@ impl NgmHandle {
                 Err(ServiceError::Deadline { .. }) => {
                     // Slow, not dead: route the class elsewhere for now
                     // without burying the shard.
+                    self.blackbox("deadline", shard);
                     let next = self.reroute_after_deadline(shard);
                     self.class_shard[ci] = next as u16;
                     if next == shard {
@@ -910,6 +1000,7 @@ impl NgmHandle {
                 let _ = self.fail_over(shard);
             }
             Err(PostError::Deadline { msg, .. }) => {
+                self.blackbox("post-deadline", shard);
                 self.reroute_frees_to_orphans(shard, msg);
                 self.rebalance_away_from(shard);
             }
@@ -946,29 +1037,36 @@ impl NgmHandle {
     }
 
     /// Moves this handle's allocation traffic off `overloaded` onto the
-    /// least-pressured surviving shard, and resets the pressure signal.
+    /// coolest surviving shard, and resets the pressure signal.
     ///
     /// Called automatically when a shard's free ring keeps saturating;
-    /// public so operators can steer traffic by hand. Only *future
-    /// allocations* move — frees route by address, so blocks already
-    /// handed out still drain back to the shard that owns them, and the
-    /// accounting stays exact through any number of rebalances.
+    /// public so operators can steer traffic by hand. The target is the
+    /// shard with the lowest combined score: its tier-wide windowed heat
+    /// ([`crate::heat::ShardHeat::score`] — recent deadlines, retries,
+    /// ring backlog, sampled by [`Ngm::heat_report`]) plus this handle's
+    /// own accumulated ring-saturation pressure against it. Before any
+    /// heat frame exists the heat term is zero and the choice degrades to
+    /// the old pressure-only policy. Only *future allocations* move —
+    /// frees route by address, so blocks already handed out still drain
+    /// back to the shard that owns them, and the accounting stays exact
+    /// through any number of rebalances.
     pub fn rebalance_away_from(&mut self, overloaded: usize) {
         let n = self.nshards();
         self.pressure[overloaded] = 0;
         if n == 1 {
             return;
         }
-        let mut target: Option<usize> = None;
+        let mut target: Option<(usize, u64)> = None;
         for s in 0..n {
             if s == overloaded || self.failed[s] || !self.clients[s].is_open() {
                 continue;
             }
-            if target.is_none_or(|t| self.pressure[s] < self.pressure[t]) {
-                target = Some(s);
+            let score = u64::from(self.pressure[s]).saturating_add(self.obs.heat_score(s));
+            if target.is_none_or(|(_, best)| score < best) {
+                target = Some((s, score));
             }
         }
-        let Some(target) = target else { return };
+        let Some((target, _)) = target else { return };
         let mut moved = false;
         for slot in self.class_shard.iter_mut() {
             if *slot as usize == overloaded {
@@ -1570,6 +1668,85 @@ mod tests {
         // More than one shard actually served allocations.
         let active = down.shards.iter().filter(|s| s.service.allocs > 0).count();
         assert!(active > 1, "traffic never spread: {down:?}");
+    }
+
+    #[test]
+    fn heat_report_windows_recent_activity() {
+        let ngm = sharded(2).build().unwrap();
+        let mut h = ngm.handle();
+        for _ in 0..16 {
+            let p = h.alloc(layout(64)).unwrap();
+            // SAFETY: block from this handle's allocator.
+            unsafe { h.dealloc(p, layout(64)) };
+        }
+        let first = ngm.heat_report();
+        assert_eq!(first.shards.len(), 2);
+        let total: u64 = first.shards.iter().map(|s| s.heat.calls).sum();
+        assert_eq!(total, 16, "first report reads cumulative-since-start");
+        assert!(
+            first.shards.iter().any(|s| s.heat.phases[0].count() > 0),
+            "phase percentiles ride along for shards that served calls"
+        );
+        assert!(first.render().contains("shard 0:"));
+        // A second report with no traffic in between: the window is
+        // [first, second] and must read zero new calls.
+        let second = ngm.heat_report();
+        let recent: u64 = second.shards.iter().map(|s| s.heat.calls).sum();
+        assert_eq!(recent, 0, "windowed view excludes pre-window traffic");
+        drop(h);
+        ngm.shutdown();
+    }
+
+    #[test]
+    fn metrics_export_heat_series_and_renamed_fallback_counter() {
+        let ngm = sharded(2).build().unwrap();
+        let mut h = ngm.handle();
+        let p = h.alloc(layout(64)).unwrap();
+        // SAFETY: block from this handle's allocator.
+        unsafe { h.dealloc(p, layout(64)) };
+        let m = ngm.metrics();
+        assert_eq!(m.get_counter("ngm_fallback_allocs_total"), Some(0));
+        assert_eq!(m.get_counter("ngm_fallback_allocs"), None, "old name gone");
+        assert_eq!(m.labeled_gauge_count("ngm_shard_heat_score"), 2);
+        assert!(m.get_histogram("ngm_phase_queue_cycles").is_some());
+        drop(h);
+        ngm.shutdown();
+    }
+
+    #[test]
+    fn rebalance_targets_the_coolest_shard_by_heat() {
+        let ngm = sharded(3).build().unwrap();
+        let mut h = ngm.handle();
+        // Manufacture heat: shard 1 recently blew deadlines, shard 2 is
+        // equally busy but healthy. Moving off shard 0 must skip 1.
+        ngm.obs.push_frame(
+            1,
+            HeatFrame {
+                tsc: 1,
+                calls: 50,
+                deadlines: 50,
+                ..HeatFrame::default()
+            },
+        );
+        ngm.obs.push_frame(
+            2,
+            HeatFrame {
+                tsc: 1,
+                calls: 50,
+                ..HeatFrame::default()
+            },
+        );
+        let victim = (0..NUM_CLASSES)
+            .find(|&c| h.class_route(SizeClass(c as u16)) == 0)
+            .expect("some class routes to shard 0");
+        h.rebalance_away_from(0);
+        assert_eq!(
+            h.class_route(SizeClass(victim as u16)),
+            2,
+            "the hot shard was skipped"
+        );
+        drop(h);
+        ngm.shutdown();
     }
 
     #[test]

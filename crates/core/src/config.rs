@@ -156,6 +156,19 @@ pub struct NgmConfig {
     /// hanging. Defaults to [`ngm_offload::DEFAULT_DEADLINE`]; `None`
     /// restores unbounded waits.
     pub deadline: Option<Duration>,
+    /// Frames retained per shard for the rolling heat window (min 2):
+    /// each `heat_report()` call pushes one cumulative frame, and the
+    /// windowed aggregate spans the last `heat_window` reports. Defaults
+    /// to [`ngm_telemetry::window::DEFAULT_HEAT_FRAMES`].
+    pub heat_window: usize,
+    /// Enables the blackbox flight recorder (on by default): deadline
+    /// expiries, shard failovers, and the first degradation to the
+    /// inline fallback dump the implicated shard's recent trace, slot
+    /// states, and heat snapshot to stderr (and to the file named by the
+    /// `NGM_BLACKBOX_PATH` environment variable). The global-allocator
+    /// adapter forces this off: assembling a dump allocates, and
+    /// re-entering a failing allocator mid-failure is not survivable.
+    pub blackbox: bool,
 }
 
 impl NgmConfig {
@@ -174,6 +187,8 @@ impl NgmConfig {
             profile: false,
             site_sample: 0,
             deadline: Some(ngm_offload::DEFAULT_DEADLINE),
+            heat_window: ngm_telemetry::window::DEFAULT_HEAT_FRAMES,
+            blackbox: true,
         }
     }
 
@@ -239,6 +254,18 @@ impl NgmConfig {
         self
     }
 
+    /// Sets the heat-window depth (frames retained per shard; min 2).
+    pub const fn with_heat_window(mut self, frames: usize) -> Self {
+        self.heat_window = frames;
+        self
+    }
+
+    /// Enables or disables the blackbox flight recorder.
+    pub const fn with_blackbox(mut self, on: bool) -> Self {
+        self.blackbox = on;
+        self
+    }
+
     /// Checks every field without building anything.
     ///
     /// # Errors
@@ -277,6 +304,9 @@ impl NgmConfig {
         if self.free_ring_capacity == 0 {
             self.free_ring_capacity = 4096;
         }
+        // A window needs a baseline and a head; HeatWindow clamps the
+        // same way, this just keeps the config honest about it.
+        self.heat_window = clamp(self.heat_window, 2, usize::MAX);
         self
     }
 
@@ -330,9 +360,13 @@ mod tests {
             .with_trace_capacity(0)
             .with_profile(false)
             .with_site_sample(0)
-            .with_deadline(Some(Duration::from_millis(100)));
+            .with_deadline(Some(Duration::from_millis(100)))
+            .with_heat_window(4)
+            .with_blackbox(false);
         assert_eq!(CFG.shards, 4);
         assert_eq!(CFG.batch_size, 16);
+        assert_eq!(CFG.heat_window, 4);
+        const { assert!(!CFG.blackbox) };
         assert_eq!(CFG.validate(), Ok(()));
     }
 

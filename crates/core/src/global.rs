@@ -92,9 +92,15 @@ impl NgmAllocator {
     /// clamped into range ([`NgmConfig::sanitized`]) rather than
     /// reported: a `#[global_allocator]` static has nowhere to surface a
     /// build error.
+    ///
+    /// The blackbox flight recorder is forced off regardless of the
+    /// config: assembling a dump allocates, and an allocation from
+    /// inside the global allocator's own failure path would re-enter the
+    /// adapter (at best burning the bootstrap arena, at worst
+    /// deadlocking on the very shard being dumped).
     pub const fn with_config(cfg: NgmConfig) -> Self {
         NgmAllocator {
-            cfg: cfg.sanitized(),
+            cfg: cfg.sanitized().with_blackbox(false),
         }
     }
 

@@ -1,0 +1,296 @@
+//! Per-shard heat reporting: rolling-window views of where the tier is
+//! hot and why.
+//!
+//! [`crate::api::Ngm::heat_report`] samples every shard into its
+//! [`HeatWindow`] and returns the windowed aggregates as a
+//! [`HeatReport`]: recent calls, deadline/retry/fallback rates, ring
+//! occupancy, windowed phase percentiles, and per-size-class refill
+//! demand. The same windows back two consumers that must agree on what
+//! "hot" means:
+//!
+//! * [`crate::api::NgmHandle::rebalance_away_from`] scores candidate
+//!   shards with [`ObsState::heat_score`] instead of raw handle-local
+//!   ring-saturation counts, so traffic moves to the shard that is
+//!   *recently* coolest, not merely the one this handle happened not to
+//!   hammer.
+//! * The blackbox flight recorder archives
+//!   [`ObsState::render_current`] into every dump, so a post-mortem
+//!   shows the heat picture at failure time.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use ngm_offload::PHASE_NAMES;
+use ngm_telemetry::export::MetricsSnapshot;
+use ngm_telemetry::window::{HeatDelta, HeatFrame, HeatWindow};
+
+use crate::watch::SharedDemand;
+
+/// One shard's windowed heat.
+#[derive(Debug, Clone)]
+pub struct ShardHeat {
+    /// The shard index.
+    pub shard: usize,
+    /// The windowed aggregate (newest frame minus the window baseline).
+    pub heat: HeatDelta,
+}
+
+impl ShardHeat {
+    /// A scalar hotness ranking: ring backlog plus windowed deadline
+    /// expiries (weighted — a deadline is worse than a queued free) plus
+    /// windowed full-ring retries. Comparable across shards because every
+    /// term comes from the same window span.
+    #[must_use]
+    pub fn score(&self) -> u64 {
+        self.heat
+            .ring_occupancy
+            .saturating_add(self.heat.deadlines.saturating_mul(4))
+            .saturating_add(self.heat.retries)
+    }
+}
+
+/// The tier-wide heat report: one windowed entry per shard.
+#[derive(Debug, Clone)]
+pub struct HeatReport {
+    /// Per-shard windowed heat, indexed by shard.
+    pub shards: Vec<ShardHeat>,
+}
+
+impl HeatReport {
+    /// The hottest shard by [`ShardHeat::score`], if any shard reported.
+    #[must_use]
+    pub fn hottest(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .max_by_key(|s| s.score())
+            .map(|s| s.shard)
+    }
+
+    /// Renders the operator-facing text report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.shards {
+            let d = &s.heat;
+            let _ = writeln!(
+                out,
+                "shard {}: score={} calls={} ring={} deadline_rate={:.3} \
+                 retry_rate={:.3} fallback_rate={:.3}",
+                s.shard,
+                s.score(),
+                d.calls,
+                d.ring_occupancy,
+                d.deadline_rate(),
+                d.retry_rate(),
+                d.fallback_rate(),
+            );
+            for (name, snap) in PHASE_NAMES.iter().zip(&d.phases) {
+                if snap.count() > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  phase {name}: p50={} p99={} cycles (n={})",
+                        snap.p50(),
+                        snap.p99(),
+                        snap.count()
+                    );
+                }
+            }
+            let mut top: Vec<(usize, u64)> = d
+                .demand
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            top.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            if !top.is_empty() {
+                let _ = write!(out, "  refill demand:");
+                for (class, n) in top.iter().take(4) {
+                    let _ = write!(out, " class{class}={n}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+
+    /// Publishes the report as labeled gauge series (`shard` label).
+    /// Windowed counts are gauges, not counters: they describe the recent
+    /// window and may go down.
+    pub fn publish(&self, m: &mut MetricsSnapshot) {
+        // Family-major order: the exposition format requires all samples
+        // of one family to sit under a single HELP/TYPE announcement, so
+        // each family walks every shard before the next family starts.
+        type Sample = fn(&ShardHeat) -> i64;
+        let families: [(&str, Sample); 5] = [
+            ("ngm_shard_heat_score", |s| s.score() as i64),
+            ("ngm_shard_window_calls", |s| s.heat.calls as i64),
+            ("ngm_shard_window_deadlines", |s| s.heat.deadlines as i64),
+            ("ngm_shard_window_retries", |s| s.heat.retries as i64),
+            ("ngm_shard_ring_occupancy", |s| s.heat.ring_occupancy as i64),
+        ];
+        for (name, value) in families {
+            for s in &self.shards {
+                let shard = s.shard.to_string();
+                m.labeled_gauge(name, &[("shard", shard.as_str())], value(s));
+            }
+        }
+    }
+}
+
+/// Shared observability state: per-shard heat windows plus the demand
+/// mirrors they sample, cloned into every handle so rebalance decisions
+/// and blackbox dumps read the same windows [`crate::api::Ngm`] writes.
+#[derive(Debug)]
+pub(crate) struct ObsState {
+    /// Whether failure edges may emit blackbox dumps (forced off under
+    /// the global-allocator adapter — dump assembly allocates).
+    pub(crate) blackbox: bool,
+    heat: Box<[Mutex<HeatWindow>]>,
+    demand: Box<[Arc<SharedDemand>]>,
+}
+
+impl ObsState {
+    pub(crate) fn new(blackbox: bool, frames: usize, demand: Vec<Arc<SharedDemand>>) -> Self {
+        ObsState {
+            blackbox,
+            heat: (0..demand.len())
+                .map(|_| Mutex::new(HeatWindow::new(frames)))
+                .collect(),
+            demand: demand.into_boxed_slice(),
+        }
+    }
+
+    /// The shard's last idle-published refill-demand counters.
+    pub(crate) fn demand(&self, shard: usize) -> Vec<u64> {
+        self.demand[shard].load()
+    }
+
+    /// Appends a cumulative sample and returns the updated windowed
+    /// aggregate.
+    pub(crate) fn push_frame(&self, shard: usize, frame: HeatFrame) -> HeatDelta {
+        let mut w = self.heat[shard].lock().unwrap();
+        w.push(frame);
+        w.windowed().expect("window non-empty after push")
+    }
+
+    /// The shard's current hotness from already-pushed frames (0 before
+    /// any [`crate::api::Ngm::heat_report`] call — scoring then falls
+    /// back to the caller's own pressure signal).
+    pub(crate) fn heat_score(&self, shard: usize) -> u64 {
+        self.heat[shard]
+            .lock()
+            .unwrap()
+            .windowed()
+            .map_or(0, |heat| ShardHeat { shard, heat }.score())
+    }
+
+    /// Renders the current windowed view without pushing new frames
+    /// (blackbox dumps must not perturb the window they archive).
+    pub(crate) fn render_current(&self) -> String {
+        let shards = self
+            .heat
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, w)| {
+                w.lock()
+                    .unwrap()
+                    .windowed()
+                    .map(|heat| ShardHeat { shard, heat })
+            })
+            .collect();
+        HeatReport { shards }.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(calls: u64, deadlines: u64, ring: u64) -> HeatDelta {
+        HeatDelta {
+            span_tsc: 100,
+            calls,
+            deadlines,
+            retries: 0,
+            fallbacks: 0,
+            ring_occupancy: ring,
+            phases: Vec::new(),
+            demand: vec![0, 5, 0],
+        }
+    }
+
+    #[test]
+    fn score_weights_deadlines_over_backlog() {
+        let quiet = ShardHeat {
+            shard: 0,
+            heat: delta(100, 0, 3),
+        };
+        let wedged = ShardHeat {
+            shard: 1,
+            heat: delta(100, 10, 0),
+        };
+        assert!(wedged.score() > quiet.score());
+        let report = HeatReport {
+            shards: vec![quiet, wedged],
+        };
+        assert_eq!(report.hottest(), Some(1));
+    }
+
+    #[test]
+    fn render_names_every_shard_and_demand_class() {
+        let report = HeatReport {
+            shards: vec![ShardHeat {
+                shard: 2,
+                heat: delta(10, 1, 4),
+            }],
+        };
+        let text = report.render();
+        assert!(text.contains("shard 2:"), "{text}");
+        assert!(text.contains("deadline_rate=0.100"), "{text}");
+        assert!(text.contains("class1=5"), "{text}");
+    }
+
+    #[test]
+    fn publish_emits_one_labeled_series_per_shard() {
+        let report = HeatReport {
+            shards: vec![
+                ShardHeat {
+                    shard: 0,
+                    heat: delta(1, 0, 0),
+                },
+                ShardHeat {
+                    shard: 1,
+                    heat: delta(2, 0, 9),
+                },
+            ],
+        };
+        let mut m = MetricsSnapshot::new();
+        report.publish(&mut m);
+        assert_eq!(m.labeled_gauge_count("ngm_shard_heat_score"), 2);
+        assert_eq!(
+            m.get_labeled_gauge("ngm_shard_window_calls", &[("shard", "1")]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn obs_state_scores_zero_until_frames_arrive() {
+        let obs = ObsState::new(true, 4, vec![Arc::new(SharedDemand::new(2))]);
+        assert_eq!(obs.heat_score(0), 0);
+        assert_eq!(obs.render_current(), "");
+        let d = obs.push_frame(
+            0,
+            HeatFrame {
+                tsc: 10,
+                ring_occupancy: 2,
+                calls: 5,
+                deadlines: 1,
+                ..HeatFrame::default()
+            },
+        );
+        assert_eq!(d.calls, 5);
+        assert_eq!(obs.heat_score(0), 2 + 4);
+        assert!(obs.render_current().contains("shard 0:"));
+    }
+}

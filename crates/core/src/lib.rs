@@ -30,6 +30,7 @@ pub mod api;
 pub mod bootstrap;
 pub mod config;
 pub mod global;
+pub mod heat;
 pub mod orphan;
 pub mod service;
 pub mod watch;
@@ -37,11 +38,12 @@ pub mod watch;
 pub use api::{Ngm, NgmHandle, NgmShutdown, ShardShutdown};
 pub use config::{CorePlacement, NgmConfig, NgmError, FALLBACK_OWNER, MAX_SHARDS, OWNER_BASE};
 pub use global::NgmAllocator;
+pub use heat::{HeatReport, ShardHeat};
 pub use service::{
     AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
     ServiceStats, MAX_BATCH,
 };
-pub use watch::SharedHeapStats;
+pub use watch::{SharedDemand, SharedHeapStats};
 
 #[allow(deprecated)]
 pub use api::{NextGenMalloc, NgmBuilder};

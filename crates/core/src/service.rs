@@ -9,7 +9,7 @@ use ngm_heap::{Heap, HeapStats, SegregatedHeap};
 use ngm_offload::Service;
 
 use crate::orphan::OrphanStack;
-use crate::watch::SharedHeapStats;
+use crate::watch::{SharedDemand, SharedHeapStats};
 
 /// Maximum number of addresses carried by one batched request or reply.
 ///
@@ -235,9 +235,17 @@ pub struct MallocService {
     /// Allocations per size class since the last idle sweep — the demand
     /// signal for predictive preallocation.
     demand: [u32; NUM_CLASSES],
+    /// Cumulative allocations per size class over the service's lifetime
+    /// — the monotone demand series the heat window differences to see
+    /// *recent* per-class pressure (the decayed `demand` array above is
+    /// useless for that: it halves on every prepare sweep).
+    demand_total: [u64; NUM_CLASSES],
     /// Cross-thread readable mirror of the heap stats, refreshed on idle
     /// rounds (the heap itself is atomics-free and service-owned).
     watch: Arc<SharedHeapStats>,
+    /// Cross-thread readable mirror of `demand_total`, published with the
+    /// heap stats on idle rounds.
+    demand_watch: Arc<SharedDemand>,
 }
 
 impl MallocService {
@@ -266,7 +274,9 @@ impl MallocService {
             stats: ServiceStats::default(),
             idle_ticks: 0,
             demand: [0; NUM_CLASSES],
+            demand_total: [0; NUM_CLASSES],
             watch: Arc::new(SharedHeapStats::new()),
+            demand_watch: Arc::new(SharedDemand::new(NUM_CLASSES)),
         }
     }
 
@@ -281,6 +291,12 @@ impl MallocService {
     /// while the service thread owns it.
     pub fn heap_watch(&self) -> &Arc<SharedHeapStats> {
         &self.watch
+    }
+
+    /// The live-readable per-size-class refill-demand mirror (cumulative
+    /// counters, published on idle rounds like [`Self::heap_watch`]).
+    pub fn demand_watch(&self) -> &Arc<SharedDemand> {
+        &self.demand_watch
     }
 
     /// Service-side counters.
@@ -301,6 +317,7 @@ impl MallocService {
         };
         if let Some(class) = layout_to_class(req.size, req.align) {
             self.demand[class.0 as usize] = self.demand[class.0 as usize].saturating_add(1);
+            self.demand_total[class.0 as usize] += 1;
         }
         match self.heap.allocate(layout) {
             Ok(p) => {
@@ -323,6 +340,7 @@ impl MallocService {
         }
         self.demand[req.class.0 as usize] =
             self.demand[req.class.0 as usize].saturating_add(count as u32);
+        self.demand_total[req.class.0 as usize] += count as u64;
         self.stats.batch_refills += 1;
         match self
             .heap
@@ -434,6 +452,7 @@ impl Service for MallocService {
     fn idle(&mut self) {
         self.drain_orphans();
         self.watch.publish(&self.heap.stats());
+        self.demand_watch.publish(&self.demand_total);
         self.idle_ticks = self.idle_ticks.saturating_add(1);
         if self.idle_ticks == Self::PREPARE_IDLE {
             // Predictive preallocation (§3.3.2): spend idle cycles making
@@ -681,6 +700,24 @@ mod tests {
         s.idle();
         assert_eq!(watch.load().live_blocks, 1);
         assert_eq!(watch.load(), s.heap_stats());
+    }
+
+    #[test]
+    fn idle_publishes_cumulative_demand() {
+        let mut s = svc();
+        let demand = Arc::clone(s.demand_watch());
+        assert_eq!(demand.load().iter().sum::<u64>(), 0);
+        let _a = alloc_one(&mut s, 64, 8);
+        let _b = alloc_one(&mut s, 64, 8);
+        s.idle();
+        let published = demand.load();
+        assert_eq!(published.iter().sum::<u64>(), 2);
+        // Cumulative counters never decay, unlike the predictive-prealloc
+        // `demand` array which halves on each prepare sweep.
+        for _ in 0..MallocService::PREPARE_IDLE + 1 {
+            s.idle();
+        }
+        assert_eq!(demand.load(), published);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use service::{
 };
 pub use slot::{CallDeadline, RequestSlot};
 pub use stats::{RuntimeStats, StatsSnapshot};
-pub use telemetry::RuntimeTelemetry;
+pub use telemetry::{RuntimeTelemetry, PHASES, PHASE_NAMES};
 pub use wait::{WaitPhase, WaitState, WaitStrategy};
 
 #[allow(deprecated)]

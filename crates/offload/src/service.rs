@@ -14,6 +14,7 @@ use std::time::Duration;
 use ngm_pmu::PmuSession;
 use ngm_telemetry::clock::cycles_now;
 use ngm_telemetry::export::MetricsSnapshot;
+use ngm_telemetry::span::{call_span_id, post_span_id, SpanPhase};
 use ngm_telemetry::trace::{TraceEventKind, TraceRing};
 
 use crate::error::ServiceError;
@@ -89,6 +90,9 @@ pub struct ClientHandle<S: Service> {
     stats: Arc<RuntimeStats>,
     telemetry: Arc<RuntimeTelemetry>,
     trace: Option<Arc<TraceRing>>,
+    /// Client-local sequence for post span ids (posts have no slot
+    /// publish sequence to mint from).
+    post_seq: u64,
     pmu: ClientPmu,
 }
 
@@ -154,19 +158,77 @@ impl<S: Service> Drop for ClientHandle<S> {
 }
 
 impl<S: Service> ClientHandle<S> {
+    /// Completes the telemetry for one successful synchronous round trip:
+    /// phase histograms (unbatched calls only, so the five phase series
+    /// partition exactly the `call_cycles` population) and — when tracing
+    /// is on — the six span phase events, stamped with their true
+    /// boundary timestamps from the slot.
+    fn finish_call_span(&mut self, t0: u64, t5: u64, batched: bool) {
+        let stamps = self.slot.phase_stamps();
+        if !batched {
+            self.telemetry.record_phases(t0, stamps, t5);
+        }
+        if let Some(ring) = &self.trace {
+            let id = call_span_id(ring.thread(), self.slot.publish_seq());
+            let (t1, t2, t3, t4) = stamps;
+            for (tsc, phase) in [
+                (t0, SpanPhase::Enqueue),
+                (t1, SpanPhase::RingResident),
+                (t2, SpanPhase::Claimed),
+                (t3, SpanPhase::Served),
+                (t4, SpanPhase::Published),
+                (t5, SpanPhase::Observed),
+            ] {
+                ring.push_at(tsc.clamp(t0, t5), TraceEventKind::Span, id, phase.code());
+            }
+        }
+    }
+
+    /// Traces the terminal events of a call that never completed: the
+    /// span reached the ring (and, for an abandoned call, the server) but
+    /// ends in a terminal phase instead of `Observed`. The publish
+    /// sequence in the span id guarantees the retry the caller issues
+    /// next is a distinct span.
+    fn finish_failed_span(&mut self, t0: u64, terminal: SpanPhase) {
+        if let Some(ring) = &self.trace {
+            let id = call_span_id(ring.thread(), self.slot.publish_seq());
+            let now = cycles_now();
+            let (t1, t2, _, _) = self.slot.phase_stamps();
+            ring.push_at(t0, TraceEventKind::Span, id, SpanPhase::Enqueue.code());
+            ring.push_at(
+                t1.clamp(t0, now),
+                TraceEventKind::Span,
+                id,
+                SpanPhase::RingResident.code(),
+            );
+            if terminal == SpanPhase::Abandoned {
+                // The server claimed the request before dying mid-serve;
+                // its claim stamp is a racy-but-harmless read.
+                ring.push_at(
+                    t2.clamp(t0, now),
+                    TraceEventKind::Span,
+                    id,
+                    SpanPhase::Claimed.code(),
+                );
+            }
+            ring.push_at(now, TraceEventKind::Span, id, terminal.code());
+        }
+    }
+
     /// Sends a synchronous request and blocks (by the handle's wait
     /// strategy) until the service core responds.
     ///
     /// The round trip is timestamped into the runtime's call-latency
-    /// histogram: one relaxed bucket increment plus one relaxed sum
-    /// increment — the whole telemetry cost on this path.
+    /// histogram plus the five phase histograms derived from the slot's
+    /// boundary stamps — a handful of relaxed increments, still far below
+    /// the round trip being measured.
     pub fn call(&mut self, req: S::Req) -> S::Resp {
         self.pmu.arm();
         let t0 = cycles_now();
         let resp = self.slot.call(req, self.wait);
-        self.telemetry
-            .call_cycles
-            .record(cycles_now().saturating_sub(t0));
+        let t5 = cycles_now();
+        self.telemetry.call_cycles.record(t5.saturating_sub(t0));
+        self.finish_call_span(t0, t5, false);
         resp
     }
 
@@ -179,9 +241,9 @@ impl<S: Service> ClientHandle<S> {
         self.pmu.arm();
         let t0 = cycles_now();
         let resp = self.slot.call(req, self.wait);
-        self.telemetry
-            .refill_cycles
-            .record(cycles_now().saturating_sub(t0));
+        let t5 = cycles_now();
+        self.telemetry.refill_cycles.record(t5.saturating_sub(t0));
+        self.finish_call_span(t0, t5, true);
         self.stats
             .batched_calls_served
             .fetch_add(1, Ordering::Relaxed);
@@ -228,18 +290,20 @@ impl<S: Service> ClientHandle<S> {
         let t0 = cycles_now();
         match self.slot.call_deadline(req, self.wait, budget) {
             CallDeadline::Ok(resp) => {
-                let dt = cycles_now().saturating_sub(t0);
+                let t5 = cycles_now();
                 if batched {
-                    self.telemetry.refill_cycles.record(dt);
+                    self.telemetry.refill_cycles.record(t5.saturating_sub(t0));
                     self.stats
                         .batched_calls_served
                         .fetch_add(1, Ordering::Relaxed);
                 } else {
-                    self.telemetry.call_cycles.record(dt);
+                    self.telemetry.call_cycles.record(t5.saturating_sub(t0));
                 }
+                self.finish_call_span(t0, t5, batched);
                 Ok(resp)
             }
             CallDeadline::Retracted(waited) => {
+                self.finish_failed_span(t0, SpanPhase::Retracted);
                 self.stats.record_deadline();
                 Err(ServiceError::Deadline {
                     shard: self.shard,
@@ -250,6 +314,7 @@ impl<S: Service> ClientHandle<S> {
                 // The service consumed the request and never answered:
                 // it is wedged mid-serve or dead. The slot cannot be
                 // reused; retire this handle.
+                self.finish_failed_span(t0, SpanPhase::Abandoned);
                 self.poisoned = true;
                 self.stats.record_deadline();
                 self.stats.mark_service_down();
@@ -332,11 +397,17 @@ impl<S: Service> ClientHandle<S> {
             }
         }
         self.stats.add_retries(u64::from(retries));
-        self.telemetry
-            .post_cycles
-            .record(cycles_now().saturating_sub(t0));
+        let t1 = cycles_now();
+        self.telemetry.post_cycles.record(t1.saturating_sub(t0));
         if let Some(ring) = &self.trace {
             ring.push(TraceEventKind::Post, self.posts.len() as u64, 0);
+            // A post's span has two phases: it was decided on (enqueue)
+            // and it reached the ring (ring-resident); the service's
+            // drain is batched and anonymous, so the span ends there.
+            let id = post_span_id(ring.thread(), self.post_seq);
+            self.post_seq += 1;
+            ring.push_at(t0, TraceEventKind::Span, id, SpanPhase::Enqueue.code());
+            ring.push_at(t1, TraceEventKind::Span, id, SpanPhase::RingResident.code());
         }
         Ok(PostOutcome {
             full_retries: retries,
@@ -366,6 +437,19 @@ impl<S: Service> ClientHandle<S> {
     /// offload layer itself records post/refill/wait-transition events.
     pub fn trace_ring(&self) -> Option<&Arc<TraceRing>> {
         self.trace.as_ref()
+    }
+
+    /// The runtime's shared telemetry (histograms, trace rings). The
+    /// blackbox flight recorder and the heat reporter read through this.
+    pub fn telemetry(&self) -> &Arc<RuntimeTelemetry> {
+        &self.telemetry
+    }
+
+    /// Racy peek at this handle's request-slot protocol state
+    /// (`"empty"`/`"request"`/`"serving"`/`"response"`), for diagnostics
+    /// like the blackbox dump — not a synchronization point.
+    pub fn slot_state_label(&self) -> &'static str {
+        self.slot.state_label()
     }
 }
 
@@ -620,6 +704,7 @@ impl<S: Service> OffloadRuntime<S> {
             stats: Arc::clone(&self.shared.stats),
             telemetry: Arc::clone(&self.shared.telemetry),
             trace: self.shared.telemetry.new_ring(),
+            post_seq: 0,
             pmu: if pmu && self.shared.telemetry.profiling_enabled() {
                 ClientPmu::Unarmed
             } else {
@@ -1061,6 +1146,58 @@ mod tests {
             .any(|e| e.kind == TraceEventKind::WaitTransition && e.thread == 0));
         let stats = rt.stats();
         assert!(stats.wait_transitions > 0);
+    }
+
+    #[test]
+    fn calls_emit_well_nested_spans_and_exact_phase_partition() {
+        use ngm_telemetry::span::{reconstruct, POST_SPAN_BIT};
+        let rt = OffloadRuntime::try_start(
+            doubler(),
+            RuntimeConfig {
+                trace_capacity: 1024,
+                ..RuntimeConfig::new()
+            },
+        )
+        .unwrap();
+        let mut c = rt.register_client();
+        for i in 0..8 {
+            c.call(i);
+            c.post(i);
+        }
+        let m = rt.metrics();
+        let call_sum = m.get_histogram("ngm_call_cycles").expect("calls").sum();
+        let phase_sum: u64 = crate::telemetry::PHASE_NAMES
+            .iter()
+            .map(|n| {
+                m.get_histogram(&format!("ngm_phase_{n}_cycles"))
+                    .expect("phase series")
+                    .sum()
+            })
+            .sum();
+        assert_eq!(
+            phase_sum, call_sum,
+            "phases partition the round trip exactly (same endpoint stamps)"
+        );
+        let spans = reconstruct(&rt.telemetry().drain_trace().events);
+        let calls: Vec<_> = spans.iter().filter(|s| s.id & POST_SPAN_BIT == 0).collect();
+        let posts: Vec<_> = spans.iter().filter(|s| s.id & POST_SPAN_BIT != 0).collect();
+        assert_eq!(calls.len(), 8, "one span per synchronous call");
+        assert_eq!(posts.len(), 8, "one span per post");
+        for s in &spans {
+            assert!(
+                s.well_nested(),
+                "span {:#x} malformed: {:?}",
+                s.id,
+                s.phases
+            );
+            assert!(s.phase_monotonic(), "span {:#x} time-travels", s.id);
+        }
+        for s in calls {
+            assert!(s.completed(), "call spans end Observed");
+            assert_eq!(s.phases.len(), 6, "all six call phases present");
+        }
+        drop(c);
+        rt.shutdown();
     }
 
     #[test]

@@ -12,8 +12,10 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Duration;
+
+use ngm_telemetry::clock::cycles_now;
 
 use crate::pad::CachePadded;
 use crate::wait::{WaitState, WaitStrategy};
@@ -58,12 +60,23 @@ pub struct RequestSlot<Q, R> {
     state: CachePadded<AtomicU32>,
     req: UnsafeCell<MaybeUninit<Q>>,
     resp: UnsafeCell<MaybeUninit<R>>,
-    /// Publish counter for fault injection: lets the service loop's "drop
-    /// response" fault ignore one *specific* request rather than whatever
-    /// currently occupies the slot, which would swallow the retry a
-    /// deadline-expired client publishes after retracting.
-    #[cfg(feature = "faultinject")]
-    publish_seq: std::sync::atomic::AtomicU64,
+    /// Publish counter, bumped immediately before every REQUEST store. Two
+    /// consumers: fault injection uses it so the service loop's "drop
+    /// response" fault ignores one *specific* request rather than whatever
+    /// currently occupies the slot (which would swallow the retry a
+    /// deadline-expired client publishes after retracting), and span
+    /// tracing mints span ids from it so a retried request is a distinct
+    /// span by construction.
+    publish_seq: AtomicU64,
+    /// Phase stamps for span tracing, all [`cycles_now`] values for the
+    /// *current* request. Writes are Relaxed: the server's stamps are
+    /// ordered for the client by the RESPONSE Release store, and
+    /// `request_tsc` is the client's own write. One cycle of the protocol
+    /// overwrites the previous request's stamps.
+    request_tsc: AtomicU64,
+    claim_tsc: AtomicU64,
+    served_tsc: AtomicU64,
+    publish_tsc: AtomicU64,
 }
 
 // SAFETY: access to `req` and `resp` is mediated by the `state` protocol:
@@ -88,30 +101,66 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
             state: CachePadded::new(AtomicU32::new(EMPTY)),
             req: UnsafeCell::new(MaybeUninit::uninit()),
             resp: UnsafeCell::new(MaybeUninit::uninit()),
-            #[cfg(feature = "faultinject")]
-            publish_seq: std::sync::atomic::AtomicU64::new(0),
+            publish_seq: AtomicU64::new(0),
+            request_tsc: AtomicU64::new(0),
+            claim_tsc: AtomicU64::new(0),
+            served_tsc: AtomicU64::new(0),
+            publish_tsc: AtomicU64::new(0),
         }
     }
 
     /// Bumps the publish counter; called immediately before each REQUEST
     /// store so a server that observes REQUEST (Acquire) also observes the
     /// matching sequence number.
-    #[cfg(feature = "faultinject")]
     #[inline]
     fn bump_publish_seq(&self) {
         self.publish_seq.fetch_add(1, Ordering::Relaxed);
     }
 
-    #[cfg(not(feature = "faultinject"))]
-    #[inline]
-    fn bump_publish_seq(&self) {}
-
-    /// The sequence number of the most recently published request. Only
-    /// meaningful to the server while it observes `has_request()`.
-    #[cfg(feature = "faultinject")]
+    /// The sequence number of the most recently published request. To the
+    /// server this is only meaningful while it observes `has_request()`;
+    /// to the client it identifies the request *it* just published (it is
+    /// the only publisher).
     #[must_use]
     pub fn publish_seq(&self) -> u64 {
         self.publish_seq.load(Ordering::Relaxed)
+    }
+
+    /// Stamps the ring-resident mark; called by the client immediately
+    /// before the REQUEST store so the stamp is ordered to the server by
+    /// the same Release edge as the payload.
+    #[inline]
+    fn stamp_request(&self) {
+        self.request_tsc.store(cycles_now(), Ordering::Relaxed);
+    }
+
+    /// Phase stamps of the most recently completed request, as
+    /// `(request, claim, served, publish)` [`cycles_now`] values. Valid
+    /// for the client after it consumed a RESPONSE (the Acquire load
+    /// ordered the server's stamps); phases the request never reached
+    /// (e.g. a retracted request was never claimed) read as stale values
+    /// from an earlier cycle — callers gate on the call outcome.
+    #[must_use]
+    pub fn phase_stamps(&self) -> (u64, u64, u64, u64) {
+        (
+            self.request_tsc.load(Ordering::Relaxed),
+            self.claim_tsc.load(Ordering::Relaxed),
+            self.served_tsc.load(Ordering::Relaxed),
+            self.publish_tsc.load(Ordering::Relaxed),
+        )
+    }
+
+    /// A human-readable label for the current protocol state — a racy
+    /// peek for the blackbox flight recorder, not a synchronization point.
+    #[must_use]
+    pub fn state_label(&self) -> &'static str {
+        match self.state.load(Ordering::Relaxed) {
+            EMPTY => "empty",
+            REQUEST => "request",
+            RESPONSE => "response",
+            SERVING => "serving",
+            _ => "?",
+        }
     }
 
     /// Client side: publishes `request`, waits for the response with the
@@ -127,6 +176,7 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
         // no other client shares this slot (single-client contract).
         unsafe { (*self.req.get()).write(request) };
         self.bump_publish_seq();
+        self.stamp_request();
         self.state.store(REQUEST, Ordering::Release);
 
         // Route through the shared WaitState machine so the configured
@@ -166,6 +216,7 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
         // SAFETY: state is EMPTY (single-client contract), as in `call`.
         unsafe { (*self.req.get()).write(request) };
         self.bump_publish_seq();
+        self.stamp_request();
         self.state.store(REQUEST, Ordering::Release);
 
         let mut state = WaitState::with_budget(wait, Some(budget));
@@ -225,14 +276,17 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
         {
             return false;
         }
+        self.claim_tsc.store(cycles_now(), Ordering::Relaxed);
         // SAFETY: the CAS claimed the request (Acquire), so the client's
         // write of `req` happens-before this read, and a retracting client
         // observes SERVING and leaves the payload cells alone.
         let request = unsafe { (*self.req.get()).assume_init_read() };
         let response = f(request);
+        self.served_tsc.store(cycles_now(), Ordering::Relaxed);
         // SAFETY: as above — the client cannot access `resp` until it
         // observes the RESPONSE store below.
         unsafe { (*self.resp.get()).write(response) };
+        self.publish_tsc.store(cycles_now(), Ordering::Relaxed);
         self.state.store(RESPONSE, Ordering::Release);
         true
     }
@@ -419,6 +473,34 @@ mod tests {
             matches!(r, CallDeadline::Abandoned(_)),
             "mid-serve death must surface as Abandoned, got {r:?}"
         );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn phase_stamps_are_ordered_and_publish_seq_advances() {
+        let slot: Arc<RequestSlot<u32, u32>> = Arc::new(RequestSlot::new());
+        let server = Arc::clone(&slot);
+        let h = std::thread::spawn(move || {
+            let mut served = 0;
+            while served < 2 {
+                if server.serve(|q| q) {
+                    served += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert_eq!(slot.state_label(), "empty");
+        let t0 = cycles_now();
+        slot.call(1, WaitStrategy::Backoff);
+        let t5 = cycles_now();
+        let seq1 = slot.publish_seq();
+        let (req, claim, served, publish) = slot.phase_stamps();
+        assert!(t0 <= req, "request stamp after call start");
+        assert!(req <= claim && claim <= served && served <= publish);
+        assert!(publish <= t5, "publish stamp before the client observed");
+        slot.call(2, WaitStrategy::Backoff);
+        assert_eq!(slot.publish_seq(), seq1 + 1, "seq bumps per publish");
         h.join().unwrap();
     }
 

@@ -17,6 +17,15 @@ use ngm_telemetry::trace::{TraceDrain, TraceRing};
 
 use crate::stats::StatsSnapshot;
 
+/// Number of round-trip phases tracked per call (see
+/// [`RuntimeTelemetry::phase_cycles`]).
+pub const PHASES: usize = 5;
+
+/// Stable phase names, lifecycle order; index-aligned with
+/// [`RuntimeTelemetry::phase_cycles`] and the exported
+/// `ngm_phase_{name}_cycles` series.
+pub const PHASE_NAMES: [&str; PHASES] = ["queue", "claim", "serve", "publish", "observe"];
+
 /// PMU readings attributed by core role (§2.3: the service core takes
 /// the allocator's misses so the app cores don't).
 #[derive(Debug, Default)]
@@ -41,6 +50,13 @@ pub struct RuntimeTelemetry {
     /// per-item cost of the batched handshake can be compared against the
     /// per-call round trip without mixing the two populations.
     pub refill_cycles: LatencyHistogram,
+    /// Per-phase breakdowns of the synchronous round trip, in lifecycle
+    /// order: queue (enqueue → ring-resident), claim (ring-resident →
+    /// claimed), serve (claimed → served), publish (served → response
+    /// published), observe (published → client observed). The five are
+    /// derived from the same two endpoint timestamps as `call_cycles`,
+    /// so per-request they sum to exactly the recorded round trip.
+    pub phase_cycles: [LatencyHistogram; PHASES],
     /// Capacity of each per-thread trace ring; 0 disables tracing.
     trace_capacity: usize,
     /// All trace rings ever created for this runtime (service loop plus
@@ -82,6 +98,7 @@ impl RuntimeTelemetry {
             call_cycles: LatencyHistogram::new(),
             post_cycles: LatencyHistogram::new(),
             refill_cycles: LatencyHistogram::new(),
+            phase_cycles: std::array::from_fn(|_| LatencyHistogram::new()),
             trace_capacity,
             rings: Mutex::new(Vec::new()),
             next_thread: AtomicU32::new(0),
@@ -189,6 +206,41 @@ impl RuntimeTelemetry {
         self.lock_rings().iter().map(|r| r.dropped_total()).sum()
     }
 
+    /// Copies up to the `last` most recent events from every ring, merged
+    /// in timestamp order, *without* draining — the blackbox flight
+    /// recorder's read path: a post-mortem must not consume history that
+    /// a later `drain_trace` (or a second dump) still wants.
+    #[must_use]
+    pub fn peek_trace(&self, last: usize) -> Vec<ngm_telemetry::trace::TraceEvent> {
+        let rings: Vec<Arc<TraceRing>> = self.lock_rings().clone();
+        let mut events: Vec<_> = rings.iter().flat_map(|r| r.peek(last)).collect();
+        events.sort_by_key(|e| e.tsc);
+        let skip = events.len().saturating_sub(last);
+        events.drain(..skip);
+        events
+    }
+
+    /// Records one call's phase breakdown. `stamps` are the slot's
+    /// `(request, claim, served, publish)` timestamps; `t0`/`t5` are the
+    /// *same* endpoint readings used for the `call_cycles` record, so
+    /// the five phases sum to exactly the recorded round trip. All
+    /// differences saturate: a stale stamp (e.g. from a request that was
+    /// never claimed) records as zero rather than a garbage bucket.
+    pub fn record_phases(&self, t0: u64, stamps: (u64, u64, u64, u64), t5: u64) {
+        let (t1, t2, t3, t4) = stamps;
+        // Clamp each boundary into [t0, t5] so skewed or stale stamps
+        // cannot make the phase sum exceed the round trip.
+        let t1 = t1.clamp(t0, t5);
+        let t2 = t2.clamp(t1, t5);
+        let t3 = t3.clamp(t2, t5);
+        let t4 = t4.clamp(t3, t5);
+        self.phase_cycles[0].record(t1 - t0);
+        self.phase_cycles[1].record(t2 - t1);
+        self.phase_cycles[2].record(t3 - t2);
+        self.phase_cycles[3].record(t4 - t3);
+        self.phase_cycles[4].record(t5 - t4);
+    }
+
     /// Assembles the exportable metrics snapshot: the runtime's counters
     /// and gauges (from `stats`) plus both latency histograms.
     #[must_use]
@@ -211,11 +263,15 @@ impl RuntimeTelemetry {
         let mut call = self.call_cycles.snapshot();
         let mut post = self.post_cycles.snapshot();
         let mut refill = self.refill_cycles.snapshot();
+        let mut phases: Vec<_> = self.phase_cycles.iter().map(|h| h.snapshot()).collect();
         let mut trace_dropped = self.trace_dropped_total();
         for p in peers {
             call.merge(&p.call_cycles.snapshot());
             post.merge(&p.post_cycles.snapshot());
             refill.merge(&p.refill_cycles.snapshot());
+            for (acc, h) in phases.iter_mut().zip(&p.phase_cycles) {
+                acc.merge(&h.snapshot());
+            }
             trace_dropped += p.trace_dropped_total();
         }
         let mut pmu = self.pmu_report();
@@ -261,6 +317,9 @@ impl RuntimeTelemetry {
             .histogram("ngm_call_cycles", call)
             .histogram("ngm_post_cycles", post)
             .histogram("ngm_refill_cycles", refill);
+        for (name, snap) in PHASE_NAMES.iter().zip(phases) {
+            m.histogram(format!("ngm_phase_{name}_cycles"), snap);
+        }
         if let Some(rep) = pmu {
             rep.publish(&mut m);
         }
@@ -309,6 +368,55 @@ mod tests {
         let d = t.drain_trace();
         assert_eq!(d.events.len(), 10);
         assert!(d.events.windows(2).all(|w| w[0].tsc <= w[1].tsc));
+    }
+
+    #[test]
+    fn phase_records_sum_to_the_round_trip_and_export() {
+        let t = RuntimeTelemetry::new(0);
+        // A normal call: t0=100, stamps 110/150/900/920, t5=1000.
+        t.record_phases(100, (110, 150, 900, 920), 1000);
+        let sum: u64 = t.phase_cycles.iter().map(|h| h.snapshot().sum()).sum();
+        assert_eq!(sum, 900, "phases partition t5 - t0 exactly");
+        // Stale stamps (never-claimed request reusing old values) clamp
+        // to zero-width phases instead of recording garbage.
+        t.record_phases(2000, (1, 2, 3, 4), 2100);
+        let sum: u64 = t.phase_cycles.iter().map(|h| h.snapshot().sum()).sum();
+        assert_eq!(sum, 900 + 100);
+        let stats = crate::stats::RuntimeStats::new().snapshot();
+        let m = t.metrics(&stats);
+        for name in PHASE_NAMES {
+            let h = m
+                .get_histogram(&format!("ngm_phase_{name}_cycles"))
+                .unwrap_or_else(|| panic!("missing phase series {name}"));
+            assert_eq!(h.count(), 2);
+        }
+    }
+
+    #[test]
+    fn phase_histograms_merge_across_peers() {
+        let a = RuntimeTelemetry::new(0);
+        let b = RuntimeTelemetry::new(0);
+        a.record_phases(0, (10, 20, 30, 40), 50);
+        b.record_phases(0, (10, 20, 30, 40), 50);
+        let stats = crate::stats::RuntimeStats::new().snapshot();
+        let m = a.metrics_merged(&stats, &[&b]);
+        let h = m.get_histogram("ngm_phase_queue_cycles").expect("series");
+        assert_eq!(h.count(), 2, "both peers' records in one series");
+    }
+
+    #[test]
+    fn peek_trace_is_non_draining_and_merged() {
+        let t = RuntimeTelemetry::new(16);
+        let a = t.new_ring().unwrap();
+        let b = t.new_ring().unwrap();
+        a.push_at(10, TraceEventKind::Alloc, 1, 0);
+        b.push_at(5, TraceEventKind::Free, 2, 0);
+        a.push_at(20, TraceEventKind::Alloc, 3, 0);
+        let peeked = t.peek_trace(2);
+        assert_eq!(peeked.len(), 2, "bounded to `last` across all rings");
+        assert_eq!(peeked[0].a, 1, "newest events win, oldest first");
+        assert_eq!(peeked[1].a, 3);
+        assert_eq!(t.drain_trace().events.len(), 3, "peek consumed nothing");
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Blackbox flight recorder: structured post-mortems for request-path
+//! failures.
+//!
+//! When the tier hits a failure edge — a deadline expiry, a shard death,
+//! the first degradation to the inline fallback — a typed error tells
+//! the caller *what* happened but discards the context that explains
+//! *why*. The blackbox captures that context at the moment of failure:
+//! the last-K trace events of the implicated shard, every shard's slot
+//! state and ring occupancy, and a heat snapshot, rendered as one framed
+//! text dump to stderr and (when `NGM_BLACKBOX_PATH` is set) appended to
+//! a file.
+//!
+//! Emission is rate-limited process-wide: callers claim a slot with
+//! [`should_emit`] *before* assembling a dump, so the suppressed common
+//! case costs one relaxed atomic read — no allocation, no formatting.
+//! A wedged shard under churn produces a dump every
+//! [`MIN_INTERVAL`] at most, not one per failed request.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use crate::span::SpanPhase;
+use crate::trace::{TraceEvent, TraceEventKind};
+
+/// Minimum spacing between emitted dumps.
+pub const MIN_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Environment variable naming the file dumps are appended to.
+pub const PATH_ENV: &str = "NGM_BLACKBOX_PATH";
+
+/// Default trace-tail depth captured into a dump.
+pub const DEFAULT_LAST_K: usize = 64;
+
+/// One shard's state line in a dump.
+#[derive(Debug, Clone)]
+pub struct ShardState {
+    /// Shard index.
+    pub shard: usize,
+    /// Request-slot protocol state label (`empty`/`request`/...).
+    pub slot_state: &'static str,
+    /// Free-ring occupancy.
+    pub ring_occupancy: u64,
+    /// Whether the shard's service thread is down.
+    pub down: bool,
+}
+
+/// A captured post-mortem, ready to render.
+#[derive(Debug, Clone)]
+pub struct BlackboxDump {
+    /// What tripped the recorder (e.g. `"deadline"`, `"failover"`).
+    pub reason: String,
+    /// Shard the failure implicates.
+    pub shard: usize,
+    /// Capture timestamp ([`crate::clock::cycles_now`]).
+    pub tsc: u64,
+    /// Last-K trace events of the implicated shard (oldest first;
+    /// empty when tracing is disabled).
+    pub events: Vec<TraceEvent>,
+    /// Per-shard slot/ring state at capture time.
+    pub shards: Vec<ShardState>,
+    /// Pre-rendered heat-snapshot lines (the caller owns the heat
+    /// types; the recorder only archives their rendering).
+    pub heat: String,
+}
+
+impl BlackboxDump {
+    /// Renders the framed text dump.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== ngm blackbox: {} (shard {}) ===",
+            self.reason, self.shard
+        );
+        let _ = writeln!(out, "captured_tsc: {}", self.tsc);
+        let _ = writeln!(out, "--- shard states ---");
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "shard {}: slot={} ring_occupancy={} down={}",
+                s.shard, s.slot_state, s.ring_occupancy, s.down
+            );
+        }
+        let _ = writeln!(out, "--- heat snapshot ---");
+        if self.heat.is_empty() {
+            let _ = writeln!(out, "(no heat data)");
+        } else {
+            for line in self.heat.lines() {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "--- last {} trace events (shard {}) ---",
+            self.events.len(),
+            self.shard
+        );
+        if self.events.is_empty() {
+            let _ = writeln!(out, "(tracing disabled: set trace_capacity > 0)");
+        }
+        for e in &self.events {
+            // Span events decode their phase; others print raw payloads.
+            if e.kind == TraceEventKind::Span {
+                let phase = SpanPhase::from_code(e.b).map_or("?", SpanPhase::label);
+                let _ = writeln!(
+                    out,
+                    "tsc={} thread={} span id={:#x} phase={phase}",
+                    e.tsc, e.thread, e.a
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "tsc={} thread={} {} a={} b={}",
+                    e.tsc,
+                    e.thread,
+                    e.kind.label(),
+                    e.a,
+                    e.b
+                );
+            }
+        }
+        let _ = writeln!(out, "=== end blackbox ===");
+        out
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Millis since process epoch of the last emitted dump; 0 = never.
+static LAST_EMIT_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Claims the process-wide emission slot. Returns `true` at most once
+/// per [`MIN_INTERVAL`]; call this *before* assembling a dump so the
+/// rate-limited path never allocates.
+#[must_use]
+pub fn should_emit() -> bool {
+    // +1 so a claim in the first millisecond is distinguishable from
+    // the "never emitted" sentinel.
+    let now_ms = epoch().elapsed().as_millis() as u64 + 1;
+    let min_ms = MIN_INTERVAL.as_millis() as u64;
+    let last = LAST_EMIT_MS.load(Ordering::Relaxed);
+    if last != 0 && now_ms.saturating_sub(last) < min_ms {
+        return false;
+    }
+    // One winner per interval; losers observe the winner's store.
+    LAST_EMIT_MS
+        .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// Resets the rate limiter (test isolation only).
+#[doc(hidden)]
+pub fn reset_rate_limiter_for_tests() {
+    LAST_EMIT_MS.store(0, Ordering::Relaxed);
+}
+
+/// Renders and writes a dump: stderr always, plus appended to the file
+/// named by [`PATH_ENV`] when set. Write failures are swallowed — a
+/// flight recorder must never turn a degraded request into a crash.
+pub fn emit(dump: &BlackboxDump) {
+    let text = dump.render();
+    let _ = std::io::stderr().write_all(text.as_bytes());
+    if let Ok(path) = std::env::var(PATH_ENV) {
+        if !path.is_empty() {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = f.write_all(text.as_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BlackboxDump {
+        BlackboxDump {
+            reason: "deadline".into(),
+            shard: 1,
+            tsc: 42,
+            events: vec![
+                TraceEvent {
+                    tsc: 40,
+                    thread: 1,
+                    kind: TraceEventKind::Span,
+                    a: 0xabc,
+                    b: SpanPhase::Enqueue.code(),
+                },
+                TraceEvent {
+                    tsc: 41,
+                    thread: 0,
+                    kind: TraceEventKind::Refill,
+                    a: 3,
+                    b: 0,
+                },
+            ],
+            shards: vec![
+                ShardState {
+                    shard: 0,
+                    slot_state: "empty",
+                    ring_occupancy: 0,
+                    down: false,
+                },
+                ShardState {
+                    shard: 1,
+                    slot_state: "request",
+                    ring_occupancy: 17,
+                    down: false,
+                },
+            ],
+            heat: "shard 1: deadline_rate 0.50".into(),
+        }
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let text = sample().render();
+        assert!(text.contains("ngm blackbox: deadline (shard 1)"));
+        assert!(text.contains("shard 1: slot=request ring_occupancy=17"));
+        assert!(text.contains("deadline_rate 0.50"));
+        assert!(text.contains("phase=enqueue"), "{text}");
+        assert!(text.contains("refill a=3"));
+        assert!(text.contains("end blackbox"));
+    }
+
+    #[test]
+    fn render_labels_disabled_tracing() {
+        let mut d = sample();
+        d.events.clear();
+        assert!(d.render().contains("tracing disabled"));
+    }
+
+    #[test]
+    fn rate_limiter_allows_then_suppresses() {
+        reset_rate_limiter_for_tests();
+        assert!(should_emit(), "first claim wins");
+        assert!(!should_emit(), "second within the interval is suppressed");
+        reset_rate_limiter_for_tests();
+        assert!(should_emit(), "reset re-arms");
+    }
+}

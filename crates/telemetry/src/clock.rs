@@ -16,7 +16,6 @@
 //! nanoseconds; [`source`] reports which one is active so exported
 //! metrics can label their unit.
 
-#[cfg(not(target_arch = "x86_64"))]
 use std::sync::OnceLock;
 #[cfg(not(target_arch = "x86_64"))]
 use std::time::Instant;
@@ -53,6 +52,57 @@ pub const fn source() -> &'static str {
     }
 }
 
+/// [`cycles_now`] ticks per wall-clock nanosecond, calibrated once per
+/// process.
+///
+/// On x86_64 the first call measures the TSC against `Instant` over a
+/// short window (a few ms — long enough that the ~±1µs `Instant`
+/// resolution is noise, short enough not to stall startup); later calls
+/// return the cached ratio. On the monotonic-ns fallback the ratio is
+/// exactly 1.0. A degenerate measurement (zero elapsed, absurd ratio)
+/// falls back to 1.0 rather than poisoning every conversion.
+#[must_use]
+pub fn cycles_per_ns() -> f64 {
+    static RATIO: OnceLock<f64> = OnceLock::new();
+    *RATIO.get_or_init(calibrate)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn calibrate() -> f64 {
+    let wall0 = std::time::Instant::now();
+    let tsc0 = cycles_now();
+    // Busy-wait ~2 ms: sleeping would let the scheduler stretch the
+    // window arbitrarily, and the TSC is invariant (counts through
+    // idle), so a spin gives the tightest wall↔tsc pairing.
+    while wall0.elapsed() < std::time::Duration::from_millis(2) {
+        std::hint::spin_loop();
+    }
+    let tsc1 = cycles_now();
+    let ns = wall0.elapsed().as_nanos() as f64;
+    let ratio = (tsc1.saturating_sub(tsc0)) as f64 / ns;
+    // Plausibility gate: real TSCs run 0.5–6 GHz. Outside that, the
+    // measurement is garbage (e.g. a paused VM mid-window).
+    if ns <= 0.0 || !(0.1..=20.0).contains(&ratio) {
+        1.0
+    } else {
+        ratio
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn calibrate() -> f64 {
+    1.0
+}
+
+/// Converts a [`cycles_now`] delta to nanoseconds using the calibrated
+/// ratio ([`cycles_per_ns`]). Exact (identity) on the monotonic-ns
+/// fallback; within calibration error on x86_64.
+#[must_use]
+pub fn cycles_to_ns(cycles: u64) -> u64 {
+    let ratio = cycles_per_ns();
+    (cycles as f64 / ratio).round() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +123,40 @@ mod tests {
     #[test]
     fn source_is_labelled() {
         assert!(["tsc_cycles", "monotonic_ns"].contains(&source()));
+    }
+
+    #[test]
+    fn calibration_is_cached_and_plausible() {
+        let a = cycles_per_ns();
+        let b = cycles_per_ns();
+        assert_eq!(a.to_bits(), b.to_bits(), "calibrated once, then cached");
+        assert!((0.1..=20.0).contains(&a), "implausible ratio {a}");
+        if source() == "monotonic_ns" {
+            assert_eq!(a, 1.0, "ns clock needs no conversion");
+        }
+    }
+
+    #[test]
+    fn cycles_to_ns_tracks_wall_clock() {
+        // A measured busy window converted to ns must land within a loose
+        // factor of the wall clock (scheduler noise allowed).
+        let wall = std::time::Instant::now();
+        let t0 = cycles_now();
+        while wall.elapsed() < std::time::Duration::from_millis(5) {
+            std::hint::spin_loop();
+        }
+        let dt = cycles_now() - t0;
+        let ns = cycles_to_ns(dt) as f64;
+        let wall_ns = wall.elapsed().as_nanos() as f64;
+        assert!(
+            ns > wall_ns * 0.2 && ns < wall_ns * 5.0,
+            "converted {ns} ns vs wall {wall_ns} ns"
+        );
+    }
+
+    #[test]
+    fn cycles_to_ns_is_monotone() {
+        assert_eq!(cycles_to_ns(0), 0);
+        assert!(cycles_to_ns(1_000_000) <= cycles_to_ns(2_000_000));
     }
 }

@@ -124,20 +124,25 @@ impl MetricsSnapshot {
             .count()
     }
 
-    /// Renders Prometheus text exposition format (version 0.0.4).
+    /// Renders Prometheus text exposition format (version 0.0.4). Every
+    /// metric family gets a `# HELP` line derived from the naming
+    /// convention (see [`help_text`]) followed by its `# TYPE` line.
     #[must_use]
     pub fn to_prometheus_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (name, v) in &self.counters {
+            let _ = writeln!(out, "# HELP {name} {}", help_text(name));
             let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
         }
         for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# HELP {name} {}", help_text(name));
             let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
         }
         let mut last_labeled: Option<&str> = None;
         for s in &self.labeled_gauges {
             if last_labeled != Some(s.name.as_str()) {
+                let _ = writeln!(out, "# HELP {} {}", s.name, help_text(&s.name));
                 let _ = writeln!(out, "# TYPE {} gauge", s.name);
                 last_labeled = Some(s.name.as_str());
             }
@@ -148,6 +153,7 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "}} {}", s.value);
         }
         for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# HELP {name} {}", help_text(name));
             let _ = writeln!(out, "# TYPE {name} summary");
             for (q, v) in [
                 (0.5, h.p50()),
@@ -220,6 +226,33 @@ fn comma(i: usize) -> &'static str {
     } else {
         ","
     }
+}
+
+/// Derives a `# HELP` description from the metric-name convention
+/// (`ngm_` prefix, unit suffix). Generating help from the convention —
+/// instead of a per-metric table in this crate — means a series added
+/// by any layer of the runtime gets a well-formed HELP line without a
+/// registry to keep in sync; the README's metric index carries the
+/// prose documentation.
+fn help_text(name: &str) -> String {
+    let stem = name.strip_prefix("ngm_").unwrap_or(name);
+    if let Some(s) = stem.strip_suffix("_total") {
+        format!("Cumulative count of {} events.", words(s))
+    } else if let Some(s) = stem.strip_suffix("_cycles") {
+        format!("Distribution of {} durations in TSC cycles.", words(s))
+    } else if let Some(s) = stem.strip_suffix("_ns") {
+        format!("Distribution of {} durations in nanoseconds.", words(s))
+    } else if let Some(s) = stem.strip_suffix("_bytes") {
+        format!("Gauge of {} in bytes.", words(s))
+    } else if let Some(s) = stem.strip_suffix("_blocks") {
+        format!("Gauge of {} in blocks.", words(s))
+    } else {
+        format!("Gauge of {}.", words(stem))
+    }
+}
+
+fn words(s: &str) -> String {
+    s.replace('_', " ")
 }
 
 /// Escapes a Prometheus label value per the text exposition format:
@@ -381,6 +414,49 @@ mod tests {
         let json = m.to_json();
         assert!(!json.contains('\n'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn every_type_line_is_preceded_by_matching_help() {
+        let mut m = sample();
+        m.labeled_gauge("ngm_site_live_bytes", &[("site", "x")], 1);
+        let text = m.to_prometheus_text();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut type_lines = 0;
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                type_lines += 1;
+                let name = rest.split_whitespace().next().expect("metric name");
+                let prev = lines.get(i.wrapping_sub(1)).copied().unwrap_or("");
+                assert!(
+                    prev.starts_with(&format!("# HELP {name} ")),
+                    "TYPE for {name} lacks a HELP line above it:\n{text}"
+                );
+            }
+        }
+        assert!(type_lines >= 4, "expected families for all sample metrics");
+    }
+
+    #[test]
+    fn help_text_follows_the_naming_convention() {
+        assert_eq!(
+            help_text("ngm_calls_total"),
+            "Cumulative count of calls events."
+        );
+        assert_eq!(
+            help_text("ngm_call_cycles"),
+            "Distribution of call durations in TSC cycles."
+        );
+        assert_eq!(
+            help_text("ngm_site_live_bytes"),
+            "Gauge of site live in bytes."
+        );
+        assert_eq!(help_text("ngm_ring_occupancy"), "Gauge of ring occupancy.");
+        // No backslash or newline may ever reach a HELP line.
+        for name in ["ngm_x_total", "ngm_y_cycles", "plain"] {
+            let h = help_text(name);
+            assert!(!h.contains('\n') && !h.contains('\\'));
+        }
     }
 
     #[test]

@@ -19,15 +19,28 @@
 //! * [`sites::SiteProfiler`] — a sampled (1-in-N) allocation-site heap
 //!   profiler: call-site hash → live bytes/blocks/peak, with a shutdown
 //!   leak report listing surviving sites.
+//! * [`span`] — request-lifecycle spans: phase codes, alias-free span
+//!   ids minted from the slot publish sequence, and reconstruction of
+//!   spans from drained trace rings.
+//! * [`window::HeatWindow`] — rolling-window aggregation of cumulative
+//!   shard samples into recent rates and windowed phase percentiles.
+//! * [`blackbox`] — a rate-limited flight recorder that archives the
+//!   last-K trace events, slot states, and a heat snapshot on
+//!   request-path failures.
 //!
 //! Timestamps come from [`clock::cycles_now`]: `rdtsc` on x86_64, a
-//! monotonic-nanosecond fallback elsewhere (see that module for caveats).
+//! monotonic-nanosecond fallback elsewhere (see that module for
+//! caveats); [`clock::cycles_per_ns`] calibrates a cycles→ns conversion
+//! once per process.
 
+pub mod blackbox;
 pub mod clock;
 pub mod export;
 pub mod hist;
 pub mod sites;
+pub mod span;
 pub mod trace;
+pub mod window;
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 

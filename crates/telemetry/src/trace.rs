@@ -26,6 +26,11 @@ pub enum TraceEventKind {
     /// The service wait loop changed phase; `a` = from, `b` = to
     /// (see `ngm-offload`'s wait-phase encoding).
     WaitTransition,
+    /// A request-lifecycle span crossed a phase boundary; `a` = span id,
+    /// `b` = phase code (see [`crate::span::SpanPhase`]). Pushed with
+    /// [`TraceRing::push_at`] so the event's `tsc` is the *true* phase
+    /// timestamp, not the record time.
+    Span,
 }
 
 impl TraceEventKind {
@@ -38,6 +43,7 @@ impl TraceEventKind {
             TraceEventKind::Post => "post",
             TraceEventKind::Refill => "refill",
             TraceEventKind::WaitTransition => "wait_transition",
+            TraceEventKind::Span => "span",
         }
     }
 }
@@ -107,8 +113,17 @@ impl TraceRing {
     /// Records an event, timestamping it now. Drops (and counts) the
     /// oldest event if the ring is full.
     pub fn push(&self, kind: TraceEventKind, a: u64, b: u64) {
+        self.push_at(cycles_now(), kind, a, b);
+    }
+
+    /// Records an event with an explicit timestamp — for span phase
+    /// events, whose meaningful time is when the phase boundary was
+    /// crossed, not when the client got around to recording it. Events
+    /// within one ring may therefore be slightly out of `tsc` order;
+    /// mergers sort.
+    pub fn push_at(&self, tsc: u64, kind: TraceEventKind, a: u64, b: u64) {
         let ev = TraceEvent {
-            tsc: cycles_now(),
+            tsc,
             thread: self.thread,
             kind,
             a,
@@ -120,6 +135,12 @@ impl TraceRing {
             g.dropped += 1;
         }
         g.buf.push_back(ev);
+    }
+
+    /// The runtime thread id this ring records for.
+    #[must_use]
+    pub fn thread(&self) -> u32 {
+        self.thread
     }
 
     /// Maximum number of retained events.
@@ -156,6 +177,17 @@ impl TraceRing {
             events: g.buf.drain(..).collect(),
             dropped_total: g.dropped,
         }
+    }
+
+    /// Copies up to the `last` most recent events (oldest first) without
+    /// draining — the blackbox flight recorder's read: a post-mortem
+    /// snapshot must not consume the history someone else may still
+    /// drain.
+    #[must_use]
+    pub fn peek(&self, last: usize) -> Vec<TraceEvent> {
+        let g = self.lock();
+        let skip = g.buf.len().saturating_sub(last);
+        g.buf.iter().skip(skip).copied().collect()
     }
 }
 
@@ -216,5 +248,32 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(TraceEventKind::WaitTransition.label(), "wait_transition");
+        assert_eq!(TraceEventKind::Span.label(), "span");
+    }
+
+    #[test]
+    fn push_at_records_explicit_timestamp() {
+        let r = TraceRing::new(3, 4);
+        r.push_at(12_345, TraceEventKind::Span, 7, 0);
+        let d = r.drain();
+        assert_eq!(d.events.len(), 1);
+        assert_eq!(d.events[0].tsc, 12_345);
+        assert_eq!(d.events[0].thread, 3);
+    }
+
+    #[test]
+    fn peek_is_non_draining_and_bounded() {
+        let r = TraceRing::new(0, 8);
+        for i in 0..5 {
+            r.push(TraceEventKind::Alloc, i, 0);
+        }
+        let tail = r.peek(3);
+        assert_eq!(
+            tail.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "newest `last` events, oldest first"
+        );
+        assert_eq!(r.len(), 5, "peek consumed nothing");
+        assert_eq!(r.peek(100).len(), 5, "over-asking returns everything");
     }
 }
