@@ -5,6 +5,7 @@
 //!
 //! EXPERIMENT: all (default) | fig1 | table1 | table2 | fig2 | table3
 //!           | model41 | ablations | batch | telemetry | pmu | shards
+//!           | elastic (shard count vs client ramp on the elastic tier)
 //!           | spans (request-lifecycle phase breakdown)
 //!           | faults (needs --features faultinject to arm the hooks)
 //! --scale N: multiply workload sizes by N (default 1; paper-style
@@ -16,7 +17,8 @@
 //! ```
 
 use ngm_bench::experiments::{
-    ablations, faults, fig1, fig2, model41, pmu, shards, spans, table1, table2, table3, telemetry,
+    ablations, elastic, faults, fig1, fig2, model41, pmu, shards, spans, table1, table2, table3,
+    telemetry,
 };
 use ngm_bench::Scale;
 
@@ -44,7 +46,7 @@ fn main() {
             "--hw" => with_hw = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards|spans|faults]... [--scale N] [--no-prototype] [--hw]"
+                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards|elastic|spans|faults]... [--scale N] [--no-prototype] [--hw]"
                 );
                 return;
             }
@@ -104,6 +106,12 @@ fn main() {
         println!("{}", shards::run(scale).render());
         if with_hw {
             println!("{}", shards::run_hw(scale));
+        }
+    }
+    if want("elastic") {
+        println!("{}", elastic::run(scale).render());
+        if with_hw {
+            println!("{}", elastic::run_hw(scale));
         }
     }
     if want("spans") {

@@ -39,9 +39,9 @@ pub struct TraceConversion {
 
 /// Converts a drained trace (sorted or not) into a replayable stream.
 ///
-/// Non-allocation events (`Post`, `Refill`, `WaitTransition`, `Span`)
-/// are skipped: they describe the transport and the request lifecycle,
-/// not the heap.
+/// Non-allocation events (`Post`, `Refill`, `WaitTransition`, `Span`,
+/// `Scale`) are skipped: they describe the transport, the request
+/// lifecycle, and the tier's shape, not the heap.
 pub fn convert(trace: &[TraceEvent]) -> TraceConversion {
     let mut sorted: Vec<&TraceEvent> = trace.iter().collect();
     sorted.sort_by_key(|e| e.tsc);
@@ -83,7 +83,8 @@ pub fn convert(trace: &[TraceEvent]) -> TraceConversion {
             TraceEventKind::Post
             | TraceEventKind::Refill
             | TraceEventKind::WaitTransition
-            | TraceEventKind::Span => {}
+            | TraceEventKind::Span
+            | TraceEventKind::Scale => {}
         }
     }
 

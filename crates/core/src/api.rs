@@ -22,25 +22,29 @@
 
 use std::alloc::Layout;
 use std::ptr::NonNull;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Duration;
 
 use ngm_heap::{AllocError, FallbackHeap, HeapStats};
 use ngm_offload::{
-    ClientHandle, OffloadRuntime, PostError, RuntimeConfig, RuntimeTelemetry, ServiceError,
-    StatsSnapshot, WaitStrategy,
+    ClientHandle, OffloadRuntime, PostError, RuntimeConfig, RuntimeHandles, RuntimeStats,
+    RuntimeTelemetry, ServiceError, StatsSnapshot, WaitStrategy,
 };
 use ngm_pmu::PmuReport;
 use ngm_telemetry::blackbox::{self, BlackboxDump, ShardState, DEFAULT_LAST_K};
 use ngm_telemetry::clock::cycles_now;
 use ngm_telemetry::export::MetricsSnapshot;
 use ngm_telemetry::sites::{SiteProfiler, SiteReport};
-use ngm_telemetry::trace::TraceEventKind;
+use ngm_telemetry::trace::{TraceEventKind, TraceRing};
 use ngm_telemetry::window::HeatFrame;
 
 use ngm_heap::classes::{layout_to_class, SizeClass, NUM_CLASSES};
 
-use crate::config::{CorePlacement, NgmConfig, NgmError, FALLBACK_OWNER, OWNER_BASE};
-use crate::heat::{HeatReport, ObsState, ShardHeat};
+use crate::config::{
+    CorePlacement, ElasticPolicy, NgmConfig, NgmError, ShardTopology, FALLBACK_OWNER, OWNER_BASE,
+};
+use crate::heat::{pick_coolest, HeatReport, ObsState, ShardHeat, ShardLifecycle};
 use crate::orphan::OrphanStack;
 use crate::service::{
     AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
@@ -48,12 +52,40 @@ use crate::service::{
 };
 use crate::watch::SharedHeapStats;
 
-/// One service shard: a pinned service thread, its heap-stats mirror, and
-/// the orphan stack its idle hook drains.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The per-slot state that changes as the elastic controller spawns and
+/// retires shards, shared between [`Ngm`] and every [`NgmHandle`].
+///
+/// A slot's *service* (heap, owner stamp, orphan stack) is created once
+/// and lives for the tier's whole life; what comes and goes is the
+/// *thread*. While a thread runs, `runtime` is `Some` and `parked` is
+/// `None`; while the slot is dormant or retired it is the other way
+/// around. `epoch` counts spawns so handles can tell a client registered
+/// against a previous thread from a current one.
+struct SlotCell {
+    runtime: RwLock<Option<OffloadRuntime<MallocService>>>,
+    parked: Mutex<Option<MallocService>>,
+    epoch: AtomicU64,
+    /// Set when a retirement's `try_shutdown` could not recover the
+    /// service (the thread panicked); reported at final shutdown.
+    failure: Mutex<Option<ServiceError>>,
+}
+
+/// One service-shard slot: the swappable thread cell plus everything that
+/// persists across spawn/retire epochs — counters, telemetry, the
+/// heap-stats mirror, the orphan stack, and placement.
 struct Shard {
-    runtime: OffloadRuntime<MallocService>,
+    cell: Arc<SlotCell>,
     orphans: Arc<OrphanStack>,
     heap_watch: Arc<SharedHeapStats>,
+    /// Stats/telemetry/retiring-gate/fault knobs, shared by every epoch
+    /// of this slot (see [`RuntimeHandles`]).
+    handles: RuntimeHandles,
+    core: Option<usize>,
+    cluster: u8,
 }
 
 /// The running allocator: one or more dedicated service threads plus
@@ -69,6 +101,69 @@ pub struct Ngm {
     fallback: Arc<FallbackHeap>,
     /// Shared heat windows + blackbox gate (see [`crate::heat`]).
     obs: Arc<ObsState>,
+    /// The elastic policy, when the tier scales at runtime.
+    elastic: Option<ElasticPolicy>,
+    /// Scaling-controller state, serialized so at most one spawn or
+    /// retirement is in flight at a time.
+    controller: Mutex<ControllerState>,
+    /// Template for per-slot [`RuntimeConfig`]s (core/shard/cluster are
+    /// filled in per slot).
+    runtime_cfg: RuntimeConfig,
+    /// Controller-decision trace ring (on slot 0's telemetry hub — the
+    /// resident floor always exists), when tracing is enabled.
+    scale_trace: Option<Arc<TraceRing>>,
+    /// How many slots non-size-class (large) layouts hash over. Elastic
+    /// tiers pin this to the resident floor (`ElasticPolicy::min`) so a
+    /// large free — which routes by layout hash, not by address — always
+    /// finds its allocating shard still open.
+    large_span: usize,
+}
+
+#[derive(Debug, Default)]
+struct ControllerState {
+    hot_streak: u32,
+    cold_streak: u32,
+    draining: Option<DrainState>,
+}
+
+#[derive(Debug)]
+struct DrainState {
+    shard: usize,
+    evals: u32,
+}
+
+/// What one elastic-controller evaluation decided (see
+/// [`Ngm::scaling_tick`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// No action: the tier is between the water marks, a streak has not
+    /// sustained yet, some serving shard's heat window is not settled
+    /// (the static-policy fallback), or the tier is not elastic.
+    Hold,
+    /// A dormant/retired slot was spawned and is now serving.
+    ScaleUp {
+        /// The spawned slot.
+        shard: usize,
+    },
+    /// The coolest retirable shard was gated and is draining toward a
+    /// zero alloc/free balance.
+    DrainBegun {
+        /// The draining shard.
+        shard: usize,
+    },
+    /// A draining shard reached zero balance; its thread was joined and
+    /// its service parked.
+    Retired {
+        /// The retired slot.
+        shard: usize,
+    },
+    /// A draining shard failed to reach zero balance within the policy's
+    /// `drain_patience` (e.g. it is wedged); it was returned to serving
+    /// rather than wedging the controller with it.
+    DrainAborted {
+        /// The shard returned to serving.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Debug for Ngm {
@@ -89,11 +184,27 @@ impl Ngm {
 
     /// Builds the tier from a validated config (reached via
     /// [`NgmConfig::build`]).
+    ///
+    /// Every slot up to the elastic maximum is built eagerly — service,
+    /// owner stamp, orphan stack, stats, telemetry — but only the initial
+    /// `cfg.shards` get threads; the rest park dormant until the
+    /// controller spawns them.
     pub(crate) fn from_config(cfg: NgmConfig) -> Result<Self, NgmError> {
         let cores = ngm_offload::available_cores();
-        let mut shards = Vec::with_capacity(cfg.shards);
-        let mut demand_watches = Vec::with_capacity(cfg.shards);
-        for i in 0..cfg.shards {
+        let total = cfg.elastic.map_or(cfg.shards, |p| p.max);
+        let runtime_cfg = RuntimeConfig {
+            server_wait: cfg.server_wait,
+            client_wait: cfg.client_wait,
+            ring_capacity: cfg.free_ring_capacity,
+            trace_capacity: cfg.trace_capacity,
+            profile: cfg.profile,
+            deadline: cfg.deadline,
+            ..RuntimeConfig::new()
+        };
+        let mut shards = Vec::with_capacity(total);
+        let mut demand_watches = Vec::with_capacity(total);
+        let mut clusters = Vec::with_capacity(total);
+        for i in 0..total {
             let orphans = Arc::new(OrphanStack::new());
             let service = MallocService::for_shard(i as u16, Arc::clone(&orphans));
             // Keep observing the heap (and refill demand) after the
@@ -104,39 +215,88 @@ impl Ngm {
                 // Highest cores first, leaving the low cores — where most
                 // runtimes place app threads — alone; float when the
                 // machine cannot give every shard its own room.
-                CorePlacement::Auto => (cores > cfg.shards).then(|| cores - 1 - i),
+                CorePlacement::Auto => (cores > total).then(|| cores - 1 - i),
                 CorePlacement::Unpinned => None,
                 CorePlacement::Base(base) => Some(base + i),
             };
-            let runtime = OffloadRuntime::try_start(
-                service,
-                RuntimeConfig {
-                    core,
-                    server_wait: cfg.server_wait,
-                    client_wait: cfg.client_wait,
-                    ring_capacity: cfg.free_ring_capacity,
-                    trace_capacity: cfg.trace_capacity,
-                    profile: cfg.profile,
-                    shard: i,
-                    deadline: cfg.deadline,
-                    ..RuntimeConfig::new()
-                },
-            )
-            .map_err(NgmError::Spawn)?;
+            let cluster = cfg.topology.clusters[i];
+            clusters.push(cluster);
             shards.push(Shard {
-                runtime,
+                cell: Arc::new(SlotCell {
+                    runtime: RwLock::new(None),
+                    parked: Mutex::new(Some(service)),
+                    epoch: AtomicU64::new(0),
+                    failure: Mutex::new(None),
+                }),
                 orphans,
                 heap_watch,
+                handles: RuntimeHandles::fresh(&runtime_cfg),
+                core,
+                cluster,
             });
         }
-        Ok(Ngm {
+        let mut ngm = Ngm {
             shards: shards.into_boxed_slice(),
             batch_size: cfg.batch_size as u32,
             flush_threshold: cfg.flush_threshold as u32,
             sites: (cfg.site_sample > 0).then(|| Arc::new(SiteProfiler::new(cfg.site_sample))),
             fallback: Arc::new(FallbackHeap::new(FALLBACK_OWNER)),
-            obs: Arc::new(ObsState::new(cfg.blackbox, cfg.heat_window, demand_watches)),
-        })
+            obs: Arc::new(ObsState::new(
+                cfg.blackbox,
+                cfg.heat_window,
+                demand_watches,
+                clusters,
+            )),
+            elastic: cfg.elastic,
+            controller: Mutex::new(ControllerState::default()),
+            runtime_cfg,
+            scale_trace: None,
+            large_span: cfg.elastic.map_or(cfg.shards, |p| p.min),
+        };
+        for i in 0..cfg.shards {
+            ngm.spawn_slot(i).map_err(NgmError::Spawn)?;
+        }
+        // The controller's decision ring claims its thread id only after
+        // the initial spawns, so slot 0's service loop keeps id 0.
+        ngm.scale_trace = ngm.shards[0].handles.telemetry.new_ring();
+        Ok(ngm)
+    }
+
+    /// Per-slot runtime config: the shared template plus this slot's
+    /// placement.
+    fn slot_runtime_cfg(&self, slot: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            core: self.shards[slot].core,
+            shard: slot,
+            cluster: self.shards[slot].cluster as usize,
+            ..self.runtime_cfg
+        }
+    }
+
+    /// Takes the slot's parked service and gives it a (new) thread. The
+    /// slot's stats, telemetry, and fault knobs persist across epochs
+    /// (see [`RuntimeHandles`]); the epoch bump tells handles their old
+    /// clients are stale.
+    fn spawn_slot(&self, slot: usize) -> Result<(), ServiceError> {
+        let shard = &self.shards[slot];
+        let mut rt_guard = shard
+            .cell
+            .runtime
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if rt_guard.is_some() {
+            return Ok(());
+        }
+        let service = lock(&shard.cell.parked)
+            .take()
+            .ok_or(ServiceError::SpawnFailed)?;
+        let runtime =
+            OffloadRuntime::try_start_shared(service, self.slot_runtime_cfg(slot), &shard.handles)?;
+        *rt_guard = Some(runtime);
+        shard.cell.epoch.fetch_add(1, Ordering::AcqRel);
+        drop(rt_guard);
+        self.obs.set_state(slot, ShardLifecycle::Serving);
+        Ok(())
     }
 
     /// Deprecated builder entry point.
@@ -149,36 +309,69 @@ impl Ngm {
         NgmBuilder::default()
     }
 
-    /// Number of service shards in this tier.
+    /// Number of service-shard slots in this tier. For a static tier
+    /// this is the configured shard count; for an elastic tier it is the
+    /// policy's `max` (use [`Ngm::serving_shards`] for the currently
+    /// serving subset).
     pub fn num_shards(&self) -> usize {
         self.shards.len()
     }
 
     /// Registers a handle for the calling (or any) thread. The handle
-    /// holds one client endpoint per shard and routes between them.
+    /// holds one client endpoint per serving shard and routes between
+    /// them, registering endpoints to later-spawned shards lazily.
     pub fn handle(&self) -> NgmHandle {
+        self.handle_inner(None)
+    }
+
+    /// As [`Ngm::handle`], but preferring same-cluster shards when
+    /// routing allocations: the handle's class map spreads over the
+    /// serving shards on `cluster` when any exist, falling back to the
+    /// whole serving set otherwise. Frees are address-routed and ignore
+    /// the preference.
+    pub fn handle_on_cluster(&self, cluster: u8) -> NgmHandle {
+        self.handle_inner(Some(cluster))
+    }
+
+    fn handle_inner(&self, preferred_cluster: Option<u8>) -> NgmHandle {
         let n = self.shards.len();
-        let clients: Box<[ClientHandle<MallocService>]> = self
-            .shards
-            .iter()
-            .enumerate()
+        let mut clients = Vec::with_capacity(n);
+        let mut client_epoch = Vec::with_capacity(n);
+        for (i, s) in self.shards.iter().enumerate() {
+            let guard = s
+                .cell
+                .runtime
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
             // A PMU session counts its whole thread; arming one handle
             // per shard would re-count this thread once per shard, so
             // only the shard-0 endpoint arms.
-            .map(|(i, s)| s.runtime.register_client_with_pmu(i == 0))
-            .collect();
-        let mut class_shard = [0u16; NUM_CLASSES];
-        for (c, slot) in class_shard.iter_mut().enumerate() {
-            *slot = (c % n) as u16;
+            clients.push(guard.as_ref().map(|rt| rt.register_client_with_pmu(i == 0)));
+            client_epoch.push(s.cell.epoch.load(Ordering::Acquire));
         }
-        NgmHandle {
-            clients,
+        let mut handle = NgmHandle {
+            clients: clients.into_boxed_slice(),
+            slots: self.shards.iter().map(|s| Arc::clone(&s.cell)).collect(),
+            client_epoch: client_epoch.into_boxed_slice(),
+            seen_generation: self.obs.generation(),
+            preferred_cluster,
+            shard_stats: self
+                .shards
+                .iter()
+                .map(|s| Arc::clone(&s.handles.stats))
+                .collect(),
+            shard_telemetry: self
+                .shards
+                .iter()
+                .map(|s| Arc::clone(&s.handles.telemetry))
+                .collect(),
+            large_span: self.large_span,
             orphans: self.shards.iter().map(|s| Arc::clone(&s.orphans)).collect(),
             batch_size: self.batch_size,
             flush_threshold: self.flush_threshold,
             magazines: [AddrBatch::empty(); NUM_CLASSES],
             mag_shard: [0u16; NUM_CLASSES],
-            class_shard,
+            class_shard: [0u16; NUM_CLASSES],
             free_bufs: vec![AddrBatch::empty(); n].into_boxed_slice(),
             stash_by_shard: vec![0i64; n].into_boxed_slice(),
             published_occupancy: vec![0i64; n].into_boxed_slice(),
@@ -188,7 +381,9 @@ impl Ngm {
             sites: self.sites.clone(),
             fallback: Arc::clone(&self.fallback),
             obs: Arc::clone(&self.obs),
-        }
+        };
+        handle.recompute_class_routes();
+        handle
     }
 
     /// Samples every shard into its heat window and returns the windowed
@@ -204,8 +399,10 @@ impl Ngm {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let stats = s.runtime.stats();
-                let telemetry = s.runtime.telemetry();
+                // Counters live in the slot's persistent handles, so a
+                // dormant slot samples as zeros and a respawned slot's
+                // window stays monotonic across epochs.
+                let stats = s.handles.stats.snapshot();
                 let frame = HeatFrame {
                     tsc: cycles_now(),
                     ring_occupancy: stats.ring_occupancy as u64,
@@ -213,7 +410,9 @@ impl Ngm {
                     deadlines: stats.deadlines,
                     retries: stats.post_full_retries,
                     fallbacks,
-                    phases: telemetry
+                    phases: s
+                        .handles
+                        .telemetry
                         .phase_cycles
                         .iter()
                         .map(|h| h.snapshot())
@@ -226,7 +425,294 @@ impl Ngm {
                 }
             })
             .collect();
+        // The scrape path doubles as the controller's evaluation tick;
+        // contention (another scrape or an explicit tick mid-decision)
+        // just skips this evaluation rather than blocking a metrics
+        // scrape on a thread join.
+        if self.elastic.is_some() {
+            if let Ok(mut st) = self.controller.try_lock() {
+                let _ = self.evaluate_scaling(&mut st);
+            }
+        }
         HeatReport { shards }
+    }
+
+    // ---- elastic controller ----
+
+    /// Runs one controller evaluation against the heat frames already in
+    /// the windows (pushing none), and returns what it decided. The same
+    /// evaluation runs automatically at the end of every
+    /// [`Ngm::heat_report`] (hence every metrics scrape); this explicit
+    /// tick exists for background drivers ([`Ngm::autoscaler`]) and for
+    /// deterministic tests that inject frames via [`Ngm::inject_heat`].
+    ///
+    /// Always [`ScaleDecision::Hold`] for a non-elastic tier.
+    pub fn scaling_tick(&self) -> ScaleDecision {
+        let mut st = lock(&self.controller);
+        self.evaluate_scaling(&mut st)
+    }
+
+    fn evaluate_scaling(&self, st: &mut ControllerState) -> ScaleDecision {
+        let Some(policy) = self.elastic else {
+            return ScaleDecision::Hold;
+        };
+        // A drain in progress owns the controller until it completes or
+        // runs out of patience; no other scaling happens meanwhile.
+        if let Some(drain) = &mut st.draining {
+            let shard = drain.shard;
+            if self.drain_complete(shard) {
+                st.draining = None;
+                self.finish_retire(shard);
+                return ScaleDecision::Retired { shard };
+            }
+            drain.evals += 1;
+            if drain.evals >= policy.drain_patience {
+                // Wedged mid-drain: reopen the shard rather than hang.
+                st.draining = None;
+                if let Some(rt) = self.shards[shard]
+                    .cell
+                    .runtime
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .as_ref()
+                {
+                    rt.end_retire();
+                }
+                self.obs.set_state(shard, ShardLifecycle::Serving);
+                self.push_scale_event(4, shard);
+                return ScaleDecision::DrainAborted { shard };
+            }
+            return ScaleDecision::Hold;
+        }
+        let serving = self.serving_shards();
+        if serving.is_empty() {
+            return ScaleDecision::Hold;
+        }
+        // Load metric: windowed heat score plus windowed calls, averaged
+        // per serving shard. Every serving shard's window must be settled
+        // (>= 2 frames) or the controller falls back to the static
+        // policy — a single cumulative-since-start frame reads as a
+        // garbage delta.
+        let mut loads = Vec::with_capacity(serving.len());
+        for &s in &serving {
+            match self.obs.settled_heat(s) {
+                Some(heat) => {
+                    let calls = heat.calls;
+                    let score = ShardHeat { shard: s, heat }.score();
+                    loads.push((s, score.saturating_add(calls)));
+                }
+                None => {
+                    st.hot_streak = 0;
+                    st.cold_streak = 0;
+                    return ScaleDecision::Hold;
+                }
+            }
+        }
+        let mean = loads.iter().map(|&(_, l)| l).sum::<u64>() / serving.len() as u64;
+        if mean > policy.high_water && serving.len() < policy.max {
+            st.hot_streak += 1;
+            st.cold_streak = 0;
+            if st.hot_streak >= policy.sustain {
+                st.hot_streak = 0;
+                if let Some(slot) = self.pick_spawn_slot(&serving) {
+                    if self.spawn_slot(slot).is_ok() {
+                        self.obs.record_scale_up();
+                        self.push_scale_event(1, slot);
+                        return ScaleDecision::ScaleUp { shard: slot };
+                    }
+                }
+            }
+        } else if mean < policy.low_water && serving.len() > policy.min {
+            st.cold_streak += 1;
+            st.hot_streak = 0;
+            if st.cold_streak >= policy.sustain {
+                st.cold_streak = 0;
+                // Retire the coolest shard outside the resident floor
+                // (slots `0..min` never retire: large layouts hash over
+                // them, so their frees must always find them open).
+                let candidates = loads
+                    .iter()
+                    .filter(|&&(s, _)| s >= policy.min)
+                    .map(|&(s, l)| (s, l, false));
+                if let Some(victim) = pick_coolest(candidates) {
+                    self.gate_for_drain(victim);
+                    st.draining = Some(DrainState {
+                        shard: victim,
+                        evals: 0,
+                    });
+                    self.push_scale_event(2, victim);
+                    return ScaleDecision::DrainBegun { shard: victim };
+                }
+            }
+        } else {
+            st.hot_streak = 0;
+            st.cold_streak = 0;
+        }
+        ScaleDecision::Hold
+    }
+
+    /// The dormant/retired slot to spawn next: least-loaded cluster
+    /// (fewest serving shards), ties to the lowest slot index — the same
+    /// tie-breaking as [`pick_coolest`], with "cool" meaning "empty".
+    fn pick_spawn_slot(&self, serving: &[usize]) -> Option<usize> {
+        let serving_in_cluster = |cluster: u8| {
+            serving
+                .iter()
+                .filter(|&&s| self.shards[s].cluster == cluster)
+                .count() as u64
+        };
+        let candidates = (0..self.shards.len()).filter_map(|s| {
+            let parked = matches!(
+                self.obs.state(s),
+                ShardLifecycle::Dormant | ShardLifecycle::Retired
+            ) && lock(&self.shards[s].cell.parked).is_some();
+            parked.then(|| (s, serving_in_cluster(self.shards[s].cluster), false))
+        });
+        pick_coolest(candidates)
+    }
+
+    /// Gates `shard` against new synchronous calls and marks it draining.
+    fn gate_for_drain(&self, shard: usize) {
+        if let Some(rt) = self.shards[shard]
+            .cell
+            .runtime
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            rt.begin_retire();
+        }
+        self.obs.set_state(shard, ShardLifecycle::Draining);
+    }
+
+    /// Starts draining `shard` toward retirement, as if the controller
+    /// had picked it: new allocations route elsewhere while address-
+    /// routed frees keep landing until its balance reaches zero, at which
+    /// point a later evaluation joins its thread. Returns `false` (and
+    /// does nothing) when the tier is not elastic, another drain is in
+    /// flight, `shard` is inside the resident floor or not serving, or
+    /// retiring it would leave fewer than `min` shards.
+    pub fn begin_retire(&self, shard: usize) -> bool {
+        let Some(policy) = self.elastic else {
+            return false;
+        };
+        let mut st = lock(&self.controller);
+        if st.draining.is_some()
+            || shard < policy.min
+            || shard >= self.shards.len()
+            || self.obs.state(shard) != ShardLifecycle::Serving
+            || self.serving_shards().len() <= policy.min
+        {
+            return false;
+        }
+        self.gate_for_drain(shard);
+        st.draining = Some(DrainState { shard, evals: 0 });
+        self.push_scale_event(2, shard);
+        true
+    }
+
+    /// Whether `shard` has handed every block back: the service heap
+    /// balances, nothing is left in its rings, no handle still stashes
+    /// its blocks in a magazine, and its orphan stack is drained.
+    fn drain_complete(&self, shard: usize) -> bool {
+        let slot = &self.shards[shard];
+        let heap = slot.heap_watch.load();
+        if heap.total_allocs != heap.total_frees {
+            return false;
+        }
+        if slot.orphans.pushed() != slot.orphans.drained() {
+            return false;
+        }
+        let stats = slot.handles.stats.snapshot();
+        stats.ring_occupancy == 0 && stats.magazine_occupancy == 0
+    }
+
+    /// Joins a drained shard's thread and parks its service for a later
+    /// respawn.
+    fn finish_retire(&self, shard: usize) {
+        let runtime = self.shards[shard]
+            .cell
+            .runtime
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(rt) = runtime {
+            match rt.try_shutdown() {
+                Ok((mut svc, _stats)) => {
+                    // The stop path drains rings but runs no further idle
+                    // rounds; reclaim any last-moment orphans now.
+                    svc.reclaim_orphans();
+                    *lock(&self.shards[shard].cell.parked) = Some(svc);
+                }
+                Err(failure) => {
+                    *lock(&self.shards[shard].cell.failure) = Some(failure.error);
+                }
+            }
+        }
+        self.obs.set_state(shard, ShardLifecycle::Retired);
+        self.obs.record_scale_down();
+        self.push_scale_event(3, shard);
+    }
+
+    fn push_scale_event(&self, code: u64, shard: usize) {
+        if let Some(ring) = &self.scale_trace {
+            ring.push(TraceEventKind::Scale, code, shard as u64);
+        }
+    }
+
+    /// The slots currently serving, in index order.
+    pub fn serving_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&s| self.obs.state(s) == ShardLifecycle::Serving)
+            .collect()
+    }
+
+    /// Every slot's lifecycle state, indexed by slot.
+    pub fn shard_states(&self) -> Vec<ShardLifecycle> {
+        (0..self.shards.len()).map(|s| self.obs.state(s)).collect()
+    }
+
+    /// Pushes a heat frame into `shard`'s window, exactly as a
+    /// [`Ngm::heat_report`] sample would — the deterministic way for
+    /// tests (and replay drivers) to steer the controller without real
+    /// load. Frames are cumulative: the window differentiates them.
+    pub fn inject_heat(&self, shard: usize, frame: HeatFrame) {
+        let _ = self.obs.push_frame(shard, frame);
+    }
+
+    /// Times the controller scales up / down so far (exported as
+    /// `ngm_scale_up_total` / `ngm_scale_down_total`).
+    pub fn scale_counts(&self) -> (u64, u64) {
+        (self.obs.scale_up_total(), self.obs.scale_down_total())
+    }
+
+    /// Spawns a background thread that drives [`Ngm::heat_report`] (and
+    /// with it the elastic controller) every `interval`, for deployments
+    /// without a metrics scraper to piggyback on. The thread holds only a
+    /// weak reference and exits on its own once the tier is dropped; stop
+    /// it explicitly (or drop the returned handle) before
+    /// [`Ngm::shutdown`] to avoid it briefly reviving the `Arc`.
+    pub fn autoscaler(self: &Arc<Self>, interval: Duration) -> Autoscaler {
+        let weak = Arc::downgrade(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("ngm-autoscaler".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Some(ngm) = weak.upgrade() else { break };
+                    let _ = ngm.heat_report();
+                }
+            })
+            .expect("failed to spawn autoscaler thread");
+        Autoscaler {
+            stop,
+            thread: Some(thread),
+        }
     }
 
     /// The shared degradation heap (diagnostics: `allocs()` > 0 means
@@ -240,7 +726,7 @@ impl Ngm {
     /// thread mid-serve — while the tier runs.
     #[cfg(feature = "faultinject")]
     pub fn fault_state(&self, shard: usize) -> &Arc<ngm_offload::FaultState> {
-        self.shards[shard].runtime.fault_state()
+        &self.shards[shard].handles.fault
     }
 
     /// Shard `shard`'s orphan stack (used by the global-allocator adapter
@@ -308,36 +794,57 @@ impl Ngm {
     /// occupancy gauges sum; `service_down` is true if *any* shard is
     /// down).
     pub fn runtime_stats(&self) -> StatsSnapshot {
-        let mut merged = self.shards[0].runtime.stats();
+        let mut merged = self.shards[0].handles.stats.snapshot();
         for s in &self.shards[1..] {
-            merged.absorb(&s.runtime.stats());
+            merged.absorb(&s.handles.stats.snapshot());
         }
         merged
     }
 
     /// One shard's offload-runtime counters.
     pub fn shard_runtime_stats(&self, shard: usize) -> StatsSnapshot {
-        self.shards[shard].runtime.stats()
+        self.shards[shard].handles.stats.snapshot()
     }
 
     /// Asks shard `shard`'s service thread to stop: it drains outstanding
     /// frees, then exits. Handles observe the death and fail allocation
     /// traffic over to the surviving shards; frees owed to the stopped
     /// shard are dropped and counted. [`Ngm::shutdown`] later recovers
-    /// the shard's final stats normally.
+    /// the shard's final stats normally. A no-op for a slot with no
+    /// thread.
     pub fn stop_shard(&self, shard: usize) {
-        self.shards[shard].runtime.request_stop();
+        if let Some(rt) = self.shards[shard]
+            .cell
+            .runtime
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            rt.request_stop();
+        }
+    }
+
+    /// Whether shard `shard`'s service thread has exited (orderly or by
+    /// panic) — or never had one (a dormant/retired slot).
+    pub fn shard_finished(&self, shard: usize) -> bool {
+        self.shards[shard]
+            .cell
+            .runtime
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .is_none_or(OffloadRuntime::is_finished)
     }
 
     /// Shard 0's telemetry hub (histograms of a single-shard tier; for
     /// the merged view use [`Ngm::metrics`]).
     pub fn telemetry(&self) -> &Arc<RuntimeTelemetry> {
-        self.shards[0].runtime.telemetry()
+        &self.shards[0].handles.telemetry
     }
 
     /// One shard's telemetry hub.
     pub fn shard_telemetry(&self, shard: usize) -> &Arc<RuntimeTelemetry> {
-        self.shards[shard].runtime.telemetry()
+        &self.shards[shard].handles.telemetry
     }
 
     /// A near-current view of the service heaps (summed across shards),
@@ -364,18 +871,20 @@ impl Ngm {
         let stats = self.runtime_stats();
         let peers: Vec<&RuntimeTelemetry> = self.shards[1..]
             .iter()
-            .map(|s| &**s.runtime.telemetry())
+            .map(|s| &*s.handles.telemetry)
             .collect();
         let mut m = self.shards[0]
-            .runtime
-            .telemetry()
+            .handles
+            .telemetry
             .metrics_merged(&stats, &peers);
         let heap = self.live_heap_stats();
         m.counter("ngm_heap_allocs_total", heap.total_allocs)
             .counter("ngm_heap_frees_total", heap.total_frees)
             .counter("ngm_heap_large_allocs_total", heap.large_allocs)
             .counter("ngm_fallback_allocs_total", self.fallback.allocs())
-            .gauge("ngm_service_shards", self.shards.len() as i64)
+            .counter("ngm_scale_up_total", self.obs.scale_up_total())
+            .counter("ngm_scale_down_total", self.obs.scale_down_total())
+            .gauge("ngm_service_shards", self.serving_shards().len() as i64)
             .gauge("ngm_heap_live_blocks", heap.live_blocks as i64)
             .gauge("ngm_heap_live_bytes", heap.live_bytes as i64)
             .gauge("ngm_heap_segments", heap.segments as i64)
@@ -399,12 +908,12 @@ impl Ngm {
     /// [`Ngm::shutdown`] to read the service columns after it.
     pub fn pmu_report(&self) -> Option<PmuReport> {
         if self.shards.len() == 1 {
-            return self.shards[0].runtime.telemetry().pmu_report();
+            return self.shards[0].handles.telemetry.pmu_report();
         }
         let mut out = PmuReport::new("PMU: service shards vs app cores");
         let mut any = false;
         for (i, s) in self.shards.iter().enumerate() {
-            if let Some(rep) = s.runtime.telemetry().pmu_report() {
+            if let Some(rep) = s.handles.telemetry.pmu_report() {
                 for col in rep.cols {
                     any = true;
                     if col.name.starts_with("service") {
@@ -439,29 +948,63 @@ impl Ngm {
         let mut heap = HeapStats::default();
         let mut runtime: Option<StatsSnapshot> = None;
         for (i, shard) in Vec::from(self.shards).into_iter().enumerate() {
-            let out = match shard.runtime.try_shutdown() {
-                Ok((mut svc, stats)) => {
-                    // The stop path drains rings but never runs another
-                    // idle round, so orphans pushed late (deadline-
-                    // rerouted frees, teardown races) are still pending —
-                    // reclaim them now that we own the service again.
-                    svc.reclaim_orphans();
-                    ShardShutdown {
-                        shard: i,
-                        service: svc.service_stats(),
-                        heap: svc.heap_stats(),
-                        runtime: stats,
-                        error: None,
+            let taken = shard
+                .cell
+                .runtime
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            let out = match taken {
+                Some(rt) => match rt.try_shutdown() {
+                    Ok((mut svc, stats)) => {
+                        // The stop path drains rings but never runs
+                        // another idle round, so orphans pushed late
+                        // (deadline-rerouted frees, teardown races) are
+                        // still pending — reclaim them now that we own
+                        // the service again.
+                        svc.reclaim_orphans();
+                        ShardShutdown {
+                            shard: i,
+                            service: svc.service_stats(),
+                            heap: svc.heap_stats(),
+                            runtime: stats,
+                            error: None,
+                        }
                     }
-                }
-                Err(failure) => ShardShutdown {
-                    shard: i,
-                    service: ServiceStats::default(),
-                    // The service state died with its thread; the idle-
-                    // published mirror is the best remaining estimate.
-                    heap: shard.heap_watch.load(),
-                    runtime: failure.stats,
-                    error: Some(failure.error),
+                    Err(failure) => ShardShutdown {
+                        shard: i,
+                        service: ServiceStats::default(),
+                        // The service state died with its thread; the
+                        // idle-published mirror is the best remaining
+                        // estimate.
+                        heap: shard.heap_watch.load(),
+                        runtime: failure.stats,
+                        error: Some(failure.error),
+                    },
+                },
+                // No thread: the slot is dormant (never spawned) or
+                // retired (drained to zero balance and parked). The
+                // parked service reports its exact cumulative books; a
+                // slot whose retirement lost the service (it panicked
+                // mid-drain) reports the stored failure instead.
+                None => match lock(&shard.cell.parked).take() {
+                    Some(mut svc) => {
+                        svc.reclaim_orphans();
+                        ShardShutdown {
+                            shard: i,
+                            service: svc.service_stats(),
+                            heap: svc.heap_stats(),
+                            runtime: shard.handles.stats.snapshot(),
+                            error: lock(&shard.cell.failure).take(),
+                        }
+                    }
+                    None => ShardShutdown {
+                        shard: i,
+                        service: ServiceStats::default(),
+                        heap: shard.heap_watch.load(),
+                        runtime: shard.handles.stats.snapshot(),
+                        error: lock(&shard.cell.failure).take(),
+                    },
                 },
             };
             service.absorb(&out.service);
@@ -485,6 +1028,35 @@ impl Ngm {
             heap,
             runtime: runtime.expect("a tier has at least one shard"),
         }
+    }
+}
+
+/// Guard for the background scaling driver spawned by
+/// [`Ngm::autoscaler`]: stops and joins the thread on [`Autoscaler::stop`]
+/// or drop.
+#[derive(Debug)]
+pub struct Autoscaler {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Autoscaler {
+    /// Stops the driver thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Autoscaler {
+    fn drop(&mut self) {
+        self.halt();
     }
 }
 
@@ -615,6 +1187,8 @@ impl NgmBuilder {
             deadline: Some(ngm_offload::DEFAULT_DEADLINE),
             heat_window: ngm_telemetry::window::DEFAULT_HEAT_FRAMES,
             blackbox: true,
+            elastic: None,
+            topology: ShardTopology::flat(),
         };
         cfg.sanitized().build().expect("sanitized config is valid")
     }
@@ -635,8 +1209,31 @@ impl NgmBuilder {
 /// path, and two handles may route the same class differently without
 /// coordinating — frees are address-pure, so it cannot matter.
 pub struct NgmHandle {
-    /// One client endpoint per shard, indexed by shard.
-    clients: Box<[ClientHandle<MallocService>]>,
+    /// One client endpoint per slot, indexed by slot — `None` for slots
+    /// with no thread (dormant/retired) or whose thread this handle has
+    /// not yet registered with.
+    clients: Box<[Option<ClientHandle<MallocService>>]>,
+    /// Each slot's thread cell, for lazy client (re-)registration as the
+    /// elastic controller spawns and retires shards.
+    slots: Box<[Arc<SlotCell>]>,
+    /// The slot epoch each client in `clients` was registered against; a
+    /// mismatch with the cell's current epoch means the client belongs to
+    /// a joined thread and must be re-registered.
+    client_epoch: Box<[u64]>,
+    /// The route generation this handle last synced at. One relaxed load
+    /// per operation compares it against [`ObsState::generation`]; a
+    /// mismatch triggers [`NgmHandle::resync_routes`].
+    seen_generation: u64,
+    /// Cluster whose shards this handle prefers for allocations (see
+    /// [`Ngm::handle_on_cluster`]); `None` routes over all serving.
+    preferred_cluster: Option<u8>,
+    /// Each slot's persistent runtime counters — valid even when the slot
+    /// has no thread (and thus no client to reach them through).
+    shard_stats: Box<[Arc<RuntimeStats>]>,
+    /// Each slot's persistent telemetry hub, for blackbox snapshots.
+    shard_telemetry: Box<[Arc<RuntimeTelemetry>]>,
+    /// How many slots large layouts hash over (see [`Ngm::large_span`]).
+    large_span: usize,
     /// Each shard's orphan stack, for [`NgmHandle::dealloc_orphan`].
     orphans: Box<[Arc<OrphanStack>]>,
     batch_size: u32,
@@ -687,6 +1284,137 @@ impl NgmHandle {
         self.clients.len()
     }
 
+    /// One relaxed load per operation: when the tier's route generation
+    /// moved (a shard spawned, began draining, or retired), resync this
+    /// handle's clients and class routes. Static tiers never bump the
+    /// generation after build, so this stays a compare-and-branch.
+    #[inline]
+    fn maybe_resync(&mut self) {
+        let generation = self.obs.generation();
+        if generation != self.seen_generation {
+            self.resync_routes(generation);
+        }
+    }
+
+    /// Reconciles this handle with the tier's current lifecycle states:
+    /// registers clients to newly-serving slots (or re-registers across a
+    /// respawn epoch), hands a draining shard everything this handle
+    /// still owes it (buffered frees, stashed magazines) so its balance
+    /// can reach zero, drops clients to slots with no thread, and
+    /// re-spreads the class map over the serving set.
+    fn resync_routes(&mut self, generation: u64) {
+        self.seen_generation = generation;
+        for s in 0..self.nshards() {
+            match self.obs.state(s) {
+                ShardLifecycle::Serving => {
+                    let _ = self.ensure_client(s);
+                }
+                ShardLifecycle::Draining => {
+                    self.flush_shard_frees(s);
+                    self.return_magazines_from(s);
+                }
+                ShardLifecycle::Dormant | ShardLifecycle::Retired => {
+                    self.clients[s] = None;
+                }
+            }
+        }
+        self.recompute_class_routes();
+    }
+
+    /// Makes sure `clients[s]` is a client of the slot's *current*
+    /// thread; returns `false` when the slot has no thread.
+    fn ensure_client(&mut self, s: usize) -> bool {
+        let epoch = self.slots[s].epoch.load(Ordering::Acquire);
+        if self.clients[s].is_some() && self.client_epoch[s] == epoch {
+            return true;
+        }
+        let guard = self.slots[s]
+            .runtime
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        match guard.as_ref() {
+            Some(rt) => {
+                // Same PMU rule as handle construction: only the shard-0
+                // endpoint arms, so this thread is counted once.
+                self.clients[s] = Some(rt.register_client_with_pmu(s == 0));
+                self.client_epoch[s] = epoch;
+                // A respawned slot is a fresh thread: clear the grudges
+                // held against its predecessor.
+                self.failed[s] = false;
+                self.pressure[s] = 0;
+                true
+            }
+            None => {
+                self.clients[s] = None;
+                false
+            }
+        }
+    }
+
+    /// Recomputes the class → shard spread over the serving shards this
+    /// handle can route to, preferring its cluster's shards when it has a
+    /// preference and any of them serve.
+    fn recompute_class_routes(&mut self) {
+        let serving: Vec<usize> = (0..self.nshards())
+            .filter(|&s| self.obs.state(s) == ShardLifecycle::Serving && !self.failed[s])
+            .collect();
+        if serving.is_empty() {
+            return;
+        }
+        let preferred: Vec<usize> = match self.preferred_cluster {
+            Some(cluster) => {
+                let same: Vec<usize> = serving
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.obs.cluster(s) == cluster)
+                    .collect();
+                if same.is_empty() {
+                    serving
+                } else {
+                    same
+                }
+            }
+            None => serving,
+        };
+        for (c, slot) in self.class_shard.iter_mut().enumerate() {
+            *slot = preferred[c % preferred.len()] as u16;
+        }
+    }
+
+    /// Returns every magazine refilled by `source` to it, so a draining
+    /// shard gets its stashed blocks back.
+    fn return_magazines_from(&mut self, source: usize) {
+        for ci in 0..NUM_CLASSES {
+            if self.mag_shard[ci] as usize == source && !self.magazines[ci].is_empty() {
+                let batch = std::mem::take(&mut self.magazines[ci]);
+                self.stash_by_shard[source] -= batch.len() as i64;
+                self.post_routed(source, FreePost::MagazineReturn(batch));
+            }
+        }
+        self.publish_occupancy(source);
+    }
+
+    /// The next slot after `from` this handle could route allocations to
+    /// (serving, not written off, client reachable and open); `from`
+    /// itself when none exists.
+    fn next_route_candidate(&mut self, from: usize) -> usize {
+        let n = self.nshards();
+        for step in 1..n {
+            let cand = (from + step) % n;
+            if self.failed[cand] || self.obs.state(cand) != ShardLifecycle::Serving {
+                continue;
+            }
+            if self.ensure_client(cand)
+                && self.clients[cand]
+                    .as_ref()
+                    .is_some_and(ClientHandle::is_open)
+            {
+                return cand;
+            }
+        }
+        from
+    }
+
     /// Captures and emits a blackbox dump for a failure edge implicating
     /// `shard`: that shard's last-K trace events, every shard's slot/ring
     /// state, and the current heat picture. Gated on the config knob and
@@ -697,18 +1425,26 @@ impl NgmHandle {
             return;
         }
         let shards = (0..self.nshards())
-            .map(|s| ShardState {
-                shard: s,
-                slot_state: self.clients[s].slot_state_label(),
-                ring_occupancy: self.clients[s].pending_posts() as u64,
-                down: !self.clients[s].is_open(),
+            .map(|s| match &self.clients[s] {
+                Some(c) => ShardState {
+                    shard: s,
+                    slot_state: c.slot_state_label(),
+                    ring_occupancy: c.pending_posts() as u64,
+                    down: !c.is_open(),
+                },
+                None => ShardState {
+                    shard: s,
+                    slot_state: self.obs.state(s).label(),
+                    ring_occupancy: 0,
+                    down: true,
+                },
             })
             .collect();
         blackbox::emit(&BlackboxDump {
             reason: reason.into(),
             shard,
             tsc: cycles_now(),
-            events: self.clients[shard].telemetry().peek_trace(DEFAULT_LAST_K),
+            events: self.shard_telemetry[shard].peek_trace(DEFAULT_LAST_K),
             shards,
             heat: self.obs.render_current(),
         });
@@ -735,19 +1471,34 @@ impl NgmHandle {
     /// The shard serving a non-class (large) layout: a deterministic hash
     /// of the layout, identical at alloc and free time (a large free
     /// carries its layout), so it is address-stable the same way the
-    /// owner-id read is.
+    /// owner-id read is. Elastic tiers hash over the resident floor only
+    /// (`ElasticPolicy::min` slots, which never retire), so the shard a
+    /// large free hashes to is always still open.
     fn shard_of_large(&self, layout: Layout) -> usize {
-        if self.nshards() == 1 {
+        if self.large_span == 1 {
             return 0;
         }
         let h =
             (layout.size() ^ layout.align().rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (h >> 32) % self.nshards()
+        (h >> 32) % self.large_span
     }
 
     /// Where this handle currently sends allocation traffic for `class`.
     pub fn class_route(&self, class: SizeClass) -> usize {
         self.class_shard[class.0 as usize] as usize
+    }
+
+    /// Routes future allocations of `class` to `shard`, exactly as a
+    /// rebalance or controller-driven resync would — the deterministic
+    /// hook for tests that interleave explicit class→shard map migrations
+    /// with traffic. Frees are unaffected: they route by address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn route_class_to(&mut self, class: SizeClass, shard: usize) {
+        assert!(shard < self.nshards(), "shard {shard} out of range");
+        self.class_shard[class.0 as usize] = shard as u16;
     }
 
     /// Allocates a block.
@@ -779,6 +1530,7 @@ impl NgmHandle {
         if layout.size() == 0 {
             return Err(AllocError::ZeroSize);
         }
+        self.maybe_resync();
         match layout_to_class(layout.size(), layout.align()) {
             Some(class) if self.batch_size > 1 => self.alloc_batched(class, layout),
             Some(class) => {
@@ -801,12 +1553,25 @@ impl NgmHandle {
     fn call_alloc(&mut self, shard: usize, layout: Layout) -> Result<NonNull<u8>, AllocError> {
         let mut shard = shard;
         for _ in 0..self.nshards() {
-            let t0 = self.clients[shard].trace_ring().is_some().then(cycles_now);
-            match self.clients[shard].try_call(MallocReq::One(AllocReq::from_layout(layout))) {
+            if !self.ensure_client(shard) {
+                // No thread on this slot (dormant/retired): route on.
+                let next = self.next_route_candidate(shard);
+                if next == shard {
+                    break;
+                }
+                shard = next;
+                continue;
+            }
+            let client = self.clients[shard].as_mut().expect("client just ensured");
+            let t0 = client.trace_ring().is_some().then(cycles_now);
+            match client.try_call(MallocReq::One(AllocReq::from_layout(layout))) {
                 Ok(MallocResp::One(addr)) => {
                     if let Some(t0) = t0 {
                         let rtt = cycles_now().saturating_sub(t0);
-                        if let Some(ring) = self.clients[shard].trace_ring() {
+                        if let Some(ring) = self.clients[shard]
+                            .as_ref()
+                            .and_then(ClientHandle::trace_ring)
+                        {
                             ring.push(TraceEventKind::Alloc, layout.size() as u64, rtt);
                         }
                     }
@@ -816,6 +1581,16 @@ impl NgmHandle {
                 Err(ServiceError::Deadline { .. }) => {
                     self.blackbox("deadline", shard);
                     shard = self.reroute_after_deadline(shard);
+                }
+                Err(ServiceError::ShardRetiring { .. }) => {
+                    // The controller is draining this shard: not a
+                    // failure, just move the traffic and keep going.
+                    self.rebalance_away_from(shard);
+                    let next = self.next_route_candidate(shard);
+                    if next == shard {
+                        break;
+                    }
+                    shard = next;
                 }
                 Err(_) => shard = self.fail_over(shard),
             }
@@ -830,14 +1605,7 @@ impl NgmHandle {
     /// routing sends traffic back its way.
     fn reroute_after_deadline(&mut self, slow: usize) -> usize {
         self.rebalance_away_from(slow);
-        let n = self.nshards();
-        for step in 1..n {
-            let cand = (slow + step) % n;
-            if !self.failed[cand] && self.clients[cand].is_open() {
-                return cand;
-            }
-        }
-        slow
+        self.next_route_candidate(slow)
     }
 
     /// The degradation endpoint: every shard deadlined or died, so serve
@@ -853,19 +1621,11 @@ impl NgmHandle {
     /// next open shard, and returns that shard (or `dead` itself when no
     /// shard survives).
     fn fail_over(&mut self, dead: usize) -> usize {
-        let n = self.nshards();
-        let mut next = dead;
-        for step in 1..n {
-            let cand = (dead + step) % n;
-            if !self.failed[cand] && self.clients[cand].is_open() {
-                next = cand;
-                break;
-            }
-        }
+        let next = self.next_route_candidate(dead);
         if !self.failed[dead] {
             self.failed[dead] = true;
             self.blackbox("shard-death", dead);
-            self.clients[dead].runtime_stats().record_failover();
+            self.shard_stats[dead].record_failover();
             if next != dead {
                 for slot in self.class_shard.iter_mut() {
                     if *slot as usize == dead {
@@ -898,7 +1658,10 @@ impl NgmHandle {
             .pop()
             .expect("magazine nonempty after refill");
         self.stash_by_shard[self.mag_shard[ci] as usize] -= 1;
-        if let Some(ring) = self.clients[self.mag_shard[ci] as usize].trace_ring() {
+        if let Some(ring) = self.clients[self.mag_shard[ci] as usize]
+            .as_ref()
+            .and_then(ClientHandle::trace_ring)
+        {
             ring.push(TraceEventKind::Alloc, layout.size() as u64, 0);
         }
         NonNull::new(addr as *mut u8).ok_or(AllocError::OutOfMemory)
@@ -910,11 +1673,20 @@ impl NgmHandle {
         let ci = class.0 as usize;
         for _ in 0..self.nshards() {
             let shard = self.class_shard[ci] as usize;
+            if !self.ensure_client(shard) {
+                let next = self.next_route_candidate(shard);
+                self.class_shard[ci] = next as u16;
+                if next == shard {
+                    break;
+                }
+                continue;
+            }
             let req = MallocReq::Batch(AllocBatchReq {
                 class,
                 count: self.batch_size,
             });
-            match self.clients[shard].try_call_batched(req) {
+            let client = self.clients[shard].as_mut().expect("client just ensured");
+            match client.try_call_batched(req) {
                 Ok(MallocResp::Batch(batch)) => {
                     if batch.is_empty() {
                         return Err(AllocError::OutOfMemory);
@@ -928,7 +1700,10 @@ impl NgmHandle {
                     // keeping the alloc fast path free of shared-memory
                     // traffic.
                     self.publish_occupancy(shard);
-                    if let Some(ring) = self.clients[shard].trace_ring() {
+                    if let Some(ring) = self.clients[shard]
+                        .as_ref()
+                        .and_then(ClientHandle::trace_ring)
+                    {
                         ring.push(TraceEventKind::Refill, u64::from(class.0), got as u64);
                     }
                     return Ok(());
@@ -946,6 +1721,16 @@ impl NgmHandle {
                         break;
                     }
                 }
+                Err(ServiceError::ShardRetiring { .. }) => {
+                    // Draining, not dead: move the class without marking
+                    // the shard failed.
+                    self.rebalance_away_from(shard);
+                    let next = self.next_route_candidate(shard);
+                    self.class_shard[ci] = next as u16;
+                    if next == shard {
+                        break;
+                    }
+                }
                 Err(_) => {
                     let next = self.fail_over(shard);
                     self.class_shard[ci] = next as u16;
@@ -958,9 +1743,7 @@ impl NgmHandle {
     fn publish_occupancy(&mut self, shard: usize) {
         let delta = self.stash_by_shard[shard] - self.published_occupancy[shard];
         if delta != 0 {
-            self.clients[shard]
-                .runtime_stats()
-                .add_magazine_occupancy(delta);
+            self.shard_stats[shard].add_magazine_occupancy(delta);
             self.published_occupancy[shard] = self.stash_by_shard[shard];
         }
     }
@@ -971,7 +1754,10 @@ impl NgmHandle {
         if self.flush_threshold <= 1 {
             return;
         }
-        while self.post_weights[shard].len() > self.clients[shard].pending_posts() {
+        let in_ring = self.clients[shard]
+            .as_ref()
+            .map_or(0, ClientHandle::pending_posts);
+        while self.post_weights[shard].len() > in_ring {
             self.post_weights[shard].pop_front();
         }
         self.post_weights[shard].push_back(weight);
@@ -986,7 +1772,15 @@ impl NgmHandle {
     /// stack (reclaimed on its next idle round, or at shutdown) so the
     /// blocks are never leaked and accounting stays exact.
     fn post_routed(&mut self, shard: usize, msg: FreePost) {
-        match self.clients[shard].try_post_deadline(msg) {
+        if !self.ensure_client(shard) {
+            // No service thread behind this slot: divert to the orphan
+            // stack so the owning heap reclaims the blocks at respawn or
+            // shutdown and the per-shard ledger still balances.
+            self.reroute_frees_to_orphans(shard, msg);
+            return;
+        }
+        let client = self.clients[shard].as_mut().expect("client just ensured");
+        match client.try_post_deadline(msg) {
             Ok(outcome) => {
                 if outcome.full_retries > 0 {
                     self.pressure[shard] =
@@ -1021,7 +1815,7 @@ impl NgmHandle {
                         unsafe { self.orphans[shard].push(p) };
                     }
                 } else {
-                    self.clients[shard].runtime_stats().record_post_dropped();
+                    self.shard_stats[shard].record_post_dropped();
                 }
             }
             FreePost::Batch(b) | FreePost::MagazineReturn(b) => {
@@ -1056,17 +1850,22 @@ impl NgmHandle {
         if n == 1 {
             return;
         }
-        let mut target: Option<(usize, u64)> = None;
-        for s in 0..n {
-            if s == overloaded || self.failed[s] || !self.clients[s].is_open() {
-                continue;
-            }
-            let score = u64::from(self.pressure[s]).saturating_add(self.obs.heat_score(s));
-            if target.is_none_or(|(_, best)| score < best) {
-                target = Some((s, score));
-            }
-        }
-        let Some((target, _)) = target else { return };
+        let candidates: Vec<(usize, u64, bool)> = (0..n)
+            .filter(|&s| {
+                s != overloaded
+                    && !self.failed[s]
+                    && self.obs.state(s) == ShardLifecycle::Serving
+                    && self.clients[s].as_ref().is_none_or(ClientHandle::is_open)
+            })
+            .map(|s| {
+                let score = u64::from(self.pressure[s]).saturating_add(self.obs.heat_score(s));
+                let affinity = self.preferred_cluster == Some(self.obs.cluster(s));
+                (s, score, affinity)
+            })
+            .collect();
+        let Some(target) = pick_coolest(candidates) else {
+            return;
+        };
         let mut moved = false;
         for slot in self.class_shard.iter_mut() {
             if *slot as usize == overloaded {
@@ -1075,7 +1874,7 @@ impl NgmHandle {
             }
         }
         if moved {
-            self.clients[overloaded].runtime_stats().record_rebalance();
+            self.shard_stats[overloaded].record_rebalance();
         }
     }
 
@@ -1089,6 +1888,7 @@ impl NgmHandle {
     /// `ptr` must come from [`NgmHandle::alloc`] on the same [`Ngm`]
     /// instance with the same `layout`, and must not be used afterwards.
     pub unsafe fn dealloc(&mut self, ptr: NonNull<u8>, layout: Layout) {
+        self.maybe_resync();
         if let Some(prof) = &self.sites {
             prof.record_free(ptr.as_ptr() as usize);
         }
@@ -1117,7 +1917,10 @@ impl NgmHandle {
             if self.free_bufs[shard].len() >= self.flush_threshold as usize {
                 self.flush_shard_frees(shard);
             }
-            if let Some(ring) = self.clients[shard].trace_ring() {
+            if let Some(ring) = self.clients[shard]
+                .as_ref()
+                .and_then(ClientHandle::trace_ring)
+            {
                 ring.push(TraceEventKind::Free, layout.size() as u64, 0);
             }
             return;
@@ -1131,7 +1934,10 @@ impl NgmHandle {
                 align: layout.align(),
             }),
         );
-        if let Some(ring) = self.clients[shard].trace_ring() {
+        if let Some(ring) = self.clients[shard]
+            .as_ref()
+            .and_then(ClientHandle::trace_ring)
+        {
             ring.push(TraceEventKind::Free, layout.size() as u64, 0);
         }
     }
@@ -1187,7 +1993,9 @@ impl NgmHandle {
     pub fn pending_frees(&self) -> usize {
         let mut total: usize = self.free_bufs.iter().map(AddrBatch::len).sum();
         for shard in 0..self.nshards() {
-            let in_ring = self.clients[shard].pending_posts();
+            let in_ring = self.clients[shard]
+                .as_ref()
+                .map_or(0, ClientHandle::pending_posts);
             if self.flush_threshold <= 1 {
                 // Degenerate mode: every ring message is exactly one free.
                 total += in_ring;
@@ -1719,7 +2527,7 @@ mod tests {
         let mut h = ngm.handle();
         // Manufacture heat: shard 1 recently blew deadlines, shard 2 is
         // equally busy but healthy. Moving off shard 0 must skip 1.
-        ngm.obs.push_frame(
+        ngm.inject_heat(
             1,
             HeatFrame {
                 tsc: 1,
@@ -1728,7 +2536,7 @@ mod tests {
                 ..HeatFrame::default()
             },
         );
-        ngm.obs.push_frame(
+        ngm.inject_heat(
             2,
             HeatFrame {
                 tsc: 1,
@@ -1843,7 +2651,7 @@ mod tests {
         ngm.stop_shard(victim);
         // Wait until the death is observable through the closed rings.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while !ngm.shards[victim].runtime.is_finished() {
+        while !ngm.shard_finished(victim) {
             assert!(std::time::Instant::now() < deadline, "shard never stopped");
             std::thread::yield_now();
         }
@@ -1894,7 +2702,7 @@ mod tests {
         let mut h = ngm.handle();
         ngm.stop_shard(0);
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while !ngm.shards[0].runtime.is_finished() {
+        while !ngm.shard_finished(0) {
             assert!(std::time::Instant::now() < deadline, "shard never stopped");
             std::thread::yield_now();
         }
@@ -1922,7 +2730,7 @@ mod tests {
         let mut h = ngm.handle();
         ngm.stop_shard(0);
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while !ngm.shards[0].runtime.is_finished() {
+        while !ngm.shard_finished(0) {
             assert!(std::time::Instant::now() < deadline, "shard never stopped");
             std::thread::yield_now();
         }

@@ -50,6 +50,106 @@ pub enum CorePlacement {
     Base(usize),
 }
 
+/// Control knobs for the elastic shard tier (see
+/// [`NgmConfig::elastic`]): the controller evaluated on every
+/// `heat_report()`/`scaling_tick()` spawns a shard when the tier is
+/// sustainedly hot and drains + retires the coolest shard when it is
+/// sustainedly cold, always keeping `min..=max` shards serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticPolicy {
+    /// Fewest shards the controller keeps serving (`>= 1`). Shards
+    /// `0..min` are the tier's *resident floor*: they are never retired,
+    /// and non-size-class (large) allocations hash over them alone so an
+    /// address-less large free always finds its allocating shard open.
+    pub min: usize,
+    /// Most shards the controller will spawn (`<= MAX_SHARDS`).
+    pub max: usize,
+    /// Scale up when the mean per-serving-shard load (heat score plus
+    /// windowed calls) stays above this for `sustain` consecutive
+    /// evaluations.
+    pub high_water: u64,
+    /// Scale down when the mean per-serving-shard load stays below this
+    /// for `sustain` consecutive evaluations (and more than `min` shards
+    /// are serving).
+    pub low_water: u64,
+    /// Consecutive evaluations a water mark must stay crossed before the
+    /// controller acts (`>= 1`); debounces one-scrape spikes.
+    pub sustain: u32,
+    /// Evaluations a draining shard gets to reach a zero balance before
+    /// the controller aborts the retirement and returns it to serving
+    /// (`>= 1`) — a wedged shard must not wedge the controller with it.
+    pub drain_patience: u32,
+}
+
+impl ElasticPolicy {
+    /// Policy with the default water marks: high 96, low 16, sustain 2
+    /// evaluations, drain patience 8 evaluations.
+    pub const fn new(min: usize, max: usize) -> Self {
+        ElasticPolicy {
+            min,
+            max,
+            high_water: 96,
+            low_water: 16,
+            sustain: 2,
+            drain_patience: 8,
+        }
+    }
+
+    /// Whether the policy's own fields are coherent (the shard-count
+    /// relationship to `NgmConfig::shards` is checked by
+    /// [`NgmConfig::validate`]).
+    const fn is_valid(&self) -> bool {
+        self.min >= 1
+            && self.min <= self.max
+            && self.max <= MAX_SHARDS
+            && self.sustain >= 1
+            && self.drain_patience >= 1
+    }
+}
+
+/// Which socket/cluster each shard slot belongs to. The elastic
+/// controller places a spawning shard on the least-loaded cluster, and
+/// handles created with [`crate::api::Ngm::handle_on_cluster`] prefer
+/// same-cluster shards when routing allocations — the paper's placement
+/// concern (§2.3) extended across sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTopology {
+    /// Cluster id per shard slot, indexed by shard.
+    pub clusters: [u8; MAX_SHARDS],
+}
+
+impl ShardTopology {
+    /// Every slot on one cluster — a flat (single-socket) machine.
+    pub const fn flat() -> Self {
+        ShardTopology {
+            clusters: [0; MAX_SHARDS],
+        }
+    }
+
+    /// Every slot its own cluster — the sim's `asymmetric_many` shape,
+    /// where each service core sits in its own little cluster.
+    pub const fn per_shard() -> Self {
+        let mut clusters = [0u8; MAX_SHARDS];
+        let mut i = 0;
+        while i < MAX_SHARDS {
+            clusters[i] = i as u8;
+            i += 1;
+        }
+        ShardTopology { clusters }
+    }
+
+    /// An explicit per-slot cluster map.
+    pub const fn from_clusters(clusters: [u8; MAX_SHARDS]) -> Self {
+        ShardTopology { clusters }
+    }
+}
+
+impl Default for ShardTopology {
+    fn default() -> Self {
+        Self::flat()
+    }
+}
+
 /// Why [`NgmConfig::build`] refused a configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NgmError {
@@ -70,6 +170,17 @@ pub enum NgmError {
     },
     /// `free_ring_capacity` was `0`.
     ZeroRingCapacity,
+    /// The elastic policy was incoherent: the range must satisfy
+    /// `1 <= min <= shards <= max <= MAX_SHARDS` and both `sustain` and
+    /// `drain_patience` must be nonzero.
+    InvalidElastic {
+        /// The rejected minimum serving-shard count.
+        min: usize,
+        /// The rejected maximum serving-shard count.
+        max: usize,
+        /// The configured initial shard count.
+        shards: usize,
+    },
     /// A shard's service thread could not be spawned.
     Spawn(ServiceError),
 }
@@ -87,6 +198,11 @@ impl std::fmt::Display for NgmError {
                 write!(f, "flush threshold {requested} not in 1..={MAX_BATCH}")
             }
             NgmError::ZeroRingCapacity => write!(f, "free ring capacity must be nonzero"),
+            NgmError::InvalidElastic { min, max, shards } => write!(
+                f,
+                "elastic range min={min} max={max} (initial shards={shards}) must satisfy \
+                 1 <= min <= shards <= max <= {MAX_SHARDS} with nonzero sustain and patience"
+            ),
             NgmError::Spawn(e) => write!(f, "failed to start a service shard: {e}"),
         }
     }
@@ -169,6 +285,15 @@ pub struct NgmConfig {
     /// adapter forces this off: assembling a dump allocates, and
     /// re-entering a failing allocator mid-failure is not survivable.
     pub blackbox: bool,
+    /// Elastic-tier policy; `None` (the default) keeps the tier fixed at
+    /// `shards` shards with no controller. When set, `shards` is the
+    /// *initial* serving count and the controller moves it within
+    /// `[policy.min, policy.max]` as the heat windows demand.
+    pub elastic: Option<ElasticPolicy>,
+    /// Socket/cluster map for the shard slots (flat by default). Drives
+    /// elastic spawn placement (least-loaded cluster) and same-cluster
+    /// routing preference for [`crate::api::Ngm::handle_on_cluster`].
+    pub topology: ShardTopology,
 }
 
 impl NgmConfig {
@@ -189,7 +314,29 @@ impl NgmConfig {
             deadline: Some(ngm_offload::DEFAULT_DEADLINE),
             heat_window: ngm_telemetry::window::DEFAULT_HEAT_FRAMES,
             blackbox: true,
+            elastic: None,
+            topology: ShardTopology::flat(),
         }
+    }
+
+    /// Makes the tier elastic between `min` and `max` serving shards with
+    /// the default [`ElasticPolicy`] water marks. The configured `shards`
+    /// count is the initial serving count and must lie in `[min, max]`.
+    pub const fn elastic(mut self, min: usize, max: usize) -> Self {
+        self.elastic = Some(ElasticPolicy::new(min, max));
+        self
+    }
+
+    /// Sets the full elastic policy (`None` disables the controller).
+    pub const fn with_elastic_policy(mut self, policy: Option<ElasticPolicy>) -> Self {
+        self.elastic = policy;
+        self
+    }
+
+    /// Sets the shard-slot socket/cluster map.
+    pub const fn with_topology(mut self, topology: ShardTopology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Sets the number of service shards.
@@ -290,6 +437,15 @@ impl NgmConfig {
         if self.free_ring_capacity == 0 {
             return Err(NgmError::ZeroRingCapacity);
         }
+        if let Some(p) = self.elastic {
+            if !p.is_valid() || self.shards < p.min || self.shards > p.max {
+                return Err(NgmError::InvalidElastic {
+                    min: p.min,
+                    max: p.max,
+                    shards: self.shards,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -307,6 +463,19 @@ impl NgmConfig {
         // A window needs a baseline and a head; HeatWindow clamps the
         // same way, this just keeps the config honest about it.
         self.heat_window = clamp(self.heat_window, 2, usize::MAX);
+        if let Some(p) = self.elastic {
+            let min = clamp(p.min, 1, MAX_SHARDS);
+            let max = clamp(p.max, min, MAX_SHARDS);
+            self.elastic = Some(ElasticPolicy {
+                min,
+                max,
+                high_water: p.high_water,
+                low_water: p.low_water,
+                sustain: clamp(p.sustain as usize, 1, u32::MAX as usize) as u32,
+                drain_patience: clamp(p.drain_patience as usize, 1, u32::MAX as usize) as u32,
+            });
+            self.shards = clamp(self.shards, min, max);
+        }
         self
     }
 
@@ -362,11 +531,15 @@ mod tests {
             .with_site_sample(0)
             .with_deadline(Some(Duration::from_millis(100)))
             .with_heat_window(4)
-            .with_blackbox(false);
+            .with_blackbox(false)
+            .elastic(2, 6)
+            .with_topology(ShardTopology::per_shard());
         assert_eq!(CFG.shards, 4);
         assert_eq!(CFG.batch_size, 16);
         assert_eq!(CFG.heat_window, 4);
         const { assert!(!CFG.blackbox) };
+        assert_eq!(CFG.elastic, Some(ElasticPolicy::new(2, 6)));
+        assert_eq!(CFG.topology.clusters[3], 3);
         assert_eq!(CFG.validate(), Ok(()));
     }
 
@@ -396,6 +569,62 @@ mod tests {
             NgmConfig::new().with_free_ring_capacity(0).validate(),
             Err(NgmError::ZeroRingCapacity)
         );
+        // Elastic range checks: min must be nonzero, the range ordered
+        // and within MAX_SHARDS, and the initial count inside it.
+        assert_eq!(
+            NgmConfig::new().elastic(0, 4).validate(),
+            Err(NgmError::InvalidElastic {
+                min: 0,
+                max: 4,
+                shards: 1
+            })
+        );
+        assert_eq!(
+            NgmConfig::new().elastic(3, 2).validate(),
+            Err(NgmError::InvalidElastic {
+                min: 3,
+                max: 2,
+                shards: 1
+            })
+        );
+        assert_eq!(
+            NgmConfig::new().with_shards(1).elastic(2, 4).validate(),
+            Err(NgmError::InvalidElastic {
+                min: 2,
+                max: 4,
+                shards: 1
+            })
+        );
+        assert_eq!(
+            NgmConfig::new()
+                .with_shards(2)
+                .elastic(1, MAX_SHARDS)
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn sanitized_clamps_elastic_range_and_initial_count() {
+        let cfg = NgmConfig::new()
+            .with_shards(1)
+            .with_elastic_policy(Some(ElasticPolicy {
+                min: 0,
+                max: 99,
+                high_water: 96,
+                low_water: 16,
+                sustain: 0,
+                drain_patience: 0,
+            }))
+            .sanitized();
+        let p = cfg.elastic.unwrap();
+        assert_eq!((p.min, p.max), (1, MAX_SHARDS));
+        assert_eq!((p.sustain, p.drain_patience), (1, 1));
+        assert_eq!(cfg.validate(), Ok(()));
+        // Initial count outside the range is pulled inside it.
+        let cfg = NgmConfig::new().with_shards(1).elastic(2, 4).sanitized();
+        assert_eq!(cfg.shards, 2);
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]

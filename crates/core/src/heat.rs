@@ -18,6 +18,7 @@
 //!   shows the heat picture at failure time.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ngm_offload::PHASE_NAMES;
@@ -25,6 +26,69 @@ use ngm_telemetry::export::MetricsSnapshot;
 use ngm_telemetry::window::{HeatDelta, HeatFrame, HeatWindow};
 
 use crate::watch::SharedDemand;
+
+/// Where a shard slot is in its elastic lifecycle.
+///
+/// Non-elastic tiers hold every slot at `Serving` forever; the elastic
+/// controller walks slots through `Dormant → Serving → Draining →
+/// Retired` (and `Retired → Serving` on a respawn, or `Draining →
+/// Serving` when a drain aborts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ShardLifecycle {
+    /// Built but never spawned: the slot's service (heap, owner stamp,
+    /// orphan stack) exists, parked, with no thread.
+    Dormant = 0,
+    /// Thread running, accepting allocations and frees.
+    Serving = 1,
+    /// Thread running but gated against new allocations; frees keep
+    /// landing until the shard's alloc/free balance reaches zero.
+    Draining = 2,
+    /// Drained to zero balance and joined; the service is parked again
+    /// and the slot can respawn later.
+    Retired = 3,
+}
+
+impl ShardLifecycle {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => ShardLifecycle::Serving,
+            2 => ShardLifecycle::Draining,
+            3 => ShardLifecycle::Retired,
+            _ => ShardLifecycle::Dormant,
+        }
+    }
+
+    /// Stable lowercase label for reports and dumps.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            ShardLifecycle::Dormant => "dormant",
+            ShardLifecycle::Serving => "serving",
+            ShardLifecycle::Draining => "draining",
+            ShardLifecycle::Retired => "retired",
+        }
+    }
+}
+
+/// Picks the coolest shard from `(shard, score, affinity)` candidates:
+/// lowest score wins, ties prefer `affinity == true` (e.g. a same-cluster
+/// shard), remaining ties go to the lowest index.
+///
+/// This is the *single* tie-breaking rule shared by
+/// [`crate::api::NgmHandle::rebalance_away_from`] (picking where to move
+/// traffic) and the elastic controller (picking which shard to retire) —
+/// extracted so the two consumers cannot drift apart.
+#[must_use]
+pub fn pick_coolest<I>(candidates: I) -> Option<usize>
+where
+    I: IntoIterator<Item = (usize, u64, bool)>,
+{
+    candidates
+        .into_iter()
+        .min_by_key(|&(shard, score, affinity)| (score, !affinity, shard))
+        .map(|(shard, _, _)| shard)
+}
 
 /// One shard's windowed heat.
 #[derive(Debug, Clone)]
@@ -148,17 +212,93 @@ pub(crate) struct ObsState {
     pub(crate) blackbox: bool,
     heat: Box<[Mutex<HeatWindow>]>,
     demand: Box<[Arc<SharedDemand>]>,
+    /// Per-slot [`ShardLifecycle`] (as `u8`), written by the controller
+    /// and `Ngm` lifecycle edges, read by every handle's route resync.
+    states: Box<[AtomicU8]>,
+    /// Bumped on every lifecycle transition; handles compare it against
+    /// their cached value with one relaxed load per operation and resync
+    /// their routes when it moved.
+    generation: AtomicU64,
+    /// Cluster id per slot (from `NgmConfig::topology`).
+    clusters: Box<[u8]>,
+    scale_up: AtomicU64,
+    scale_down: AtomicU64,
 }
 
 impl ObsState {
-    pub(crate) fn new(blackbox: bool, frames: usize, demand: Vec<Arc<SharedDemand>>) -> Self {
+    pub(crate) fn new(
+        blackbox: bool,
+        frames: usize,
+        demand: Vec<Arc<SharedDemand>>,
+        clusters: Vec<u8>,
+    ) -> Self {
+        debug_assert_eq!(demand.len(), clusters.len());
         ObsState {
             blackbox,
             heat: (0..demand.len())
                 .map(|_| Mutex::new(HeatWindow::new(frames)))
                 .collect(),
+            states: (0..demand.len())
+                .map(|_| AtomicU8::new(ShardLifecycle::Dormant as u8))
+                .collect(),
             demand: demand.into_boxed_slice(),
+            generation: AtomicU64::new(0),
+            clusters: clusters.into_boxed_slice(),
+            scale_up: AtomicU64::new(0),
+            scale_down: AtomicU64::new(0),
         }
+    }
+
+    /// The slot's current lifecycle state (racy read; transitions are
+    /// serialized by the controller lock).
+    pub(crate) fn state(&self, shard: usize) -> ShardLifecycle {
+        ShardLifecycle::from_u8(self.states[shard].load(Ordering::Acquire))
+    }
+
+    /// Moves a slot to `state` and bumps the route generation so handles
+    /// resync on their next operation.
+    pub(crate) fn set_state(&self, shard: usize, state: ShardLifecycle) {
+        self.states[shard].store(state as u8, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current route generation (see [`ObsState::set_state`]).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// The slot's cluster id.
+    pub(crate) fn cluster(&self, shard: usize) -> u8 {
+        self.clusters[shard]
+    }
+
+    pub(crate) fn record_scale_up(&self) {
+        self.scale_up.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_scale_down(&self) {
+        self.scale_down.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn scale_up_total(&self) -> u64 {
+        self.scale_up.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn scale_down_total(&self) -> u64 {
+        self.scale_down.load(Ordering::Relaxed)
+    }
+
+    /// The shard's windowed heat when its window is *settled* — at least
+    /// two frames, so the delta spans a real interval instead of the
+    /// garbage-prone cumulative-since-start single-frame view. The
+    /// elastic controller only acts on settled windows; anything less
+    /// falls back to the static (no-op) policy.
+    pub(crate) fn settled_heat(&self, shard: usize) -> Option<HeatDelta> {
+        let w = self.heat[shard].lock().unwrap();
+        if w.len() < 2 {
+            return None;
+        }
+        w.windowed()
     }
 
     /// The shard's last idle-published refill-demand counters.
@@ -275,8 +415,69 @@ mod tests {
     }
 
     #[test]
+    fn pick_coolest_orders_by_score_then_affinity_then_index() {
+        assert_eq!(pick_coolest(std::iter::empty()), None);
+        // Lowest score wins outright.
+        assert_eq!(pick_coolest([(0, 9, false), (1, 2, false)]), Some(1));
+        // Score tie: the affine (same-cluster) candidate wins even at a
+        // higher index.
+        assert_eq!(pick_coolest([(0, 5, false), (2, 5, true)]), Some(2));
+        // Full tie: lowest index wins — the invariant
+        // `rebalance_away_from` has always had.
+        assert_eq!(
+            pick_coolest([(3, 5, true), (1, 5, true), (2, 5, false)]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn lifecycle_labels_and_transitions_bump_generation() {
+        let obs = ObsState::new(
+            true,
+            4,
+            vec![
+                Arc::new(SharedDemand::new(2)),
+                Arc::new(SharedDemand::new(2)),
+            ],
+            vec![0, 1],
+        );
+        assert_eq!(obs.state(1), ShardLifecycle::Dormant);
+        let g0 = obs.generation();
+        obs.set_state(1, ShardLifecycle::Serving);
+        assert_eq!(obs.state(1), ShardLifecycle::Serving);
+        assert!(obs.generation() > g0);
+        assert_eq!(obs.cluster(1), 1);
+        assert_eq!(ShardLifecycle::Draining.label(), "draining");
+    }
+
+    #[test]
+    fn settled_heat_needs_two_frames() {
+        let obs = ObsState::new(true, 4, vec![Arc::new(SharedDemand::new(2))], vec![0]);
+        assert!(obs.settled_heat(0).is_none(), "zero frames: unsettled");
+        obs.push_frame(
+            0,
+            HeatFrame {
+                tsc: 10,
+                calls: 100,
+                ..HeatFrame::default()
+            },
+        );
+        assert!(obs.settled_heat(0).is_none(), "one frame: unsettled");
+        obs.push_frame(
+            0,
+            HeatFrame {
+                tsc: 20,
+                calls: 150,
+                ..HeatFrame::default()
+            },
+        );
+        let d = obs.settled_heat(0).expect("two frames settle the window");
+        assert_eq!(d.calls, 50, "delta spans the two frames");
+    }
+
+    #[test]
     fn obs_state_scores_zero_until_frames_arrive() {
-        let obs = ObsState::new(true, 4, vec![Arc::new(SharedDemand::new(2))]);
+        let obs = ObsState::new(true, 4, vec![Arc::new(SharedDemand::new(2))], vec![0]);
         assert_eq!(obs.heat_score(0), 0);
         assert_eq!(obs.render_current(), "");
         let d = obs.push_frame(

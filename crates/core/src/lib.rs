@@ -35,10 +35,13 @@ pub mod orphan;
 pub mod service;
 pub mod watch;
 
-pub use api::{Ngm, NgmHandle, NgmShutdown, ShardShutdown};
-pub use config::{CorePlacement, NgmConfig, NgmError, FALLBACK_OWNER, MAX_SHARDS, OWNER_BASE};
+pub use api::{Autoscaler, Ngm, NgmHandle, NgmShutdown, ScaleDecision, ShardShutdown};
+pub use config::{
+    CorePlacement, ElasticPolicy, NgmConfig, NgmError, ShardTopology, FALLBACK_OWNER, MAX_SHARDS,
+    OWNER_BASE,
+};
 pub use global::NgmAllocator;
-pub use heat::{HeatReport, ShardHeat};
+pub use heat::{pick_coolest, HeatReport, ShardHeat, ShardLifecycle};
 pub use service::{
     AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
     ServiceStats, MAX_BATCH,

@@ -34,6 +34,14 @@ pub enum ServiceError {
         /// How long the caller waited before giving up.
         waited: Duration,
     },
+    /// The shard is draining toward retirement: it refuses new
+    /// synchronous calls (route them to a serving shard) but still
+    /// accepts posts, so address-routed frees keep landing on it until
+    /// its alloc/free balance reaches zero and its thread joins.
+    ShardRetiring {
+        /// The retiring shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -47,6 +55,9 @@ impl fmt::Display for ServiceError {
                 f,
                 "request to shard {shard} exceeded its deadline after {waited:?}"
             ),
+            ServiceError::ShardRetiring { shard } => {
+                write!(f, "shard {shard} is draining toward retirement")
+            }
         }
     }
 }
@@ -68,6 +79,7 @@ mod tests {
                 shard: 3,
                 waited: Duration::from_millis(250),
             },
+            ServiceError::ShardRetiring { shard: 3 },
         ];
         let mut seen = std::collections::HashSet::new();
         for e in all {

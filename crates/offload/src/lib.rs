@@ -41,8 +41,8 @@ pub use pad::CachePadded;
 pub use pin::{available_cores, pin_current_thread, pin_current_thread_verified, PinError};
 pub use ring::{spsc, Consumer, Producer};
 pub use service::{
-    ClientHandle, OffloadRuntime, PostError, PostOutcome, RuntimeConfig, Service, ShardFailure,
-    DEFAULT_DEADLINE,
+    ClientHandle, OffloadRuntime, PostError, PostOutcome, RuntimeConfig, RuntimeHandles, Service,
+    ShardFailure, DEFAULT_DEADLINE,
 };
 pub use slot::{CallDeadline, RequestSlot};
 pub use stats::{RuntimeStats, StatsSnapshot};

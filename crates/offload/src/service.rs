@@ -87,6 +87,8 @@ pub struct ClientHandle<S: Service> {
     /// Set when a deadline-bounded call was abandoned mid-serve: the slot
     /// protocol is unrecoverable and this handle must never call again.
     poisoned: bool,
+    /// The runtime's retiring gate (see [`OffloadRuntime::begin_retire`]).
+    retiring: Arc<AtomicBool>,
     stats: Arc<RuntimeStats>,
     telemetry: Arc<RuntimeTelemetry>,
     trace: Option<Arc<TraceRing>>,
@@ -278,6 +280,13 @@ impl<S: Service> ClientHandle<S> {
         if !self.is_open() {
             self.stats.mark_service_down();
             return Err(ServiceError::ServiceStopped);
+        }
+        if self.retiring.load(Ordering::Acquire) {
+            // The shard is draining toward retirement: refuse new
+            // allocations (callers route elsewhere) but keep the post
+            // path open so address-routed frees can land and the shard
+            // can reach a zero balance.
+            return Err(ServiceError::ShardRetiring { shard: self.shard });
         }
         let Some(budget) = self.deadline else {
             return Ok(if batched {
@@ -498,6 +507,12 @@ pub struct RuntimeConfig {
     /// `call`/`call_batched` paths are never bounded — they have no error
     /// channel.
     pub deadline: Option<Duration>,
+    /// Socket/cluster this shard's core belongs to. The offload layer
+    /// only records it ([`OffloadRuntime::cluster`]); the sharded tier's
+    /// elastic controller uses it to place new shards on the least-loaded
+    /// cluster and to prefer same-cluster routing. A flat machine is all
+    /// cluster 0.
+    pub cluster: usize,
 }
 
 impl RuntimeConfig {
@@ -514,7 +529,59 @@ impl RuntimeConfig {
             profile: false,
             shard: 0,
             deadline: Some(DEFAULT_DEADLINE),
+            cluster: 0,
         }
+    }
+}
+
+/// The parts of a runtime that outlive any one service thread: counters,
+/// telemetry, the retiring gate, and (under `faultinject`) the fault
+/// knobs.
+///
+/// An elastic shard tier retires a shard (joining its thread) and may
+/// later respawn it on the same slot. Starting each epoch through
+/// [`OffloadRuntime::try_start_shared`] with the *same* handles keeps the
+/// slot's counters monotonic across epochs, keeps long-lived `Arc`
+/// borrows (metrics scrapers, blackbox dumps, fault injectors) valid
+/// while the slot has no thread, and lets client handles from the old
+/// epoch keep reporting into the same books.
+#[derive(Debug, Clone)]
+pub struct RuntimeHandles {
+    /// Live counters, shared by every epoch of the slot.
+    pub stats: Arc<RuntimeStats>,
+    /// Histograms and trace rings, shared by every epoch of the slot.
+    pub telemetry: Arc<RuntimeTelemetry>,
+    /// Set while the slot is draining toward retirement; client
+    /// `try_call`s refuse with [`ServiceError::ShardRetiring`] so new
+    /// allocations route elsewhere while frees keep flowing in.
+    retiring: Arc<AtomicBool>,
+    /// The slot's fault knobs (persist across epochs so a sweep can wedge
+    /// a shard that is currently parked).
+    #[cfg(feature = "faultinject")]
+    pub fault: Arc<FaultState>,
+}
+
+impl RuntimeHandles {
+    /// Fresh zeroed handles for one slot, with tracing/profiling per
+    /// `cfg`.
+    #[must_use]
+    pub fn fresh(cfg: &RuntimeConfig) -> Self {
+        RuntimeHandles {
+            stats: Arc::new(RuntimeStats::new()),
+            telemetry: Arc::new(RuntimeTelemetry::with_profiling(
+                cfg.trace_capacity,
+                cfg.profile,
+            )),
+            retiring: Arc::new(AtomicBool::new(false)),
+            #[cfg(feature = "faultinject")]
+            fault: Arc::new(FaultState::new()),
+        }
+    }
+
+    /// Whether the slot is currently gated against new synchronous calls.
+    #[must_use]
+    pub fn is_retiring(&self) -> bool {
+        self.retiring.load(Ordering::Acquire)
     }
 }
 
@@ -602,6 +669,8 @@ pub struct OffloadRuntime<S: Service> {
     ring_capacity: usize,
     deadline: Option<Duration>,
     shard: usize,
+    cluster: usize,
+    retiring: Arc<AtomicBool>,
 }
 
 impl<S: Service> OffloadRuntime<S> {
@@ -617,22 +686,37 @@ impl<S: Service> OffloadRuntime<S> {
     ///
     /// [`ServiceError::SpawnFailed`] when the OS refuses the thread.
     pub fn try_start(service: S, cfg: RuntimeConfig) -> Result<Self, ServiceError> {
-        let stats = Arc::new(RuntimeStats::new());
-        let telemetry = Arc::new(RuntimeTelemetry::with_profiling(
-            cfg.trace_capacity,
-            cfg.profile,
-        ));
+        Self::try_start_shared(service, cfg, &RuntimeHandles::fresh(&cfg))
+    }
+
+    /// As [`OffloadRuntime::try_start`], but threading pre-existing
+    /// [`RuntimeHandles`] through instead of creating fresh ones. An
+    /// elastic tier calls this when respawning a retired slot so the new
+    /// epoch accumulates into the same counters, telemetry, and fault
+    /// knobs the old epoch used. Clears the retiring gate (a respawned
+    /// slot is serving again).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::SpawnFailed`] when the OS refuses the thread.
+    pub fn try_start_shared(
+        service: S,
+        cfg: RuntimeConfig,
+        handles: &RuntimeHandles,
+    ) -> Result<Self, ServiceError> {
+        handles.retiring.store(false, Ordering::Release);
         // Claim the service loop's trace ring before any client can
-        // register, so runtime thread id 0 is always the service.
-        let service_trace = telemetry.new_ring();
+        // register; on the slot's first epoch this makes runtime thread
+        // id 0 the service loop.
+        let service_trace = handles.telemetry.new_ring();
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
-            stats: Arc::clone(&stats),
-            telemetry,
+            stats: Arc::clone(&handles.stats),
+            telemetry: Arc::clone(&handles.telemetry),
             injector: Mutex::new(Vec::new()),
             has_new: AtomicBool::new(false),
             #[cfg(feature = "faultinject")]
-            fault: Arc::new(FaultState::new()),
+            fault: Arc::clone(&handles.fault),
         });
         let thread_shared = Arc::clone(&shared);
         let server_wait = cfg.server_wait.unwrap_or_default();
@@ -656,6 +740,8 @@ impl<S: Service> OffloadRuntime<S> {
             ring_capacity: cfg.ring_capacity,
             deadline: cfg.deadline,
             shard: cfg.shard,
+            cluster: cfg.cluster,
+            retiring: Arc::clone(&handles.retiring),
         })
     }
 
@@ -701,6 +787,7 @@ impl<S: Service> OffloadRuntime<S> {
             deadline: self.deadline,
             shard: self.shard,
             poisoned: false,
+            retiring: Arc::clone(&self.retiring),
             stats: Arc::clone(&self.shared.stats),
             telemetry: Arc::clone(&self.shared.telemetry),
             trace: self.shared.telemetry.new_ring(),
@@ -711,6 +798,34 @@ impl<S: Service> OffloadRuntime<S> {
                 ClientPmu::Off
             },
         }
+    }
+
+    /// Socket/cluster this shard was placed on (from
+    /// [`RuntimeConfig::cluster`]).
+    pub fn cluster(&self) -> usize {
+        self.cluster
+    }
+
+    /// Gates this shard against new synchronous calls: every registered
+    /// client's `try_call`/`try_call_batched` starts refusing with
+    /// [`ServiceError::ShardRetiring`], while posts (frees) keep flowing
+    /// so the shard can drain its balance to zero. The service thread
+    /// keeps running; call [`OffloadRuntime::try_shutdown`] once the
+    /// drain completes, or [`OffloadRuntime::end_retire`] to abort.
+    pub fn begin_retire(&self) {
+        self.retiring.store(true, Ordering::Release);
+    }
+
+    /// Reopens a retiring shard for synchronous calls (a drain that could
+    /// not complete — e.g. the shard wedged mid-drain — aborts back to
+    /// serving rather than hanging the controller).
+    pub fn end_retire(&self) {
+        self.retiring.store(false, Ordering::Release);
+    }
+
+    /// Whether [`OffloadRuntime::begin_retire`] is in effect.
+    pub fn is_retiring(&self) -> bool {
+        self.retiring.load(Ordering::Acquire)
     }
 
     /// Asks the service thread to stop without consuming the runtime.

@@ -35,7 +35,7 @@ pub use driver::{run, run_kind, run_kind_warm, run_warm, RunResult};
 pub use jemalloc::JemallocModel;
 pub use mimalloc::MimallocModel;
 pub use model::{AllocModel, ModelKind};
-pub use ngm::{NgmModel, NgmShardedModel};
+pub use ngm::{NgmElasticModel, NgmModel, NgmShardedModel};
 pub use ngm_batch::NgmBatchModel;
 pub use ptmalloc::PtMalloc2Model;
 pub use tcmalloc::TcMallocModel;

@@ -332,6 +332,88 @@ impl AllocModel for NgmShardedModel {
     }
 }
 
+/// The elastic NextGen-Malloc model: a sharded tier whose width is the
+/// one the runtime's elastic controller would *converge to* for a given
+/// client count, rather than a fixed operator choice.
+///
+/// The real controller (`ngm_core`'s scaling loop) compares mean
+/// windowed per-shard load against its high/low water marks and spawns
+/// or retires one shard per sustained breach. This model skips the
+/// transient and runs the steady state: [`NgmElasticModel::predicted_shards`]
+/// solves for the smallest tier width that keeps mean load at or under
+/// the high-water mark, clamped to the policy's `[min, max]`. Comparing
+/// its cycle counts against a live elastic run (the `repro elastic`
+/// harness does exactly this) separates "the controller converged to
+/// the wrong width" from "the width itself is wrong".
+pub struct NgmElasticModel {
+    inner: NgmShardedModel,
+    predicted: usize,
+}
+
+impl NgmElasticModel {
+    /// Windowed calls one steadily churning client contributes to its
+    /// shard per controller scrape — the load unit behind the default
+    /// water marks (high 96 ≈ four churning clients per shard).
+    pub const LOAD_PER_CLIENT: u64 = 24;
+
+    /// Creates the model for `threads` application cores with an elastic
+    /// tier bounded by `[min, max]` shards, sized at the converged width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or `min > max`.
+    pub fn new(threads: usize, min: usize, max: usize) -> Self {
+        let predicted = Self::predicted_shards(threads, min, max);
+        NgmElasticModel {
+            inner: NgmShardedModel::new(threads, predicted),
+            predicted,
+        }
+    }
+
+    /// The tier width the controller converges to for `clients` steadily
+    /// churning application threads: the smallest width keeping mean
+    /// per-shard load at or under the default high-water mark (96),
+    /// clamped to `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or `min > max`.
+    pub fn predicted_shards(clients: usize, min: usize, max: usize) -> usize {
+        assert!(min > 0, "an elastic tier keeps at least one resident shard");
+        assert!(min <= max, "elastic floor above its ceiling");
+        const HIGH_WATER: u64 = 96;
+        let load = clients as u64 * Self::LOAD_PER_CLIENT;
+        (load.div_ceil(HIGH_WATER) as usize).clamp(min, max)
+    }
+
+    /// The width this instance was sized at.
+    pub fn num_shards(&self) -> usize {
+        self.predicted
+    }
+}
+
+impl AllocModel for NgmElasticModel {
+    fn name(&self) -> &'static str {
+        "NextGen-Malloc (elastic)"
+    }
+
+    fn malloc(&mut self, machine: &mut Machine, core: usize, size: u32) -> u64 {
+        self.inner.malloc(machine, core, size)
+    }
+
+    fn free(&mut self, machine: &mut Machine, core: usize, addr: u64, size: u32) {
+        self.inner.free(machine, core, addr, size)
+    }
+
+    fn meta_bytes(&self) -> u64 {
+        self.inner.meta_bytes()
+    }
+
+    fn atomics(&self) -> u64 {
+        self.inner.atomics()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +560,37 @@ mod tests {
             (four as f64) < one as f64 / 1.5,
             "4 shards not ≥1.5x faster: 1-shard {one} vs 4-shard {four}"
         );
+    }
+
+    #[test]
+    fn elastic_prediction_follows_load_and_clamps() {
+        // One churning client fits one shard; sixteen need four (at
+        // 24 load/client against the 96 high-water mark).
+        assert_eq!(NgmElasticModel::predicted_shards(1, 1, 8), 1);
+        assert_eq!(NgmElasticModel::predicted_shards(4, 1, 8), 1);
+        assert_eq!(NgmElasticModel::predicted_shards(16, 1, 8), 4);
+        // Monotone in clients, clamped at both ends.
+        assert_eq!(NgmElasticModel::predicted_shards(64, 1, 8), 8);
+        assert_eq!(NgmElasticModel::predicted_shards(1, 2, 8), 2);
+        for c in 1..64 {
+            assert!(
+                NgmElasticModel::predicted_shards(c + 1, 1, 8)
+                    >= NgmElasticModel::predicted_shards(c, 1, 8)
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_model_roundtrips_at_its_predicted_width() {
+        let width = NgmElasticModel::predicted_shards(16, 1, 4);
+        assert_eq!(width, 4);
+        let mut m = sharded_machine(16, width);
+        let mut a = NgmElasticModel::new(16, 1, 4);
+        assert_eq!(a.num_shards(), width);
+        let p = a.malloc(&mut m, 0, 64);
+        a.free(&mut m, 1, p, 64);
+        let q = a.malloc(&mut m, 0, 64);
+        assert_eq!(q, p, "free reached the owning shard at elastic width");
     }
 
     #[test]

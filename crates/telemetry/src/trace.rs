@@ -31,6 +31,11 @@ pub enum TraceEventKind {
     /// [`TraceRing::push_at`] so the event's `tsc` is the *true* phase
     /// timestamp, not the record time.
     Span,
+    /// An elastic-tier scaling decision; `a` = decision code (1 = spawn,
+    /// 2 = drain begun, 3 = retired, 4 = drain aborted), `b` = the shard
+    /// acted on. Recorded into the acting slot's trace ring so blackbox
+    /// dumps show the controller's recent moves.
+    Scale,
 }
 
 impl TraceEventKind {
@@ -44,6 +49,7 @@ impl TraceEventKind {
             TraceEventKind::Refill => "refill",
             TraceEventKind::WaitTransition => "wait_transition",
             TraceEventKind::Span => "span",
+            TraceEventKind::Scale => "scale",
         }
     }
 }
@@ -249,6 +255,7 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(TraceEventKind::WaitTransition.label(), "wait_transition");
         assert_eq!(TraceEventKind::Span.label(), "span");
+        assert_eq!(TraceEventKind::Scale.label(), "scale");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 use std::alloc::Layout;
 use std::ptr::NonNull;
 
-use ngm_core::{NgmConfig, MAX_BATCH};
-use ngm_heap::classes::{class_to_size, size_to_class};
+use ngm_core::{CorePlacement, NgmConfig, MAX_BATCH};
+use ngm_heap::classes::{class_to_size, size_to_class, SizeClass, NUM_CLASSES};
 use ngm_heap::{AggregatedHeap, AllocError, Heap, LockedHeap, SegregatedHeap, ShardedHeap};
 use proptest::prelude::*;
 
@@ -306,5 +306,104 @@ proptest! {
         prop_assert_eq!(down.heap.live_blocks, 0);
         prop_assert_eq!(down.heap.live_bytes, 0);
         prop_assert_eq!(down.runtime.magazine_occupancy, 0);
+    }
+}
+
+/// A scripted operation against a multi-shard tier whose class → shard
+/// routing map is migrated mid-script (the elastic controller's resync
+/// primitive, driven deterministically).
+#[derive(Debug, Clone)]
+enum MigOp {
+    Alloc { size: usize },
+    Free { index: usize },
+    Migrate { class_sel: usize, shard_sel: usize },
+}
+
+fn mig_op_strategy() -> impl Strategy<Value = MigOp> {
+    prop_oneof![
+        4 => (1usize..8192).prop_map(|size| MigOp::Alloc { size }),
+        3 => any::<usize>().prop_map(|index| MigOp::Free { index }),
+        2 => (any::<usize>(), any::<usize>())
+            .prop_map(|(class_sel, shard_sel)| MigOp::Migrate { class_sel, shard_sel }),
+    ]
+}
+
+proptest! {
+    // Each case spins up a real 4-shard tier, so keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary class → shard migrations interleaved with traffic never
+    /// break the address-routing invariant: a block frees back to the
+    /// shard that allocated it no matter how routing moved since, so
+    /// every shard's books balance exactly at shutdown. This is the
+    /// property the elastic tier leans on — spawn/retire only ever
+    /// rewrites the *allocation* map.
+    #[test]
+    fn migrations_never_unbalance_a_shard(
+        ops in prop::collection::vec(mig_op_strategy(), 1..120),
+    ) {
+        const SHARDS: usize = 4;
+        let ngm = NgmConfig::new()
+            .with_shards(SHARDS)
+            .with_batch(8, 4)
+            .with_placement(CorePlacement::Unpinned)
+            .build()
+            .expect("valid config");
+        let mut h = ngm.handle();
+        let mut live: Vec<(NonNull<u8>, Layout, u8)> = Vec::new();
+        let mut stamp: u8 = 0;
+        for op in &ops {
+            match *op {
+                MigOp::Alloc { size } => {
+                    let layout = Layout::from_size_align(size, 8).expect("valid");
+                    let p = h.alloc(layout).expect("alloc");
+                    stamp = stamp.wrapping_add(1);
+                    // SAFETY: fresh block of `size` bytes.
+                    unsafe { std::ptr::write_bytes(p.as_ptr(), stamp, size) };
+                    live.push((p, layout, stamp));
+                }
+                MigOp::Free { index } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (p, layout, tag) = live.swap_remove(index % live.len());
+                    // The block must be intact even if its class was
+                    // rerouted (possibly several times) since the alloc.
+                    for off in [0, layout.size() / 2, layout.size() - 1] {
+                        // SAFETY: live block, in-bounds offset.
+                        prop_assert_eq!(unsafe { *p.as_ptr().add(off) }, tag, "block corrupted");
+                    }
+                    // SAFETY: block from this handle, freed exactly once.
+                    unsafe { h.dealloc(p, layout) };
+                }
+                MigOp::Migrate { class_sel, shard_sel } => {
+                    let class = SizeClass((class_sel % NUM_CLASSES) as u16);
+                    let shard = shard_sel % SHARDS;
+                    h.route_class_to(class, shard);
+                    prop_assert_eq!(h.class_route(class), shard);
+                }
+            }
+        }
+        for (p, layout, tag) in live {
+            // SAFETY: remaining live blocks, freed exactly once.
+            unsafe {
+                prop_assert_eq!(*p.as_ptr(), tag);
+                h.dealloc(p, layout);
+            }
+        }
+        drop(h); // Flushes buffered frees, returns the magazine stash.
+        let down = ngm.shutdown();
+        prop_assert!(down.clean(), "a shard reported an error");
+        // The per-shard form of the invariant, not just the global sum:
+        // each shard saw exactly as many frees as allocs, which can only
+        // hold if every free found the shard that owns its address.
+        for s in &down.shards {
+            prop_assert_eq!(
+                s.service.allocs, s.service.frees,
+                "shard {} unbalanced after migrations", s.shard
+            );
+        }
+        prop_assert!(down.balanced());
+        prop_assert_eq!(down.heap.live_blocks, 0);
     }
 }
