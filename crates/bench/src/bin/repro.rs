@@ -7,6 +7,7 @@
 //!           | model41 | ablations | batch | telemetry | pmu | shards
 //!           | elastic (shard count vs client ramp on the elastic tier)
 //!           | spans (request-lifecycle phase breakdown)
+//!           | obs (live observer endpoints + flight-recording replay)
 //!           | faults (needs --features faultinject to arm the hooks)
 //! --scale N: multiply workload sizes by N (default 1; paper-style
 //!            stability from ~4)
@@ -17,8 +18,8 @@
 //! ```
 
 use ngm_bench::experiments::{
-    ablations, elastic, faults, fig1, fig2, model41, pmu, shards, spans, table1, table2, table3,
-    telemetry,
+    ablations, elastic, faults, fig1, fig2, model41, obs, pmu, shards, spans, table1, table2,
+    table3, telemetry,
 };
 use ngm_bench::Scale;
 
@@ -46,7 +47,7 @@ fn main() {
             "--hw" => with_hw = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards|elastic|spans|faults]... [--scale N] [--no-prototype] [--hw]"
+                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards|elastic|spans|obs|faults]... [--scale N] [--no-prototype] [--hw]"
                 );
                 return;
             }
@@ -118,6 +119,12 @@ fn main() {
         println!("{}", spans::run(scale).render());
         if with_hw {
             println!("{}", spans::run_hw(scale));
+        }
+    }
+    if want("obs") {
+        println!("{}", obs::run(scale).render());
+        if with_hw {
+            println!("{}", obs::run_hw(scale));
         }
     }
     if want("faults") {

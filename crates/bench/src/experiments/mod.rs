@@ -6,6 +6,7 @@ pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod model41;
+pub mod obs;
 pub mod pmu;
 pub mod shards;
 pub mod spans;

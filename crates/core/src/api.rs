@@ -32,9 +32,10 @@ use ngm_offload::{
     RuntimeTelemetry, ServiceError, StatsSnapshot, WaitStrategy,
 };
 use ngm_pmu::PmuReport;
-use ngm_telemetry::blackbox::{self, BlackboxDump, ShardState, DEFAULT_LAST_K};
+use ngm_telemetry::blackbox::{BlackboxDump, ShardState, DEFAULT_LAST_K};
 use ngm_telemetry::clock::cycles_now;
 use ngm_telemetry::export::MetricsSnapshot;
+use ngm_telemetry::recorder::{RecordFrame, ShardSample};
 use ngm_telemetry::sites::{SiteProfiler, SiteReport};
 use ngm_telemetry::trace::{TraceEventKind, TraceRing};
 use ngm_telemetry::window::HeatFrame;
@@ -42,7 +43,8 @@ use ngm_telemetry::window::HeatFrame;
 use ngm_heap::classes::{layout_to_class, SizeClass, NUM_CLASSES};
 
 use crate::config::{
-    CorePlacement, ElasticPolicy, NgmConfig, NgmError, ShardTopology, FALLBACK_OWNER, OWNER_BASE,
+    CorePlacement, ElasticPolicy, NgmConfig, NgmError, ObserverConfig, ShardTopology,
+    FALLBACK_OWNER, OWNER_BASE,
 };
 use crate::heat::{pick_coolest, HeatReport, ObsState, ShardHeat, ShardLifecycle};
 use crate::orphan::OrphanStack;
@@ -54,6 +56,38 @@ use crate::watch::SharedHeapStats;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wall-clock seconds since the Unix epoch, captured once at the first
+/// metrics render (`process_start_time_seconds` is conventionally the
+/// scrape target's start, and the tier starts when something first asks
+/// it for metrics at the latest).
+fn process_start_secs() -> i64 {
+    static START: std::sync::OnceLock<i64> = std::sync::OnceLock::new();
+    *START.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs() as i64)
+    })
+}
+
+/// The compiled feature set, for the `ngm_build_info` label.
+fn build_features() -> &'static str {
+    if cfg!(feature = "faultinject") {
+        "faultinject"
+    } else {
+        "default"
+    }
+}
+
+/// The [`RecordFrame::states`] glyph for one lifecycle state.
+fn state_glyph(state: ShardLifecycle) -> char {
+    match state {
+        ShardLifecycle::Dormant => '.',
+        ShardLifecycle::Serving => 'S',
+        ShardLifecycle::Draining => 'D',
+        ShardLifecycle::Retired => 'R',
+    }
 }
 
 /// The per-slot state that changes as the elastic controller spawns and
@@ -112,6 +146,10 @@ pub struct Ngm {
     /// Controller-decision trace ring (on slot 0's telemetry hub — the
     /// resident floor always exists), when tracing is enabled.
     scale_trace: Option<Arc<TraceRing>>,
+    /// The live-observer config captured at build time
+    /// ([`NgmConfig::with_observer`]), consumed by
+    /// [`Ngm::start_observer`].
+    observer_cfg: Mutex<Option<ObserverConfig>>,
     /// How many slots non-size-class (large) layouts hash over. Elastic
     /// tiers pin this to the resident floor (`ElasticPolicy::min`) so a
     /// large free — which routes by layout hash, not by address — always
@@ -251,6 +289,7 @@ impl Ngm {
             controller: Mutex::new(ControllerState::default()),
             runtime_cfg,
             scale_trace: None,
+            observer_cfg: Mutex::new(cfg.observer),
             large_span: cfg.elastic.map_or(cfg.shards, |p| p.min),
         };
         for i in 0..cfg.shards {
@@ -686,6 +725,111 @@ impl Ngm {
         (self.obs.scale_up_total(), self.obs.scale_down_total())
     }
 
+    /// The most recent blackbox dumps, newest last (empty when the
+    /// blackbox is disabled or nothing has fired). Dumps also go to
+    /// stderr and the `NGM_BLACKBOX_PATH` file at emit time; this ring
+    /// is what the observer's `/blackbox` endpoint serves.
+    pub fn blackbox_dumps(&self) -> Vec<BlackboxDump> {
+        self.obs
+            .blackbox
+            .as_ref()
+            .map(|r| r.recent())
+            .unwrap_or_default()
+    }
+
+    /// Shared observability state, for the observer endpoints.
+    pub(crate) fn obs_state(&self) -> &ObsState {
+        &self.obs
+    }
+
+    /// Takes the observer config stashed by [`NgmConfig::with_observer`]
+    /// (at most once).
+    pub(crate) fn take_observer_cfg(&self) -> Option<ObserverConfig> {
+        lock(&self.observer_cfg).take()
+    }
+
+    /// One flight-recorder frame of tier state, assembled while holding
+    /// the controller mutex. Every scale transition stamps its trace
+    /// event under that same mutex, so a frame can never observe a
+    /// serving count that disagrees with the `Scale` events timestamped
+    /// before and after it — which is what lets the offline analyzer
+    /// cross-check a recording against the event stream *exactly*.
+    pub(crate) fn observer_frame(&self) -> RecordFrame {
+        let _st = lock(&self.controller);
+        let states: String = (0..self.shards.len())
+            .map(|s| state_glyph(self.obs.state(s)))
+            .collect();
+        let serving = states.chars().filter(|&c| c == 'S').count() as u64;
+        let stats = self.runtime_stats();
+        let shards = (0..self.shards.len())
+            .filter_map(|s| {
+                let heat = self.obs.settled_heat(s)?;
+                let sh = ShardHeat { shard: s, heat };
+                Some(ShardSample {
+                    shard: s as u64,
+                    score: sh.score(),
+                    calls: sh.heat.calls,
+                    deadlines: sh.heat.deadlines,
+                    retries: sh.heat.retries,
+                    ring: sh.heat.ring_occupancy,
+                })
+            })
+            .collect();
+        RecordFrame {
+            tsc: cycles_now(),
+            serving,
+            states,
+            deadlines: stats.deadlines,
+            fallbacks: self.fallback.allocs(),
+            scale_up: self.obs.scale_up_total(),
+            scale_down: self.obs.scale_down_total(),
+            obs_cycles: self.obs.obs_cycles_total(),
+            shards,
+        }
+    }
+
+    /// One shard's runtime-level health ([`ngm_offload::ShardHealth`]):
+    /// `None` for a slot with no thread (dormant/retired), otherwise
+    /// whether the thread is serving, gated for drain, or dead.
+    pub fn shard_health(&self, shard: usize) -> Option<ngm_offload::ShardHealth> {
+        self.shards[shard]
+            .cell
+            .runtime
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(OffloadRuntime::health)
+    }
+
+    /// Serving slots whose service thread has exited without the
+    /// controller noticing yet — a wedged shard. Handles fail traffic
+    /// over on their own; this surfaces the condition to `/readyz`.
+    pub(crate) fn wedged_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&s| {
+                self.obs.state(s) == ShardLifecycle::Serving
+                    && self.shard_health(s) == Some(ngm_offload::ShardHealth::Down)
+            })
+            .collect()
+    }
+
+    /// Whether an in-flight drain has already outlived the policy's
+    /// `drain_patience` (the controller will abort it on its next tick;
+    /// until then the tier reports degraded). `false` when the
+    /// controller is busy deciding — a held lock means ticks are live.
+    pub(crate) fn drain_overdue(&self) -> bool {
+        let Some(policy) = self.elastic else {
+            return false;
+        };
+        match self.controller.try_lock() {
+            Ok(st) => st
+                .draining
+                .as_ref()
+                .is_some_and(|d| d.evals >= policy.drain_patience),
+            Err(_) => false,
+        }
+    }
+
     /// Spawns a background thread that drives [`Ngm::heat_report`] (and
     /// with it the elastic controller) every `interval`, for deployments
     /// without a metrics scraper to piggyback on. The thread holds only a
@@ -890,6 +1034,19 @@ impl Ngm {
             .gauge("ngm_heap_segments", heap.segments as i64)
             .gauge("ngm_heap_pages_in_use", heap.pages_in_use as i64)
             .gauge("ngm_heap_peak_live_bytes", heap.peak_live_bytes as i64);
+        // Scrape-target conventions: liveness, build identity, process
+        // start, and the running cost of observability itself.
+        m.counter("ngm_obs_scrape_cycles_total", self.obs.obs_cycles_total())
+            .gauge("ngm_up", 1)
+            .gauge("process_start_time_seconds", process_start_secs())
+            .labeled_gauge(
+                "ngm_build_info",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("features", build_features()),
+                ],
+                1,
+            );
         // Metrics sampling doubles as heat sampling: every scrape pushes
         // one frame per shard, so the heat window spans the last N
         // scrape intervals.
@@ -1189,6 +1346,7 @@ impl NgmBuilder {
             blackbox: true,
             elastic: None,
             topology: ShardTopology::flat(),
+            observer: None,
         };
         cfg.sanitized().build().expect("sanitized config is valid")
     }
@@ -1418,10 +1576,16 @@ impl NgmHandle {
     /// Captures and emits a blackbox dump for a failure edge implicating
     /// `shard`: that shard's last-K trace events, every shard's slot/ring
     /// state, and the current heat picture. Gated on the config knob and
-    /// the process-wide rate limiter, so the common suppressed case costs
-    /// one branch and one relaxed load — never an allocation.
+    /// the tier's rate limiter, so the common suppressed case costs one
+    /// branch and one relaxed load — never an allocation. Emitted dumps
+    /// land on stderr, the `NGM_BLACKBOX_PATH` file, and the in-memory
+    /// ring behind [`Ngm::blackbox_dumps`] / the observer's `/blackbox`
+    /// endpoint.
     fn blackbox(&self, reason: &'static str, shard: usize) {
-        if !self.obs.blackbox || !blackbox::should_emit() {
+        let Some(recorder) = self.obs.blackbox.as_ref() else {
+            return;
+        };
+        if !recorder.should_emit() {
             return;
         }
         let shards = (0..self.nshards())
@@ -1440,7 +1604,7 @@ impl NgmHandle {
                 },
             })
             .collect();
-        blackbox::emit(&BlackboxDump {
+        recorder.emit(BlackboxDump {
             reason: reason.into(),
             shard,
             tsc: cycles_now(),

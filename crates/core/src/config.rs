@@ -150,6 +150,75 @@ impl Default for ShardTopology {
     }
 }
 
+/// Where — and how often — a tier exposes itself to the outside world.
+///
+/// Passed to [`NgmConfig::with_observer`]; consumed by
+/// [`crate::api::Ngm::start_observer`], which binds the HTTP endpoint
+/// (`/metrics`, `/heat`, `/spans`, `/blackbox`, `/healthz`, `/readyz`),
+/// starts the scrape thread (which doubles as the elastic controller
+/// tick, exactly like [`crate::api::Ngm::autoscaler`]), and — when
+/// `record_path` is set — appends one flight-recorder frame per scrape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObserverConfig {
+    /// Listen address for the HTTP endpoint (e.g. `"127.0.0.1:9464"`;
+    /// port 0 binds an ephemeral port, readable from the running
+    /// observer).
+    pub addr: String,
+    /// JSONL flight-recording path; `None` serves endpoints without
+    /// recording.
+    pub record_path: Option<std::path::PathBuf>,
+    /// Spacing between scrapes (each scrape publishes heat frames,
+    /// ticks the elastic controller, and appends one recording frame).
+    /// Sub-millisecond values are clamped to 1ms by the scrape thread.
+    pub scrape_interval: Duration,
+    /// Size budget for the active recording file before it rotates to
+    /// `<record_path>.1`; 0 selects the recorder's default.
+    pub record_rotate_bytes: u64,
+}
+
+impl ObserverConfig {
+    /// An observer on `addr` with a 250ms scrape interval and no
+    /// recording.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        ObserverConfig {
+            addr: addr.into(),
+            record_path: None,
+            scrape_interval: Duration::from_millis(250),
+            record_rotate_bytes: 0,
+        }
+    }
+
+    /// Enables the JSONL flight recording at `path`.
+    #[must_use]
+    pub fn with_recording(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.record_path = Some(path.into());
+        self
+    }
+
+    /// Sets the scrape interval.
+    #[must_use]
+    pub fn with_scrape_interval(mut self, interval: Duration) -> Self {
+        self.scrape_interval = interval;
+        self
+    }
+
+    /// Sets the recording rotation budget in bytes (0 = default).
+    #[must_use]
+    pub fn with_rotate_bytes(mut self, bytes: u64) -> Self {
+        self.record_rotate_bytes = bytes;
+        self
+    }
+}
+
+impl Default for ObserverConfig {
+    /// Loopback on an ephemeral port: safe to start anywhere, never
+    /// externally reachable unless the address says so.
+    fn default() -> Self {
+        Self::new("127.0.0.1:0")
+    }
+}
+
 /// Why [`NgmConfig::build`] refused a configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NgmError {
@@ -230,7 +299,7 @@ impl std::error::Error for NgmError {
 ///     .expect("valid config");
 /// # ngm.shutdown();
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NgmConfig {
     /// Number of service shards, each a dedicated service thread owning
     /// its own [`ngm_heap::SegregatedHeap`] (`1..=`[`MAX_SHARDS`]).
@@ -294,6 +363,12 @@ pub struct NgmConfig {
     /// elastic spawn placement (least-loaded cluster) and same-cluster
     /// routing preference for [`crate::api::Ngm::handle_on_cluster`].
     pub topology: ShardTopology,
+    /// Live-observability endpoint + flight recorder; `None` (the
+    /// default) keeps the tier observable only in-process. When set,
+    /// [`crate::api::Ngm::start_observer`] serves it. This is the one
+    /// non-`Copy` knob — the `const` constructor leaves it `None`, so
+    /// `#[global_allocator]` statics are unaffected.
+    pub observer: Option<ObserverConfig>,
 }
 
 impl NgmConfig {
@@ -316,7 +391,20 @@ impl NgmConfig {
             blackbox: true,
             elastic: None,
             topology: ShardTopology::flat(),
+            observer: None,
         }
+    }
+
+    /// Attaches a live-observability endpoint (and optionally a flight
+    /// recording) to the tier; serve it with
+    /// [`crate::api::Ngm::start_observer`] after `build()`. Not `const`:
+    /// [`ObserverConfig`] carries owned strings, which a static
+    /// initializer cannot build — and a global allocator should not be
+    /// running an HTTP server anyway.
+    #[must_use]
+    pub fn with_observer(mut self, observer: ObserverConfig) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Makes the tier elastic between `min` and `max` serving shards with
@@ -536,8 +624,7 @@ mod tests {
             .with_topology(ShardTopology::per_shard());
         assert_eq!(CFG.shards, 4);
         assert_eq!(CFG.batch_size, 16);
-        assert_eq!(CFG.heat_window, 4);
-        const { assert!(!CFG.blackbox) };
+        assert_eq!((CFG.heat_window, CFG.blackbox), (4, false));
         assert_eq!(CFG.elastic, Some(ElasticPolicy::new(2, 6)));
         assert_eq!(CFG.topology.clusters[3], 3);
         assert_eq!(CFG.validate(), Ok(()));
@@ -625,6 +712,31 @@ mod tests {
         let cfg = NgmConfig::new().with_shards(1).elastic(2, 4).sanitized();
         assert_eq!(cfg.shards, 2);
         assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn observer_config_chains_and_clones() {
+        let cfg = NgmConfig::new().with_observer(
+            ObserverConfig::new("127.0.0.1:0")
+                .with_recording("/tmp/ngm-flight.jsonl")
+                .with_scrape_interval(Duration::from_millis(5))
+                .with_rotate_bytes(1 << 20),
+        );
+        let obs = cfg.observer.as_ref().expect("observer set");
+        assert_eq!(obs.addr, "127.0.0.1:0");
+        assert_eq!(
+            obs.record_path.as_deref(),
+            Some(std::path::Path::new("/tmp/ngm-flight.jsonl"))
+        );
+        assert_eq!(obs.scrape_interval, Duration::from_millis(5));
+        assert_eq!(obs.record_rotate_bytes, 1 << 20);
+        // The config is Clone (no longer Copy): both copies agree.
+        let cloned = cfg.clone();
+        assert_eq!(cloned.observer, cfg.observer);
+        assert_eq!(cfg.validate(), Ok(()));
+        // Sanitizing leaves the observer untouched.
+        assert_eq!(cfg.sanitized().observer.unwrap().addr, "127.0.0.1:0");
+        assert_eq!(ObserverConfig::default().addr, "127.0.0.1:0");
     }
 
     #[test]

@@ -64,7 +64,7 @@ fn runtime(cfg: &NgmConfig) -> &'static Ngm {
         // Everything allocated while spawning the runtime comes from the
         // bootstrap arena.
         let was = GUARD.with(|g| g.replace(true));
-        let ngm = cfg.build().expect("sanitized config is valid");
+        let ngm = cfg.clone().build().expect("sanitized config is valid");
         GUARD.with(|g| g.set(was));
         ngm
     })

@@ -207,9 +207,11 @@ impl HeatReport {
 /// and blackbox dumps read the same windows [`crate::api::Ngm`] writes.
 #[derive(Debug)]
 pub(crate) struct ObsState {
-    /// Whether failure edges may emit blackbox dumps (forced off under
-    /// the global-allocator adapter — dump assembly allocates).
-    pub(crate) blackbox: bool,
+    /// Dump sink for failure edges; `None` when the blackbox is
+    /// disabled (forced off under the global-allocator adapter — dump
+    /// assembly allocates). Per-tier, so two tiers in one process have
+    /// independent rate limiters and dump rings.
+    pub(crate) blackbox: Option<ngm_telemetry::blackbox::BlackboxRecorder>,
     heat: Box<[Mutex<HeatWindow>]>,
     demand: Box<[Arc<SharedDemand>]>,
     /// Per-slot [`ShardLifecycle`] (as `u8`), written by the controller
@@ -223,6 +225,10 @@ pub(crate) struct ObsState {
     clusters: Box<[u8]>,
     scale_up: AtomicU64,
     scale_down: AtomicU64,
+    /// Cycles spent on observability work (metrics scrapes, recorder
+    /// appends, endpoint renders), written only by the observer/scrape
+    /// threads — never by the allocation hot path.
+    obs_cycles: AtomicU64,
 }
 
 impl ObsState {
@@ -234,7 +240,7 @@ impl ObsState {
     ) -> Self {
         debug_assert_eq!(demand.len(), clusters.len());
         ObsState {
-            blackbox,
+            blackbox: blackbox.then(ngm_telemetry::blackbox::BlackboxRecorder::new),
             heat: (0..demand.len())
                 .map(|_| Mutex::new(HeatWindow::new(frames)))
                 .collect(),
@@ -246,7 +252,19 @@ impl ObsState {
             clusters: clusters.into_boxed_slice(),
             scale_up: AtomicU64::new(0),
             scale_down: AtomicU64::new(0),
+            obs_cycles: AtomicU64::new(0),
         }
+    }
+
+    /// Accumulates cycles spent on observability work (observer threads
+    /// only — zero hot-path writers).
+    pub(crate) fn record_obs_cycles(&self, cycles: u64) {
+        self.obs_cycles.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Total observability cycles so far.
+    pub(crate) fn obs_cycles_total(&self) -> u64 {
+        self.obs_cycles.load(Ordering::Relaxed)
     }
 
     /// The slot's current lifecycle state (racy read; transitions are
@@ -323,6 +341,13 @@ impl ObsState {
             .unwrap()
             .windowed()
             .map_or(0, |heat| ShardHeat { shard, heat }.score())
+    }
+
+    /// The shard's retained heat frames, oldest first (the raw time
+    /// series behind the `/heat` endpoint). Cloned out so the caller
+    /// renders without holding the window lock.
+    pub(crate) fn frames(&self, shard: usize) -> Vec<HeatFrame> {
+        self.heat[shard].lock().unwrap().frames().cloned().collect()
     }
 
     /// Renders the current windowed view without pushing new frames

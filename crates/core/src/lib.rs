@@ -31,17 +31,19 @@ pub mod bootstrap;
 pub mod config;
 pub mod global;
 pub mod heat;
+pub mod observer;
 pub mod orphan;
 pub mod service;
 pub mod watch;
 
 pub use api::{Autoscaler, Ngm, NgmHandle, NgmShutdown, ScaleDecision, ShardShutdown};
 pub use config::{
-    CorePlacement, ElasticPolicy, NgmConfig, NgmError, ShardTopology, FALLBACK_OWNER, MAX_SHARDS,
-    OWNER_BASE,
+    CorePlacement, ElasticPolicy, NgmConfig, NgmError, ObserverConfig, ShardTopology,
+    FALLBACK_OWNER, MAX_SHARDS, OWNER_BASE,
 };
 pub use global::NgmAllocator;
 pub use heat::{pick_coolest, HeatReport, ShardHeat, ShardLifecycle};
+pub use observer::{derive_readiness, Observer, Readiness};
 pub use service::{
     AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
     ServiceStats, MAX_BATCH,

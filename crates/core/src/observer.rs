@@ -1,0 +1,406 @@
+//! The live observer: an HTTP endpoint plus a continuous flight
+//! recorder, both riding the metrics-scrape tick.
+//!
+//! [`Ngm::serve_observer`] starts two background pieces:
+//!
+//! * an [`HttpServer`] (dependency-free, [`ngm_telemetry::server`])
+//!   answering `GET /metrics`, `/heat`, `/spans`, `/blackbox`,
+//!   `/healthz`, and `/readyz`;
+//! * a scrape thread that drives [`Ngm::heat_report`] every
+//!   `scrape_interval` (doubling as the elastic controller's tick, like
+//!   [`Ngm::autoscaler`]) and, when a `record_path` is configured,
+//!   appends one [`ngm_telemetry::recorder::RecordFrame`] per scrape to
+//!   a size-rotated JSONL recording ([`FlightRecorder`]).
+//!
+//! Neither piece touches the allocation hot path: all sampling happens
+//! on the observer's own threads against counters that already exist,
+//! and the cycles those threads spend are themselves accounted
+//! (`ngm_obs_scrape_cycles_total`) so the `repro obs` experiment can
+//! price the observability tax.
+//!
+//! Frames are assembled under the controller mutex
+//! ([`Ngm::observer_frame`]), the same lock every scale transition
+//! stamps its trace event under — so a recording's shard-count timeline
+//! can be cross-checked against the `Scale` event stream exactly.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use ngm_telemetry::clock::cycles_now;
+use ngm_telemetry::export::json_str;
+use ngm_telemetry::recorder::FlightRecorder;
+use ngm_telemetry::server::{HttpServer, Response, Router};
+use ngm_telemetry::span::{reconstruct, SpanRecord};
+
+use crate::api::Ngm;
+use crate::config::ObserverConfig;
+use crate::heat::ShardLifecycle;
+
+/// How often the scrape thread re-checks its stop flag while sleeping
+/// between scrapes, so [`Observer::stop`] returns promptly even under a
+/// long `scrape_interval`.
+const STOP_POLL: Duration = Duration::from_millis(10);
+
+/// What `/readyz` reports about the tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Readiness {
+    /// At least one shard is serving and nothing looks wedged.
+    Ready,
+    /// No shard is serving (e.g. every slot is still dormant).
+    NotReady(String),
+    /// Serving, but impaired: a serving shard's thread has exited
+    /// (wedged), or a drain has outlived `drain_patience`.
+    Degraded(String),
+}
+
+impl Readiness {
+    /// Whether this readiness maps to HTTP 200.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        matches!(self, Readiness::Ready)
+    }
+}
+
+/// Pure readiness derivation, split out from the endpoint so tests can
+/// exercise every edge (all-dormant, wedged, overdue drain) without a
+/// live tier.
+#[must_use]
+pub fn derive_readiness(
+    states: &[ShardLifecycle],
+    wedged: &[usize],
+    drain_overdue: bool,
+) -> Readiness {
+    if !states.contains(&ShardLifecycle::Serving) {
+        return Readiness::NotReady("no serving shards".into());
+    }
+    if !wedged.is_empty() {
+        let list: Vec<String> = wedged.iter().map(ToString::to_string).collect();
+        return Readiness::Degraded(format!("wedged serving shards: {}", list.join(",")));
+    }
+    if drain_overdue {
+        return Readiness::Degraded("drain past drain_patience".into());
+    }
+    Readiness::Ready
+}
+
+/// Guard for the live observer: the HTTP server plus the scrape/record
+/// thread. Both stop on [`Observer::stop`] or drop. Holds only a weak
+/// reference to the tier, so dropping the `Ngm` (or calling
+/// [`Ngm::shutdown`] after stopping the observer) is never blocked by
+/// it; endpoints answer 503 once the tier is gone.
+#[derive(Debug)]
+pub struct Observer {
+    server: Option<HttpServer>,
+    stop: Arc<AtomicBool>,
+    scraper: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Observer {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.server
+            .as_ref()
+            .map(HttpServer::addr)
+            .expect("server present until stop")
+    }
+
+    /// Stops the scrape thread and the HTTP server, joining both.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.scraper.take() {
+            let _ = t.join();
+        }
+        if let Some(s) = self.server.take() {
+            s.stop();
+        }
+    }
+}
+
+impl Drop for Observer {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+impl Ngm {
+    /// Starts the observer configured via [`NgmConfig::with_observer`],
+    /// if one was configured and not already started. Returns `Ok(None)`
+    /// when the config carries no observer (or it was already taken).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/create failures from [`Ngm::serve_observer`].
+    pub fn start_observer(self: &Arc<Self>) -> io::Result<Option<Observer>> {
+        match self.take_observer_cfg() {
+            Some(cfg) => self.serve_observer(cfg).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Binds the observer endpoint and starts the scrape/record thread
+    /// with an explicit config (use [`Ngm::start_observer`] for the one
+    /// stashed in [`crate::NgmConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound or the recording file
+    /// cannot be created.
+    pub fn serve_observer(self: &Arc<Self>, cfg: ObserverConfig) -> io::Result<Observer> {
+        let recorder = match &cfg.record_path {
+            Some(path) => Some(FlightRecorder::create(path, cfg.record_rotate_bytes)?),
+            None => None,
+        };
+        let router = build_router(Arc::downgrade(self));
+        let server = HttpServer::start(cfg.addr.as_str(), router)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let scraper = spawn_scraper(
+            Arc::downgrade(self),
+            Arc::clone(&stop),
+            cfg.scrape_interval.max(Duration::from_millis(1)),
+            recorder,
+        )?;
+        Ok(Observer {
+            server: Some(server),
+            stop,
+            scraper: Some(scraper),
+        })
+    }
+}
+
+/// The scrape thread: one [`Ngm::heat_report`] (heat frames + controller
+/// tick) and optionally one recorded frame per interval, metering the
+/// frame-assembly and record cycles into `ngm_obs_scrape_cycles_total`.
+fn spawn_scraper(
+    weak: Weak<Ngm>,
+    stop: Arc<AtomicBool>,
+    interval: Duration,
+    mut recorder: Option<FlightRecorder>,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("ngm-observer".into())
+        .spawn(move || loop {
+            let mut slept = Duration::ZERO;
+            while slept < interval {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let step = STOP_POLL.min(interval - slept);
+                std::thread::sleep(step);
+                slept += step;
+            }
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            let Some(ngm) = weak.upgrade() else { return };
+            // The controller tick is regular tier duty (an autoscaler
+            // would run it regardless); only the frame assembly and the
+            // recorder append are metered as observability tax.
+            let _ = ngm.heat_report();
+            let t0 = cycles_now();
+            let frame = ngm.observer_frame();
+            if let Some(rec) = recorder.as_mut() {
+                let _ = rec.append(&frame);
+            }
+            ngm.obs_state()
+                .record_obs_cycles(cycles_now().saturating_sub(t0));
+        })
+}
+
+/// Routes every endpoint over a weak tier reference: each handler
+/// upgrades per request and answers 503 once the tier is gone.
+fn build_router(weak: Weak<Ngm>) -> Router {
+    let w = |weak: &Weak<Ngm>| Weak::clone(weak);
+    let metrics = w(&weak);
+    let heat = w(&weak);
+    let spans = w(&weak);
+    let blackbox = w(&weak);
+    let healthz = w(&weak);
+    let readyz = w(&weak);
+    Router::new()
+        .route("/metrics", move || {
+            with_tier(&metrics, |ngm| {
+                let t0 = cycles_now();
+                let body = ngm.metrics().to_prometheus_text();
+                ngm.obs_state()
+                    .record_obs_cycles(cycles_now().saturating_sub(t0));
+                Response::ok_text(body)
+            })
+        })
+        .route("/heat", move || {
+            with_tier(&heat, |ngm| Response::ok_json(heat_json(ngm)))
+        })
+        .route("/spans", move || {
+            with_tier(&spans, |ngm| Response::ok_json(spans_json(ngm)))
+        })
+        .route("/blackbox", move || {
+            with_tier(&blackbox, |ngm| Response::ok_json(blackbox_json(ngm)))
+        })
+        .route("/healthz", move || {
+            with_tier(&healthz, |_| Response::ok_text("ok\n"))
+        })
+        .route("/readyz", move || {
+            with_tier(&readyz, |ngm| {
+                let readiness = derive_readiness(
+                    &ngm.shard_states(),
+                    &ngm.wedged_shards(),
+                    ngm.drain_overdue(),
+                );
+                match readiness {
+                    Readiness::Ready => Response::ok_text("ready\n"),
+                    Readiness::NotReady(why) => {
+                        Response::unavailable(format!("not ready: {why}\n"))
+                    }
+                    Readiness::Degraded(why) => Response::unavailable(format!("degraded: {why}\n")),
+                }
+            })
+        })
+}
+
+fn with_tier(weak: &Weak<Ngm>, f: impl FnOnce(&Ngm) -> Response) -> Response {
+    match weak.upgrade() {
+        Some(ngm) => f(&ngm),
+        None => Response::unavailable("tier gone\n"),
+    }
+}
+
+/// `/heat`: the raw per-shard heat-window time series (scalar fields;
+/// phase histograms stay on `/metrics`).
+fn heat_json(ngm: &Ngm) -> String {
+    let mut out = String::from("{\"shards\":[");
+    for s in 0..ngm.num_shards() {
+        if s > 0 {
+            out.push(',');
+        }
+        let state = ngm.obs_state().state(s).label();
+        out.push_str(&format!(
+            "{{\"shard\":{s},\"state\":{},\"frames\":[",
+            json_str(state)
+        ));
+        for (i, f) in ngm.obs_state().frames(s).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"tsc\":{},\"ring\":{},\"calls\":{},\"deadlines\":{},\
+                 \"retries\":{},\"fallbacks\":{}}}",
+                f.tsc, f.ring_occupancy, f.calls, f.deadlines, f.retries, f.fallbacks
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// How many reconstructed spans `/spans` returns (newest by start tsc).
+const SPANS_LAST_K: usize = 64;
+
+/// `/spans`: the last-K request spans reconstructed from every shard's
+/// trace ring (empty unless `trace_capacity > 0`).
+fn spans_json(ngm: &Ngm) -> String {
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    for s in 0..ngm.num_shards() {
+        let events = ngm.shard_telemetry(s).peek_trace(4096);
+        spans.extend(reconstruct(&events));
+    }
+    spans.sort_by_key(|sp| sp.phases.first().map_or(0, |&(_, tsc)| tsc));
+    let skip = spans.len().saturating_sub(SPANS_LAST_K);
+    let mut out = String::from("{\"spans\":[");
+    for (i, sp) in spans.iter().skip(skip).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"completed\":{},\"well_nested\":{},\"total_cycles\":{},\"phases\":[",
+            sp.id,
+            sp.completed(),
+            sp.well_nested(),
+            sp.total_cycles().unwrap_or(0),
+        ));
+        for (j, (phase, tsc)) in sp.phases.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{tsc}]", json_str(phase.label())));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// `/blackbox`: the in-memory ring of recent dumps, oldest first.
+fn blackbox_json(ngm: &Ngm) -> String {
+    let mut out = String::from("{\"dumps\":[");
+    for (i, d) in ngm.blackbox_dumps().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"reason\":{},\"shard\":{},\"tsc\":{},\"text\":{}}}",
+            json_str(&d.reason),
+            d.shard,
+            d.tsc,
+            json_str(&d.render())
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_dormant_is_not_ready() {
+        let states = [ShardLifecycle::Dormant, ShardLifecycle::Dormant];
+        let r = derive_readiness(&states, &[], false);
+        assert!(matches!(r, Readiness::NotReady(_)));
+        assert!(!r.is_ready());
+    }
+
+    #[test]
+    fn one_serving_is_ready() {
+        let states = [ShardLifecycle::Serving, ShardLifecycle::Dormant];
+        assert_eq!(derive_readiness(&states, &[], false), Readiness::Ready);
+    }
+
+    #[test]
+    fn wedged_serving_shard_degrades() {
+        let states = [ShardLifecycle::Serving, ShardLifecycle::Serving];
+        let r = derive_readiness(&states, &[1], false);
+        match r {
+            Readiness::Degraded(why) => assert!(why.contains('1'), "{why}"),
+            other => panic!("expected degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overdue_drain_degrades_but_draining_alone_does_not() {
+        let states = [ShardLifecycle::Serving, ShardLifecycle::Draining];
+        assert_eq!(derive_readiness(&states, &[], false), Readiness::Ready);
+        assert!(matches!(
+            derive_readiness(&states, &[], true),
+            Readiness::Degraded(_)
+        ));
+    }
+
+    #[test]
+    fn retired_and_serving_mix_is_ready() {
+        let states = [
+            ShardLifecycle::Serving,
+            ShardLifecycle::Retired,
+            ShardLifecycle::Dormant,
+        ];
+        assert_eq!(derive_readiness(&states, &[], false), Readiness::Ready);
+    }
+}

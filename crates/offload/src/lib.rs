@@ -42,7 +42,7 @@ pub use pin::{available_cores, pin_current_thread, pin_current_thread_verified, 
 pub use ring::{spsc, Consumer, Producer};
 pub use service::{
     ClientHandle, OffloadRuntime, PostError, PostOutcome, RuntimeConfig, RuntimeHandles, Service,
-    ShardFailure, DEFAULT_DEADLINE,
+    ShardFailure, ShardHealth, DEFAULT_DEADLINE,
 };
 pub use slot::{CallDeadline, RequestSlot};
 pub use stats::{RuntimeStats, StatsSnapshot};

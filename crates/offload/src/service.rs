@@ -661,6 +661,32 @@ impl RuntimeBuilder {
     }
 }
 
+/// A shard's readiness-grade condition, as reported by
+/// [`OffloadRuntime::health`]: the retire gate and the thread's
+/// liveness folded into the one answer a health endpoint needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Thread running, accepting synchronous calls.
+    Serving,
+    /// Thread running but gated by [`OffloadRuntime::begin_retire`]:
+    /// draining, posts only.
+    Retiring,
+    /// The service thread has exited (orderly or by panic).
+    Down,
+}
+
+impl ShardHealth {
+    /// A stable lowercase label (`serving` / `retiring` / `down`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardHealth::Serving => "serving",
+            ShardHealth::Retiring => "retiring",
+            ShardHealth::Down => "down",
+        }
+    }
+}
+
 /// Owns the dedicated service thread.
 pub struct OffloadRuntime<S: Service> {
     shared: Arc<Shared<S>>,
@@ -853,6 +879,19 @@ impl<S: Service> OffloadRuntime<S> {
             self.shared.stats.mark_service_down();
         }
         done
+    }
+
+    /// This shard's liveness/lifecycle rolled into one readiness-grade
+    /// answer — what a health endpoint wants, without reaching into the
+    /// retire gate and thread handle separately.
+    pub fn health(&self) -> ShardHealth {
+        if self.is_finished() {
+            ShardHealth::Down
+        } else if self.is_retiring() {
+            ShardHealth::Retiring
+        } else {
+            ShardHealth::Serving
+        }
     }
 
     /// A snapshot of the runtime's counters.
@@ -1133,6 +1172,25 @@ mod tests {
         let (_, stats) = rt.shutdown();
         assert_eq!(stats.calls_served, 1);
         assert_eq!(stats.clients_registered, 1);
+    }
+
+    #[test]
+    fn health_tracks_retire_gate_and_thread_exit() {
+        let rt = OffloadRuntime::start(doubler());
+        assert_eq!(rt.health(), ShardHealth::Serving);
+        assert_eq!(rt.health().label(), "serving");
+        rt.begin_retire();
+        assert_eq!(rt.health(), ShardHealth::Retiring);
+        rt.end_retire();
+        assert_eq!(rt.health(), ShardHealth::Serving);
+        rt.request_stop();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rt.health() != ShardHealth::Down {
+            assert!(std::time::Instant::now() < deadline, "thread never exited");
+            std::thread::yield_now();
+        }
+        assert_eq!(rt.health().label(), "down");
+        let _ = rt.try_shutdown();
     }
 
     #[test]

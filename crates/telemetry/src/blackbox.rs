@@ -8,23 +8,28 @@
 //! the last-K trace events of the implicated shard, every shard's slot
 //! state and ring occupancy, and a heat snapshot, rendered as one framed
 //! text dump to stderr and (when `NGM_BLACKBOX_PATH` is set) appended to
-//! a file.
+//! a file. Emitted dumps are also retained in a bounded in-memory ring
+//! ([`BlackboxRecorder::recent`]) so an observability endpoint or a test
+//! can inspect them after the fact without scraping stderr.
 //!
-//! Emission is rate-limited process-wide: callers claim a slot with
-//! [`should_emit`] *before* assembling a dump, so the suppressed common
-//! case costs one relaxed atomic read — no allocation, no formatting.
-//! A wedged shard under churn produces a dump every
-//! [`MIN_INTERVAL`] at most, not one per failed request.
+//! Emission is rate-limited *per recorder* (one recorder per tier, so
+//! independent tiers — and independent tests — never contend for a
+//! process-global slot): callers claim a slot with
+//! [`BlackboxRecorder::should_emit`] *before* assembling a dump, so the
+//! suppressed common case costs one relaxed atomic read — no
+//! allocation, no formatting. A wedged shard under churn produces a
+//! dump every [`MIN_INTERVAL`] at most, not one per failed request.
 
+use std::collections::VecDeque;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::span::SpanPhase;
 use crate::trace::{TraceEvent, TraceEventKind};
 
-/// Minimum spacing between emitted dumps.
+/// Default minimum spacing between emitted dumps.
 pub const MIN_INTERVAL: Duration = Duration::from_millis(250);
 
 /// Environment variable naming the file dumps are appended to.
@@ -32,6 +37,9 @@ pub const PATH_ENV: &str = "NGM_BLACKBOX_PATH";
 
 /// Default trace-tail depth captured into a dump.
 pub const DEFAULT_LAST_K: usize = 64;
+
+/// Default number of emitted dumps retained in the in-memory ring.
+pub const DEFAULT_RETAIN: usize = 32;
 
 /// One shard's state line in a dump.
 #[derive(Debug, Clone)]
@@ -128,55 +136,108 @@ impl BlackboxDump {
     }
 }
 
-fn epoch() -> Instant {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
+/// A rate-limited dump sink owned by one tier.
+///
+/// Each recorder has its own emission clock and its own retained ring,
+/// so two tiers in one process (or two tests in one binary) never
+/// suppress each other's dumps and never see each other's history.
+#[derive(Debug)]
+pub struct BlackboxRecorder {
+    /// Per-recorder epoch for the emission clock.
+    epoch: Instant,
+    /// Millis since `epoch` of the last emitted dump; 0 = never.
+    last_emit_ms: AtomicU64,
+    min_interval_ms: u64,
+    ring: Mutex<VecDeque<BlackboxDump>>,
+    retain: usize,
 }
 
-/// Millis since process epoch of the last emitted dump; 0 = never.
-static LAST_EMIT_MS: AtomicU64 = AtomicU64::new(0);
-
-/// Claims the process-wide emission slot. Returns `true` at most once
-/// per [`MIN_INTERVAL`]; call this *before* assembling a dump so the
-/// rate-limited path never allocates.
-#[must_use]
-pub fn should_emit() -> bool {
-    // +1 so a claim in the first millisecond is distinguishable from
-    // the "never emitted" sentinel.
-    let now_ms = epoch().elapsed().as_millis() as u64 + 1;
-    let min_ms = MIN_INTERVAL.as_millis() as u64;
-    let last = LAST_EMIT_MS.load(Ordering::Relaxed);
-    if last != 0 && now_ms.saturating_sub(last) < min_ms {
-        return false;
+impl Default for BlackboxRecorder {
+    fn default() -> Self {
+        Self::new()
     }
-    // One winner per interval; losers observe the winner's store.
-    LAST_EMIT_MS
-        .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
-        .is_ok()
 }
 
-/// Resets the rate limiter (test isolation only).
-#[doc(hidden)]
-pub fn reset_rate_limiter_for_tests() {
-    LAST_EMIT_MS.store(0, Ordering::Relaxed);
-}
+impl BlackboxRecorder {
+    /// A recorder with the default [`MIN_INTERVAL`] spacing and
+    /// [`DEFAULT_RETAIN`] ring depth.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_limits(MIN_INTERVAL, DEFAULT_RETAIN)
+    }
 
-/// Renders and writes a dump: stderr always, plus appended to the file
-/// named by [`PATH_ENV`] when set. Write failures are swallowed — a
-/// flight recorder must never turn a degraded request into a crash.
-pub fn emit(dump: &BlackboxDump) {
-    let text = dump.render();
-    let _ = std::io::stderr().write_all(text.as_bytes());
-    if let Ok(path) = std::env::var(PATH_ENV) {
-        if !path.is_empty() {
-            if let Ok(mut f) = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-            {
-                let _ = f.write_all(text.as_bytes());
+    /// A recorder with explicit spacing and ring depth (`retain` is
+    /// clamped to at least 1 — a recorder that forgets every dump it
+    /// emits would be useless to `/blackbox`).
+    #[must_use]
+    pub fn with_limits(min_interval: Duration, retain: usize) -> Self {
+        BlackboxRecorder {
+            epoch: Instant::now(),
+            last_emit_ms: AtomicU64::new(0),
+            min_interval_ms: min_interval.as_millis() as u64,
+            ring: Mutex::new(VecDeque::new()),
+            retain: retain.max(1),
+        }
+    }
+
+    /// Claims this recorder's emission slot. Returns `true` at most
+    /// once per configured interval; call this *before* assembling a
+    /// dump so the rate-limited path never allocates.
+    #[must_use]
+    pub fn should_emit(&self) -> bool {
+        // +1 so a claim in the first millisecond is distinguishable
+        // from the "never emitted" sentinel.
+        let now_ms = self.epoch.elapsed().as_millis() as u64 + 1;
+        let last = self.last_emit_ms.load(Ordering::Relaxed);
+        if last != 0 && now_ms.saturating_sub(last) < self.min_interval_ms {
+            return false;
+        }
+        // One winner per interval; losers observe the winner's store.
+        self.last_emit_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Renders and archives a dump: stderr always, appended to the file
+    /// named by [`PATH_ENV`] when set, and retained in the in-memory
+    /// ring (oldest evicted beyond the retain depth). Write failures
+    /// are swallowed — a flight recorder must never turn a degraded
+    /// request into a crash.
+    pub fn emit(&self, dump: BlackboxDump) {
+        let text = dump.render();
+        let _ = std::io::stderr().write_all(text.as_bytes());
+        if let Ok(path) = std::env::var(PATH_ENV) {
+            if !path.is_empty() {
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = f.write_all(text.as_bytes());
+                }
             }
         }
+        if let Ok(mut ring) = self.ring.lock() {
+            if ring.len() == self.retain {
+                ring.pop_front();
+            }
+            ring.push_back(dump);
+        }
+    }
+
+    /// Retained dumps, oldest first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<BlackboxDump> {
+        self.ring
+            .lock()
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of dumps currently retained.
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.ring.lock().map(|r| r.len()).unwrap_or(0)
     }
 }
 
@@ -243,10 +304,41 @@ mod tests {
 
     #[test]
     fn rate_limiter_allows_then_suppresses() {
-        reset_rate_limiter_for_tests();
-        assert!(should_emit(), "first claim wins");
-        assert!(!should_emit(), "second within the interval is suppressed");
-        reset_rate_limiter_for_tests();
-        assert!(should_emit(), "reset re-arms");
+        let r = BlackboxRecorder::new();
+        assert!(r.should_emit(), "first claim wins");
+        assert!(!r.should_emit(), "second within the interval is suppressed");
+    }
+
+    #[test]
+    fn recorders_do_not_contend() {
+        let a = BlackboxRecorder::new();
+        let b = BlackboxRecorder::new();
+        assert!(a.should_emit());
+        assert!(
+            b.should_emit(),
+            "a claim on one recorder must not suppress another"
+        );
+    }
+
+    #[test]
+    fn ring_retains_and_evicts() {
+        let r = BlackboxRecorder::with_limits(Duration::ZERO, 2);
+        for i in 0..3 {
+            let mut d = sample();
+            d.tsc = i;
+            r.emit(d);
+        }
+        let kept = r.recent();
+        assert_eq!(kept.len(), 2, "bounded at the retain depth");
+        assert_eq!(kept[0].tsc, 1, "oldest evicted first");
+        assert_eq!(kept[1].tsc, 2);
+        assert_eq!(r.retained(), 2);
+    }
+
+    #[test]
+    fn zero_interval_recorder_always_emits() {
+        let r = BlackboxRecorder::with_limits(Duration::ZERO, 4);
+        assert!(r.should_emit());
+        assert!(r.should_emit(), "zero spacing never suppresses");
     }
 }

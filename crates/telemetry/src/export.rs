@@ -169,8 +169,12 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Renders a JSON document:
-    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,p50,p90,p99,max}}}`.
+    /// Renders a JSON document with full parity to the Prometheus path:
+    /// `{"counters":{...},"gauges":{...},"labeled_gauges":[{"name","labels","value"},...],"histograms":{name:{count,sum,mean,p50,p90,p99,max,buckets:[[lo,hi,n],...]}}}`.
+    /// Labeled gauges keep their label sets structured (name/labels/
+    /// value objects, values escaped as JSON strings) and histograms
+    /// carry their occupied buckets, so nothing the text exposition
+    /// exports is lost in the JSON form.
     #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
@@ -182,28 +186,24 @@ impl MetricsSnapshot {
         for (i, (name, v)) in self.gauges.iter().enumerate() {
             let _ = write!(out, "{}{}:{v}", comma(i), json_str(name));
         }
-        // Labeled gauges join the gauge object under their full series
-        // name (`name{k="v"}`); json_str escapes the embedded quotes.
+        out.push_str("},\"labeled_gauges\":[");
         for (i, s) in self.labeled_gauges.iter().enumerate() {
-            let mut series = format!("{}{{", s.name);
-            for (j, (k, v)) in s.labels.iter().enumerate() {
-                use std::fmt::Write as _;
-                let _ = write!(series, "{}{k}=\"{}\"", comma(j), escape_label_value(v));
-            }
-            series.push('}');
             let _ = write!(
                 out,
-                "{}{}:{}",
-                comma(i + self.gauges.len()),
-                json_str(&series),
-                s.value
+                "{}{{\"name\":{},\"labels\":{{",
+                comma(i),
+                json_str(&s.name)
             );
+            for (j, (k, v)) in s.labels.iter().enumerate() {
+                let _ = write!(out, "{}{}:{}", comma(j), json_str(k), json_str(v));
+            }
+            let _ = write!(out, "}},\"value\":{}}}", s.value);
         }
-        out.push_str("},\"histograms\":{");
+        out.push_str("],\"histograms\":{");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
             let _ = write!(
                 out,
-                "{}{}:{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                "{}{}:{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"buckets\":[",
                 comma(i),
                 json_str(name),
                 h.count(),
@@ -214,6 +214,10 @@ impl MetricsSnapshot {
                 h.p99(),
                 h.max(),
             );
+            for (j, (lo, hi, c)) in h.nonzero_buckets().enumerate() {
+                let _ = write!(out, "{}[{lo},{hi},{c}]", comma(j));
+            }
+            out.push_str("]}");
         }
         out.push_str("}}");
         out
@@ -235,6 +239,18 @@ fn comma(i: usize) -> &'static str {
 /// registry to keep in sync; the README's metric index carries the
 /// prose documentation.
 fn help_text(name: &str) -> String {
+    // The Prometheus-convention families have fixed, well-known
+    // meanings; everything else derives from the naming convention.
+    match name {
+        "ngm_up" => return "1 while the tier's metrics endpoint is serving.".into(),
+        "ngm_build_info" => {
+            return "Build metadata carried in labels; the value is always 1.".into()
+        }
+        "process_start_time_seconds" => {
+            return "Start time of the process since the Unix epoch, in seconds.".into()
+        }
+        _ => {}
+    }
     let stem = name.strip_prefix("ngm_").unwrap_or(name);
     if let Some(s) = stem.strip_suffix("_total") {
         format!("Cumulative count of {} events.", words(s))
@@ -271,9 +287,112 @@ fn escape_label_value(s: &str) -> String {
     out
 }
 
-/// Quotes a metric name as a JSON string (escaping `"` and `\`, which
-/// never appear in well-formed metric names, defensively).
-fn json_str(s: &str) -> String {
+/// Validates Prometheus text exposition format 0.0.4: families
+/// announced by `# HELP` + `# TYPE` before their samples, legal metric
+/// names, known family kinds, unique families and series, numeric
+/// sample values, balanced label quoting. Returns the first violation
+/// as an error string.
+///
+/// This is the acceptance gate shared by the contract tests, the live
+/// `/metrics` endpoint tests, and the `repro obs` harness — one
+/// validator, applied to rendered and scraped text alike.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    use std::collections::HashSet;
+    let mut families: HashSet<&str> = HashSet::new();
+    let mut last_help: Option<&str> = None;
+    let mut series_seen: HashSet<String> = HashSet::new();
+    let name_ok = |n: &str| {
+        !n.is_empty()
+            && n.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            last_help = rest.split_whitespace().next();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it
+                .next()
+                .ok_or_else(|| format!("TYPE names no metric: {line}"))?;
+            let kind = it
+                .next()
+                .ok_or_else(|| format!("TYPE states no kind: {line}"))?;
+            if !name_ok(name) {
+                return Err(format!("bad family name: {line}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return Err(format!("bad family kind: {line}"));
+            }
+            if last_help != Some(name) {
+                return Err(format!("TYPE for {name} must follow its HELP line"));
+            }
+            if !families.insert(name) {
+                return Err(format!("family {name} announced twice"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("unknown comment form: {line}"));
+        }
+        if line.is_empty() {
+            continue;
+        }
+        // Sample: `name[{labels}] value`.
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("sample has no value: {line}"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("non-numeric sample value: {line}"));
+        }
+        let name = series
+            .split(['{', ' '])
+            .next()
+            .ok_or_else(|| format!("sample has no name: {line}"))?;
+        if !name_ok(name) {
+            return Err(format!("bad sample name: {line}"));
+        }
+        // A summary's `_sum`/`_count` samples belong to the base family.
+        let family_known = families.contains(name)
+            || name
+                .strip_suffix("_sum")
+                .or_else(|| name.strip_suffix("_count"))
+                .is_some_and(|base| families.contains(base));
+        if !family_known {
+            return Err(format!("sample before its TYPE line: {line}"));
+        }
+        if !series_seen.insert(series.to_string()) {
+            return Err(format!("duplicate series: {series}"));
+        }
+        if let Some(open) = series.find('{') {
+            if !series.ends_with('}') {
+                return Err(format!("unterminated label set: {line}"));
+            }
+            let labels = &series[open + 1..series.len() - 1];
+            // Escaped quotes/newlines must keep the sample on one line
+            // with balanced quoting.
+            if labels.replace("\\\"", "").matches('"').count() % 2 != 0 {
+                return Err(format!("unbalanced label quoting: {line}"));
+            }
+        }
+    }
+    if families.is_empty() {
+        return Err("exposition should not be empty".into());
+    }
+    Ok(())
+}
+
+/// Quotes a string as a JSON string literal (escaping `"`, `\`, and
+/// control characters). Public so observability endpoints can build
+/// JSON documents by hand without a serialization dependency.
+#[must_use]
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -334,6 +453,9 @@ mod tests {
         assert!(json.contains("\"count\":3"));
         assert!(json.contains("\"sum\":60"));
         assert!(json.contains("\"mean\":20.0"));
+        // Histogram buckets ride along: values 10, 20, 30 land in three
+        // distinct buckets, each `[lower,upper,count]`.
+        assert!(json.contains("\"buckets\":[[10,10,1],"), "{json}");
         // Balanced braces (no nesting errors).
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
@@ -345,9 +467,82 @@ mod tests {
         let m = MetricsSnapshot::new();
         assert_eq!(
             m.to_json(),
-            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+            "{\"counters\":{},\"gauges\":{},\"labeled_gauges\":[],\"histograms\":{}}"
         );
         assert_eq!(m.to_prometheus_text(), "");
+    }
+
+    #[test]
+    fn json_carries_labeled_gauges_structured() {
+        let mut m = MetricsSnapshot::new();
+        m.labeled_gauge(
+            "ngm_build_info",
+            &[("version", "0.1.0"), ("features", "faultinject")],
+            1,
+        );
+        let json = m.to_json();
+        assert!(
+            json.contains(
+                "\"labeled_gauges\":[{\"name\":\"ngm_build_info\",\"labels\":{\"version\":\"0.1.0\",\"features\":\"faultinject\"},\"value\":1}]"
+            ),
+            "labeled gauges must keep structured label sets: {json}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quote_and_newline_in_label_values() {
+        // Satellite: the JSON path must escape label values with the
+        // same care as the text path — a `"` or newline in a site label
+        // must not break the document.
+        let mut m = MetricsSnapshot::new();
+        m.labeled_gauge("ngm_site_live_bytes", &[("site", "a\"b\nc\\d")], 7);
+        let json = m.to_json();
+        assert!(!json.contains('\n'), "raw newline leaked: {json}");
+        assert!(
+            json.contains("\"site\":\"a\\\"b\\u000ac\\\\d\""),
+            "label value not JSON-escaped: {json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The value survives the round trip through the escapes.
+        assert_eq!(
+            m.get_labeled_gauge("ngm_site_live_bytes", &[("site", "a\"b\nc\\d")]),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn validator_accepts_own_rendering() {
+        let mut m = sample();
+        m.labeled_gauge("ngm_shard_heat_score", &[("shard", "0")], 12);
+        validate_exposition(&m.to_prometheus_text()).expect("own rendering is valid");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        for bad in [
+            // Sample with no announced family.
+            "ngm_y_total 3\n",
+            // TYPE without HELP.
+            "# TYPE ngm_x_total counter\nngm_x_total 3\n",
+            // Duplicate series.
+            "# HELP ngm_x_total h\n# TYPE ngm_x_total counter\nngm_x_total 3\nngm_x_total 4\n",
+            // Non-numeric value.
+            "# HELP ngm_x_total h\n# TYPE ngm_x_total counter\nngm_x_total three\n",
+            // Empty exposition.
+            "",
+        ] {
+            assert!(
+                validate_exposition(bad).is_err(),
+                "validator accepted malformed text: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn conventional_families_get_fixed_help() {
+        assert!(help_text("ngm_up").contains("metrics endpoint"));
+        assert!(help_text("ngm_build_info").contains("always 1"));
+        assert!(help_text("process_start_time_seconds").contains("Unix epoch"));
     }
 
     #[test]

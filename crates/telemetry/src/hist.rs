@@ -210,6 +210,20 @@ impl HistogramSnapshot {
             .map_or(0, |i| bucket_bounds(i).1)
     }
 
+    /// The occupied buckets as `(lower, upper, count)` triples, in
+    /// value order. This is the exporter's view: 976 mostly-empty
+    /// buckets compress to the handful that actually saw samples.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+
     /// Folds `other` into `self`. Merging is commutative and associative.
     /// Sums wrap on overflow, matching the wrapping `fetch_add` in
     /// [`LatencyHistogram::record`].
@@ -357,6 +371,30 @@ mod tests {
         // Reversed operands saturate to empty rather than wrapping.
         let reversed = earlier.diff(&h.snapshot());
         assert_eq!(reversed.count(), 0);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_exactly_the_recorded_values() {
+        let h = LatencyHistogram::new();
+        for v in [3u64, 3, 900, 70_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let buckets: Vec<_> = s.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 3, "three distinct buckets: {buckets:?}");
+        assert_eq!(buckets[0], (3, 3, 2), "unit bucket holds both 3s");
+        let total: u64 = buckets.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, s.count());
+        for &(lo, hi, _) in &buckets {
+            assert!(lo <= hi);
+        }
+        assert!(
+            HistogramSnapshot::empty()
+                .nonzero_buckets()
+                .next()
+                .is_none(),
+            "empty snapshot has no occupied buckets"
+        );
     }
 
     #[test]

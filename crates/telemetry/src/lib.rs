@@ -24,9 +24,13 @@
 //!   spans from drained trace rings.
 //! * [`window::HeatWindow`] — rolling-window aggregation of cumulative
 //!   shard samples into recent rates and windowed phase percentiles.
-//! * [`blackbox`] — a rate-limited flight recorder that archives the
-//!   last-K trace events, slot states, and a heat snapshot on
-//!   request-path failures.
+//! * [`blackbox`] — a rate-limited post-mortem recorder that archives
+//!   the last-K trace events, slot states, and a heat snapshot on
+//!   request-path failures, retaining recent dumps in memory.
+//! * [`server::HttpServer`] — a minimal HTTP/1.0 server for live
+//!   observability endpoints (`/metrics`, `/heat`, `/readyz`, ...).
+//! * [`recorder::FlightRecorder`] — a continuous JSONL recorder that
+//!   appends per-scrape tier state with bounded size-based rotation.
 //!
 //! Timestamps come from [`clock::cycles_now`]: `rdtsc` on x86_64, a
 //! monotonic-nanosecond fallback elsewhere (see that module for
@@ -37,6 +41,8 @@ pub mod blackbox;
 pub mod clock;
 pub mod export;
 pub mod hist;
+pub mod recorder;
+pub mod server;
 pub mod sites;
 pub mod span;
 pub mod trace;

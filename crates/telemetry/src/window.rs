@@ -141,6 +141,13 @@ impl HeatWindow {
         self.capacity
     }
 
+    /// Retained frames, oldest first. This is the raw time series an
+    /// observability endpoint exposes; the windowed aggregate is
+    /// derived, the frames are the evidence.
+    pub fn frames(&self) -> impl Iterator<Item = &HeatFrame> {
+        self.frames.iter()
+    }
+
     /// The windowed aggregate: newest frame minus the oldest retained
     /// frame. With a single frame the baseline is zero — the aggregate
     /// is then "everything since shard start", which is the honest

@@ -254,80 +254,15 @@ fn phase_histograms_cover_the_call_histogram() {
 }
 
 /// Validates Prometheus text exposition format 0.0.4 over a rendered
-/// snapshot: families announced before samples, unique series, numeric
-/// values, legal metric names.
+/// snapshot, panicking with the violation. The full rule set lives in
+/// [`ngm_telemetry::export::validate_exposition`] — the same validator
+/// the live `/metrics` endpoint tests and the `repro obs` experiment
+/// run — so this suite and the observer can never drift apart on what
+/// "valid" means.
 fn validate_exposition(text: &str) {
-    let mut families: HashSet<&str> = HashSet::new();
-    let mut last_help: Option<&str> = None;
-    let mut series_seen: HashSet<String> = HashSet::new();
-    let name_ok = |n: &str| {
-        !n.is_empty()
-            && n.chars()
-                .next()
-                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
-            && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-    };
-    for line in text.lines() {
-        if let Some(rest) = line.strip_prefix("# HELP ") {
-            last_help = rest.split_whitespace().next();
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("# TYPE ") {
-            let mut it = rest.split_whitespace();
-            let name = it.next().expect("TYPE names a metric");
-            let kind = it.next().expect("TYPE states a kind");
-            assert!(name_ok(name), "bad family name: {line}");
-            assert!(
-                matches!(
-                    kind,
-                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
-                ),
-                "bad family kind: {line}"
-            );
-            assert_eq!(
-                last_help,
-                Some(name),
-                "TYPE for {name} must follow its HELP line"
-            );
-            assert!(families.insert(name), "family {name} announced twice");
-            continue;
-        }
-        assert!(!line.starts_with('#'), "unknown comment form: {line}");
-        if line.is_empty() {
-            continue;
-        }
-        // Sample: `name[{labels}] value`.
-        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
-        assert!(
-            value.parse::<f64>().is_ok(),
-            "non-numeric sample value: {line}"
-        );
-        let name = series.split(['{', ' ']).next().expect("sample has a name");
-        assert!(name_ok(name), "bad sample name: {line}");
-        // A summary's `_sum`/`_count` samples belong to the base family.
-        let family_known = families.contains(name)
-            || name
-                .strip_suffix("_sum")
-                .or_else(|| name.strip_suffix("_count"))
-                .is_some_and(|base| families.contains(base));
-        assert!(family_known, "sample before its TYPE line: {line}");
-        assert!(
-            series_seen.insert(series.to_string()),
-            "duplicate series: {series}"
-        );
-        if let Some(open) = series.find('{') {
-            assert!(series.ends_with('}'), "unterminated label set: {line}");
-            let labels = &series[open + 1..series.len() - 1];
-            // Escaped quotes/newlines must keep the sample on one line
-            // with balanced quoting.
-            assert_eq!(
-                labels.replace("\\\"", "").matches('"').count() % 2,
-                0,
-                "unbalanced label quoting: {line}"
-            );
-        }
+    if let Err(why) = ngm_telemetry::export::validate_exposition(text) {
+        panic!("invalid exposition: {why}");
     }
-    assert!(!families.is_empty(), "exposition should not be empty");
 }
 
 /// Every series the live tier exports — counters, histograms-as-
@@ -361,12 +296,26 @@ fn live_metrics_render_valid_exposition_text() {
     ] {
         assert!(text.contains(needle), "missing {needle} in:\n{text}");
     }
-    // Every exported family follows the `ngm_` naming convention.
+    // Every exported family follows the `ngm_` naming convention; the
+    // lone exception is the conventional `process_start_time_seconds`
+    // Prometheus itself expects from every scrape target.
     for line in text.lines() {
         if let Some(rest) = line.strip_prefix("# TYPE ") {
             let name = rest.split_whitespace().next().expect("name");
-            assert!(name.starts_with("ngm_"), "unprefixed family: {name}");
+            assert!(
+                name.starts_with("ngm_") || name.starts_with("process_"),
+                "unprefixed family: {name}"
+            );
         }
+    }
+    // The scrape-target conventions are present.
+    for needle in [
+        "ngm_up 1",
+        "ngm_build_info{",
+        "process_start_time_seconds",
+        "ngm_obs_scrape_cycles_total",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
     }
     let down = ngm.shutdown();
     assert!(down.clean() && down.balanced());
@@ -577,8 +526,9 @@ mod faultinject {
         }
         let _ = ngm.heat_report();
 
+        // No rate-limiter reset needed: the limiter is per-tier now, and
+        // a fresh tier's first dump always passes it.
         ngm.fault_state(victim).set_wedged(true);
-        ngm_telemetry::blackbox::reset_rate_limiter_for_tests();
         let p = h.alloc(l).expect("tier reroutes around the wedge");
         ngm.fault_state(victim).set_wedged(false);
         // SAFETY: live block from this handle's allocator.
@@ -605,6 +555,14 @@ mod faultinject {
             "heat snapshot carries per-shard scores:\n{dump}"
         );
         assert!(dump.contains("=== end blackbox ==="), "{dump}");
+
+        // The same dump is retained in the tier's in-memory ring (what
+        // the observer's `/blackbox` endpoint serves).
+        let dumps = ngm.blackbox_dumps();
+        assert!(!dumps.is_empty(), "dump ring retained the emission");
+        let last = dumps.last().expect("nonempty");
+        assert_eq!(last.shard, victim);
+        assert_eq!(last.reason, "deadline");
 
         std::env::remove_var("NGM_BLACKBOX_PATH");
         let _ = std::fs::remove_file(&path);

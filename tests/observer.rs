@@ -1,0 +1,272 @@
+//! Live-observer contract tests: the HTTP endpoints against a running
+//! tier, the flight recorder against real scrapes, and readiness
+//! against lifecycle edges.
+//!
+//! The endpoint/parsing mechanics (partial requests, oversized request
+//! lines, RST-free teardown) are unit-tested in
+//! `ngm_telemetry::server`; this suite pins the *wiring*: `/metrics`
+//! renders validator-clean exposition under concurrent scrapes while
+//! traffic runs, `/readyz` flips as shards wedge, `/healthz` and the
+//! JSON endpoints answer sensibly, unknown paths 404, and a configured
+//! recording replays into parseable frames whose shape matches the
+//! tier.
+
+use std::alloc::Layout;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ngm_core::{CorePlacement, NgmConfig, ObserverConfig};
+use ngm_telemetry::export::validate_exposition;
+use ngm_telemetry::recorder::read_recording;
+use ngm_telemetry::server::http_get;
+
+fn churn(h: &mut ngm_core::NgmHandle, rounds: usize) {
+    for i in 0..rounds {
+        let l = Layout::from_size_align(16 + (i % 8) * 16, 8).expect("valid");
+        let p = h.alloc(l).expect("alloc");
+        // SAFETY: block just allocated, freed once.
+        unsafe { h.dealloc(p, l) };
+    }
+}
+
+/// `/metrics` passes the shared exposition validator, `/healthz` is 200,
+/// the JSON endpoints return their envelopes, and an unknown path 404s.
+#[test]
+fn endpoints_answer_on_a_live_tier() {
+    let ngm = Arc::new(
+        NgmConfig::new()
+            .with_shards(2)
+            .with_placement(CorePlacement::Unpinned)
+            .with_trace_capacity(4096)
+            .build()
+            .expect("valid config"),
+    );
+    let obs = ngm
+        .serve_observer(ObserverConfig::new("127.0.0.1:0"))
+        .expect("observer binds");
+    let addr = obs.addr();
+
+    let mut h = ngm.handle();
+    churn(&mut h, 256);
+    drop(h);
+
+    let (status, body) = http_get(addr, "/metrics").expect("metrics reachable");
+    assert_eq!(status, 200);
+    validate_exposition(&body).expect("live /metrics is valid exposition");
+    assert!(body.contains("ngm_up 1"), "liveness convention exported");
+    assert!(body.contains("ngm_build_info{"), "build info exported");
+
+    let (status, body) = http_get(addr, "/healthz").expect("healthz reachable");
+    assert_eq!((status, body.trim()), (200, "ok"));
+
+    let (status, body) = http_get(addr, "/heat").expect("heat reachable");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"shards\":["), "heat envelope: {body}");
+    assert!(body.contains("\"state\":\"serving\""), "{body}");
+
+    let (status, body) = http_get(addr, "/spans").expect("spans reachable");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"spans\":["), "spans envelope: {body}");
+    assert!(body.contains("\"phases\":["), "spans carry phases: {body}");
+
+    let (status, body) = http_get(addr, "/blackbox").expect("blackbox reachable");
+    assert_eq!(status, 200);
+    assert!(
+        body.starts_with("{\"dumps\":["),
+        "blackbox envelope: {body}"
+    );
+
+    let (status, _) = http_get(addr, "/nonsense").expect("404 still answers");
+    assert_eq!(status, 404);
+
+    obs.stop();
+    let ngm = Arc::into_inner(ngm).expect("observer released its references");
+    let down = ngm.shutdown();
+    assert!(down.clean() && down.balanced());
+}
+
+/// `/readyz` is 200 on a healthy tier and flips to 503 (degraded) when a
+/// serving shard's thread dies under it. The all-dormant NotReady edge
+/// is pinned by the pure `derive_readiness` unit tests — a live tier
+/// always starts serving.
+#[test]
+fn readyz_degrades_when_a_serving_shard_wedges() {
+    let ngm = Arc::new(
+        NgmConfig::new()
+            .with_shards(2)
+            .with_placement(CorePlacement::Unpinned)
+            .build()
+            .expect("valid config"),
+    );
+    let obs = ngm
+        .serve_observer(ObserverConfig::new("127.0.0.1:0"))
+        .expect("observer binds");
+    let addr = obs.addr();
+
+    let (status, body) = http_get(addr, "/readyz").expect("readyz reachable");
+    assert_eq!((status, body.trim()), (200, "ready"));
+
+    // Kill shard 1's thread out from under the tier: lifecycle still
+    // says Serving, so readiness must report the wedge.
+    ngm.stop_shard(1);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !ngm.shard_finished(1) {
+        assert!(Instant::now() < deadline, "shard thread never exited");
+        std::thread::yield_now();
+    }
+    let (status, body) = http_get(addr, "/readyz").expect("readyz reachable");
+    assert_eq!(status, 503, "wedged serving shard degrades: {body}");
+    assert!(body.contains("degraded") && body.contains('1'), "{body}");
+
+    obs.stop();
+    let ngm = Arc::into_inner(ngm).expect("observer released its references");
+    let down = ngm.shutdown();
+    assert!(down.clean(), "stop_shard is an orderly exit");
+}
+
+/// Once the tier is dropped, every endpoint answers 503 instead of
+/// hanging or crashing — the observer holds only a weak reference.
+#[test]
+fn endpoints_answer_503_after_the_tier_is_gone() {
+    let ngm = Arc::new(
+        NgmConfig::new()
+            .with_placement(CorePlacement::Unpinned)
+            .build()
+            .expect("valid config"),
+    );
+    let obs = ngm
+        .serve_observer(ObserverConfig::new("127.0.0.1:0").with_scrape_interval(
+            // Long interval: the scrape thread must not be the thing
+            // keeping the tier alive or dead — endpoints are.
+            Duration::from_secs(60),
+        ))
+        .expect("observer binds");
+    let addr = obs.addr();
+    let ngm = Arc::into_inner(ngm).expect("only our reference");
+    drop(ngm.shutdown());
+
+    for path in [
+        "/metrics",
+        "/heat",
+        "/spans",
+        "/blackbox",
+        "/healthz",
+        "/readyz",
+    ] {
+        let (status, _) = http_get(addr, path).expect("endpoint still answers");
+        assert_eq!(status, 503, "{path} after tier drop");
+    }
+    obs.stop();
+}
+
+/// `start_observer` consumes the config stashed by
+/// [`NgmConfig::with_observer`]: first call starts it, second call finds
+/// nothing, and a recording configured there lands on disk as parseable
+/// frames whose shape matches the tier.
+#[test]
+fn configured_observer_records_parseable_frames() {
+    let path = std::env::temp_dir().join(format!("ngm-obs-test-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let ngm = Arc::new(
+        NgmConfig::new()
+            .with_shards(2)
+            .with_placement(CorePlacement::Unpinned)
+            .with_observer(
+                ObserverConfig::new("127.0.0.1:0")
+                    .with_recording(&path)
+                    .with_scrape_interval(Duration::from_millis(2)),
+            )
+            .build()
+            .expect("valid config"),
+    );
+    let obs = ngm
+        .start_observer()
+        .expect("observer binds")
+        .expect("config carried an observer");
+    assert!(
+        ngm.start_observer().expect("no bind attempted").is_none(),
+        "second start finds the config consumed"
+    );
+
+    let mut h = ngm.handle();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        churn(&mut h, 64);
+        let recorded = read_recording(&path).map(|f| f.len()).unwrap_or(0);
+        if recorded >= 5 || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(h);
+    obs.stop();
+
+    let frames = read_recording(&path).expect("recording readable");
+    assert!(frames.len() >= 5, "scrapes recorded: {}", frames.len());
+    for f in &frames {
+        assert_eq!(f.serving, 2, "static 2-shard tier");
+        assert_eq!(f.states, "SS", "one glyph per slot");
+        assert_eq!(f.scale_up + f.scale_down, 0, "static tier never scales");
+    }
+    assert!(
+        frames.windows(2).all(|w| w[0].tsc <= w[1].tsc),
+        "frames are time-ordered"
+    );
+    assert!(
+        frames.last().expect("nonempty").obs_cycles > 0,
+        "observability cycles are metered"
+    );
+
+    let _ = std::fs::remove_file(&path);
+    let ngm = Arc::into_inner(ngm).expect("observer released its references");
+    let down = ngm.shutdown();
+    assert!(down.clean() && down.balanced());
+}
+
+/// Concurrent `/metrics` scrapes against an elastic tier under real
+/// churn: every response must pass the exposition validator — a scrape
+/// must never observe a torn snapshot, whatever the controller is doing.
+#[test]
+fn concurrent_scrapes_stay_valid_under_elastic_churn() {
+    let ngm = Arc::new(
+        NgmConfig::new()
+            .with_shards(1)
+            .elastic(1, 4)
+            .with_placement(CorePlacement::Unpinned)
+            .with_trace_capacity(4096)
+            .build()
+            .expect("valid config"),
+    );
+    let obs = ngm
+        .serve_observer(
+            ObserverConfig::new("127.0.0.1:0").with_scrape_interval(Duration::from_millis(2)),
+        )
+        .expect("observer binds");
+    let addr = obs.addr();
+
+    std::thread::scope(|s| {
+        // Churn threads give the controller something to look at.
+        for _ in 0..2 {
+            let ngm = Arc::clone(&ngm);
+            s.spawn(move || {
+                let mut h = ngm.handle();
+                churn(&mut h, 4_000);
+            });
+        }
+        // Scrape threads hammer /metrics while the tier moves.
+        for _ in 0..3 {
+            s.spawn(move || {
+                for _ in 0..10 {
+                    let (status, body) = http_get(addr, "/metrics").expect("scrape");
+                    assert_eq!(status, 200);
+                    validate_exposition(&body).expect("mid-churn scrape stays valid");
+                }
+            });
+        }
+    });
+
+    obs.stop();
+    let ngm = Arc::into_inner(ngm).expect("observer released its references");
+    let down = ngm.shutdown();
+    assert!(down.clean() && down.balanced());
+}
