@@ -8,6 +8,8 @@
 //!           | elastic (shard count vs client ramp on the elastic tier)
 //!           | spans (request-lifecycle phase breakdown)
 //!           | obs (live observer endpoints + flight-recording replay)
+//!           | conns (connection server: blocking vs completion-based
+//!             front-end at equal client counts)
 //!           | faults (needs --features faultinject to arm the hooks)
 //! --scale N: multiply workload sizes by N (default 1; paper-style
 //!            stability from ~4)
@@ -18,8 +20,8 @@
 //! ```
 
 use ngm_bench::experiments::{
-    ablations, elastic, faults, fig1, fig2, model41, obs, pmu, shards, spans, table1, table2,
-    table3, telemetry,
+    ablations, conns, elastic, faults, fig1, fig2, model41, obs, pmu, shards, spans, table1,
+    table2, table3, telemetry,
 };
 use ngm_bench::Scale;
 
@@ -47,7 +49,7 @@ fn main() {
             "--hw" => with_hw = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards|elastic|spans|obs|faults]... [--scale N] [--no-prototype] [--hw]"
+                    "usage: repro [all|fig1|table1|table2|fig2|table3|model41|ablations|batch|telemetry|pmu|shards|elastic|spans|obs|conns|faults]... [--scale N] [--no-prototype] [--hw]"
                 );
                 return;
             }
@@ -125,6 +127,12 @@ fn main() {
         println!("{}", obs::run(scale).render());
         if with_hw {
             println!("{}", obs::run_hw(scale));
+        }
+    }
+    if want("conns") {
+        println!("{}", conns::run(scale).render());
+        if with_hw {
+            println!("{}", conns::run_hw(scale));
         }
     }
     if want("faults") {

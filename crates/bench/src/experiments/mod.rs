@@ -1,6 +1,7 @@
 //! One module per paper artifact.
 
 pub mod ablations;
+pub mod conns;
 pub mod elastic;
 pub mod faults;
 pub mod fig1;

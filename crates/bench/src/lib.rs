@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod experiments;
 pub mod hw;
 pub mod replay;

@@ -27,9 +27,11 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::Duration;
 
 use ngm_heap::{AllocError, FallbackHeap, HeapStats};
+#[cfg(feature = "legacy-api")]
+use ngm_offload::WaitStrategy;
 use ngm_offload::{
     ClientHandle, OffloadRuntime, PostError, RuntimeConfig, RuntimeHandles, RuntimeStats,
-    RuntimeTelemetry, ServiceError, StatsSnapshot, WaitStrategy,
+    RuntimeTelemetry, ServiceError, StatsSnapshot,
 };
 use ngm_pmu::PmuReport;
 use ngm_telemetry::blackbox::{BlackboxDump, ShardState, DEFAULT_LAST_K};
@@ -42,15 +44,16 @@ use ngm_telemetry::window::HeatFrame;
 
 use ngm_heap::classes::{layout_to_class, SizeClass, NUM_CLASSES};
 
+#[cfg(feature = "legacy-api")]
+use crate::config::ShardTopology;
 use crate::config::{
-    CorePlacement, ElasticPolicy, NgmConfig, NgmError, ObserverConfig, ShardTopology,
-    FALLBACK_OWNER, OWNER_BASE,
+    CorePlacement, ElasticPolicy, NgmConfig, NgmError, ObserverConfig, FALLBACK_OWNER, OWNER_BASE,
 };
 use crate::heat::{pick_coolest, HeatReport, ObsState, ShardHeat, ShardLifecycle};
 use crate::orphan::OrphanStack;
 use crate::service::{
     AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
-    ServiceStats,
+    ServiceStats, MAX_BATCH,
 };
 use crate::watch::SharedHeapStats;
 
@@ -155,6 +158,9 @@ pub struct Ngm {
     /// large free — which routes by layout hash, not by address — always
     /// finds its allocating shard still open.
     large_span: usize,
+    /// Backpressure ceiling for [`crate::nonblocking::SubmissionQueue`]s
+    /// built over this tier's handles ([`NgmConfig::with_inflight_limit`]).
+    inflight_limit: usize,
 }
 
 #[derive(Debug, Default)]
@@ -291,6 +297,7 @@ impl Ngm {
             scale_trace: None,
             observer_cfg: Mutex::new(cfg.observer),
             large_span: cfg.elastic.map_or(cfg.shards, |p| p.min),
+            inflight_limit: cfg.inflight_limit,
         };
         for i in 0..cfg.shards {
             ngm.spawn_slot(i).map_err(NgmError::Spawn)?;
@@ -339,6 +346,7 @@ impl Ngm {
     }
 
     /// Deprecated builder entry point.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.5.0",
         note = "use `NgmConfig::new()` and its `with_*` setters"
@@ -420,6 +428,8 @@ impl Ngm {
             sites: self.sites.clone(),
             fallback: Arc::clone(&self.fallback),
             obs: Arc::clone(&self.obs),
+            nb_pending: vec![None; n].into_boxed_slice(),
+            inflight_limit: self.inflight_limit,
         };
         handle.recompute_class_routes();
         handle
@@ -1269,6 +1279,7 @@ pub struct ShardShutdown {
 }
 
 /// Deprecated alias for [`Ngm`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(since = "0.5.0", note = "renamed to `Ngm`")]
 pub type NextGenMalloc = Ngm;
 
@@ -1277,6 +1288,7 @@ pub type NextGenMalloc = Ngm;
 /// Field-for-field compatible with the old builder. `start()` clamps
 /// out-of-range knobs exactly as it used to, instead of surfacing
 /// [`NgmError`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(since = "0.5.0", note = "use `NgmConfig` and `NgmConfig::build`")]
 #[derive(Debug, Clone, Copy)]
 pub struct NgmBuilder {
@@ -1302,6 +1314,7 @@ pub struct NgmBuilder {
     pub site_sample: u64,
 }
 
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 impl Default for NgmBuilder {
     fn default() -> Self {
@@ -1322,6 +1335,7 @@ impl Default for NgmBuilder {
     }
 }
 
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 impl NgmBuilder {
     /// Starts the allocator runtime (single shard, historical clamping
@@ -1347,9 +1361,32 @@ impl NgmBuilder {
             elastic: None,
             topology: ShardTopology::flat(),
             observer: None,
+            inflight_limit: 256,
         };
         cfg.sanitized().build().expect("sanitized config is valid")
     }
+}
+
+/// What a shard's request slot is carrying for the non-blocking
+/// front-end: enough context to route the response when it lands —
+/// whether the poller is the original submitter or an unrelated pump
+/// settling the slot for its own submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NbPending {
+    /// A single-block [`MallocReq::One`]; the layout identifies the
+    /// rightful consumer (and recovers the block as a free if that
+    /// consumer never returns to collect it).
+    One {
+        /// Requested size of the in-flight layout.
+        size: usize,
+        /// Requested alignment of the in-flight layout.
+        align: usize,
+    },
+    /// A batched magazine refill ([`MallocReq::Batch`]) for one class.
+    Batch {
+        /// The class whose magazine the response tops up.
+        class: SizeClass,
+    },
 }
 
 /// A per-thread endpoint to the allocator tier.
@@ -1367,6 +1404,14 @@ impl NgmBuilder {
 /// path, and two handles may route the same class differently without
 /// coordinating — frees are address-pure, so it cannot matter.
 pub struct NgmHandle {
+    /// What each shard's request slot currently carries on behalf of the
+    /// non-blocking front-end (`None` when the slot is free). At most one
+    /// submission rides each slot; completing or retracting it clears the
+    /// entry.
+    nb_pending: Box<[Option<NbPending>]>,
+    /// Backpressure ceiling for submission queues built over this handle
+    /// ([`NgmConfig::with_inflight_limit`]).
+    inflight_limit: usize,
     /// One client endpoint per slot, indexed by slot — `None` for slots
     /// with no thread (dormant/retired) or whose thread this handle has
     /// not yet registered with.
@@ -1468,10 +1513,12 @@ impl NgmHandle {
                     let _ = self.ensure_client(s);
                 }
                 ShardLifecycle::Draining => {
+                    self.settle_nb(s);
                     self.flush_shard_frees(s);
                     self.return_magazines_from(s);
                 }
                 ShardLifecycle::Dormant | ShardLifecycle::Retired => {
+                    self.settle_nb(s);
                     self.clients[s] = None;
                 }
             }
@@ -1485,6 +1532,19 @@ impl NgmHandle {
         let epoch = self.slots[s].epoch.load(Ordering::Acquire);
         if self.clients[s].is_some() && self.client_epoch[s] == epoch {
             return true;
+        }
+        // The old client (if any) belongs to a joined thread: whatever
+        // non-blocking submission still rode its slot can never complete.
+        // Take it back unserved if possible; count the loss otherwise.
+        if self.nb_pending[s].is_some() {
+            let retracted = self.clients[s]
+                .as_mut()
+                .is_some_and(ClientHandle::nb_retract);
+            self.nb_pending[s] = None;
+            self.shard_stats[s].add_inflight(-1);
+            if !retracted {
+                self.shard_stats[s].record_post_dropped();
+            }
         }
         let guard = self.slots[s]
             .runtime
@@ -1904,6 +1964,498 @@ impl NgmHandle {
         Err(AllocError::OutOfMemory)
     }
 
+    /// Non-blocking [`NgmHandle::alloc`]: never waits on a service.
+    ///
+    /// The magazine pop is identical to the blocking fast path. When the
+    /// magazine is dry the refill round trip is *submitted* rather than
+    /// awaited: the call returns [`NgmError::WouldBlock`] and a later
+    /// `try_alloc` (or a poll of an [`crate::nonblocking::AllocFuture`])
+    /// collects the response from the slot. Dead, draining, and deadlined
+    /// shards are routed around exactly as in the blocking path — only
+    /// the *wait* is removed, so the `allocs == frees` ledger and every
+    /// reroute/fallback rule are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`NgmError::WouldBlock`] when a submission is in flight and its
+    /// response has not landed yet (retry after pumping or a wake);
+    /// otherwise the same failures as [`NgmHandle::alloc`], lifted into
+    /// [`NgmError`].
+    pub fn try_alloc(&mut self, layout: Layout) -> Result<NonNull<u8>, NgmError> {
+        if layout.size() == 0 {
+            return Err(AllocError::ZeroSize.into());
+        }
+        self.maybe_resync();
+        match layout_to_class(layout.size(), layout.align()) {
+            Some(class) if self.batch_size > 1 => {
+                let ci = class.0 as usize;
+                if self.magazines[ci].is_empty() {
+                    match self.try_refill(class) {
+                        Ok(()) => {}
+                        Err(NgmError::WouldBlock) => return Err(NgmError::WouldBlock),
+                        Err(e) => {
+                            // Every shard dead or empty: degrade inline,
+                            // exactly like the blocking batched path.
+                            let shard = self.class_shard[ci] as usize;
+                            return self.fallback_alloc(layout, shard).map_err(|_| e);
+                        }
+                    }
+                }
+                let addr = self.magazines[ci]
+                    .pop()
+                    .expect("magazine nonempty after refill");
+                self.stash_by_shard[self.mag_shard[ci] as usize] -= 1;
+                NonNull::new(addr as *mut u8).ok_or(NgmError::Alloc(AllocError::OutOfMemory))
+            }
+            Some(class) => {
+                let shard = self.class_shard[class.0 as usize] as usize;
+                self.try_call_alloc(shard, layout)
+            }
+            None => {
+                let shard = self.shard_of_large(layout);
+                self.try_call_alloc(shard, layout)
+            }
+        }
+    }
+
+    /// Non-blocking magazine refill: completes an in-flight batch if its
+    /// response already landed, otherwise submits a fresh
+    /// [`AllocBatchReq`] and returns [`NgmError::WouldBlock`] without
+    /// waiting. Dead/draining shards fail over exactly like
+    /// [`NgmHandle::refill`] — submission is instant, so the loop never
+    /// blocks.
+    fn try_refill(&mut self, class: SizeClass) -> Result<(), NgmError> {
+        let ci = class.0 as usize;
+        let shard = self.class_shard[ci] as usize;
+        if self.nb_pending[shard].is_some() {
+            if self.poll_pending(shard).is_none() {
+                return Err(NgmError::WouldBlock);
+            }
+            if !self.magazines[ci].is_empty() {
+                // The settled submission was this class's refill.
+                return Ok(());
+            }
+        }
+        for _ in 0..self.nshards() {
+            let shard = self.class_shard[ci] as usize;
+            if !self.ensure_client(shard) {
+                let next = self.next_route_candidate(shard);
+                self.class_shard[ci] = next as u16;
+                if next == shard {
+                    break;
+                }
+                continue;
+            }
+            let req = MallocReq::Batch(AllocBatchReq {
+                class,
+                count: self.batch_size,
+            });
+            let client = self.clients[shard].as_mut().expect("client just ensured");
+            match client.nb_begin_batched(req) {
+                Ok(()) => {
+                    self.nb_pending[shard] = Some(NbPending::Batch { class });
+                    self.shard_stats[shard].add_inflight(1);
+                    // One opportunistic poll: a same-core service may have
+                    // answered already, saving the caller a retry.
+                    if self.poll_pending(shard).is_some() && !self.magazines[ci].is_empty() {
+                        return Ok(());
+                    }
+                    return Err(NgmError::WouldBlock);
+                }
+                Err((_, ServiceError::WouldBlock)) => return Err(NgmError::WouldBlock),
+                Err((_, ServiceError::ShardRetiring { .. })) => {
+                    self.rebalance_away_from(shard);
+                    let next = self.next_route_candidate(shard);
+                    self.class_shard[ci] = next as u16;
+                    if next == shard {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    let next = self.fail_over(shard);
+                    self.class_shard[ci] = next as u16;
+                    if next == shard {
+                        break;
+                    }
+                }
+            }
+        }
+        Err(AllocError::OutOfMemory.into())
+    }
+
+    /// One non-blocking single-allocation round trip: collect our own
+    /// in-flight submission if its layout matches, settle an unrelated
+    /// one, or submit fresh — never waiting. Mirrors
+    /// [`NgmHandle::call_alloc`]'s failover ladder.
+    fn try_call_alloc(&mut self, shard: usize, layout: Layout) -> Result<NonNull<u8>, NgmError> {
+        let mut shard = shard;
+        let pending = self.nb_pending[shard];
+        match pending {
+            Some(NbPending::One { size, align })
+                if size == layout.size() && align == layout.align() =>
+            {
+                return self.try_take_one(shard);
+            }
+            // The slot carries someone else's submission (a refill, or a
+            // One for a different layout): settle it if its response
+            // landed, else report backpressure.
+            Some(_) if self.poll_pending(shard).is_none() => {
+                return Err(NgmError::WouldBlock);
+            }
+            _ => {}
+        }
+        for _ in 0..self.nshards() {
+            if !self.ensure_client(shard) {
+                let next = self.next_route_candidate(shard);
+                if next == shard {
+                    break;
+                }
+                shard = next;
+                continue;
+            }
+            if self.nb_pending[shard].is_some() && self.poll_pending(shard).is_none() {
+                return Err(NgmError::WouldBlock);
+            }
+            let client = self.clients[shard].as_mut().expect("client just ensured");
+            match client.nb_begin(MallocReq::One(AllocReq::from_layout(layout))) {
+                Ok(()) => {
+                    self.nb_pending[shard] = Some(NbPending::One {
+                        size: layout.size(),
+                        align: layout.align(),
+                    });
+                    self.shard_stats[shard].add_inflight(1);
+                    return self.try_take_one(shard);
+                }
+                Err((_, ServiceError::WouldBlock)) => return Err(NgmError::WouldBlock),
+                Err((_, ServiceError::ShardRetiring { .. })) => {
+                    self.rebalance_away_from(shard);
+                    let next = self.next_route_candidate(shard);
+                    if next == shard {
+                        break;
+                    }
+                    shard = next;
+                }
+                Err(_) => {
+                    let next = self.fail_over(shard);
+                    if next == shard {
+                        break;
+                    }
+                    shard = next;
+                }
+            }
+        }
+        self.fallback_alloc(layout, shard).map_err(NgmError::from)
+    }
+
+    /// Polls `shard`'s in-flight `One` submission for its address,
+    /// clearing the pending entry on completion.
+    fn try_take_one(&mut self, shard: usize) -> Result<NonNull<u8>, NgmError> {
+        let Some(client) = self.clients[shard].as_mut() else {
+            self.nb_pending[shard] = None;
+            return Err(NgmError::WouldBlock);
+        };
+        match client.nb_poll() {
+            Some(MallocResp::One(addr)) => {
+                self.nb_pending[shard] = None;
+                self.shard_stats[shard].add_inflight(-1);
+                NonNull::new(addr as *mut u8).ok_or(NgmError::Alloc(AllocError::OutOfMemory))
+            }
+            Some(MallocResp::Batch(_)) => unreachable!("One submission answered with a batch"),
+            None => Err(NgmError::WouldBlock),
+        }
+    }
+
+    /// Polls `shard`'s in-flight submission, folding a landed response
+    /// into handle state ([`NgmHandle::complete_nb`]). `Some(())` means
+    /// the slot is free again.
+    fn poll_pending(&mut self, shard: usize) -> Option<()> {
+        let pending = self.nb_pending[shard]?;
+        let Some(client) = self.clients[shard].as_mut() else {
+            // The client is gone (resync dropped it): the submission can
+            // never complete. Clear it so the route is usable again.
+            self.nb_pending[shard] = None;
+            self.shard_stats[shard].add_inflight(-1);
+            self.shard_stats[shard].record_post_dropped();
+            return None;
+        };
+        let resp = client.nb_poll()?;
+        self.nb_pending[shard] = None;
+        self.shard_stats[shard].add_inflight(-1);
+        self.complete_nb(shard, pending, resp);
+        Some(())
+    }
+
+    /// Routes a completed non-blocking response into handle state. A
+    /// batch tops up its class's magazine (or, if the class was refilled
+    /// from elsewhere meanwhile, diverts to the serving shard's orphan
+    /// stack so the ledger still balances without a blocking return
+    /// post). A `One` collected here has lost its consumer — the block
+    /// is immediately freed back along the normal address-routed path.
+    fn complete_nb(&mut self, shard: usize, pending: NbPending, resp: MallocResp) {
+        match (pending, resp) {
+            (NbPending::Batch { class }, MallocResp::Batch(batch)) => {
+                let ci = class.0 as usize;
+                if batch.is_empty() {
+                    return;
+                }
+                if self.magazines[ci].is_empty() {
+                    let got = batch.len();
+                    self.magazines[ci] = batch;
+                    self.mag_shard[ci] = shard as u16;
+                    self.stash_by_shard[shard] += got as i64;
+                    self.publish_occupancy(shard);
+                    if let Some(ring) = self.clients[shard]
+                        .as_ref()
+                        .and_then(ClientHandle::trace_ring)
+                    {
+                        ring.push(TraceEventKind::Refill, u64::from(class.0), got as u64);
+                    }
+                } else {
+                    for &addr in batch.as_slice() {
+                        if let Some(p) = NonNull::new(addr as *mut u8) {
+                            // SAFETY: fresh small-class blocks the service
+                            // just handed out; nothing else refers to them.
+                            unsafe { self.orphans[shard].push(p) };
+                        }
+                    }
+                }
+            }
+            (NbPending::One { size, align }, MallocResp::One(addr)) => {
+                let Some(ptr) = NonNull::new(addr as *mut u8) else {
+                    return; // the service reported failure; nothing to return
+                };
+                if let Ok(layout) = Layout::from_size_align(size, align) {
+                    // SAFETY: a live block the service just produced whose
+                    // consumer abandoned it; freeing it here is the only
+                    // reference.
+                    unsafe { self.dealloc(ptr, layout) };
+                }
+            }
+            _ => unreachable!("response kind does not match submission kind"),
+        }
+    }
+
+    /// Resolves `shard`'s in-flight submission before its client goes
+    /// away: retract if the service has not claimed it, otherwise spin
+    /// out the (imminent) response so no allocated block leaks. Only the
+    /// shard-death edge — service gone mid-serve — abandons the
+    /// submission, counted like a dropped post.
+    fn settle_nb(&mut self, shard: usize) {
+        if self.nb_pending[shard].is_none() {
+            return;
+        }
+        let Some(client) = self.clients[shard].as_mut() else {
+            self.nb_pending[shard] = None;
+            self.shard_stats[shard].add_inflight(-1);
+            self.shard_stats[shard].record_post_dropped();
+            return;
+        };
+        if client.nb_retract() {
+            self.nb_pending[shard] = None;
+            self.shard_stats[shard].add_inflight(-1);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.nb_pending[shard].is_some() {
+            if self.poll_pending(shard).is_some() {
+                return;
+            }
+            let open = self.clients[shard]
+                .as_ref()
+                .is_some_and(ClientHandle::is_open);
+            if !open || spins > 1_000_000 {
+                self.nb_pending[shard] = None;
+                self.shard_stats[shard].add_inflight(-1);
+                self.shard_stats[shard].record_post_dropped();
+                return;
+            }
+            spins += 1;
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Drives every in-flight non-blocking submission one poll forward,
+    /// folding landed responses into handle state. Returns how many
+    /// submissions completed. The pump a submission queue (or any manual
+    /// `try_alloc` retry loop) calls between wakes.
+    pub fn nb_pump(&mut self) -> usize {
+        self.maybe_resync();
+        let mut completed = 0;
+        for shard in 0..self.nshards() {
+            if self.nb_pending[shard].is_some() && self.poll_pending(shard).is_some() {
+                completed += 1;
+            }
+        }
+        completed
+    }
+
+    /// How many non-blocking submissions this handle currently has in
+    /// flight across all shards.
+    pub fn nb_inflight(&self) -> usize {
+        self.nb_pending.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// The configured in-flight ceiling for submission queues built over
+    /// this handle ([`NgmConfig::with_inflight_limit`]).
+    pub fn inflight_limit(&self) -> usize {
+        self.inflight_limit
+    }
+
+    /// Registers `waker` on every shard slot carrying an in-flight
+    /// submission, so the RESPONSE release edge of *any* of them wakes
+    /// the task. A response that already landed fires the waker from
+    /// this call (see [`ClientHandle::register_waker`]); spurious wakes
+    /// are possible and harmless under the `Future` contract.
+    pub fn register_waker(&self, waker: &std::task::Waker) {
+        for shard in 0..self.nshards() {
+            if self.nb_pending[shard].is_some() {
+                if let Some(client) = self.clients[shard].as_ref() {
+                    client.register_waker(waker);
+                }
+            }
+        }
+    }
+
+    /// Records the submission-queue depth observed at a pump boundary
+    /// into the tier's `ngm_submit_depth` histogram (slot 0's hub — the
+    /// resident floor always exists).
+    pub fn record_submit_depth(&self, depth: u64) {
+        self.shard_telemetry[0].submit_depth.record(depth);
+    }
+
+    /// Non-blocking [`NgmHandle::dealloc`]: accepts the free (buffered
+    /// or posted) or hands it back.
+    ///
+    /// `Ok(())` means the block is now the tier's responsibility —
+    /// buffered client-side awaiting a flush, in the owning shard's ring,
+    /// freed inline (fallback blocks), or diverted to the owning shard's
+    /// orphan stack (dead shard) — so accounting stays exact in every
+    /// accepted case. [`NgmError::WouldBlock`] means the owning shard's
+    /// ring is full *and* the client-side buffer cannot absorb the free:
+    /// the caller still owns `ptr` and must retry after pumping.
+    ///
+    /// # Safety
+    ///
+    /// As [`NgmHandle::dealloc`]; on `Err` the block is *not* freed and
+    /// the caller retains ownership.
+    pub unsafe fn try_dealloc(&mut self, ptr: NonNull<u8>, layout: Layout) -> Result<(), NgmError> {
+        self.maybe_resync();
+        if let Some(prof) = &self.sites {
+            prof.record_free(ptr.as_ptr() as usize);
+        }
+        let small = layout_to_class(layout.size(), layout.align()).is_some();
+        // SAFETY (owner read): small blocks from this tier are segment-
+        // backed, per this method's contract.
+        if small
+            && self.fallback.is_active()
+            && unsafe { ngm_heap::owner_of_small_ptr(ptr) } == FALLBACK_OWNER
+        {
+            // SAFETY: forwarded contract — a live fallback block the
+            // caller relinquished.
+            unsafe { self.fallback.deallocate(ptr) };
+            return Ok(());
+        }
+        let shard = if small {
+            self.shard_of_small(ptr)
+        } else {
+            self.shard_of_large(layout)
+        };
+        if self.flush_threshold > 1 && small {
+            if self.free_bufs[shard].len() >= MAX_BATCH {
+                // Buffer at capacity: it must drain into the ring before
+                // this free can be accepted.
+                self.try_flush_shard(shard)?;
+            }
+            self.free_bufs[shard].push(ptr.as_ptr() as usize);
+            if self.free_bufs[shard].len() >= self.flush_threshold as usize {
+                // Opportunistic flush; a full ring is not an error here —
+                // the free is already safely buffered.
+                let _ = self.try_flush_shard(shard);
+            }
+            if let Some(ring) = self.clients[shard]
+                .as_ref()
+                .and_then(ClientHandle::trace_ring)
+            {
+                ring.push(TraceEventKind::Free, layout.size() as u64, 0);
+            }
+            return Ok(());
+        }
+        let msg = FreeMsg {
+            addr: ptr.as_ptr() as usize,
+            size: layout.size(),
+            align: layout.align(),
+        };
+        self.try_post_routed(shard, FreePost::One(msg), 1)?;
+        if let Some(ring) = self.clients[shard]
+            .as_ref()
+            .and_then(ClientHandle::trace_ring)
+        {
+            ring.push(TraceEventKind::Free, layout.size() as u64, 0);
+        }
+        Ok(())
+    }
+
+    /// Non-blocking flush of one shard's buffered frees: a single ring
+    /// push attempt. On a full ring the batch goes straight back into
+    /// the buffer (nothing is lost) and the caller sees
+    /// [`NgmError::WouldBlock`].
+    fn try_flush_shard(&mut self, shard: usize) -> Result<(), NgmError> {
+        if self.free_bufs[shard].is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.free_bufs[shard]);
+        let weight = batch.len() as u32;
+        self.try_post_routed(shard, FreePost::Batch(batch), weight)
+    }
+
+    /// One non-blocking post to `shard`, with the same never-lose rules
+    /// as [`NgmHandle::post_routed`]: a dead shard diverts the frees to
+    /// its orphan stack; only a *full ring* hands the message back — a
+    /// batch returns to the client-side buffer, and the caller retries.
+    fn try_post_routed(
+        &mut self,
+        shard: usize,
+        msg: FreePost,
+        weight: u32,
+    ) -> Result<(), NgmError> {
+        if !self.ensure_client(shard) {
+            self.reroute_frees_to_orphans(shard, msg);
+            return Ok(());
+        }
+        let client = self.clients[shard].as_mut().expect("client just ensured");
+        match client.try_post_nonblocking(msg) {
+            Ok(_) => {
+                self.record_post_weight(shard, weight);
+                Ok(())
+            }
+            Err(PostError::Stopped) => {
+                let _ = self.fail_over(shard);
+                Ok(())
+            }
+            Err(PostError::WouldBlock { msg }) => {
+                self.pressure[shard] = self.pressure[shard].saturating_add(1);
+                if self.pressure[shard] >= Self::REBALANCE_PRESSURE {
+                    self.rebalance_away_from(shard);
+                }
+                match msg {
+                    FreePost::Batch(b) => {
+                        // Back into the buffer it came from; capacity is
+                        // guaranteed (the buffer was just drained).
+                        self.free_bufs[shard] = b;
+                    }
+                    FreePost::One(_) | FreePost::MagazineReturn(_) => {}
+                }
+                Err(NgmError::WouldBlock)
+            }
+            Err(PostError::Deadline { msg, .. }) => {
+                // A single-push attempt never runs a deadline; route the
+                // impossible edge like the blocking path so nothing leaks.
+                self.reroute_frees_to_orphans(shard, msg);
+                Ok(())
+            }
+        }
+    }
+
     fn publish_occupancy(&mut self, shard: usize) {
         let delta = self.stash_by_shard[shard] - self.published_occupancy[shard];
         if delta != 0 {
@@ -1959,6 +2511,13 @@ impl NgmHandle {
             }
             Err(PostError::Deadline { msg, .. }) => {
                 self.blackbox("post-deadline", shard);
+                self.reroute_frees_to_orphans(shard, msg);
+                self.rebalance_away_from(shard);
+            }
+            Err(PostError::WouldBlock { msg }) => {
+                // The deadline path never surfaces WouldBlock (it spins
+                // out its budget instead), but route it like a deadline
+                // so no free is ever leaked.
                 self.reroute_frees_to_orphans(shard, msg);
                 self.rebalance_away_from(shard);
             }
@@ -2206,6 +2765,12 @@ impl Drop for NgmHandle {
     /// a rebalance may have moved — so shutdown accounting stays exact
     /// per shard (`allocs == frees`) with batching on.
     fn drop(&mut self) {
+        // Settle in-flight non-blocking submissions first: a batch that
+        // lands after this point would have no magazine to live in, and
+        // its blocks would never be freed.
+        for shard in 0..self.nshards() {
+            self.settle_nb(shard);
+        }
         self.flush_frees();
         for ci in 0..NUM_CLASSES {
             if self.magazines[ci].is_empty() {
@@ -2420,6 +2985,130 @@ mod tests {
         assert_eq!(down.heap.live_blocks, 0);
     }
 
+    /// Spins a non-blocking alloc to completion the way a caller without
+    /// an executor would: retry on `WouldBlock`, pumping in between.
+    fn spin_try_alloc(h: &mut NgmHandle, l: Layout) -> NonNull<u8> {
+        loop {
+            match h.try_alloc(l) {
+                Ok(p) => return p,
+                Err(NgmError::WouldBlock) => {
+                    h.nb_pump();
+                    std::hint::spin_loop();
+                }
+                Err(e) => panic!("try_alloc failed: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_alloc_roundtrip_balances_at_shutdown() {
+        let ngm = batched(16, 8).build().unwrap();
+        let mut h = ngm.handle();
+        let mut blocks = Vec::new();
+        let mut saw_wouldblock = false;
+        for _ in 0..100 {
+            match h.try_alloc(layout(64)) {
+                Ok(p) => blocks.push(p),
+                Err(NgmError::WouldBlock) => {
+                    saw_wouldblock = true;
+                    blocks.push(spin_try_alloc(&mut h, layout(64)));
+                }
+                Err(e) => panic!("try_alloc failed: {e}"),
+            }
+        }
+        assert!(
+            saw_wouldblock,
+            "a dry magazine must surface at least one WouldBlock"
+        );
+        for p in blocks {
+            loop {
+                // SAFETY: block from this handle's tier; on Err the
+                // caller still owns it and retries.
+                match unsafe { h.try_dealloc(p, layout(64)) } {
+                    Ok(()) => break,
+                    Err(NgmError::WouldBlock) => std::hint::spin_loop(),
+                    Err(e) => panic!("try_dealloc failed: {e}"),
+                }
+            }
+        }
+        drop(h);
+        let down = ngm.shutdown();
+        assert_eq!(down.service.allocs, down.service.frees);
+        assert_eq!(down.heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn try_alloc_unbatched_and_large_layouts_complete() {
+        let ngm = batched(1, 1).build().unwrap();
+        let mut h = ngm.handle();
+        // Small one-shot (no magazine) and a large (non-class) layout
+        // both ride the One submission path.
+        for l in [layout(64), Layout::from_size_align(1 << 20, 64).unwrap()] {
+            let p = spin_try_alloc(&mut h, l);
+            loop {
+                // SAFETY: block from this handle's tier.
+                match unsafe { h.try_dealloc(p, l) } {
+                    Ok(()) => break,
+                    Err(NgmError::WouldBlock) => std::hint::spin_loop(),
+                    Err(e) => panic!("try_dealloc failed: {e}"),
+                }
+            }
+        }
+        drop(h);
+        let down = ngm.shutdown();
+        assert_eq!(down.service.allocs, down.service.frees);
+        assert_eq!(down.heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn try_alloc_zero_size_is_typed_not_wouldblock() {
+        let ngm = Ngm::start();
+        let mut h = ngm.handle();
+        assert_eq!(
+            h.try_alloc(Layout::from_size_align(0, 8).unwrap()),
+            Err(NgmError::Alloc(AllocError::ZeroSize))
+        );
+        drop(h);
+        ngm.shutdown();
+    }
+
+    #[test]
+    fn blocking_and_nonblocking_paths_share_one_ledger() {
+        // Interleave the two front-ends on one handle: blocks allocated
+        // blocking may be freed non-blocking and vice versa, and the
+        // per-shard ledger still balances.
+        let ngm = batched(8, 4).with_shards(2).build().unwrap();
+        let mut h = ngm.handle();
+        let mut blocks = Vec::new();
+        for i in 0..60 {
+            let p = if i % 2 == 0 {
+                h.alloc(layout(128)).unwrap()
+            } else {
+                spin_try_alloc(&mut h, layout(128))
+            };
+            blocks.push(p);
+        }
+        for (i, p) in blocks.into_iter().enumerate() {
+            if i % 3 == 0 {
+                // SAFETY: block from this handle's tier.
+                unsafe { h.dealloc(p, layout(128)) };
+            } else {
+                loop {
+                    // SAFETY: block from this handle's tier.
+                    match unsafe { h.try_dealloc(p, layout(128)) } {
+                        Ok(()) => break,
+                        Err(NgmError::WouldBlock) => std::hint::spin_loop(),
+                        Err(e) => panic!("try_dealloc failed: {e}"),
+                    }
+                }
+            }
+        }
+        drop(h);
+        let down = ngm.shutdown();
+        assert!(down.balanced(), "{down:?}");
+        assert_eq!(down.heap.live_blocks, 0);
+    }
+
     #[test]
     fn explicit_batch_size_one_degenerates_to_unbatched() {
         let ngm = batched(1, 1).build().unwrap();
@@ -2588,6 +3277,7 @@ mod tests {
         assert_eq!(stats.pinned_core, Some(0));
     }
 
+    #[cfg(feature = "legacy-api")]
     #[test]
     #[allow(deprecated)]
     fn deprecated_builder_shim_still_starts() {

@@ -10,6 +10,7 @@
 
 use std::time::Duration;
 
+use ngm_heap::AllocError;
 use ngm_offload::{ServiceError, WaitStrategy};
 
 use crate::service::MAX_BATCH;
@@ -239,6 +240,9 @@ pub enum NgmError {
     },
     /// `free_ring_capacity` was `0`.
     ZeroRingCapacity,
+    /// `inflight_limit` was `0`: a submission queue that can hold no
+    /// in-flight entries can never complete anything.
+    ZeroInflightLimit,
     /// The elastic policy was incoherent: the range must satisfy
     /// `1 <= min <= shards <= max <= MAX_SHARDS` and both `sustain` and
     /// `drain_patience` must be nonzero.
@@ -252,6 +256,39 @@ pub enum NgmError {
     },
     /// A shard's service thread could not be spawned.
     Spawn(ServiceError),
+    /// The operation could not make progress *right now* without
+    /// blocking: the magazine is dry and the request slot (or free ring)
+    /// is occupied. Purely transient — distinct from
+    /// [`ServiceError::Deadline`] (a shard failed to answer within its
+    /// budget) and [`ServiceError::ShardRetiring`] (a shard refuses new
+    /// work). Drain completions (or await the [`crate::AllocFuture`]) and
+    /// retry.
+    WouldBlock,
+    /// An offload-layer failure surfaced through the non-blocking API.
+    /// `ServiceError::WouldBlock` maps to [`NgmError::WouldBlock`]
+    /// instead, so callers match one transient variant.
+    Service(ServiceError),
+    /// A heap-layer failure surfaced through the non-blocking API.
+    /// `AllocError::WouldBlock` maps to [`NgmError::WouldBlock`] instead.
+    Alloc(AllocError),
+}
+
+impl From<ServiceError> for NgmError {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::WouldBlock => NgmError::WouldBlock,
+            other => NgmError::Service(other),
+        }
+    }
+}
+
+impl From<AllocError> for NgmError {
+    fn from(e: AllocError) -> Self {
+        match e {
+            AllocError::WouldBlock => NgmError::WouldBlock,
+            other => NgmError::Alloc(other),
+        }
+    }
 }
 
 impl std::fmt::Display for NgmError {
@@ -267,12 +304,19 @@ impl std::fmt::Display for NgmError {
                 write!(f, "flush threshold {requested} not in 1..={MAX_BATCH}")
             }
             NgmError::ZeroRingCapacity => write!(f, "free ring capacity must be nonzero"),
+            NgmError::ZeroInflightLimit => write!(f, "in-flight submission limit must be nonzero"),
             NgmError::InvalidElastic { min, max, shards } => write!(
                 f,
                 "elastic range min={min} max={max} (initial shards={shards}) must satisfy \
                  1 <= min <= shards <= max <= {MAX_SHARDS} with nonzero sustain and patience"
             ),
             NgmError::Spawn(e) => write!(f, "failed to start a service shard: {e}"),
+            NgmError::WouldBlock => write!(
+                f,
+                "allocation would block: magazine dry and submission in flight or ring full"
+            ),
+            NgmError::Service(e) => write!(f, "service tier error: {e}"),
+            NgmError::Alloc(e) => write!(f, "heap error: {e}"),
         }
     }
 }
@@ -280,7 +324,8 @@ impl std::fmt::Display for NgmError {
 impl std::error::Error for NgmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            NgmError::Spawn(e) => Some(e),
+            NgmError::Spawn(e) | NgmError::Service(e) => Some(e),
+            NgmError::Alloc(e) => Some(e),
             _ => None,
         }
     }
@@ -326,6 +371,12 @@ pub struct NgmConfig {
     /// post (`1..=`[`MAX_BATCH`]). `1` (the default) posts each free
     /// individually.
     pub flush_threshold: usize,
+    /// Most entries a per-handle [`crate::SubmissionQueue`] keeps in
+    /// flight at once (`>= 1`). Past the limit, `submit` refuses with
+    /// [`NgmError::WouldBlock`] until completions drain — the client-side
+    /// backpressure knob of the non-blocking front-end. Defaults to 256,
+    /// comfortably above one magazine refill per size class.
+    pub inflight_limit: usize,
     /// Enables PMU profiling (off by default): each service loop and one
     /// handle per client thread wrap their lifetimes in a
     /// [`ngm_pmu::PmuSession`], attributing cycles and cache/TLB misses
@@ -384,6 +435,7 @@ impl NgmConfig {
             trace_capacity: 0,
             batch_size: 1,
             flush_threshold: 1,
+            inflight_limit: 256,
             profile: false,
             site_sample: 0,
             deadline: Some(ngm_offload::DEFAULT_DEADLINE),
@@ -471,6 +523,13 @@ impl NgmConfig {
         self
     }
 
+    /// Sets the per-handle in-flight submission limit for the
+    /// non-blocking front-end (`>= 1`).
+    pub const fn with_inflight_limit(mut self, limit: usize) -> Self {
+        self.inflight_limit = limit;
+        self
+    }
+
     /// Enables or disables PMU profiling.
     pub const fn with_profile(mut self, on: bool) -> Self {
         self.profile = on;
@@ -525,6 +584,9 @@ impl NgmConfig {
         if self.free_ring_capacity == 0 {
             return Err(NgmError::ZeroRingCapacity);
         }
+        if self.inflight_limit == 0 {
+            return Err(NgmError::ZeroInflightLimit);
+        }
         if let Some(p) = self.elastic {
             if !p.is_valid() || self.shards < p.min || self.shards > p.max {
                 return Err(NgmError::InvalidElastic {
@@ -548,6 +610,7 @@ impl NgmConfig {
         if self.free_ring_capacity == 0 {
             self.free_ring_capacity = 4096;
         }
+        self.inflight_limit = clamp(self.inflight_limit, 1, usize::MAX);
         // A window needs a baseline and a head; HeatWindow clamps the
         // same way, this just keeps the config honest about it.
         self.heat_window = clamp(self.heat_window, 2, usize::MAX);
@@ -655,6 +718,17 @@ mod tests {
         assert_eq!(
             NgmConfig::new().with_free_ring_capacity(0).validate(),
             Err(NgmError::ZeroRingCapacity)
+        );
+        assert_eq!(
+            NgmConfig::new().with_inflight_limit(0).validate(),
+            Err(NgmError::ZeroInflightLimit)
+        );
+        assert_eq!(
+            NgmConfig::new()
+                .with_inflight_limit(0)
+                .sanitized()
+                .inflight_limit,
+            1
         );
         // Elastic range checks: min must be nonzero, the range ordered
         // and within MAX_SHARDS, and the initial count inside it.

@@ -31,6 +31,7 @@ pub mod bootstrap;
 pub mod config;
 pub mod global;
 pub mod heat;
+pub mod nonblocking;
 pub mod observer;
 pub mod orphan;
 pub mod service;
@@ -43,6 +44,7 @@ pub use config::{
 };
 pub use global::NgmAllocator;
 pub use heat::{pick_coolest, HeatReport, ShardHeat, ShardLifecycle};
+pub use nonblocking::{AllocFuture, ReadyFuture, SubmissionQueue};
 pub use observer::{derive_readiness, Observer, Readiness};
 pub use service::{
     AddrBatch, AllocBatchReq, AllocReq, FreeMsg, FreePost, MallocReq, MallocResp, MallocService,
@@ -50,5 +52,6 @@ pub use service::{
 };
 pub use watch::{SharedDemand, SharedHeapStats};
 
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use api::{NextGenMalloc, NgmBuilder};

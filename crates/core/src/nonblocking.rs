@@ -1,0 +1,757 @@
+//! The completion-based front-end: a per-thread [`SubmissionQueue`]
+//! batching many in-flight allocations over one [`NgmHandle`], and
+//! [`AllocFuture`] — a std `Future` any runtime can drive.
+//!
+//! The design is io_uring-shaped. Callers *submit* allocation tickets
+//! (bounded by [`crate::NgmConfig::with_inflight_limit`]) and *complete*
+//! them later. Submission itself attempts the allocation: a magazine
+//! hit completes the ticket on the spot, so only genuinely-blocked
+//! requests (class magazine dry, refill in flight) park. Parked tickets
+//! wait in per-size-class queues and complete *out of order* across
+//! classes — a refill landing for one class never holds up tickets
+//! whose class has stock — while staying FIFO within a class so no
+//! connection starves.
+//!
+//! [`SubmissionQueue::pump`] drives the handle's non-blocking
+//! primitives — magazine pops, submitted-but-unawaited
+//! [`crate::AllocBatchReq`] refills, single-push free posts — and never
+//! blocks on a service thread. Waiting, when a caller wants it, happens
+//! through the `Future` machinery: `AllocFuture::poll` stores its waker
+//! *in the request slot* ([`ngm_offload::RequestSlot::register_waker`]),
+//! and the service's existing RESPONSE release edge fires it. One woken
+//! task's next poll pumps the whole queue, completing every satisfiable
+//! ticket and waking its task, so a single slot waker fans out to
+//! thousands of in-flight allocations per thread. Backpressure at the
+//! in-flight ceiling is typed ([`NgmError::WouldBlock`]) for manual
+//! drivers, or awaitable through [`SubmissionQueue::ready`] so tasks
+//! park instead of spin.
+//!
+//! The queue is deliberately `!Send` (`Rc<RefCell<…>>`): like the handle
+//! it wraps, it is a per-thread object, which is what keeps the fast
+//! path free of atomics. Cross-thread wakes still work — `Waker` is
+//! `Send`, and the service thread fires it without touching queue state.
+
+use std::alloc::Layout;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::ptr::NonNull;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::api::NgmHandle;
+use crate::config::NgmError;
+
+/// Where one submitted allocation stands.
+#[derive(Debug)]
+enum Ticket {
+    /// Submitted, no block yet; the waker is the last task that polled
+    /// this ticket's future (woken when the ticket completes).
+    Pending {
+        /// The requested layout.
+        layout: Layout,
+        /// Waker of the last poller, if the future has been polled.
+        waker: Option<Waker>,
+    },
+    /// Completed; the result waits for the future to collect it. The
+    /// layout rides along so a cancelled-after-completion ticket can
+    /// free its block without the (gone) future's help.
+    Ready {
+        /// The allocation outcome.
+        result: Result<NonNull<u8>, NgmError>,
+        /// The layout the block was allocated with.
+        layout: Layout,
+    },
+    /// Collected (or never submitted); the ticket id is free for reuse.
+    /// A collected future marks itself (`AllocFuture::collected`) and
+    /// never touches the table again, so the id recycles immediately.
+    Vacant,
+}
+
+/// Shared state behind a [`SubmissionQueue`] and its futures.
+struct SqInner {
+    handle: NgmHandle,
+    /// Ticket table, indexed by the id carried in [`AllocFuture`].
+    tickets: Vec<Ticket>,
+    /// Vacant ticket ids, reused before the table grows.
+    free_ids: Vec<usize>,
+    /// Parked ticket ids by `(size, align)`, each queue in submission
+    /// order: completion is FIFO within a class, out of order across
+    /// classes.
+    pending: BTreeMap<(usize, usize), VecDeque<usize>>,
+    /// Uncollected tickets (`Pending` + `Ready`): the resource count the
+    /// in-flight ceiling bounds.
+    active: usize,
+    /// Frees the ring refused; retried every pump, flushed at drop.
+    deferred_frees: VecDeque<(usize, Layout)>,
+    /// The last class scan completed nothing and no new submissions
+    /// arrived since: until a response lands (`nb_pump` collects
+    /// something), rescanning cannot complete anything either, so pump
+    /// skips it. Keeps the parked-task poll path at a few atomic loads.
+    scan_idle: bool,
+    /// Submissions since the last depth-histogram sample.
+    depth_tick: u32,
+    /// Tasks parked on [`SubmissionQueue::ready`], woken one per freed
+    /// capacity unit.
+    capacity_waiters: VecDeque<Waker>,
+    /// Ceiling on [`SqInner::in_flight`].
+    limit: usize,
+}
+
+impl SqInner {
+    /// Drives everything drivable without blocking: collects landed
+    /// refill/alloc responses, satisfies parked tickets (FIFO per
+    /// class), retries deferred frees, and wakes every task whose
+    /// ticket completed. Returns how many tickets completed.
+    fn pump(&mut self) -> usize {
+        let landed = self.handle.nb_pump();
+        if landed == 0 && self.scan_idle {
+            // Nothing arrived since the last fruitless scan: the class
+            // queues cannot progress. (The slot waker stays armed — it
+            // is only consumed when a response is served, which the next
+            // nb_pump observes as `landed > 0`.)
+            self.retry_deferred_frees();
+            return 0;
+        }
+        let mut completed = 0;
+        for queue in self.pending.values_mut() {
+            while let Some(&id) = queue.front() {
+                let Ticket::Pending { layout, .. } = &self.tickets[id] else {
+                    // Cancelled (future dropped): discard the queue
+                    // entry. The id becomes reusable only now — while it
+                    // sat in the queue, reuse would have double-enqueued
+                    // it.
+                    queue.pop_front();
+                    self.free_ids.push(id);
+                    continue;
+                };
+                let layout = *layout;
+                match self.handle.try_alloc(layout) {
+                    // This class cannot progress (refill in flight);
+                    // move on — other classes may have stock.
+                    Err(NgmError::WouldBlock) => break,
+                    result => {
+                        queue.pop_front();
+                        let prev = std::mem::replace(
+                            &mut self.tickets[id],
+                            Ticket::Ready { result, layout },
+                        );
+                        completed += 1;
+                        if let Ticket::Pending { waker: Some(w), .. } = prev {
+                            w.wake();
+                        }
+                    }
+                }
+            }
+        }
+        self.pending.retain(|_, q| !q.is_empty());
+        // Classes that stayed blocked may have had *fresh* refills
+        // submitted just now (the serve edge consumed any previously
+        // registered waker), and the tasks interested in them are
+        // parked. Re-arm the slot edge with a parked ticket's waker so
+        // the next response wakes someone whose poll pumps for everyone.
+        if let Some(w) = self
+            .pending
+            .values()
+            .flat_map(|q| q.iter())
+            .find_map(|&id| match &self.tickets[id] {
+                Ticket::Pending { waker: Some(w), .. } => Some(w.clone()),
+                _ => None,
+            })
+        {
+            self.handle.register_waker(&w);
+        }
+        self.scan_idle = completed == 0;
+        self.retry_deferred_frees();
+        completed
+    }
+
+    /// Frees the ring refused earlier: one push attempt each, back of
+    /// the line on refusal. Each drained free releases capacity.
+    fn retry_deferred_frees(&mut self) {
+        for _ in 0..self.deferred_frees.len() {
+            let Some((addr, layout)) = self.deferred_frees.pop_front() else {
+                break;
+            };
+            let ptr = NonNull::new(addr as *mut u8).expect("deferred free of null");
+            // SAFETY: ownership was transferred to the queue when
+            // `SubmissionQueue::free` accepted the block.
+            match unsafe { self.handle.try_dealloc(ptr, layout) } {
+                Ok(()) => self.release_capacity(),
+                Err(_) => {
+                    self.deferred_frees.push_back((addr, layout));
+                    break; // the ring is full; later entries would bounce too
+                }
+            }
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.active + self.deferred_frees.len()
+    }
+
+    /// One unit of in-flight room came free: unpark one waiter.
+    fn release_capacity(&mut self) {
+        if let Some(w) = self.capacity_waiters.pop_front() {
+            w.wake();
+        }
+    }
+
+    fn take_id(&mut self) -> usize {
+        match self.free_ids.pop() {
+            Some(id) => id,
+            None => {
+                self.tickets.push(Ticket::Vacant);
+                self.tickets.len() - 1
+            }
+        }
+    }
+}
+
+/// A per-thread submission/completion queue over an [`NgmHandle`].
+///
+/// Built with [`SubmissionQueue::new`]; cheap to clone (futures hold a
+/// clone). See the [module docs](self) for the completion model.
+pub struct SubmissionQueue {
+    inner: Rc<RefCell<SqInner>>,
+}
+
+impl Clone for SubmissionQueue {
+    fn clone(&self) -> Self {
+        SubmissionQueue {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl SubmissionQueue {
+    /// Wraps `handle` in a submission queue. The in-flight ceiling is
+    /// the tier's [`crate::NgmConfig::with_inflight_limit`].
+    pub fn new(handle: NgmHandle) -> Self {
+        let limit = handle.inflight_limit();
+        SubmissionQueue {
+            inner: Rc::new(RefCell::new(SqInner {
+                handle,
+                tickets: Vec::new(),
+                free_ids: Vec::new(),
+                pending: BTreeMap::new(),
+                active: 0,
+                deferred_frees: VecDeque::new(),
+                scan_idle: false,
+                depth_tick: 0,
+                capacity_waiters: VecDeque::new(),
+                limit,
+            })),
+        }
+    }
+
+    /// Submits one allocation and returns the future that completes it.
+    ///
+    /// The submission *attempts* the allocation: on a magazine hit the
+    /// ticket is born completed and the future resolves on its first
+    /// poll; otherwise the refill rides out-of-band and the ticket
+    /// parks in its class queue.
+    ///
+    /// # Errors
+    ///
+    /// [`NgmError::WouldBlock`] when the queue is at its in-flight
+    /// ceiling — complete something (await a future, [`pump`], or park
+    /// on [`ready`]) and resubmit. Other errors are the handle's own
+    /// (zero-size layouts, exhaustion) and consume no capacity.
+    ///
+    /// [`pump`]: SubmissionQueue::pump
+    /// [`ready`]: SubmissionQueue::ready
+    pub fn alloc(&self, layout: Layout) -> Result<AllocFuture, NgmError> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.in_flight() >= inner.limit {
+            // One pump before refusing: completions may free room.
+            inner.pump();
+            if inner.in_flight() >= inner.limit {
+                return Err(NgmError::WouldBlock);
+            }
+        }
+        inner.depth_tick = inner.depth_tick.wrapping_add(1);
+        if inner.depth_tick.is_multiple_of(32) {
+            inner.handle.record_submit_depth(inner.active as u64);
+        }
+        let ticket = match inner.handle.try_alloc(layout) {
+            Ok(p) => Some(Ok(p)),
+            Err(NgmError::WouldBlock) => None,
+            Err(e) => return Err(e),
+        };
+        // This try may have absorbed a landed response for another class
+        // (the handle polls opportunistically), so a previously fruitless
+        // scan may find work now.
+        inner.scan_idle = false;
+        let id = inner.take_id();
+        match ticket {
+            Some(result) => inner.tickets[id] = Ticket::Ready { result, layout },
+            None => {
+                inner.tickets[id] = Ticket::Pending {
+                    layout,
+                    waker: None,
+                };
+                inner
+                    .pending
+                    .entry((layout.size(), layout.align()))
+                    .or_default()
+                    .push_back(id);
+            }
+        }
+        inner.active += 1;
+        drop(inner);
+        Ok(AllocFuture {
+            sq: self.clone(),
+            id,
+            collected: false,
+        })
+    }
+
+    /// Hands a block back. Never blocks: a refused ring push parks the
+    /// free in the queue (retried every pump, flushed at drop), so
+    /// ownership always transfers — unlike [`NgmHandle::try_dealloc`],
+    /// this cannot fail with `WouldBlock` unless the queue itself is at
+    /// its ceiling.
+    ///
+    /// # Errors
+    ///
+    /// [`NgmError::WouldBlock`] when the queue is at its in-flight
+    /// ceiling; the caller still owns `ptr`.
+    ///
+    /// # Safety
+    ///
+    /// As [`NgmHandle::dealloc`]; on `Ok` the block must not be used
+    /// again (even though the underlying free may still be in flight).
+    pub unsafe fn free(&self, ptr: NonNull<u8>, layout: Layout) -> Result<(), NgmError> {
+        let mut inner = self.inner.borrow_mut();
+        // SAFETY: forwarded contract.
+        match unsafe { inner.handle.try_dealloc(ptr, layout) } {
+            Ok(()) => Ok(()),
+            Err(NgmError::WouldBlock) => {
+                if inner.in_flight() >= inner.limit {
+                    return Err(NgmError::WouldBlock);
+                }
+                inner
+                    .deferred_frees
+                    .push_back((ptr.as_ptr() as usize, layout));
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// A future that resolves when the queue is below its in-flight
+    /// ceiling — the awaitable form of the [`alloc`]/[`free`]
+    /// `WouldBlock`, so tasks park instead of spinning on resubmission.
+    ///
+    /// Readiness is advisory: on a single-threaded executor the caller
+    /// can submit immediately after awaiting; with interleaving, the
+    /// next submission may still bounce and should re-await.
+    ///
+    /// [`alloc`]: SubmissionQueue::alloc
+    /// [`free`]: SubmissionQueue::free
+    pub fn ready(&self) -> ReadyFuture {
+        ReadyFuture { sq: self.clone() }
+    }
+
+    /// Drives all in-flight work one step without blocking; returns how
+    /// many tickets completed. Useful outside an async runtime (retry
+    /// loops around [`NgmHandle::try_alloc`]-style code) — futures pump
+    /// implicitly on poll.
+    pub fn pump(&self) -> usize {
+        self.inner.borrow_mut().pump()
+    }
+
+    /// Tickets submitted and not yet collected, plus frees parked for
+    /// retry.
+    pub fn in_flight(&self) -> usize {
+        self.inner.borrow().in_flight()
+    }
+
+    /// Runs `f` against the wrapped handle (stats, routing inspection).
+    pub fn with_handle<T>(&self, f: impl FnOnce(&mut NgmHandle) -> T) -> T {
+        f(&mut self.inner.borrow_mut().handle)
+    }
+}
+
+impl Drop for SqInner {
+    /// Blocks briefly if needed to hand every parked free back to the
+    /// tier (`flush` semantics at the end of the queue's life), so
+    /// `allocs == frees` holds at shutdown. Outstanding *tickets* need
+    /// no work here: their futures never allocated anything.
+    fn drop(&mut self) {
+        while let Some((addr, layout)) = self.deferred_frees.pop_front() {
+            if let Some(ptr) = NonNull::new(addr as *mut u8) {
+                // SAFETY: the queue owns these blocks (see `free`); the
+                // blocking path always accepts.
+                unsafe { self.handle.dealloc(ptr, layout) };
+            }
+        }
+    }
+}
+
+/// One in-flight allocation: completes with the block (or a typed
+/// error) when the service's response lands.
+///
+/// Dropping the future before completion cancels the ticket; a block
+/// that nonetheless arrives for it is freed back by the queue, so
+/// cancellation never leaks.
+pub struct AllocFuture {
+    sq: SubmissionQueue,
+    id: usize,
+    /// Result already handed out: `Drop` has nothing to do — not even a
+    /// `RefCell` borrow — and the id has been recycled.
+    collected: bool,
+}
+
+impl Future for AllocFuture {
+    type Output = Result<NonNull<u8>, NgmError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut inner = this.sq.inner.borrow_mut();
+        if matches!(inner.tickets[this.id], Ticket::Pending { .. }) {
+            inner.pump();
+        }
+        match &mut inner.tickets[this.id] {
+            Ticket::Ready { .. } => {
+                let Ticket::Ready { result, .. } =
+                    std::mem::replace(&mut inner.tickets[this.id], Ticket::Vacant)
+                else {
+                    unreachable!()
+                };
+                // A `Ready` ticket sits in no class queue (completed
+                // tickets are popped when they complete), so the id is
+                // safe to reuse right away.
+                inner.free_ids.push(this.id);
+                inner.active -= 1;
+                inner.release_capacity();
+                this.collected = true;
+                Poll::Ready(result)
+            }
+            Ticket::Pending { waker, .. } => {
+                // Remember this task (pump wakes it on completion), and
+                // arm the slot edge: the service's RESPONSE release fires
+                // this waker, whose poll pumps the queue for everyone.
+                match waker {
+                    Some(w) if w.will_wake(cx.waker()) => {}
+                    w => *w = Some(cx.waker().clone()),
+                }
+                inner.handle.register_waker(cx.waker());
+                Poll::Pending
+            }
+            Ticket::Vacant => {
+                unreachable!("future polled after completion")
+            }
+        }
+    }
+}
+
+impl Drop for AllocFuture {
+    fn drop(&mut self) {
+        if self.collected {
+            return; // result handed out, id recycled — nothing to undo
+        }
+        let Ok(mut inner) = self.sq.inner.try_borrow_mut() else {
+            return; // queue itself is being dropped; tickets die with it
+        };
+        match std::mem::replace(&mut inner.tickets[self.id], Ticket::Vacant) {
+            Ticket::Ready {
+                result: Ok(ptr),
+                layout,
+            } => {
+                // Completed but never collected: free the block back so
+                // cancellation never leaks. The blocking dealloc always
+                // accepts. This id never entered (or already left) the
+                // pending queues.
+                // SAFETY: the block was allocated with `layout` by the
+                // wrapped handle's tier and nothing else holds it.
+                unsafe { inner.handle.dealloc(ptr, layout) };
+                inner.free_ids.push(self.id);
+                inner.active -= 1;
+                inner.release_capacity();
+            }
+            Ticket::Ready { .. } => {
+                inner.free_ids.push(self.id);
+                inner.active -= 1;
+                inner.release_capacity();
+            }
+            Ticket::Pending { .. } => {
+                // Still parked: the pump discards the class-queue entry
+                // when it reaches it and recycles the id there — pushing
+                // it to `free_ids` now would let a new ticket alias the
+                // stale queue entry. The capacity is released here.
+                inner.active -= 1;
+                inner.release_capacity();
+            }
+            Ticket::Vacant => {}
+        }
+    }
+}
+
+/// Future returned by [`SubmissionQueue::ready`]: resolves when the
+/// queue has in-flight room.
+pub struct ReadyFuture {
+    sq: SubmissionQueue,
+}
+
+impl Future for ReadyFuture {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.sq.inner.borrow_mut();
+        if inner.in_flight() < inner.limit {
+            return Poll::Ready(());
+        }
+        // Full: one pump may collect room (deferred frees drain).
+        inner.pump();
+        if inner.in_flight() < inner.limit {
+            return Poll::Ready(());
+        }
+        inner.capacity_waiters.push_back(cx.waker().clone());
+        if inner.active == 0 {
+            // Every in-flight unit is a deferred free: no ticket will
+            // complete or be collected to unpark us, and the ring drains
+            // on the service's schedule with no client-visible edge —
+            // yield and re-poll.
+            cx.waker().wake_by_ref();
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NgmConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::task::Wake;
+
+    fn layout(n: usize) -> Layout {
+        Layout::from_size_align(n, 8).unwrap()
+    }
+
+    struct Flag(AtomicUsize);
+    impl Wake for Flag {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Minimal single-future executor: poll, and between polls spin on
+    /// the wake counter (the slot waker fires from the service thread).
+    fn block_on<F: Future>(mut fut: F) -> F::Output {
+        let flag = Arc::new(Flag(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&flag));
+        let mut cx = Context::from_waker(&waker);
+        // SAFETY: `fut` is stack-pinned for the whole call and never
+        // moved after this point.
+        let mut fut = unsafe { Pin::new_unchecked(&mut fut) };
+        loop {
+            let seen = flag.0.load(Ordering::SeqCst);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => {
+                    while flag.0.load(Ordering::SeqCst) == seen {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn future_completes_and_ledger_balances() {
+        let ngm = NgmConfig::new().with_batch(8, 4).build().unwrap();
+        let sq = SubmissionQueue::new(ngm.handle());
+        let mut blocks = Vec::new();
+        for _ in 0..50 {
+            let ptr = block_on(sq.alloc(layout(64)).unwrap()).unwrap();
+            // SAFETY: fresh 64-byte block.
+            unsafe { std::ptr::write_bytes(ptr.as_ptr(), 0x6B, 64) };
+            blocks.push(ptr);
+        }
+        for ptr in blocks {
+            // SAFETY: blocks from this queue's tier, relinquished here.
+            unsafe { sq.free(ptr, layout(64)).unwrap() };
+        }
+        drop(sq);
+        let down = ngm.shutdown();
+        assert_eq!(down.service.allocs, down.service.frees);
+        assert_eq!(down.heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn many_inflight_futures_complete_out_of_order_polls() {
+        let ngm = NgmConfig::new()
+            .with_batch(8, 4)
+            .with_inflight_limit(512)
+            .build()
+            .unwrap();
+        let sq = SubmissionQueue::new(ngm.handle());
+        let futures: Vec<AllocFuture> = (0..200).map(|_| sq.alloc(layout(32)).unwrap()).collect();
+        assert_eq!(sq.in_flight(), 200);
+        // Drive them newest-first: completion is FIFO within the class,
+        // so every future must resolve regardless of poll order.
+        for fut in futures.into_iter().rev() {
+            let ptr = block_on(fut).unwrap();
+            // SAFETY: block from this queue's tier.
+            unsafe { sq.free(ptr, layout(32)).unwrap() };
+        }
+        assert_eq!(sq.with_handle(|h| h.nb_inflight()), 0);
+        drop(sq);
+        let down = ngm.shutdown();
+        assert_eq!(down.service.allocs, down.service.frees);
+        assert_eq!(down.heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn classes_complete_out_of_order_across_a_blocked_one() {
+        let ngm = NgmConfig::new()
+            .with_batch(8, 4)
+            .with_inflight_limit(512)
+            .build()
+            .unwrap();
+        let sq = SubmissionQueue::new(ngm.handle());
+        // Warm class 64 so its allocations complete from the magazine
+        // even while class 32's first refill is still in flight.
+        let warm = block_on(sq.alloc(layout(64)).unwrap()).unwrap();
+        // SAFETY: block from this queue's tier.
+        unsafe { sq.free(warm, layout(64)).unwrap() };
+        let cold = sq.alloc(layout(32)).unwrap();
+        let hot = sq.alloc(layout(64)).unwrap();
+        // The warm-class future must resolve regardless of the cold
+        // class parked ahead of it in submission order.
+        let p64 = block_on(hot).unwrap();
+        let p32 = block_on(cold).unwrap();
+        // SAFETY: blocks from this queue's tier.
+        unsafe {
+            sq.free(p64, layout(64)).unwrap();
+            sq.free(p32, layout(32)).unwrap();
+        }
+        drop(sq);
+        let down = ngm.shutdown();
+        assert_eq!(down.service.allocs, down.service.frees);
+        assert_eq!(down.heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn inflight_limit_backpressures_with_typed_wouldblock() {
+        let ngm = NgmConfig::new()
+            .with_batch(8, 4)
+            .with_inflight_limit(4)
+            .build()
+            .unwrap();
+        let sq = SubmissionQueue::new(ngm.handle());
+        let mut held = Vec::new();
+        let mut bounced = false;
+        // Uncollected tickets pin capacity whether or not they complete,
+        // so submitting without ever polling must bounce at the ceiling.
+        for _ in 0..64 {
+            match sq.alloc(layout(16)) {
+                Ok(f) => held.push(f),
+                Err(NgmError::WouldBlock) => {
+                    bounced = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(bounced, "ceiling of 4 must refuse the fifth submission");
+        assert!(held.len() <= 4);
+        for fut in held {
+            let ptr = block_on(fut).unwrap();
+            // SAFETY: block from this queue's tier.
+            unsafe { sq.free(ptr, layout(16)).unwrap() };
+        }
+        drop(sq);
+        let down = ngm.shutdown();
+        assert_eq!(down.service.allocs, down.service.frees);
+    }
+
+    #[test]
+    fn ready_future_resolves_once_capacity_frees() {
+        let ngm = NgmConfig::new()
+            .with_batch(8, 4)
+            .with_inflight_limit(2)
+            .build()
+            .unwrap();
+        let sq = SubmissionQueue::new(ngm.handle());
+        let a = sq.alloc(layout(16)).unwrap();
+        let b = sq.alloc(layout(16)).unwrap();
+        assert!(matches!(sq.alloc(layout(16)), Err(NgmError::WouldBlock)));
+        // At the ceiling: ready() must park (not spin-resolve)…
+        let (pa, pb) = {
+            let flag = Arc::new(Flag(AtomicUsize::new(0)));
+            let waker = Waker::from(Arc::clone(&flag));
+            let mut cx = Context::from_waker(&waker);
+            let mut ready = sq.ready();
+            // SAFETY: stack-pinned for the whole block.
+            let mut ready = unsafe { Pin::new_unchecked(&mut ready) };
+            assert!(ready.as_mut().poll(&mut cx).is_pending());
+            // …and resolve after a future collects (capacity released).
+            let pa = block_on(a).unwrap();
+            assert!(flag.0.load(Ordering::SeqCst) > 0, "waiter woken");
+            assert!(ready.as_mut().poll(&mut cx).is_ready());
+            (pa, block_on(b).unwrap())
+        };
+        // SAFETY: blocks from this queue's tier.
+        unsafe {
+            sq.free(pa, layout(16)).unwrap();
+            sq.free(pb, layout(16)).unwrap();
+        }
+        drop(sq);
+        let down = ngm.shutdown();
+        assert_eq!(down.service.allocs, down.service.frees);
+    }
+
+    #[test]
+    fn cancelled_future_never_leaks() {
+        let ngm = NgmConfig::new().with_batch(8, 4).build().unwrap();
+        let sq = SubmissionQueue::new(ngm.handle());
+        // Cancel an unpolled cold-class submission: whether it parked
+        // (discarded at the next pump) or completed at submit (block
+        // freed back in Drop), nothing may leak.
+        drop(sq.alloc(layout(64)).unwrap());
+        // Cancel a certainly-completed ticket: warm the class so the
+        // submission completes on the spot, then drop the future.
+        let warm = block_on(sq.alloc(layout(64)).unwrap()).unwrap();
+        // SAFETY: block from this queue's tier.
+        unsafe { sq.free(warm, layout(64)).unwrap() };
+        drop(sq.alloc(layout(64)).unwrap());
+        sq.pump();
+        drop(sq);
+        let down = ngm.shutdown();
+        assert_eq!(down.service.allocs, down.service.frees);
+        assert_eq!(down.heap.live_blocks, 0);
+    }
+
+    #[test]
+    fn wouldblock_total_and_submit_depth_are_exported() {
+        let ngm = NgmConfig::new()
+            .with_batch(4, 2)
+            .with_profile(true)
+            .build()
+            .unwrap();
+        let sq = SubmissionQueue::new(ngm.handle());
+        let mut held = Vec::new();
+        for _ in 0..32 {
+            if let Ok(f) = sq.alloc(layout(48)) {
+                held.push(f);
+            }
+        }
+        for fut in held {
+            let ptr = block_on(fut).unwrap();
+            // SAFETY: block from this queue's tier.
+            unsafe { sq.free(ptr, layout(48)).unwrap() };
+        }
+        drop(sq);
+        let text = ngm.metrics().to_prometheus_text();
+        assert!(text.contains("ngm_inflight"), "{text}");
+        assert!(text.contains("ngm_wouldblock_total"), "{text}");
+        assert!(text.contains("ngm_submit_depth"), "{text}");
+        ngm.shutdown();
+    }
+}

@@ -42,6 +42,13 @@ pub enum ServiceError {
         /// The retiring shard.
         shard: usize,
     },
+    /// The operation could not make progress *right now* without
+    /// blocking: the request slot still carries an in-flight submission,
+    /// or the post ring is full. Purely transient — distinct from
+    /// [`ServiceError::Deadline`] (the shard failed to answer in time)
+    /// and [`ServiceError::ShardRetiring`] (the shard refuses new work).
+    /// Callers complete in-flight work (or wait for a waker) and retry.
+    WouldBlock,
 }
 
 impl fmt::Display for ServiceError {
@@ -57,6 +64,12 @@ impl fmt::Display for ServiceError {
             ),
             ServiceError::ShardRetiring { shard } => {
                 write!(f, "shard {shard} is draining toward retirement")
+            }
+            ServiceError::WouldBlock => {
+                write!(
+                    f,
+                    "operation would block: submission in flight or ring full"
+                )
             }
         }
     }
@@ -80,6 +93,7 @@ mod tests {
                 waited: Duration::from_millis(250),
             },
             ServiceError::ShardRetiring { shard: 3 },
+            ServiceError::WouldBlock,
         ];
         let mut seen = std::collections::HashSet::new();
         for e in all {

@@ -49,5 +49,6 @@ pub use stats::{RuntimeStats, StatsSnapshot};
 pub use telemetry::{RuntimeTelemetry, PHASES, PHASE_NAMES};
 pub use wait::{WaitPhase, WaitState, WaitStrategy};
 
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use service::RuntimeBuilder;

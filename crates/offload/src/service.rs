@@ -96,6 +96,14 @@ pub struct ClientHandle<S: Service> {
     /// publish sequence to mint from).
     post_seq: u64,
     pmu: ClientPmu,
+    /// Submission timestamp of the in-flight non-blocking call, if any
+    /// (one slot ⇒ at most one). Completion telemetry (histograms, span
+    /// events) is emitted when the response is collected or the call is
+    /// retracted.
+    nb_t0: Option<u64>,
+    /// Whether the in-flight non-blocking call is a batched refill
+    /// (routes its latency to the refill histogram).
+    nb_batched: bool,
 }
 
 /// Why a deadline-aware post could not be enqueued. Unlike
@@ -114,6 +122,15 @@ pub enum PostError<T> {
         shard: usize,
         /// How long the caller waited before giving up.
         waited: Duration,
+        /// The message that could not be enqueued.
+        msg: T,
+    },
+    /// Non-blocking post: the ring is full *right now* and the caller
+    /// asked not to wait at all. The message comes back for the caller to
+    /// buffer and retry after completing in-flight work — transient,
+    /// unlike [`PostError::Deadline`], which means the ring stayed full
+    /// for a whole deadline budget.
+    WouldBlock {
         /// The message that could not be enqueued.
         msg: T,
     },
@@ -368,6 +385,13 @@ impl<S: Service> ClientHandle<S> {
                 self.stats.record_post_dropped();
                 Err(ServiceError::Deadline { shard, waited })
             }
+            // try_post_deadline never refuses without waiting, but the
+            // hierarchy maps cleanly anyway.
+            Err(PostError::WouldBlock { msg }) => {
+                drop(msg);
+                self.stats.record_post_dropped();
+                Err(ServiceError::WouldBlock)
+            }
         }
     }
 
@@ -421,6 +445,142 @@ impl<S: Service> ClientHandle<S> {
         Ok(PostOutcome {
             full_retries: retries,
         })
+    }
+
+    /// Posts an asynchronous message without waiting at all: one push
+    /// attempt. A full ring hands the message straight back as
+    /// [`PostError::WouldBlock`] (counted in
+    /// [`RuntimeStats::wouldblocks`]) so the caller can buffer it and
+    /// retry after draining completions — the submission-queue front-end's
+    /// free path. Success telemetry matches [`ClientHandle::try_post`].
+    pub fn try_post_nonblocking(
+        &mut self,
+        msg: S::Post,
+    ) -> Result<PostOutcome, PostError<S::Post>> {
+        self.pmu.arm();
+        let t0 = cycles_now();
+        match self.posts.push(msg) {
+            Ok(()) => {}
+            Err(PushError::Full(m)) => {
+                self.stats.post_full_retries.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_wouldblock();
+                return Err(PostError::WouldBlock { msg: m });
+            }
+            Err(PushError::Disconnected(_)) => {
+                self.stats.record_post_dropped();
+                self.stats.mark_service_down();
+                return Err(PostError::Stopped);
+            }
+        }
+        let t1 = cycles_now();
+        self.telemetry.post_cycles.record(t1.saturating_sub(t0));
+        if let Some(ring) = &self.trace {
+            ring.push(TraceEventKind::Post, self.posts.len() as u64, 0);
+            let id = post_span_id(ring.thread(), self.post_seq);
+            self.post_seq += 1;
+            ring.push_at(t0, TraceEventKind::Span, id, SpanPhase::Enqueue.code());
+            ring.push_at(t1, TraceEventKind::Span, id, SpanPhase::RingResident.code());
+        }
+        Ok(PostOutcome { full_retries: 0 })
+    }
+
+    /// Non-blocking submission: publishes `req` into the request slot and
+    /// returns immediately, without waiting for the response. Completion
+    /// is collected with [`ClientHandle::nb_poll`] (or awaited via
+    /// [`ClientHandle::register_waker`]); an unwanted submission is
+    /// cancelled with [`ClientHandle::nb_retract`].
+    ///
+    /// Errors hand the request back along with the reason:
+    /// [`ServiceError::WouldBlock`] when a previous submission is still in
+    /// flight (one slot ⇒ one in-flight call), plus the same
+    /// poisoned/stopped/retiring refusals as [`ClientHandle::try_call`].
+    pub fn nb_begin(&mut self, req: S::Req) -> Result<(), (S::Req, ServiceError)> {
+        self.nb_begin_inner(req, false)
+    }
+
+    /// As [`ClientHandle::nb_begin`] for batched requests (magazine
+    /// refills): completion latency lands in the refill histogram and the
+    /// batched-call counter is bumped when collected.
+    pub fn nb_begin_batched(&mut self, req: S::Req) -> Result<(), (S::Req, ServiceError)> {
+        self.nb_begin_inner(req, true)
+    }
+
+    fn nb_begin_inner(&mut self, req: S::Req, batched: bool) -> Result<(), (S::Req, ServiceError)> {
+        if self.poisoned {
+            return Err((req, ServiceError::ServiceStopped));
+        }
+        if !self.is_open() {
+            self.stats.mark_service_down();
+            return Err((req, ServiceError::ServiceStopped));
+        }
+        if self.retiring.load(Ordering::Acquire) {
+            return Err((req, ServiceError::ShardRetiring { shard: self.shard }));
+        }
+        self.pmu.arm();
+        let t0 = cycles_now();
+        match self.slot.begin(req) {
+            Ok(()) => {
+                self.nb_t0 = Some(t0);
+                self.nb_batched = batched;
+                Ok(())
+            }
+            Err(req) => {
+                self.stats.record_wouldblock();
+                Err((req, ServiceError::WouldBlock))
+            }
+        }
+    }
+
+    /// Collects the in-flight non-blocking call's response if it has been
+    /// published; `None` while it is still pending (or none is in
+    /// flight). Completion telemetry — latency histogram (call or refill)
+    /// and the six span phase events — is emitted exactly as for the
+    /// blocking paths, stamped from submission to collection.
+    pub fn nb_poll(&mut self) -> Option<S::Resp> {
+        let resp = self.slot.poll_response()?;
+        let t5 = cycles_now();
+        let t0 = self.nb_t0.take().unwrap_or(t5);
+        if self.nb_batched {
+            self.telemetry.refill_cycles.record(t5.saturating_sub(t0));
+            self.stats
+                .batched_calls_served
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.telemetry.call_cycles.record(t5.saturating_sub(t0));
+        }
+        self.finish_call_span(t0, t5, self.nb_batched);
+        Some(resp)
+    }
+
+    /// Whether a non-blocking submission is currently in flight (begun
+    /// and neither collected nor successfully retracted).
+    pub fn nb_inflight(&self) -> bool {
+        self.nb_t0.is_some()
+    }
+
+    /// Registers `waker` to fire when the in-flight submission's response
+    /// is published (the RESPONSE release edge). Wake-safe against the
+    /// publish race: a response that already landed fires the waker from
+    /// this call. See [`RequestSlot::register_waker`].
+    pub fn register_waker(&self, waker: &std::task::Waker) {
+        self.slot.register_waker(waker);
+    }
+
+    /// Cancels the in-flight non-blocking submission. `true` means the
+    /// request was retracted before the service claimed it: the slot is
+    /// reusable, the registered waker (if any) will never fire, and the
+    /// span ends in its `Retracted` terminal phase — a later retry is a
+    /// distinct span by construction. `false` means the service already
+    /// claimed it: the caller must keep polling (a served response is
+    /// never discarded, which keeps alloc/free accounting exact).
+    pub fn nb_retract(&mut self) -> bool {
+        if !self.slot.retract() {
+            return false;
+        }
+        if let Some(t0) = self.nb_t0.take() {
+            self.finish_failed_span(t0, SpanPhase::Retracted);
+        }
+        true
     }
 
     /// Whether this handle's service thread is still consuming: `false`
@@ -592,6 +752,7 @@ impl Default for RuntimeConfig {
 }
 
 /// Configuration for [`OffloadRuntime::start`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.4.0",
     note = "use `RuntimeConfig` (plain fields) with `OffloadRuntime::try_start`"
@@ -601,6 +762,7 @@ pub struct RuntimeBuilder {
     cfg: RuntimeConfig,
 }
 
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 impl RuntimeBuilder {
     /// Creates a builder with defaults suited to the current machine.
@@ -823,6 +985,8 @@ impl<S: Service> OffloadRuntime<S> {
             } else {
                 ClientPmu::Off
             },
+            nb_t0: None,
+            nb_batched: false,
         }
     }
 
@@ -1490,6 +1654,7 @@ mod tests {
         assert_eq!(stats.ring_occupancy, 0);
     }
 
+    #[cfg(feature = "legacy-api")]
     #[test]
     #[allow(deprecated)]
     fn deprecated_builder_still_starts_a_runtime() {
@@ -1551,6 +1716,98 @@ mod tests {
         if saw_pressure {
             assert!(stats.post_full_retries > 0);
         }
+    }
+
+    #[test]
+    fn nb_begin_poll_completes_against_live_service() {
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        assert!(!c.nb_inflight());
+        c.nb_begin(21).expect("slot empty");
+        assert!(c.nb_inflight());
+        // A second submission on the same slot refuses without blocking
+        // and hands the request back.
+        match c.nb_begin(5) {
+            Err((req, ServiceError::WouldBlock)) => assert_eq!(req, 5),
+            other => panic!("expected WouldBlock, got {other:?}"),
+        }
+        let mut spins = 0u64;
+        let resp = loop {
+            if let Some(r) = c.nb_poll() {
+                break r;
+            }
+            std::hint::spin_loop();
+            spins += 1;
+            assert!(spins < 1_000_000_000, "service never answered");
+        };
+        assert_eq!(resp, 42);
+        assert!(!c.nb_inflight());
+        drop(c);
+        let (_, stats) = rt.shutdown();
+        assert_eq!(stats.calls_served, 1);
+        assert_eq!(stats.wouldblocks, 1);
+    }
+
+    #[test]
+    fn nb_retract_race_has_one_owner_and_slot_reusable() {
+        // begin-then-retract against a live service: each submission is
+        // either retracted (server never saw it) or served (we must
+        // collect it) — never both — and the slot stays reusable.
+        let rt = OffloadRuntime::start(doubler());
+        let mut c = rt.register_client();
+        let mut served = 0u64;
+        let mut retracted = 0u64;
+        for i in 0..2_000u64 {
+            c.nb_begin(i).expect("slot reusable every round");
+            if c.nb_retract() {
+                retracted += 1;
+            } else {
+                let mut spins = 0u64;
+                loop {
+                    if let Some(r) = c.nb_poll() {
+                        assert_eq!(r, i * 2);
+                        break;
+                    }
+                    std::hint::spin_loop();
+                    spins += 1;
+                    assert!(spins < 1_000_000_000, "claimed request never served");
+                }
+                served += 1;
+            }
+        }
+        assert_eq!(served + retracted, 2_000);
+        drop(c);
+        let (_, stats) = rt.shutdown();
+        assert_eq!(stats.calls_served, served, "every serve was collected");
+    }
+
+    #[test]
+    fn try_post_nonblocking_hands_message_back_when_full() {
+        let rt = OffloadRuntime::try_start(
+            doubler(),
+            RuntimeConfig {
+                ring_capacity: 2,
+                ..RuntimeConfig::new()
+            },
+        )
+        .unwrap();
+        let mut c = rt.register_client();
+        let mut bounced = 0u32;
+        let mut accepted = 0u64;
+        for i in 0..1000u64 {
+            match c.try_post_nonblocking(i) {
+                Ok(_) => accepted += 1,
+                Err(PostError::WouldBlock { msg }) => {
+                    assert_eq!(msg, i, "full ring hands the message back");
+                    bounced += 1;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        drop(c);
+        let (_, stats) = rt.shutdown();
+        assert_eq!(stats.posts_served, accepted, "accepted posts all drained");
+        assert_eq!(u64::from(bounced), stats.wouldblocks);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::task::Waker;
 use std::time::Duration;
 
 use ngm_telemetry::clock::cycles_now;
@@ -77,6 +79,18 @@ pub struct RequestSlot<Q, R> {
     claim_tsc: AtomicU64,
     served_tsc: AtomicU64,
     publish_tsc: AtomicU64,
+    /// A waker registered by a client polling this slot as a future.
+    /// The server fires it on the RESPONSE release edge in [`Self::serve`].
+    /// The mutex is uncontended in every blocking path (no waker is ever
+    /// registered), so the synchronous protocol stays lock-free in
+    /// practice; `has_waker` gates the server away from the lock entirely
+    /// on that path.
+    waker: Mutex<Option<Waker>>,
+    /// Fast-path hint: `true` while a waker may be registered. Paired
+    /// [`fence`]s in [`Self::register_waker`] and [`Self::serve`] make the
+    /// flag reliable: at least one side of a register/publish race always
+    /// observes the other.
+    has_waker: AtomicBool,
 }
 
 // SAFETY: access to `req` and `resp` is mediated by the `state` protocol:
@@ -106,6 +120,8 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
             claim_tsc: AtomicU64::new(0),
             served_tsc: AtomicU64::new(0),
             publish_tsc: AtomicU64::new(0),
+            waker: Mutex::new(None),
+            has_waker: AtomicBool::new(false),
         }
     }
 
@@ -163,33 +179,144 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
         }
     }
 
-    /// Client side: publishes `request`, waits for the response with the
-    /// given strategy, and returns it.
+    /// Client side, non-blocking: publishes `request` if the slot is
+    /// EMPTY, returning `Err(request)` (payload handed back, nothing
+    /// published) when a previous request is still in flight.
     ///
-    /// Callers must ensure only one client thread uses a given slot; this is
-    /// enforced structurally by [`crate::service::ClientHandle`] owning the
-    /// slot reference uniquely.
-    pub fn call(&self, request: Q, wait: WaitStrategy) -> R {
-        // The slot must be EMPTY: the previous call consumed its RESPONSE.
-        debug_assert_eq!(self.state.load(Ordering::Relaxed), EMPTY);
+    /// This is the submission half of the completion-based protocol; pair
+    /// it with [`Self::poll_response`] to collect, [`Self::register_waker`]
+    /// to be woken instead of polling, and [`Self::retract`] to cancel.
+    /// The blocking [`Self::call`]/[`Self::call_deadline`] are thin
+    /// wrappers over these same primitives.
+    ///
+    /// Callers must ensure only one client thread uses a given slot; this
+    /// is enforced structurally by [`crate::service::ClientHandle`] owning
+    /// the slot reference uniquely.
+    pub fn begin(&self, request: Q) -> Result<(), Q> {
+        if self.state.load(Ordering::Relaxed) != EMPTY {
+            return Err(request);
+        }
         // SAFETY: state is EMPTY, so the server is not touching `req`, and
-        // no other client shares this slot (single-client contract).
+        // no other client shares this slot (single-client contract). Only
+        // the client moves the slot out of EMPTY, so the check above
+        // cannot be invalidated concurrently.
         unsafe { (*self.req.get()).write(request) };
         self.bump_publish_seq();
         self.stamp_request();
         self.state.store(REQUEST, Ordering::Release);
+        Ok(())
+    }
+
+    /// Client side, non-blocking: consumes and returns the response if one
+    /// has been published, leaving the slot EMPTY; `None` while the
+    /// request is still pending (or none is in flight).
+    pub fn poll_response(&self) -> Option<R> {
+        if self.state.load(Ordering::Acquire) != RESPONSE {
+            return None;
+        }
+        // SAFETY: state is RESPONSE (Acquire), so the server's write of
+        // `resp` happens-before this read, and the server will not touch
+        // the slot again until we publish EMPTY.
+        let response = unsafe { (*self.resp.get()).assume_init_read() };
+        self.state.store(EMPTY, Ordering::Release);
+        Some(response)
+    }
+
+    /// Client side: registers `waker` to be fired when the in-flight
+    /// request's response is published (the RESPONSE release edge in
+    /// [`Self::serve`]).
+    ///
+    /// Lost-wakeup-free: if the response was already published by the time
+    /// the waker is stored, the waker fires immediately from this call.
+    /// Spurious wakes are possible (a stale server wake can land on a
+    /// newly registered waker); callers re-poll and re-register, as the
+    /// `Future` contract already requires.
+    ///
+    /// The waker's `wake()` may run while the slot's internal registration
+    /// lock is held, so it must not re-enter slot methods; the wakers of
+    /// real executors (set a flag, unpark a thread) satisfy this.
+    pub fn register_waker(&self, waker: &Waker) {
+        {
+            let mut slot = self.waker.lock().unwrap_or_else(|e| e.into_inner());
+            match &mut *slot {
+                Some(w) if w.will_wake(waker) => {}
+                w => *w = Some(waker.clone()),
+            }
+        }
+        self.has_waker.store(true, Ordering::Relaxed);
+        // Paired with the fence in `serve`: either the server's flag read
+        // observes our store (it wakes us), or our state load below
+        // observes its RESPONSE store (we wake ourselves). Without the
+        // fences both sides could miss each other and the wakeup be lost.
+        fence(Ordering::SeqCst);
+        if self.state.load(Ordering::Acquire) == RESPONSE {
+            self.wake_registered();
+        }
+    }
+
+    /// Client side: cancels the in-flight request with a
+    /// `REQUEST → EMPTY` CAS. Returns `true` if the request was never
+    /// claimed by the server (payload reclaimed, slot EMPTY and reusable)
+    /// and `false` if the server already claimed it (state `SERVING` or
+    /// `RESPONSE` — the caller must still collect or abandon it).
+    ///
+    /// After a successful retract, the registered waker (if any) is
+    /// cleared and will never fire for this request: the server only
+    /// wakes after publishing a RESPONSE, and a successful retract proves
+    /// it never claimed the request. Any stale wake still in flight from
+    /// an *earlier* response completes before this returns (the wake runs
+    /// under the registration lock taken here).
+    pub fn retract(&self) -> bool {
+        if self
+            .state
+            .compare_exchange(REQUEST, EMPTY, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        // We won: the server never claimed the request. Reclaim the
+        // payload we published so it is not leaked.
+        // SAFETY: the CAS above proves the server never moved the slot
+        // out of REQUEST, so `req` still holds the value we wrote and
+        // the server will not touch the slot (it observes EMPTY).
+        unsafe { (*self.req.get()).assume_init_drop() };
+        self.has_waker.store(false, Ordering::Relaxed);
+        let mut slot = self.waker.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = None;
+        true
+    }
+
+    /// Takes and fires the registered waker, holding the registration lock
+    /// across the wake so [`Self::retract`] can wait out in-flight wakes.
+    fn wake_registered(&self) {
+        let mut slot = self.waker.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(w) = slot.take() {
+            w.wake();
+        }
+    }
+
+    /// Client side: publishes `request`, waits for the response with the
+    /// given strategy, and returns it.
+    ///
+    /// A thin wrapper over [`Self::begin`] + [`Self::poll_response`];
+    /// callers must ensure only one client thread uses a given slot, as
+    /// for `begin`.
+    pub fn call(&self, request: Q, wait: WaitStrategy) -> R {
+        // The slot must be EMPTY: the previous call consumed its RESPONSE.
+        let published = self.begin(request).is_ok();
+        debug_assert!(published, "call on a busy slot");
 
         // Route through the shared WaitState machine so the configured
         // strategy's spin phase actually runs before any yield/sleep.
         let mut state = WaitState::new(wait);
         state.wait_for_value(&self.state, RESPONSE);
 
-        // SAFETY: state is RESPONSE (Acquire), so the server's write of
-        // `resp` happens-before this read, and the server will not touch the
-        // slot again until we publish EMPTY.
-        let response = unsafe { (*self.resp.get()).assume_init_read() };
-        self.state.store(EMPTY, Ordering::Release);
-        response
+        match self.poll_response() {
+            Some(response) => response,
+            // Unbudgeted wait_for_value only returns once state is
+            // RESPONSE, and only this client can consume it.
+            None => unreachable!("RESPONSE observed but not collectable"),
+        }
     }
 
     /// Client side, hang-proof: publishes `request` and waits at most
@@ -212,33 +339,18 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
         wait: WaitStrategy,
         budget: Duration,
     ) -> CallDeadline<R> {
-        debug_assert_eq!(self.state.load(Ordering::Relaxed), EMPTY);
-        // SAFETY: state is EMPTY (single-client contract), as in `call`.
-        unsafe { (*self.req.get()).write(request) };
-        self.bump_publish_seq();
-        self.stamp_request();
-        self.state.store(REQUEST, Ordering::Release);
+        let published = self.begin(request).is_ok();
+        debug_assert!(published, "call_deadline on a busy slot");
 
         let mut state = WaitState::with_budget(wait, Some(budget));
         if state.wait_for_value(&self.state, RESPONSE) {
-            // SAFETY: state is RESPONSE (Acquire), as in `call`.
-            let response = unsafe { (*self.resp.get()).assume_init_read() };
-            self.state.store(EMPTY, Ordering::Release);
-            return CallDeadline::Ok(response);
+            if let Some(response) = self.poll_response() {
+                return CallDeadline::Ok(response);
+            }
         }
 
         // Deadline expired. Race the server for the request.
-        if self
-            .state
-            .compare_exchange(REQUEST, EMPTY, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
-        {
-            // We won: the server never claimed the request. Reclaim the
-            // payload we published so it is not leaked.
-            // SAFETY: the CAS above proves the server never moved the slot
-            // out of REQUEST, so `req` still holds the value we wrote and
-            // the server will not touch the slot (it observes EMPTY).
-            unsafe { (*self.req.get()).assume_init_drop() };
+        if self.retract() {
             return CallDeadline::Retracted(state.waited());
         }
 
@@ -248,10 +360,9 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
         // collected, never dropped.
         let mut grace = WaitState::with_budget(wait, Some(budget));
         if grace.wait_for_value(&self.state, RESPONSE) {
-            // SAFETY: state is RESPONSE (Acquire), as in `call`.
-            let response = unsafe { (*self.resp.get()).assume_init_read() };
-            self.state.store(EMPTY, Ordering::Release);
-            return CallDeadline::Ok(response);
+            if let Some(response) = self.poll_response() {
+                return CallDeadline::Ok(response);
+            }
         }
 
         // The server died mid-serve: the request payload is gone and no
@@ -288,6 +399,13 @@ impl<Q: Send, R: Send> RequestSlot<Q, R> {
         unsafe { (*self.resp.get()).write(response) };
         self.publish_tsc.store(cycles_now(), Ordering::Relaxed);
         self.state.store(RESPONSE, Ordering::Release);
+        // Paired with the fence in `register_waker` (see there); the flag
+        // keeps the blocking path — which never registers a waker — away
+        // from the lock entirely.
+        fence(Ordering::SeqCst);
+        if self.has_waker.swap(false, Ordering::Relaxed) {
+            self.wake_registered();
+        }
         true
     }
 
@@ -521,6 +639,125 @@ mod tests {
         for i in 0..1000u32 {
             assert_eq!(slot.call(i, WaitStrategy::Backoff), i + 1);
         }
+        h.join().unwrap();
+    }
+
+    /// A waker that counts its wakes.
+    struct CountingWake(std::sync::atomic::AtomicUsize);
+
+    impl std::task::Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWake>, std::task::Waker) {
+        let flag = Arc::new(CountingWake(std::sync::atomic::AtomicUsize::new(0)));
+        let waker = std::task::Waker::from(Arc::clone(&flag));
+        (flag, waker)
+    }
+
+    #[test]
+    fn begin_poll_roundtrip_without_blocking() {
+        let slot: RequestSlot<u32, u32> = RequestSlot::new();
+        assert!(slot.begin(5).is_ok());
+        // Busy slot hands the payload back instead of publishing.
+        assert_eq!(slot.begin(6), Err(6));
+        assert_eq!(slot.poll_response(), None, "not served yet");
+        assert!(slot.serve(|q| q * 3));
+        assert_eq!(slot.poll_response(), Some(15));
+        assert_eq!(slot.poll_response(), None, "response consumed");
+        assert!(slot.begin(7).is_ok(), "slot reusable after completion");
+        assert!(slot.retract());
+    }
+
+    #[test]
+    fn waker_fires_on_response_edge() {
+        let slot: RequestSlot<u32, u32> = RequestSlot::new();
+        let (wakes, waker) = counting_waker();
+        assert!(slot.begin(1).is_ok());
+        slot.register_waker(&waker);
+        assert_eq!(wakes.0.load(Ordering::SeqCst), 0, "no response yet");
+        assert!(slot.serve(|q| q + 1));
+        assert_eq!(wakes.0.load(Ordering::SeqCst), 1, "woken on RESPONSE");
+        assert_eq!(slot.poll_response(), Some(2));
+        // The waker was consumed: a second serve cycle does not re-fire it.
+        assert!(slot.begin(2).is_ok());
+        assert!(slot.serve(|q| q + 1));
+        assert_eq!(wakes.0.load(Ordering::SeqCst), 1);
+        assert_eq!(slot.poll_response(), Some(3));
+    }
+
+    #[test]
+    fn register_after_response_self_wakes() {
+        let slot: RequestSlot<u32, u32> = RequestSlot::new();
+        let (wakes, waker) = counting_waker();
+        assert!(slot.begin(1).is_ok());
+        assert!(slot.serve(|q| q + 1));
+        // Response already published: registration must not lose the wake.
+        slot.register_waker(&waker);
+        assert_eq!(wakes.0.load(Ordering::SeqCst), 1);
+        assert_eq!(slot.poll_response(), Some(2));
+    }
+
+    #[test]
+    fn retract_clears_waker_and_it_never_fires() {
+        let slot: RequestSlot<u32, u32> = RequestSlot::new();
+        let (wakes, waker) = counting_waker();
+        assert!(slot.begin(1).is_ok());
+        slot.register_waker(&waker);
+        assert!(slot.retract());
+        // Even a full later serve cycle must not fire the retracted waker.
+        assert!(slot.begin(2).is_ok());
+        assert!(slot.serve(|q| q + 1));
+        assert_eq!(slot.poll_response(), Some(3));
+        assert_eq!(
+            wakes.0.load(Ordering::SeqCst),
+            0,
+            "waker fired after retract"
+        );
+    }
+
+    #[test]
+    fn retract_loses_once_served_and_response_collectable() {
+        let slot: RequestSlot<u32, u32> = RequestSlot::new();
+        assert!(slot.begin(4).is_ok());
+        assert!(slot.serve(|q| q * 10));
+        assert!(!slot.retract(), "served request cannot be retracted");
+        assert_eq!(slot.poll_response(), Some(40));
+    }
+
+    #[test]
+    fn concurrent_register_and_serve_never_lose_the_wake() {
+        // The fence-paired register/publish race: for each round, either
+        // the server's flag read sees the registration (server wakes) or
+        // the client's state re-check sees RESPONSE (self-wake). A lost
+        // wakeup shows up as a round where the counter never advances.
+        let slot: Arc<RequestSlot<u32, u32>> = Arc::new(RequestSlot::new());
+        let srv = Arc::clone(&slot);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let srv_stop = Arc::clone(&stop);
+        let h = std::thread::spawn(move || {
+            while !srv_stop.load(Ordering::Acquire) {
+                srv.serve(|q| q);
+                std::hint::spin_loop();
+            }
+        });
+        for i in 0..2_000u32 {
+            let (wakes, waker) = counting_waker();
+            assert!(slot.begin(i).is_ok());
+            slot.register_waker(&waker);
+            // The response may race the registration in either order; the
+            // protocol guarantees the wake is never lost.
+            let mut spins = 0u64;
+            while wakes.0.load(Ordering::SeqCst) == 0 {
+                std::hint::spin_loop();
+                spins += 1;
+                assert!(spins < 1_000_000_000, "lost wakeup at round {i}");
+            }
+            assert_eq!(slot.poll_response(), Some(i));
+        }
+        stop.store(true, Ordering::Release);
         h.join().unwrap();
     }
 }

@@ -49,6 +49,15 @@ pub struct RuntimeStats {
     /// Total bounded retry iterations clients spent against this shard:
     /// full-ring post retries plus reroute attempts after a deadline.
     pub retry_total: AtomicU64,
+    /// Times a non-blocking operation against this shard refused to wait:
+    /// a submission found its slot busy, or a non-blocking post found the
+    /// ring full. Transient by definition (the caller buffers and
+    /// retries); sustained growth means clients outrun the shard.
+    pub wouldblocks: AtomicU64,
+    /// Gauge: submissions in flight through the non-blocking front-end
+    /// (begun, neither completed nor retracted), published by submission
+    /// queues as their depth changes.
+    pub inflight: AtomicI64,
     /// Gauge: posts pending across all client rings, as of the service
     /// loop's last poll round.
     pub ring_occupancy: AtomicUsize,
@@ -97,6 +106,11 @@ pub struct StatsSnapshot {
     pub deadlines: u64,
     /// Total bounded retry iterations clients spent against this shard.
     pub retry_total: u64,
+    /// Non-blocking operations that refused to wait (busy slot or full
+    /// ring at a single-attempt submission).
+    pub wouldblocks: u64,
+    /// Submissions in flight through the non-blocking front-end.
+    pub inflight: i64,
     /// Posts pending across all client rings at the last poll round.
     pub ring_occupancy: usize,
     /// Items stashed in client magazines as of the last refill/drop
@@ -138,6 +152,8 @@ impl RuntimeStats {
             batched_calls_served: AtomicU64::new(0),
             deadlines: AtomicU64::new(0),
             retry_total: AtomicU64::new(0),
+            wouldblocks: AtomicU64::new(0),
+            inflight: AtomicI64::new(0),
             ring_occupancy: AtomicUsize::new(0),
             magazine_occupancy: AtomicI64::new(0),
             wait_phase: AtomicU32::new(WaitPhase::Spin as u32),
@@ -191,6 +207,18 @@ impl RuntimeStats {
         self.magazine_occupancy.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Counts one non-blocking refusal (busy slot or full ring on a
+    /// single-attempt submission).
+    pub fn record_wouldblock(&self) {
+        self.wouldblocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adjusts the in-flight-submission gauge by `delta`. Called by
+    /// submission queues as entries are begun and completed/retracted.
+    pub fn add_inflight(&self, delta: i64) {
+        self.inflight.fetch_add(delta, Ordering::Relaxed);
+    }
+
     /// Records a wait-loop phase change (gauge overwrite plus transition
     /// count). Called by the service loop only.
     pub fn record_wait_phase(&self, phase: WaitPhase) {
@@ -215,6 +243,8 @@ impl RuntimeStats {
             batched_calls_served: self.batched_calls_served.load(Ordering::Relaxed),
             deadlines: self.deadlines.load(Ordering::Relaxed),
             retry_total: self.retry_total.load(Ordering::Relaxed),
+            wouldblocks: self.wouldblocks.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
             ring_occupancy: self.ring_occupancy.load(Ordering::Relaxed),
             magazine_occupancy: self.magazine_occupancy.load(Ordering::Relaxed),
             wait_phase: WaitPhase::from_u32(self.wait_phase.load(Ordering::Relaxed)),
@@ -243,6 +273,8 @@ impl StatsSnapshot {
         self.batched_calls_served += other.batched_calls_served;
         self.deadlines += other.deadlines;
         self.retry_total += other.retry_total;
+        self.wouldblocks += other.wouldblocks;
+        self.inflight += other.inflight;
         self.ring_occupancy += other.ring_occupancy;
         self.magazine_occupancy += other.magazine_occupancy;
         self.wait_transitions += other.wait_transitions;
@@ -334,6 +366,22 @@ mod tests {
         assert!(!snap.service_down);
         assert_eq!(snap.posts_dropped, 0);
         assert_eq!(snap.failovers, 0);
+    }
+
+    #[test]
+    fn wouldblock_counter_and_inflight_gauge_absorb() {
+        let a = RuntimeStats::new();
+        a.record_wouldblock();
+        a.add_inflight(3);
+        let b = RuntimeStats::new();
+        b.record_wouldblock();
+        b.record_wouldblock();
+        b.add_inflight(4);
+        b.add_inflight(-2);
+        let mut snap = a.snapshot();
+        snap.absorb(&b.snapshot());
+        assert_eq!(snap.wouldblocks, 3);
+        assert_eq!(snap.inflight, 5);
     }
 
     #[test]

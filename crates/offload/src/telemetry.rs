@@ -57,6 +57,10 @@ pub struct RuntimeTelemetry {
     /// derived from the same two endpoint timestamps as `call_cycles`,
     /// so per-request they sum to exactly the recorded round trip.
     pub phase_cycles: [LatencyHistogram; PHASES],
+    /// Submission-queue depth (in-flight entries) sampled at each pump of
+    /// the non-blocking front-end — the "how many completions ride one
+    /// poll" distribution the completion-based API exists to raise.
+    pub submit_depth: LatencyHistogram,
     /// Capacity of each per-thread trace ring; 0 disables tracing.
     trace_capacity: usize,
     /// All trace rings ever created for this runtime (service loop plus
@@ -99,6 +103,7 @@ impl RuntimeTelemetry {
             post_cycles: LatencyHistogram::new(),
             refill_cycles: LatencyHistogram::new(),
             phase_cycles: std::array::from_fn(|_| LatencyHistogram::new()),
+            submit_depth: LatencyHistogram::new(),
             trace_capacity,
             rings: Mutex::new(Vec::new()),
             next_thread: AtomicU32::new(0),
@@ -263,12 +268,14 @@ impl RuntimeTelemetry {
         let mut call = self.call_cycles.snapshot();
         let mut post = self.post_cycles.snapshot();
         let mut refill = self.refill_cycles.snapshot();
+        let mut submit = self.submit_depth.snapshot();
         let mut phases: Vec<_> = self.phase_cycles.iter().map(|h| h.snapshot()).collect();
         let mut trace_dropped = self.trace_dropped_total();
         for p in peers {
             call.merge(&p.call_cycles.snapshot());
             post.merge(&p.post_cycles.snapshot());
             refill.merge(&p.refill_cycles.snapshot());
+            submit.merge(&p.submit_depth.snapshot());
             for (acc, h) in phases.iter_mut().zip(&p.phase_cycles) {
                 acc.merge(&h.snapshot());
             }
@@ -301,9 +308,11 @@ impl RuntimeTelemetry {
             .counter("ngm_batched_calls_total", stats.batched_calls_served)
             .counter("ngm_deadline_total", stats.deadlines)
             .counter("ngm_retry_total", stats.retry_total)
+            .counter("ngm_wouldblock_total", stats.wouldblocks)
             .counter("ngm_wait_transitions_total", stats.wait_transitions)
             .counter("ngm_trace_dropped_total", trace_dropped)
             .gauge("ngm_ring_occupancy", stats.ring_occupancy as i64)
+            .gauge("ngm_inflight", stats.inflight)
             .gauge("ngm_magazine_occupancy", stats.magazine_occupancy)
             .gauge("ngm_wait_phase", stats.wait_phase as i64)
             .gauge(
@@ -316,7 +325,8 @@ impl RuntimeTelemetry {
             )
             .histogram("ngm_call_cycles", call)
             .histogram("ngm_post_cycles", post)
-            .histogram("ngm_refill_cycles", refill);
+            .histogram("ngm_refill_cycles", refill)
+            .histogram("ngm_submit_depth", submit);
         for (name, snap) in PHASE_NAMES.iter().zip(phases) {
             m.histogram(format!("ngm_phase_{name}_cycles"), snap);
         }
@@ -446,5 +456,24 @@ mod tests {
         );
         let text = m.to_prometheus_text();
         assert!(text.contains("ngm_call_cycles{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn nonblocking_series_export_and_merge() {
+        let a = RuntimeTelemetry::new(0);
+        let b = RuntimeTelemetry::new(0);
+        a.submit_depth.record(4);
+        b.submit_depth.record(9);
+        let stats = crate::stats::RuntimeStats::new();
+        stats.record_wouldblock();
+        stats.add_inflight(7);
+        let m = a.metrics_merged(&stats.snapshot(), &[&b]);
+        assert_eq!(m.get_counter("ngm_wouldblock_total"), Some(1));
+        assert_eq!(m.get_gauge("ngm_inflight"), Some(7));
+        assert_eq!(
+            m.get_histogram("ngm_submit_depth").map(|h| h.count()),
+            Some(2),
+            "both peers' depth samples in one series"
+        );
     }
 }

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod completion;
 pub mod driver;
 pub mod jemalloc;
 pub mod layout;
@@ -31,6 +32,7 @@ pub mod ptmalloc;
 pub mod slab;
 pub mod tcmalloc;
 
+pub use completion::CompletionModel;
 pub use driver::{run, run_kind, run_kind_warm, run_warm, RunResult};
 pub use jemalloc::JemallocModel;
 pub use mimalloc::MimallocModel;

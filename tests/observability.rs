@@ -491,6 +491,101 @@ mod faultinject {
         }
     }
 
+    /// The span contract extends to the completion-based front-end: a
+    /// future that was *polled* (parked on the slot waker) and then
+    /// dropped — its submission retracted when the handle settles — is
+    /// **two spans**, exactly like the blocking drop-then-retry. The
+    /// retracted refill's span ends at `Retracted` without ever being
+    /// `Claimed`, and the retried allocation runs the full lifecycle to
+    /// `Observed` under a fresh id.
+    #[test]
+    fn future_polled_then_retracted_is_two_spans() {
+        use ngm_core::SubmissionQueue;
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::atomic::AtomicUsize;
+        use std::task::{Context, Poll, Wake, Waker};
+
+        struct Flag(AtomicUsize);
+        impl Wake for Flag {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+
+        let ngm = Arc::new(
+            NgmConfig::new()
+                .with_placement(CorePlacement::Unpinned)
+                .with_batch(2, 1)
+                .with_trace_capacity(4096)
+                .build()
+                .expect("valid config"),
+        );
+        let l = Layout::from_size_align(64, 8).expect("valid");
+
+        // Wedge the only shard so the future's refill submission is
+        // never claimed: the poll below genuinely parks, and the
+        // retract at settle time is guaranteed to win the CAS.
+        ngm.fault_state(0).set_wedged(true);
+        {
+            let sq = SubmissionQueue::new(ngm.handle());
+            let mut fut = sq.alloc(l).expect("submission accepted");
+            let flag = Arc::new(Flag(AtomicUsize::new(0)));
+            let waker = Waker::from(Arc::clone(&flag));
+            let mut cx = Context::from_waker(&waker);
+            // SAFETY: stack-pinned for the whole block.
+            let polled = unsafe { Pin::new_unchecked(&mut fut) }.poll(&mut cx);
+            assert!(polled.is_pending(), "wedged refill cannot complete");
+            drop(fut); // cancel the ticket
+            drop(sq); // handle settles: nb_retract wins → Retracted span
+        }
+        ngm.fault_state(0).set_wedged(false);
+
+        // The retry: a fresh queue completes a future the normal way.
+        {
+            let sq = SubmissionQueue::new(ngm.handle());
+            let mut fut = sq.alloc(l).expect("submission accepted");
+            let flag = Arc::new(Flag(AtomicUsize::new(0)));
+            let waker = Waker::from(Arc::clone(&flag));
+            let mut cx = Context::from_waker(&waker);
+            let p = loop {
+                // SAFETY: stack-pinned for the whole loop.
+                match unsafe { Pin::new_unchecked(&mut fut) }.poll(&mut cx) {
+                    Poll::Ready(r) => break r.expect("alloc"),
+                    Poll::Pending => std::thread::yield_now(),
+                }
+            };
+            drop(fut);
+            // SAFETY: block from this queue's tier, relinquished here.
+            unsafe { sq.free(p, l).expect("free accepted") };
+        }
+
+        let drain = ngm.telemetry().drain_trace();
+        let spans = reconstruct(&drain.events);
+        let calls: Vec<_> = spans.iter().filter(|s| s.id & POST_SPAN_BIT == 0).collect();
+        let retracted = calls
+            .iter()
+            .find(|s| s.at(SpanPhase::Retracted).is_some())
+            .expect("the settled submission's span ends retracted");
+        assert!(
+            retracted.at(SpanPhase::Claimed).is_none(),
+            "a wedged (never-claimed) refill must not show Claimed: {retracted:?}"
+        );
+        let observed = calls
+            .iter()
+            .find(|s| s.at(SpanPhase::Observed).is_some())
+            .expect("the retried allocation's span ends observed");
+        assert_ne!(retracted.id, observed.id, "retry minted a fresh span id");
+        for s in [retracted, observed] {
+            assert!(s.well_nested() && s.phase_monotonic(), "{s:?}");
+            assert!(s.completed());
+        }
+
+        let ngm = Arc::into_inner(ngm).expect("all clones dropped");
+        let down = ngm.shutdown();
+        assert!(down.clean() && down.balanced());
+    }
+
     /// Acceptance: a wedged shard trips the blackbox flight recorder.
     /// The dump — mirrored to `NGM_BLACKBOX_PATH` — must carry the
     /// wedged shard's last-K trace events and the heat snapshot, and the
